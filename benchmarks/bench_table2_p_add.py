@@ -1,0 +1,14 @@
+"""Table 2: the elementwise p_add primitive (Listing 4) vs the
+sequential baseline — exact reproduction for every N >= 10^3."""
+
+from repro.bench import experiments
+from repro.lmul import measure_kernel
+
+from conftest import record
+
+
+def test_table2(benchmark):
+    res = experiments.table2()
+    record(res)
+    benchmark(measure_kernel, "p_add", 10**5, 1024)
+    res.check_within(0.001)  # exact away from the paper's N=100 anomaly

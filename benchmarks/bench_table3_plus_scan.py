@@ -1,0 +1,15 @@
+"""Table 3: the unsegmented plus-scan (Listing 6) vs the sequential
+scan — exact at N >= 10^5, within 7% below (the paper's remainder-strip
+constants drift at small N; see EXPERIMENTS.md)."""
+
+from repro.bench import experiments
+from repro.lmul import measure_kernel
+
+from conftest import record
+
+
+def test_table3(benchmark):
+    res = experiments.table3()
+    record(res)
+    benchmark(measure_kernel, "plus_scan", 10**5, 1024)
+    res.check_within(0.07)

@@ -1,0 +1,14 @@
+"""Table 4: the segmented plus-scan (Listing 10) vs the sequential
+segmented scan — exact reproduction at every N."""
+
+from repro.bench import experiments
+from repro.lmul import measure_kernel
+
+from conftest import record
+
+
+def test_table4(benchmark):
+    res = experiments.table4()
+    record(res)
+    benchmark(measure_kernel, "seg_plus_scan", 10**5, 1024)
+    res.check_within(0.001)

@@ -1,0 +1,15 @@
+"""Table 6: (speedup over LMUL=1)/LMUL — the declining-returns ratio
+of wider register groups for segmented scan."""
+
+from repro.bench import experiments
+from repro.lmul import measure_kernel
+from repro.rvv.types import LMUL
+
+from conftest import record
+
+
+def test_table6(benchmark):
+    res = experiments.table6()
+    record(res)
+    benchmark(measure_kernel, "seg_plus_scan", 10**5, 1024, LMUL.M4)
+    res.check_within(0.035)

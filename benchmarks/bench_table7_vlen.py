@@ -1,0 +1,14 @@
+"""Table 7: dynamic counts of segmented plus-scan and p_add across
+VLEN in {128, 256, 512, 1024} at N=10^4 — VLA scalability."""
+
+from repro.bench import experiments
+from repro.lmul import measure_kernel
+
+from conftest import record
+
+
+def test_table7(benchmark):
+    res = experiments.table7()
+    record(res)
+    benchmark(measure_kernel, "seg_plus_scan", 10**4, 128)
+    res.check_within(0.01)

@@ -1,0 +1,25 @@
+"""Shared bench plumbing: collect every regenerated table/figure and
+print them in the terminal summary (pytest captures stdout during the
+tests themselves, so the rendered tables are re-emitted at the end
+where they stay visible in `--benchmark-only` runs and tee'd logs)."""
+
+from __future__ import annotations
+
+import pytest
+
+_RENDERED: list[str] = []
+
+
+def record(result) -> None:
+    """Register an ExperimentResult for the end-of-run summary."""
+    _RENDERED.append(result.render())
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _RENDERED:
+        terminalreporter.ensure_newline()
+        terminalreporter.section("regenerated paper tables and figures")
+        for text in _RENDERED:
+            terminalreporter.write_line(text)
+            terminalreporter.write_line("")

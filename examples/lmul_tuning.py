@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""LMUL tuning: reproduce the paper's §6.3 study and use the advisor.
+
+Grouping vector registers (LMUL > 1) shrinks the strip count but
+raises register pressure; at LMUL=8 the segmented-scan kernel spills
+and small workloads get *slower* (Tables 5-6). This example sweeps the
+grid live and shows the advisor picking the measured optimum from its
+closed-form cost model.
+
+Run:  python examples/lmul_tuning.py
+"""
+
+import numpy as np
+
+from repro import LMUL
+from repro.lmul import choose_lmul, measure_kernel, predict_scan_count
+from repro.rvv.allocation import SEG_SCAN_PROFILE, plan_allocation
+from repro.utils.formatting import render_table
+
+SIZES = [100, 1_000, 10_000, 100_000, 1_000_000]
+LMULS = [LMUL.M1, LMUL.M2, LMUL.M4, LMUL.M8]
+
+# --------------------------------------------------------------------------
+print("=== why LMUL=8 can lose: the register file arithmetic ===")
+for lmul in LMULS:
+    plan = plan_allocation(SEG_SCAN_PROFILE, lmul)
+    status = (f"spills {len(plan.spilled)} of {SEG_SCAN_PROFILE.n_values} live values"
+              f" ({', '.join(plan.spilled)})" if plan.has_spills
+              else f"all {SEG_SCAN_PROFILE.n_values} live values fit")
+    print(f"LMUL={int(lmul)}: {plan.usable_groups:>2} usable register groups -> {status}")
+
+# --------------------------------------------------------------------------
+print("\n=== the Table 5 sweep, regenerated ===")
+rows = []
+for n in SIZES:
+    counts = {int(lm): measure_kernel("seg_plus_scan", n, 1024, lm).instructions
+              for lm in LMULS}
+    best = min(counts, key=counts.get)
+    rows.append([f"{n:,}"] + [f"{counts[int(lm)]:,}" for lm in LMULS] + [f"m{best}"])
+print(render_table(
+    ["N", "LMUL=1", "LMUL=2", "LMUL=4", "LMUL=8", "best"], rows,
+    title="seg_plus_scan dynamic instruction count (VLEN=1024)",
+))
+print("LMUL=8's one-time spill frame (~2k instructions) sinks it below\n"
+      "N=1e5; beyond that the halved strip count wins — the paper's anomaly.")
+
+# --------------------------------------------------------------------------
+print("\n=== the advisor: pick LMUL without sweeping ===")
+rows = []
+for n in SIZES:
+    choice = choose_lmul("seg_plus_scan", n, vlen=1024)
+    measured = measure_kernel("seg_plus_scan", n, 1024, choice.lmul).instructions
+    rows.append([f"{n:,}", f"m{int(choice.lmul)}", f"{choice.count:,}",
+                 f"{measured:,}", "yes" if choice.count == measured else "NO"])
+print(render_table(
+    ["N", "advisor pick", "predicted", "measured", "prediction exact?"], rows,
+))
+
+# The prediction is the same closed form the machine charges, so it is
+# exact by construction — §6.3's guidance, made mechanical:
+pred = predict_scan_count("seg_plus_scan", 500, 1024, LMUL.M8)
+print(f"\ne.g. N=500 at LMUL=8 would spill {pred.spilled_values} "
+      f"and cost {pred.count:,} instructions — the advisor avoids it.")

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Split radix sort vs qsort — the paper's Table 1 experiment, live.
+
+Sorts uniform random uint32 keys with the scan-vector-model radix sort
+(Listing 9) and compares its dynamic instruction count against the
+instrumented libc qsort cost model, reproducing the paper's headline
+crossover: qsort wins at N=100, radix sort wins 2.6-4.3x beyond.
+
+Run:  python examples/radix_sort_demo.py [N ...]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import SVM
+from repro.algorithms import split_radix_sort
+from repro.scalar import GlibcMallocModel, ScalarMachine, qsort_baseline
+from repro.utils.formatting import render_table
+
+sizes = [int(arg) for arg in sys.argv[1:]] or [100, 1_000, 10_000, 100_000]
+
+rows = []
+for n in sizes:
+    rng = np.random.default_rng(2022)
+    keys = rng.integers(0, 2**32, n, dtype=np.uint32)
+
+    # --- the vectorized sort, with the allocation cost model engaged
+    # (Listing 7 mallocs scratch per split pass; beyond the mmap
+    # threshold those allocations dominate — Table 1's 1e5 jump)
+    svm = SVM(vlen=1024, codegen="paper", malloc_model=GlibcMallocModel())
+    arr = svm.array(keys)
+    svm.reset()
+    split_radix_sort(svm, arr)
+    assert np.array_equal(arr.to_numpy(), np.sort(keys)), "sort is wrong!"
+    radix_count = svm.instructions
+
+    # --- the sequential baseline
+    sm = ScalarMachine()
+    qsort_baseline(sm, keys)
+    qsort_count = sm.total
+
+    rows.append([
+        f"{n:,}", f"{radix_count:,}", f"{qsort_count:,}",
+        f"{qsort_count / radix_count:.2f}x",
+        "radix" if radix_count < qsort_count else "qsort",
+    ])
+
+print(render_table(
+    ["N", "split_radix_sort", "qsort baseline", "speedup", "winner"],
+    rows,
+    title="Dynamic instruction counts (VLEN=1024, LMUL=1) — cf. paper Table 1",
+))
+
+print("""
+Why qsort wins at N=100: the radix sort always runs 32 bit-passes of
+6 primitive sweeps each, so its fixed overhead (~24k instructions)
+exceeds qsort's N*lgN cost on tiny inputs — exactly the paper's 0.72x.
+Why the speedup dips at N>=1e5: each split pass mallocs two N-word
+scratch buffers; past glibc's 128 KiB threshold those become mmap
+calls whose page faults execute counted code (see DESIGN.md).
+""")

@@ -1,0 +1,47 @@
+"""Applications built purely on scan-vector-model primitives.
+
+The paper's thesis is that the primitive set suffices for real
+parallel workloads (§4.4 demonstrates split radix sort). This package
+carries that demonstration further with Blelloch's canonical
+applications:
+
+* :func:`~repro.algorithms.radix_sort.split_radix_sort` — Listing 9,
+  measured in Table 1;
+* :func:`~repro.algorithms.quicksort.flat_quicksort` — the segmented
+  quicksort the paper's §5 motivates;
+* :func:`~repro.algorithms.rle.rle_encode` / ``rle_decode``;
+* :func:`~repro.algorithms.spmv.spmv` — CSR SpMV via segmented sums;
+* :func:`~repro.algorithms.line_of_sight.line_of_sight`;
+* :mod:`~repro.algorithms.pack_filter` — stream compaction/partition.
+"""
+
+from .expand import expand, expand_indices
+from .histogram import histogram
+from .line_of_sight import angle_measures, line_of_sight
+from .pack_filter import filter_equal, filter_in_range, filter_less_than, partition_by_flag
+from .quicksort import flat_quicksort, seg_total
+from .radix_sort import split_radix_sort, split_radix_sort_pairs
+from .radix_wide import split_radix_sort_wide
+from .rle import rle_decode, rle_encode
+from .spmv import CSRMatrix, spmv
+
+__all__ = [
+    "split_radix_sort",
+    "split_radix_sort_pairs",
+    "split_radix_sort_wide",
+    "flat_quicksort",
+    "seg_total",
+    "rle_encode",
+    "rle_decode",
+    "CSRMatrix",
+    "spmv",
+    "expand",
+    "expand_indices",
+    "histogram",
+    "line_of_sight",
+    "angle_measures",
+    "filter_less_than",
+    "filter_equal",
+    "filter_in_range",
+    "partition_by_flag",
+]

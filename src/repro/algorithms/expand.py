@@ -1,0 +1,95 @@
+"""Expand / processor allocation — Blelloch's ``allocate`` idiom.
+
+Given per-element counts, *expand* replicates element i ``counts[i]``
+times, contiguously and in order — the scan-model answer to "allocate
+k_i workers to task i" (Blelloch uses it for line drawing: allocate one
+lane per pixel of each line). The composition:
+
+1. exclusive plus-scan of the counts → each element's start offset;
+2. scatter the element values (and a 1-marker) at the offsets;
+3. segmented copy-scan distributes each value across its block.
+
+``expand_indices`` returns, instead of values, the *source index* each
+output lane came from — the general form applications use to gather
+arbitrary per-element payloads afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rvv.types import LMUL
+from ..svm.context import SVM, SVMArray
+from ..svm.gather_scatter import scatter_any
+
+__all__ = ["expand", "expand_indices"]
+
+
+def _starts_and_total(svm: SVM, counts: SVMArray, lmul) -> tuple[SVMArray, int]:
+    starts = svm.copy(counts, lmul=lmul)
+    svm.scan(starts, "plus", inclusive=False, lmul=lmul)
+    total = svm.reduce(counts, "plus", lmul=lmul)
+    return starts, total
+
+
+def expand(svm: SVM, values: SVMArray, counts: SVMArray,
+           lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+    """Replicate ``values[i]`` exactly ``counts[i]`` times (counts of
+    zero drop the element). Returns (expanded array, total length).
+
+    >>> import numpy as np
+    >>> from repro import SVM
+    >>> s = SVM(vlen=128)
+    >>> out, n = expand(s, s.array([7, 9, 4]), s.array([2, 0, 3]))
+    >>> out.to_numpy()[:n].tolist()
+    [7, 7, 4, 4, 4]
+    """
+    if values.n != counts.n:
+        from ..errors import VectorLengthError
+
+        raise VectorLengthError("values and counts must have equal length")
+    starts, total = _starts_and_total(svm, counts, lmul)
+    out = svm.zeros(max(total, 1))
+    out = SVMArray(out.ptr, total)
+    if total == 0:
+        svm.free(starts)
+        return out, 0
+
+    # keep only elements with nonzero counts: zero-count elements would
+    # scatter onto the next element's start and corrupt it
+    nz = svm.p_gt(counts, 0, lmul=lmul)
+    kept_vals, k = svm.pack(values, nz, lmul=lmul)
+    kept_starts, k2 = svm.pack(starts, nz, lmul=lmul)
+    assert k == k2
+
+    flags = svm.zeros(total)
+    ones = svm.copy(SVMArray(kept_vals.ptr, k), lmul=lmul)
+    svm.p_mul(ones, 0, lmul=lmul)
+    svm.p_add(ones, 1, lmul=lmul)
+    scatter_any(svm, SVMArray(kept_vals.ptr, k), SVMArray(kept_starts.ptr, k),
+                out, lmul=lmul)
+    scatter_any(svm, SVMArray(ones.ptr, k), SVMArray(kept_starts.ptr, k),
+                flags, lmul=lmul)
+    svm.seg_plus_scan(out, flags, lmul=lmul)
+
+    for tmp in (starts, nz, kept_vals, kept_starts, flags, ones):
+        svm.free(tmp)
+    return out, total
+
+
+def expand_indices(svm: SVM, counts: SVMArray,
+                   lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+    """The index form: output lane j holds the source index i whose
+    block contains j.
+
+    >>> import numpy as np
+    >>> from repro import SVM
+    >>> s = SVM(vlen=128)
+    >>> out, n = expand_indices(s, s.array([2, 0, 3]))
+    >>> out.to_numpy()[:n].tolist()
+    [0, 0, 2, 2, 2]
+    """
+    idx = svm.index_array(counts.n, lmul=lmul)
+    out, total = expand(svm, idx, counts, lmul=lmul)
+    svm.free(idx)
+    return out, total

@@ -1,0 +1,57 @@
+"""Histogram via sort + run-length encode — the scan-model idiom.
+
+Scatter-with-accumulate (the shared-memory histogram) has no
+data-parallel equivalent in the scan vector model: colliding scatter
+lanes would race. Blelloch's formulation instead *sorts* the keys
+(split radix sort over just the bucket bits) and run-length encodes
+the result — each run is one bucket's population. Both building blocks
+come straight from this library, so the histogram is a two-call
+composition plus one scatter of the (bucket, count) pairs into the
+dense output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rvv.types import LMUL
+from ..svm.context import SVM, SVMArray
+from ..svm.gather_scatter import scatter_any
+from .radix_sort import split_radix_sort
+from .rle import rle_encode
+
+__all__ = ["histogram"]
+
+
+def histogram(svm: SVM, data: SVMArray, n_buckets: int,
+              lmul: LMUL | None = None) -> SVMArray:
+    """Count occurrences of each value in ``[0, n_buckets)``.
+
+    ``n_buckets`` must be a power of two (the sort runs over exactly
+    ``lg n_buckets`` split passes); values outside the range raise.
+    Returns a dense ``n_buckets``-element count vector.
+    """
+    if n_buckets <= 0 or n_buckets & (n_buckets - 1):
+        raise ConfigurationError(
+            f"n_buckets must be a positive power of two, got {n_buckets}"
+        )
+    counts = svm.zeros(n_buckets)
+    if data.n == 0:
+        return counts
+    if int(data.view().max()) >= n_buckets:
+        raise ConfigurationError("data contains values >= n_buckets")
+
+    bits = int(n_buckets).bit_length() - 1
+    keys = svm.copy(data, lmul=lmul)
+    if bits:
+        split_radix_sort(svm, keys, bits=bits, lmul=lmul)
+    values, lengths, n_runs = rle_encode(svm, keys, lmul=lmul)
+
+    # each run is one occupied bucket: counts[value] = length
+    scatter_any(svm, SVMArray(lengths.ptr, n_runs),
+                SVMArray(values.ptr, n_runs), counts, lmul=lmul)
+
+    for tmp in (keys, values, lengths):
+        svm.free(tmp)
+    return counts

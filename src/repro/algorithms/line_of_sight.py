@@ -1,0 +1,66 @@
+"""Line-of-sight — Blelloch's original motivating example for scan.
+
+An observer stands at point 0 of a terrain profile; point i is visible
+iff no earlier point subtends a larger vertical angle. The scan-model
+solution: compute each point's angle measure, take the *exclusive*
+max-scan (the best angle before each point), and compare.
+
+The library's element domain is unsigned integers, so the angle is a
+fixed-point measure ``((alt - observer) << SHIFT) / distance`` biased
+to stay non-negative. The division happens during *workload setup*
+(angles are an input to the scan-model computation, as in Blelloch's
+formulation); the parallel work — the max-scan and compare — runs
+entirely on primitives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VectorLengthError
+from ..rvv.types import LMUL
+from ..svm.context import SVM, SVMArray
+
+__all__ = ["line_of_sight", "angle_measures"]
+
+#: Fixed-point fraction bits for the angle measure.
+ANGLE_SHIFT = 16
+#: Bias keeping downhill angles non-negative in the unsigned domain.
+ANGLE_BIAS = 1 << 30
+
+
+def angle_measures(altitudes: np.ndarray) -> np.ndarray:
+    """Fixed-point angle of every point as seen from point 0.
+
+    ``measure[i] = BIAS + ((alt[i] - alt[0]) << SHIFT) // i`` for
+    ``i >= 1``; point 0 gets the minimum measure (it is trivially
+    visible and never occludes itself).
+    """
+    altitudes = np.asarray(altitudes, dtype=np.int64)
+    if altitudes.ndim != 1 or altitudes.size == 0:
+        raise VectorLengthError("altitudes must be a non-empty 1-D array")
+    n = altitudes.size
+    out = np.zeros(n, dtype=np.uint32)
+    if n > 1:
+        i = np.arange(1, n, dtype=np.int64)
+        rel = (altitudes[1:] - altitudes[0]) << ANGLE_SHIFT
+        out[1:] = (ANGLE_BIAS + rel // i).astype(np.uint32)
+    return out
+
+
+def line_of_sight(svm: SVM, altitudes: np.ndarray,
+                  lmul: LMUL | None = None) -> SVMArray:
+    """Visibility flags (1 = visible from point 0) for a terrain
+    profile, computed with an exclusive max-scan plus a compare."""
+    measures = angle_measures(altitudes)
+    angles = svm.array(measures)
+    best_before = svm.copy(angles, lmul=lmul)
+    svm.scan(best_before, "max", inclusive=False, lmul=lmul)
+    visible = svm.p_gt(angles, best_before, lmul=lmul)
+    # point 0 is the observer: always visible (max's identity is 0 and
+    # its measure is 0, so the strict > test would mark it hidden)
+    visible.ptr[0] = 1
+    svm.machine.scalar(2)
+    svm.free(angles)
+    svm.free(best_before)
+    return visible

@@ -1,0 +1,57 @@
+"""Filter / stream compaction utilities — the pack side of the
+permutation class, composed with flag-producing compares.
+
+``filter_less_than`` and friends express the classic "select the
+records matching a predicate" database/streaming kernel on scan-model
+primitives: one compare pass to build flags, one pack to compact.
+``partition_by_flag`` exposes the paper's split as a standalone stable
+partition with both halves' sizes.
+"""
+
+from __future__ import annotations
+
+from ..rvv.types import LMUL
+from ..svm.context import SVM, SVMArray
+
+__all__ = ["filter_less_than", "filter_equal", "filter_in_range", "partition_by_flag"]
+
+
+def filter_less_than(svm: SVM, data: SVMArray, threshold: int,
+                     lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+    """Keep elements strictly below ``threshold`` (stable). Returns
+    (packed array, count)."""
+    flags = svm.p_lt(data, threshold, lmul=lmul)
+    out, kept = svm.pack(data, flags, lmul=lmul)
+    svm.free(flags)
+    return out, kept
+
+
+def filter_equal(svm: SVM, data: SVMArray, value: int,
+                 lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+    """Keep elements equal to ``value`` (stable)."""
+    flags = svm.p_eq(data, value, lmul=lmul)
+    out, kept = svm.pack(data, flags, lmul=lmul)
+    svm.free(flags)
+    return out, kept
+
+
+def filter_in_range(svm: SVM, data: SVMArray, lo: int, hi: int,
+                    lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+    """Keep elements in ``[lo, hi)`` (stable): two compares and a
+    flag product."""
+    ge_lo = svm.p_ge(data, lo, lmul=lmul)
+    lt_hi = svm.p_lt(data, hi, lmul=lmul)
+    svm.p_mul(ge_lo, lt_hi, lmul=lmul)
+    out, kept = svm.pack(data, ge_lo, lmul=lmul)
+    svm.free(ge_lo)
+    svm.free(lt_hi)
+    return out, kept
+
+
+def partition_by_flag(svm: SVM, data: SVMArray, flags: SVMArray,
+                      lmul: LMUL | None = None) -> tuple[SVMArray, int, int]:
+    """Stable partition by a 0/1 flag vector via the paper's split
+    (Listing 7): 0-flag elements first. Returns (partitioned array,
+    #zeros, #ones)."""
+    out, zeros = svm.split(data, flags, lmul=lmul)
+    return out, zeros, data.n - zeros

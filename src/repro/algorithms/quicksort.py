@@ -1,0 +1,162 @@
+"""Flat (data-parallel) quicksort on segmented scans — Blelloch's
+classic construction, and the paper's motivating example for segmented
+scan support ("an algorithm like quick sort needs to split the whole
+array into different segments and then sort each segment recursively",
+§5).
+
+Instead of recursing, *all* segments are partitioned simultaneously
+each round:
+
+1. distribute each segment's pivot (its first element) to every lane —
+   a segmented inclusive plus-scan of ``keys * head_flags`` (only the
+   head is nonzero, so the scan broadcasts it);
+2. classify lanes into <, =, > with flag-producing compares;
+3. compute each lane's destination: segment start + rank within its
+   class (+ class offsets). Ranks are segmented *exclusive* scans of
+   the class flags; per-segment class totals come from
+   :func:`seg_total` (forward scan + reversed-segment backward scan —
+   composed entirely from the model's primitives, since RVV has no
+   backward scan);
+4. scatter keys and the new segment-head markers with ``permute``.
+
+Segments whose elements are all equal are *done*; their lanes keep
+their positions. The loop ends when every lane is done — expected
+O(lg n) rounds for random pivots, with a configurable safety cap for
+adversarial inputs (first-element pivots degrade like any quicksort;
+``shuffle=True`` randomizes once up front through a permute).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rvv.types import LMUL
+from ..svm.context import SVM, SVMArray
+from ..svm.derived import seg_copy, seg_total
+
+__all__ = ["flat_quicksort", "seg_total"]
+
+
+def _class_marker(svm: SVM, cls: SVMArray, rank: SVMArray, lmul) -> SVMArray:
+    """1 where a lane is the first of its class within its segment
+    (class flag set and rank zero) — these lanes head new segments."""
+    marker = svm.p_eq(rank, 0, lmul=lmul)
+    svm.p_mul(marker, cls, lmul=lmul)
+    return marker
+
+
+def flat_quicksort(svm: SVM, keys: SVMArray, *, shuffle: bool = False,
+                   max_rounds: int | None = None, lmul: LMUL | None = None,
+                   rng: np.random.Generator | None = None) -> int:
+    """Sort ``keys`` ascending in place; returns the number of
+    partition rounds executed.
+
+    Parameters
+    ----------
+    shuffle:
+        Randomly permute the input once before sorting (through the
+        permute primitive), guarding against adversarial orderings —
+        first-element pivots are quadratic on sorted input otherwise.
+    max_rounds:
+        Safety cap; defaults to ``2 * ceil(lg n) + 32``. Exceeding it
+        raises :class:`~repro.errors.ReproError`.
+    """
+    n = keys.n
+    if n <= 1:
+        return 0
+    if max_rounds is None:
+        max_rounds = 2 * int(np.ceil(np.log2(n))) + 32
+
+    if shuffle:
+        rng = np.random.default_rng() if rng is None else rng
+        perm = svm.array(rng.permutation(n).astype(np.uint32))
+        shuffled = svm.permute(keys, perm, lmul=lmul)
+        svm.copy(shuffled, out=keys)
+        svm.free(perm)
+        svm.free(shuffled)
+
+    heads_init = np.zeros(n, dtype=np.uint32)
+    heads_init[0] = 1
+    heads = svm.array(heads_init)
+    idx = svm.index_array(n, lmul=lmul)
+
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        # 1. broadcast each segment's pivot (head element)
+        pivots = seg_copy(svm, keys, heads, lmul=lmul)
+
+        # 2. classify
+        lt = svm.p_lt(keys, pivots, lmul=lmul)
+        eq = svm.p_eq(keys, pivots, lmul=lmul)
+        gt = svm.p_gt(keys, pivots, lmul=lmul)
+
+        # 3. ranks within class and per-segment class totals
+        rank_lt = svm.copy(lt)
+        svm.seg_scan(rank_lt, heads, "plus", inclusive=False, lmul=lmul)
+        rank_eq = svm.copy(eq)
+        svm.seg_scan(rank_eq, heads, "plus", inclusive=False, lmul=lmul)
+        rank_gt = svm.copy(gt)
+        svm.seg_scan(rank_gt, heads, "plus", inclusive=False, lmul=lmul)
+        tot_lt = seg_total(svm, lt, heads, lmul=lmul)
+        tot_eq = seg_total(svm, eq, heads, lmul=lmul)
+        tot_gt = seg_total(svm, gt, heads, lmul=lmul)
+
+        # done segments: nothing strictly below or above the pivot
+        z_lt = svm.p_eq(tot_lt, 0, lmul=lmul)
+        z_gt = svm.p_eq(tot_gt, 0, lmul=lmul)
+        done = z_lt
+        svm.p_mul(done, z_gt, lmul=lmul)
+
+        # segment start index, distributed to every lane
+        seg_start = seg_copy(svm, idx, heads, lmul=lmul)
+
+        # destination = start + class offset + rank within class
+        dest_lt = svm.copy(seg_start)
+        svm.p_add(dest_lt, rank_lt, lmul=lmul)
+        dest_eq = svm.copy(seg_start)
+        svm.p_add(dest_eq, tot_lt, lmul=lmul)
+        svm.p_add(dest_eq, rank_eq, lmul=lmul)
+        dest_gt = svm.copy(seg_start)
+        svm.p_add(dest_gt, tot_lt, lmul=lmul)
+        svm.p_add(dest_gt, tot_eq, lmul=lmul)
+        svm.p_add(dest_gt, rank_gt, lmul=lmul)
+        dest = dest_gt
+        svm.p_select(eq, dest_eq, dest, lmul=lmul)
+        svm.p_select(lt, dest_lt, dest, lmul=lmul)
+        svm.p_select(done, idx, dest, lmul=lmul)  # done lanes stay put
+
+        # 4. new segment heads: first lane of each nonempty class
+        m_lt = _class_marker(svm, lt, rank_lt, lmul)
+        m_eq = _class_marker(svm, eq, rank_eq, lmul)
+        m_gt = _class_marker(svm, gt, rank_gt, lmul)
+        marker = m_lt
+        svm.p_or(marker, m_eq, lmul=lmul)
+        svm.p_or(marker, m_gt, lmul=lmul)
+        svm.p_select(done, heads, marker, lmul=lmul)  # done: keep heads
+
+        new_keys = svm.permute(keys, dest, lmul=lmul)
+        new_heads = svm.permute(marker, dest, lmul=lmul)
+        svm.copy(new_keys, out=keys)
+        svm.copy(new_heads, out=heads)
+
+        finished = svm.reduce(done, "plus", lmul=lmul) == n
+
+        for tmp in (pivots, lt, eq, gt, rank_lt, rank_eq, rank_gt,
+                    tot_lt, tot_eq, tot_gt, z_lt, z_gt, seg_start,
+                    dest_lt, dest_eq, dest_gt, m_lt, m_eq,
+                    new_keys, new_heads):
+            svm.free(tmp)
+        # done aliased z_lt, marker aliased m_lt, dest aliased dest_gt
+
+        if finished:
+            break
+    else:
+        raise ReproError(
+            f"flat_quicksort did not converge in {max_rounds} rounds"
+            f" (adversarial input? try shuffle=True)"
+        )
+
+    svm.free(heads)
+    svm.free(idx)
+    return rounds

@@ -1,0 +1,334 @@
+"""One regeneration function per table and figure in the paper's §6.
+
+Every function builds the workload, runs the measured kernel and its
+baseline under the ``paper`` codegen preset at the paper's
+configuration (VLEN=1024, LMUL=1 unless the experiment varies them),
+and returns an :class:`~repro.bench.harness.ExperimentResult` with the
+paper's reference numbers alongside.
+
+Workload data is uniform random ``uint32`` with a fixed seed; every
+vector kernel's dynamic count is data-independent (the strict/fast
+parity tests prove it), so the seed only matters for the instrumented
+qsort baseline, whose count is genuinely data-dependent — as it was on
+the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.radix_sort import split_radix_sort
+from ..lmul.sweep import measure_kernel
+from ..rvv.types import LMUL
+from ..scalar.kernels import (
+    p_add_baseline,
+    plus_scan_baseline,
+    seg_plus_scan_baseline,
+)
+from ..scalar.machine import ScalarMachine
+from ..scalar.malloc_model import GlibcMallocModel
+from ..scalar.qsort import qsort_baseline
+from ..svm.context import SVM
+from ..utils.formatting import fmt_count, fmt_ratio, render_ascii_chart
+from . import paper_data as P
+from .harness import ExperimentResult, rel_err, speedup
+
+__all__ = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "figure5", "headline", "DEFAULT_SIZES",
+]
+
+DEFAULT_SIZES = P.SIZES
+_SEED = 20220829  # the workshop's opening day
+_FLAG_DENSITY = 0.1
+
+
+def _pct(e: float | None) -> str:
+    return "-" if e is None else f"{e:+.1%}"
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — split radix sort vs qsort
+# ---------------------------------------------------------------------------
+
+def table1(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """Spike-style dynamic counts: split radix sort (RVV, Listing 9)
+    vs the libc qsort cost model, VLEN=1024 / LMUL=1."""
+    rows, checks = [], []
+    for n in sizes:
+        rng = np.random.default_rng(_SEED)
+        data = rng.integers(0, 1 << 32, n, dtype=np.uint32)
+        svm = SVM(vlen=1024, codegen="paper", mode="fast",
+                  malloc_model=GlibcMallocModel())
+        arr = svm.array(data)
+        svm.reset()
+        split_radix_sort(svm, arr)
+        assert np.array_equal(arr.to_numpy(), np.sort(data))
+        radix = svm.instructions
+
+        sm = ScalarMachine()
+        qsort_baseline(sm, data)
+        qsort = sm.total
+
+        ref_r, ref_q = P.TABLE1_RADIX.get(n), P.TABLE1_QSORT.get(n)
+        rows.append([
+            fmt_count(n), fmt_count(radix), fmt_count(ref_r), _pct(rel_err(radix, ref_r)),
+            fmt_count(qsort), fmt_count(ref_q), _pct(rel_err(qsort, ref_q)),
+            fmt_ratio(speedup(qsort, radix)),
+            fmt_ratio(ref_q / ref_r if ref_r else None),
+        ])
+        if ref_r:
+            checks.append((f"radix n={n}", radix, ref_r))
+        if ref_q:
+            checks.append((f"qsort n={n}", qsort, ref_q))
+    return ExperimentResult(
+        "Table 1", "split_radix_sort() vs qsort(), dynamic instruction count",
+        ["N", "radix", "radix(paper)", "err", "qsort", "qsort(paper)", "err",
+         "speedup", "speedup(paper)"],
+        rows,
+        notes=[
+            "qsort cost model fitted to the paper's baseline column"
+            " (tools/fit_qsort.py); per-row residuals < 7%.",
+            "the per-element jump at N>=1e5 is the malloc mmap threshold"
+            " (GlibcMallocModel), reproducing the paper's anomaly.",
+        ],
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 2-4 — primitives vs sequential baselines
+# ---------------------------------------------------------------------------
+
+def _primitive_table(exp_id: str, title: str, kernel: str, baseline_fn,
+                     ref_vec: dict, ref_base: dict, sizes) -> ExperimentResult:
+    rows, checks = [], []
+    for n in sizes:
+        point = measure_kernel(kernel, n, vlen=1024, lmul=LMUL.M1,
+                               codegen="paper", seed=_SEED)
+        vec = point.instructions
+
+        rng = np.random.default_rng(_SEED)
+        data = rng.integers(0, 1 << 16, n, dtype=np.uint32)
+        sm = ScalarMachine()
+        if kernel == "seg_plus_scan":
+            flags = (rng.random(n) < _FLAG_DENSITY).astype(np.uint32)
+            baseline_fn(sm, data, flags)
+        elif kernel == "p_add":
+            baseline_fn(sm, data, 12345)
+        else:
+            baseline_fn(sm, data)
+        base = sm.total
+
+        rv, rb = ref_vec.get(n), ref_base.get(n)
+        rows.append([
+            fmt_count(n), fmt_count(vec), fmt_count(rv), _pct(rel_err(vec, rv)),
+            fmt_count(base), fmt_count(rb), _pct(rel_err(base, rb)),
+            fmt_ratio(speedup(base, vec)),
+            fmt_ratio(rb / rv if rv and rb else None),
+        ])
+        if rv:
+            checks.append((f"{kernel} n={n}", vec, rv))
+        if rb:
+            checks.append((f"{kernel}-baseline n={n}", base, rb))
+    return ExperimentResult(
+        exp_id, title,
+        ["N", "vector", "vector(paper)", "err", "baseline", "baseline(paper)",
+         "err", "speedup", "speedup(paper)"],
+        rows, checks=checks,
+    )
+
+
+def table2(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """p_add (Listing 4) vs the sequential elementwise-add baseline."""
+    res = _primitive_table(
+        "Table 2", "p_add() vs sequential baseline", "p_add",
+        p_add_baseline, P.TABLE2_PADD, P.TABLE2_PADD_BASE, sizes,
+    )
+    res.notes.append(
+        "paper's N=1e2 rows (66 vector / 632 baseline) sit ~30 above the"
+        " models that fit every other row exactly; recorded as a source-"
+        "data anomaly in EXPERIMENTS.md."
+    )
+    # exclude the anomalous N=100 rows from the tolerance assertions
+    res.checks = [c for c in res.checks if "n=100" not in c[0]]
+    return res
+
+
+def table3(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """Unsegmented plus-scan (Listing 6) vs the sequential scan."""
+    return _primitive_table(
+        "Table 3", "plus_scan() vs sequential baseline", "plus_scan",
+        plus_scan_baseline, P.TABLE3_SCAN, P.TABLE3_SCAN_BASE, sizes,
+    )
+
+
+def table4(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """Segmented plus-scan (Listing 10) vs the sequential segmented scan."""
+    return _primitive_table(
+        "Table 4", "seg_plus_scan() vs sequential baseline", "seg_plus_scan",
+        seg_plus_scan_baseline, P.TABLE4_SEG, P.TABLE4_SEG_BASE, sizes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tables 5-6 — LMUL study
+# ---------------------------------------------------------------------------
+
+def table5(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """Segmented plus-scan dynamic count across LMUL in {1, 2, 4, 8}."""
+    rows, checks = [], []
+    measured: dict[int, dict[int, int]] = {}
+    for n in sizes:
+        row = [fmt_count(n)]
+        for lm in (1, 2, 4, 8):
+            c = measure_kernel("seg_plus_scan", n, 1024, LMUL(lm),
+                               codegen="paper", seed=_SEED).instructions
+            measured.setdefault(lm, {})[n] = c
+            ref = P.TABLE5_SEG_LMUL[lm].get(n)
+            row.extend([fmt_count(c), fmt_count(ref)])
+            if ref and lm != 2:  # LMUL=2 reference column is corrupt (see note)
+                checks.append((f"lmul={lm} n={n}", c, ref))
+        rows.append(row)
+    res = ExperimentResult(
+        "Table 5", "seg_plus_scan() dynamic count across LMUL",
+        ["N",
+         "LMUL1", "paper", "LMUL2", "paper", "LMUL4", "paper", "LMUL8", "paper"],
+        rows,
+        notes=[
+            "the paper's LMUL=2 column duplicates Table 4's baseline column"
+            " and contradicts Table 6's ratios; our LMUL=2 values match the"
+            " Table 6-implied counts (22 + 12*lg(64) = 94 per strip).",
+            "LMUL=8 spills 4 of the kernel's 7 live values (3 usable groups)"
+            " — the modeled cause of the small-N slowdown.",
+        ],
+        checks=checks,
+    )
+    res.measured = measured  # stashed for table6
+    return res
+
+
+def table6(sizes=DEFAULT_SIZES) -> ExperimentResult:
+    """(speedup over LMUL=1) / LMUL — the declining-returns ratio."""
+    t5 = table5(sizes)
+    measured = t5.measured
+    rows, checks = [], []
+    for n in sizes:
+        row = [fmt_count(n)]
+        for lm in (2, 4, 8):
+            ratio = (measured[1][n] / measured[lm][n]) / lm
+            ref = P.TABLE6_RATIO[lm].get(n)
+            row.extend([fmt_ratio(ratio, 4), fmt_ratio(ref, 4)])
+            if ref:
+                checks.append((f"ratio lmul={lm} n={n}", ratio, ref))
+        rows.append(row)
+    return ExperimentResult(
+        "Table 6", "(speedup to LMUL=1) / LMUL for seg_plus_scan()",
+        ["N", "LMUL2", "paper", "LMUL4", "paper", "LMUL8", "paper"],
+        rows,
+        notes=["ratios < 1 shrink as LMUL grows: register pressure eats the"
+               " wider groups' strip savings (§6.3)."],
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 7 + Figure 5 — VLEN scalability
+# ---------------------------------------------------------------------------
+
+def table7(n: int = 10**4) -> ExperimentResult:
+    """Dynamic counts of seg_plus_scan and p_add across VLEN."""
+    rows, checks = [], []
+    for vlen in P.TABLE7_VLENS:
+        seg = measure_kernel("seg_plus_scan", n, vlen, codegen="paper",
+                             seed=_SEED).instructions
+        padd = measure_kernel("p_add", n, vlen, codegen="paper",
+                              seed=_SEED).instructions
+        ref_s, ref_p = P.TABLE7_SEG.get(vlen), P.TABLE7_PADD.get(vlen)
+        rows.append([vlen, fmt_count(seg), fmt_count(ref_s), _pct(rel_err(seg, ref_s)),
+                     fmt_count(padd), fmt_count(ref_p), _pct(rel_err(padd, ref_p))])
+        if ref_s:
+            checks.append((f"seg vlen={vlen}", seg, ref_s))
+        if ref_p:
+            checks.append((f"p_add vlen={vlen}", padd, ref_p))
+    return ExperimentResult(
+        "Table 7", f"instruction count over VLEN (N={n})",
+        ["vlen", "seg scan", "paper", "err", "p_add", "paper", "err"],
+        rows,
+        notes=["the paper's Table 7 p_add column sits a constant +25 above"
+               " its own Table 2 at the shared configuration; our counts"
+               " match Table 2 and run ~-0.9% of Table 7."],
+        checks=checks,
+    )
+
+
+def figure5(n: int = 10**4) -> ExperimentResult:
+    """Speedup relative to VLEN=128: ideal-linear for p_add, sublinear
+    for segmented scan (the scan's lg(vl) in-register steps grow with
+    the register)."""
+    seg, padd = {}, {}
+    for vlen in P.TABLE7_VLENS:
+        seg[vlen] = measure_kernel("seg_plus_scan", n, vlen, codegen="paper",
+                                   seed=_SEED).instructions
+        padd[vlen] = measure_kernel("p_add", n, vlen, codegen="paper",
+                                    seed=_SEED).instructions
+    rows, checks = [], []
+    series = {"p_add": [], "seg scan": [], "ideal": []}
+    for vlen in P.TABLE7_VLENS:
+        s_seg = seg[128] / seg[vlen]
+        s_padd = padd[128] / padd[vlen]
+        ref_seg = P.FIGURE5_SEG_SPEEDUP[vlen]
+        ref_padd = P.FIGURE5_PADD_SPEEDUP[vlen]
+        rows.append([vlen, fmt_ratio(s_padd), fmt_ratio(ref_padd),
+                     fmt_ratio(s_seg), fmt_ratio(ref_seg),
+                     fmt_ratio(vlen / 128)])
+        checks.append((f"seg speedup vlen={vlen}", s_seg, ref_seg))
+        checks.append((f"p_add speedup vlen={vlen}", s_padd, ref_padd))
+        series["p_add"].append((vlen, s_padd))
+        series["seg scan"].append((vlen, s_seg))
+        series["ideal"].append((vlen, vlen / 128))
+    chart = render_ascii_chart(series, title="Figure 5: speedup vs vlen=128",
+                               x_label="VLEN (bits)", y_label="speedup")
+    return ExperimentResult(
+        "Figure 5", "speedup compared to vlen=128 over different vlen",
+        ["vlen", "p_add", "paper", "seg scan", "paper", "ideal"],
+        rows,
+        notes=["p_add tracks the ideal vlen/128 line; segmented scan"
+               " saturates near 4.5x at VLEN=1024 (the paper quotes 4.65x"
+               " in prose; its own Table 7 gives 4.48x)."],
+        chart=chart,
+        checks=checks,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Headline — the abstract's four speedups
+# ---------------------------------------------------------------------------
+
+def headline(n: int = 10**6) -> ExperimentResult:
+    """The abstract's speedups at N=10^6: scan and segmented scan at
+    LMUL=1, and with the best LMUL (8 at this N)."""
+    scan1 = measure_kernel("plus_scan", n, 1024, LMUL.M1, "paper", _SEED).instructions
+    seg1 = measure_kernel("seg_plus_scan", n, 1024, LMUL.M1, "paper", _SEED).instructions
+    scan8 = measure_kernel("plus_scan", n, 1024, LMUL.M8, "paper", _SEED).instructions
+    seg8 = measure_kernel("seg_plus_scan", n, 1024, LMUL.M8, "paper", _SEED).instructions
+    scan_base = 6 * n + 26
+    seg_base = 11 * n + 24
+    rows = [
+        ["scan, LMUL=1", fmt_ratio(scan_base / scan1), P.HEADLINE["scan_lmul1"],
+         "abstract says 2.85; the paper's own Table 3 gives 2.29"],
+        ["seg scan, LMUL=1", fmt_ratio(seg_base / seg1), P.HEADLINE["seg_scan_lmul1"], ""],
+        ["scan, best LMUL", fmt_ratio(scan_base / scan8), P.HEADLINE["scan_lmul_tuned"],
+         "no per-N table backs 21.93x; see EXPERIMENTS.md discussion"],
+        ["seg scan, best LMUL", fmt_ratio(seg_base / seg8),
+         P.HEADLINE["seg_scan_lmul_tuned"], ""],
+    ]
+    return ExperimentResult(
+        "Headline", f"abstract speedups at N={n}",
+        ["configuration", "speedup (ours)", "paper", "remark"],
+        rows,
+        checks=[
+            ("seg scan lmul1", seg_base / seg1, P.HEADLINE["seg_scan_lmul1"]),
+            ("seg scan tuned", seg_base / seg8, P.HEADLINE["seg_scan_lmul_tuned"]),
+        ],
+    )

@@ -1,0 +1,80 @@
+"""Experiment result structure and comparison helpers.
+
+Every experiment function in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult`: the regenerated rows, the paper's reference
+values, relative errors, and free-form notes (including the documented
+inconsistencies of the source tables). ``render()`` produces the
+monospace table printed by the benches and embedded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..utils.formatting import render_table
+
+__all__ = ["ExperimentResult", "rel_err", "speedup"]
+
+
+def rel_err(measured, reference) -> float | None:
+    """Relative error of measured vs the paper's reference (None if no
+    reference exists)."""
+    if reference is None or measured is None:
+        return None
+    if reference == 0:
+        return None
+    return (measured - reference) / reference
+
+
+def speedup(baseline, ours) -> float | None:
+    """Dynamic-count speedup (baseline / ours) — the paper's metric."""
+    if not ours:
+        return None
+    return baseline / ours
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    #: Optional pre-rendered chart (Figure 5) appended after the table.
+    chart: str | None = None
+    #: (label, measured, reference) triples used by assertions.
+    checks: list[tuple[str, float, float]] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [render_table(self.headers, self.rows, title=f"{self.exp_id}: {self.title}")]
+        if self.chart:
+            parts.append(self.chart)
+        for note in self.notes:
+            parts.append(f"  note: {note}")
+        return "\n".join(parts)
+
+    def max_abs_rel_err(self) -> float:
+        """Largest |relative error| across the registered checks."""
+        worst = 0.0
+        for _, measured, reference in self.checks:
+            e = rel_err(measured, reference)
+            if e is not None:
+                worst = max(worst, abs(e))
+        return worst
+
+    def check_within(self, tolerance: float) -> None:
+        """Assert every registered check lands within ``tolerance``
+        relative error of the paper's value."""
+        failures = [
+            (label, measured, reference, rel_err(measured, reference))
+            for label, measured, reference in self.checks
+            if (e := rel_err(measured, reference)) is not None and abs(e) > tolerance
+        ]
+        if failures:
+            detail = "; ".join(
+                f"{label}: measured={measured} paper={reference} err={err:+.1%}"
+                for label, measured, reference, err in failures
+            )
+            raise AssertionError(f"{self.exp_id} outside {tolerance:.0%}: {detail}")

@@ -1,0 +1,115 @@
+"""EXPERIMENTS.md generator: runs every experiment and renders the
+paper-vs-measured record.
+
+Usage::
+
+    python -m repro.bench.report            # writes EXPERIMENTS.md
+    python -m repro.bench.report --stdout   # prints instead
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from . import experiments as E
+
+__all__ = ["generate_report"]
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table and figure in *Efficient Support of
+the Scan Vector Model for RISC-V Vector Extension* (Lai & Lee, ICPP
+Workshops '22). All measurements below were produced by this
+repository's bench harness (`python -m repro.bench.report`), running
+the strict-validated fast path under the `paper` codegen preset at the
+paper's configuration (Spike-style dynamic instruction counts,
+VLEN=1024 / LMUL=1 / SEW=32 unless the experiment varies them).
+
+How to read the tables: each experiment prints our measured count, the
+paper's published value, and the relative error. The calibration that
+makes the counts comparable is derived in
+`src/repro/rvv/calibration.py`; the substitutions (RVV simulator for
+hardware, cost models for LLVM/Spike/glibc) are argued in DESIGN.md §2.
+
+## Summary of reproduction quality
+
+| Experiment | Worst relative error | Status |
+|---|---|---|
+{summary_rows}
+
+## Known inconsistencies in the source tables
+
+1. **Table 2 / Table 7 (p_add)**: the two tables disagree by a constant
+   +25 at the shared configuration (N=10^4, VLEN=1024), and Table 2's
+   N=10^2 row (66) sits ~30 above the 9-per-strip model that fits every
+   other row exactly. We match Table 2's N>=10^3 rows exactly.
+2. **Table 3 vs the abstract**: the abstract claims 2.85x for
+   unsegmented scan; Table 3's own data gives 2.29x at N=10^6. We
+   reproduce Table 3.
+3. **Table 5, LMUL=2 column**: duplicates Table 4's *baseline* column
+   (1124/11024/...) and contradicts Table 6, whose LMUL=2 ratios imply
+   ~94 instructions per strip. We reproduce the Table 6-consistent
+   values and compare our LMUL=2 column against those.
+4. **Abstract's 21.93x scan-with-LMUL claim**: no per-N table backs it;
+   it implies a per-strip cost at LMUL=8 *below* the LMUL=1 cost of the
+   same kernel, which no uniform codegen model can produce alongside
+   Table 3. Our register-pressure model yields {scan_tuned:.1f}x for the
+   LMUL-tuned unsegmented scan — a large gain over 2.29x, but short of
+   21.93x; the segmented counterpart (15.09x) reproduces to {seg_tuned:.2f}x.
+5. **Figure 2's caption** ("elements with bit value 1 move left")
+   contradicts Listings 7-8 and Figure 3; the listings' 0-first order
+   (the correct ascending radix sort) is implemented.
+
+---
+
+"""
+
+
+def generate_report(sizes=E.DEFAULT_SIZES) -> str:
+    """Run all experiments and return the EXPERIMENTS.md body."""
+    t0 = time.time()
+    results = [
+        E.table1(sizes),
+        E.table2(sizes),
+        E.table3(sizes),
+        E.table4(sizes),
+        E.table5(sizes),
+        E.table6(sizes),
+        E.table7(),
+        E.figure5(),
+        E.headline(),
+    ]
+    summary_rows = "\n".join(
+        f"| {r.exp_id} | {r.max_abs_rel_err():.2%} | "
+        f"{'exact/near-exact' if r.max_abs_rel_err() < 0.005 else 'shape + magnitude' if r.max_abs_rel_err() < 0.10 else 'shape'} |"
+        for r in results
+    )
+    headline_res = results[-1]
+    scan_tuned = float(headline_res.rows[2][1])
+    seg_tuned = float(headline_res.rows[3][1])
+    body = [_PREAMBLE.format(summary_rows=summary_rows, scan_tuned=scan_tuned,
+                             seg_tuned=seg_tuned)]
+    for r in results:
+        body.append("```")
+        body.append(r.render())
+        body.append("```")
+        body.append("")
+    body.append(f"_Generated in {time.time() - t0:.1f}s by `python -m repro.bench.report`._")
+    return "\n".join(body)
+
+
+def main(argv: list[str]) -> int:
+    text = generate_report()
+    if "--stdout" in argv:
+        print(text)
+    else:
+        with open("EXPERIMENTS.md", "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote EXPERIMENTS.md ({len(text.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``report``
+    Regenerate every table/figure and write (or print) EXPERIMENTS.md.
+``table <1-7|fig5|headline>``
+    Regenerate one experiment and print it.
+``sweep --kernel K [--vlen V] [--lmul L ...] [--sizes N ...]``
+    Measure a kernel over an LMUL/size grid.
+``advise --kernel K --n N [--vlen V]``
+    Run the LMUL advisor (§6.3) for a workload size.
+``sort --n N [--algo radix|quicksort] [--vlen V]``
+    Sort random keys on the simulated machine and report the dynamic
+    instruction count (and the qsort baseline for comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main"]
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .bench import report
+
+    return report.main(["--stdout"] if args.stdout else [])
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from .bench import experiments as E
+
+    table_fns = {
+        "1": E.table1, "2": E.table2, "3": E.table3, "4": E.table4,
+        "5": E.table5, "6": E.table6, "7": lambda: E.table7(),
+        "fig5": lambda: E.figure5(), "headline": lambda: E.headline(),
+    }
+    try:
+        fn = table_fns[args.which]
+    except KeyError:
+        print(f"unknown experiment {args.which!r}; choose from {sorted(table_fns)}",
+              file=sys.stderr)
+        return 2
+    print(fn().render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .lmul import sweep_lmul
+    from .rvv.types import LMUL
+    from .utils.formatting import render_table
+
+    lmuls = tuple(LMUL(x) for x in args.lmul)
+    points = sweep_lmul(args.kernel, sizes=args.sizes, vlen=args.vlen, lmuls=lmuls)
+    by_n: dict[int, dict[int, int]] = {}
+    for p in points:
+        by_n.setdefault(p.n, {})[int(p.lmul)] = p.instructions
+    rows = [
+        [f"{n:,}"] + [f"{by_n[n][int(lm)]:,}" for lm in lmuls]
+        for n in args.sizes
+    ]
+    print(render_table(
+        ["N"] + [f"LMUL={int(lm)}" for lm in lmuls], rows,
+        title=f"{args.kernel} dynamic instruction count (VLEN={args.vlen})",
+    ))
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .lmul import choose_lmul, predict_scan_count
+    from .rvv.types import LMUL
+
+    for lm in (1, 2, 4, 8):
+        pred = predict_scan_count(args.kernel, args.n, args.vlen, LMUL(lm))
+        spill = f"  (spills: {', '.join(pred.spilled_values)})" if pred.has_spills else ""
+        print(f"LMUL={lm}: {pred.count:>12,} instructions{spill}")
+    best = choose_lmul(args.kernel, args.n, args.vlen)
+    print(f"-> choose LMUL={int(best.lmul)} "
+          f"({best.count:,} predicted dynamic instructions)")
+    return 0
+
+
+def _cmd_sort(args: argparse.Namespace) -> int:
+    from .algorithms import flat_quicksort, split_radix_sort
+    from .scalar import GlibcMallocModel, ScalarMachine, qsort_baseline
+    from .svm.context import SVM
+
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 2**32, args.n, dtype=np.uint32)
+    svm = SVM(vlen=args.vlen, codegen="paper",
+              malloc_model=GlibcMallocModel())
+    arr = svm.array(keys)
+    svm.reset()
+    if args.algo == "radix":
+        split_radix_sort(svm, arr)
+    else:
+        flat_quicksort(svm, arr, shuffle=True, rng=rng)
+    if not np.array_equal(arr.to_numpy(), np.sort(keys)):
+        print("sort FAILED verification", file=sys.stderr)
+        return 1
+    sm = ScalarMachine()
+    qsort_baseline(sm, keys)
+    print(f"{args.algo:>9}: {svm.instructions:>12,} dynamic instructions")
+    print(f"    qsort: {sm.total:>12,} dynamic instructions "
+          f"(speedup {sm.total / svm.instructions:.2f}x)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Scan vector model for RVV — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--stdout", action="store_true", help="print instead of writing")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("table", help="regenerate one experiment")
+    p.add_argument("which", help="1-7, fig5, or headline")
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("sweep", help="measure a kernel over an LMUL/size grid")
+    p.add_argument("--kernel", default="seg_plus_scan",
+                   choices=["p_add", "plus_scan", "seg_plus_scan"])
+    p.add_argument("--vlen", type=int, default=1024)
+    p.add_argument("--lmul", type=int, nargs="+", default=[1, 2, 4, 8])
+    p.add_argument("--sizes", type=int, nargs="+",
+                   default=[100, 1000, 10000, 100000])
+    p.set_defaults(fn=_cmd_sweep)
+
+    p = sub.add_parser("advise", help="run the LMUL advisor (§6.3)")
+    p.add_argument("--kernel", default="seg_plus_scan",
+                   choices=["plus_scan", "seg_plus_scan"])
+    p.add_argument("--n", type=int, required=True)
+    p.add_argument("--vlen", type=int, default=1024)
+    p.set_defaults(fn=_cmd_advise)
+
+    p = sub.add_parser("sort", help="sort random keys on the simulator")
+    p.add_argument("--n", type=int, default=10000)
+    p.add_argument("--algo", choices=["radix", "quicksort"], default="radix")
+    p.add_argument("--vlen", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_sort)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)

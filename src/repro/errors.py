@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid machine or kernel configuration was requested.
+
+    Examples: a VLEN that is not a power of two, an unsupported SEW,
+    an LMUL outside {1, 2, 4, 8}, or a SEW/LMUL combination whose
+    vlmax would be zero.
+    """
+
+
+class RegisterError(ReproError):
+    """An illegal vector-register access.
+
+    Raised for out-of-range register numbers, register numbers that are
+    not aligned to the current LMUL group size, or overlap violations
+    between a mask register and a destination group.
+    """
+
+
+class MemoryError_(ReproError):
+    """An out-of-bounds access to simulated memory.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`.
+    """
+
+
+class VectorLengthError(ReproError):
+    """An operation was given a ``vl`` outside ``[0, vlmax]`` or operands
+    whose lengths disagree with the active ``vl``."""
+
+
+class MaskError(ReproError):
+    """A mask operand has the wrong length or an illegal layout."""
+
+
+class SegmentError(ReproError):
+    """An invalid segment descriptor.
+
+    Examples: head-flags containing values other than 0/1, segment
+    lengths that do not sum to the array length, or unsorted
+    head-pointers.
+    """
+
+
+class CalibrationError(ReproError):
+    """The codegen calibration tables are inconsistent with a kernel's
+    declared structure (e.g. a kernel requests a residual that is not
+    defined for the active preset)."""
+
+
+class AllocationError(ReproError):
+    """The register-allocation model was given an impossible profile
+    (e.g. more simultaneously-live mask registers than exist)."""

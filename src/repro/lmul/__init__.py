@@ -1,0 +1,24 @@
+"""The LMUL register-grouping optimization study (§6.3).
+
+* :mod:`~repro.lmul.advisor` — closed-form cost prediction per LMUL
+  and the selection heuristic from the paper's conclusion;
+* :mod:`~repro.lmul.sweep` — the measurement grids behind Tables 5-7
+  and Figure 5.
+
+The register-pressure/spill model itself lives in
+:mod:`repro.rvv.allocation` (it models the compiler's allocator, a
+codegen-level concern); this package consumes it.
+"""
+
+from .advisor import LmulPrediction, choose_lmul, predict_scan_count
+from .sweep import SweepPoint, measure_kernel, sweep_lmul, sweep_vlen
+
+__all__ = [
+    "LmulPrediction",
+    "choose_lmul",
+    "predict_scan_count",
+    "SweepPoint",
+    "measure_kernel",
+    "sweep_lmul",
+    "sweep_vlen",
+]

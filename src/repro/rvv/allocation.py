@@ -1,0 +1,220 @@
+"""Register-pressure and spill model for LMUL register grouping (§6.3).
+
+Grouping registers with LMUL > 1 shrinks the effective register file:
+at LMUL=8 only four groups exist, and the group containing ``v0`` is
+unavailable to allocatable values because ``v0`` holds masks (§3.2).
+When a kernel keeps more simultaneously-live vector values than there
+are usable groups, the compiler spills whole register groups to the
+stack — the cause of the paper's LMUL=8 anomaly where segmented scan
+at N <= 10^3 runs *slower* with the widest grouping (Table 5) and of
+the declining (speedup/LMUL) ratio in Table 6.
+
+The model: a kernel declares its live vector values with per-strip and
+per-inner-iteration access counts (its *register profile*). The
+allocator keeps the hottest values in groups and spills the rest; each
+access to a spilled value costs :data:`SPILL_ACCESS_COST` dynamic
+instructions (stack-address computation + a whole-register
+``vl<k>r``/``vs<k>r`` move), and a kernel containing spills pays a
+one-time :data:`SPILL_FRAME_SETUP` (prologue/epilogue spill-slot frame:
+``csrr vlenb``-based stack realignment plus saving and zero-filling the
+slots).
+
+Fit check against Table 5's LMUL=8 column (segmented scan profile, 4
+values spilled -> 68 instructions per strip + 1950 one-time): predicted
+counts land within 0.006% (N=10^6), 0.03% (10^5), 0.6% (10^4), 1%
+(10^3) and 1.6% (10^2) of the paper's measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AllocationError
+from .regfile import NUM_REGS
+from .types import LMUL
+
+__all__ = [
+    "ValueUse",
+    "RegisterProfile",
+    "SpillPlan",
+    "plan_allocation",
+    "SPILL_ACCESS_COST",
+    "SPILL_FRAME_SETUP",
+    "ELEMENTWISE_PROFILE",
+    "PLUS_SCAN_PROFILE",
+    "SEG_SCAN_PROFILE",
+    "ENUMERATE_PROFILE",
+    "PERMUTE_PROFILE",
+]
+
+#: Instructions per access to a spilled value: one stack-address
+#: computation plus one whole-register group move (vs<k>r/vl<k>re).
+SPILL_ACCESS_COST = 2
+
+#: One-time cost of a vector spill frame (fitted to Table 5; see
+#: module docstring and repro.rvv.calibration).
+SPILL_FRAME_SETUP = 1950
+
+
+@dataclass(frozen=True)
+class ValueUse:
+    """One live vector value and how often the kernel touches it.
+
+    ``inner_accesses`` counts reads+writes per in-register-scan inner
+    iteration; ``outer_accesses`` counts the remaining per-strip
+    touches.
+    """
+
+    name: str
+    inner_accesses: int = 0
+    outer_accesses: int = 0
+
+
+@dataclass(frozen=True)
+class RegisterProfile:
+    """The simultaneously-live vector values of a kernel, hottest-first
+    on ties (declaration order breaks ties deterministically)."""
+
+    kernel: str
+    values: tuple[ValueUse, ...]
+    #: Mask values live at the same time; they reside in the v0 group.
+    mask_values: int = 1
+
+    @property
+    def n_values(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class SpillPlan:
+    """The allocator's verdict for one (profile, LMUL) pair."""
+
+    lmul: LMUL
+    usable_groups: int
+    spilled: tuple[str, ...]
+    per_strip_outer: int
+    per_inner_iteration: int
+    frame_setup: int
+
+    @property
+    def has_spills(self) -> bool:
+        return bool(self.spilled)
+
+    def strip_cost(self, inner_iterations: int) -> int:
+        """Spill instructions charged for one strip."""
+        if not self.spilled:
+            return 0
+        return self.per_strip_outer + self.per_inner_iteration * inner_iterations
+
+
+def usable_groups(lmul: LMUL, mask_values: int = 1) -> int:
+    """Register groups available to allocatable vector values.
+
+    At LMUL=1 all registers except ``v0`` (mask) and any further mask
+    temporaries are usable. At LMUL>1 the group containing ``v0`` is
+    lost to mask duty entirely (mask temporaries live inside it).
+    """
+    k = int(lmul)
+    if mask_values < 0:
+        raise AllocationError(f"mask_values must be non-negative, got {mask_values}")
+    if k == 1:
+        avail = NUM_REGS - max(1, mask_values)
+    else:
+        avail = NUM_REGS // k - 1
+    if avail < 1:
+        raise AllocationError(
+            f"no usable register groups at LMUL={k} with {mask_values} masks"
+        )
+    return avail
+
+
+def plan_allocation(profile: RegisterProfile, lmul: LMUL) -> SpillPlan:
+    """Allocate a kernel's values to register groups at ``lmul``.
+
+    Keeps the values with the most inner-loop accesses (the compiler's
+    own heuristic — spill cost is proportional to use frequency) and
+    spills the rest.
+    """
+    lmul = LMUL(lmul)
+    avail = usable_groups(lmul, profile.mask_values)
+    n_spilled = max(0, profile.n_values - avail)
+    if n_spilled == 0:
+        return SpillPlan(lmul, avail, (), 0, 0, 0)
+    # hottest-first: sort by inner accesses desc, then outer desc, then
+    # declaration order (stable sort keeps ties deterministic)
+    order = sorted(
+        range(profile.n_values),
+        key=lambda i: (-profile.values[i].inner_accesses, -profile.values[i].outer_accesses, i),
+    )
+    spilled_idx = sorted(order[profile.n_values - n_spilled:])
+    spilled = tuple(profile.values[i] for i in spilled_idx)
+    per_inner = sum(v.inner_accesses for v in spilled) * SPILL_ACCESS_COST
+    per_outer = sum(v.outer_accesses for v in spilled) * SPILL_ACCESS_COST
+    return SpillPlan(
+        lmul=lmul,
+        usable_groups=avail,
+        spilled=tuple(v.name for v in spilled),
+        per_strip_outer=per_outer,
+        per_inner_iteration=per_inner,
+        frame_setup=SPILL_FRAME_SETUP,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Profiles of the paper's kernels (value names follow the listings).
+# ---------------------------------------------------------------------------
+
+#: Listing 4: va plus the broadcast constant — never spills at any LMUL.
+ELEMENTWISE_PROFILE = RegisterProfile(
+    "p_add",
+    (
+        ValueUse("va", inner_accesses=0, outer_accesses=3),
+    ),
+)
+
+#: Listing 6: x, y, vec_zero live across the inner loop; one scratch
+#: value for the carry broadcast.
+PLUS_SCAN_PROFILE = RegisterProfile(
+    "plus_scan",
+    (
+        ValueUse("x", inner_accesses=3, outer_accesses=3),
+        ValueUse("y", inner_accesses=2),
+        ValueUse("vec_zero", inner_accesses=1, outer_accesses=1),
+        ValueUse("carry_bcast", outer_accesses=2),
+    ),
+)
+
+#: Listing 10: seven live values — the profile behind the paper's
+#: LMUL=8 anomaly (7 values fit in 7 groups at LMUL=4; only 3 usable
+#: groups remain at LMUL=8, spilling 4 values).
+SEG_SCAN_PROFILE = RegisterProfile(
+    "seg_plus_scan",
+    (
+        ValueUse("x", inner_accesses=3, outer_accesses=3),
+        ValueUse("flags", inner_accesses=3, outer_accesses=2),
+        ValueUse("y", inner_accesses=2),
+        ValueUse("flags_slideup", inner_accesses=2),
+        ValueUse("vec_zero", inner_accesses=1),
+        ValueUse("vec_one", inner_accesses=1),
+        ValueUse("carry_bcast", outer_accesses=2),
+    ),
+    mask_values=2,  # mask and carry_mask (Listing 10 lines 14-15)
+)
+
+#: Listing 8: flags value, iota result, count broadcast.
+ENUMERATE_PROFILE = RegisterProfile(
+    "enumerate",
+    (
+        ValueUse("v", outer_accesses=4),
+        ValueUse("iota", outer_accesses=2),
+    ),
+)
+
+#: Listing 5: data value and index value.
+PERMUTE_PROFILE = RegisterProfile(
+    "permute",
+    (
+        ValueUse("vdata", outer_accesses=2),
+        ValueUse("vindex", outer_accesses=3),
+    ),
+)

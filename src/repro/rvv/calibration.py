@@ -1,0 +1,150 @@
+"""Calibration of the PAPER codegen preset against the paper's tables.
+
+The paper measures *dynamic instruction counts on Spike* of kernels
+compiled by LLVM from RVV intrinsics. Our simulator executes the same
+intrinsic streams, but a compiler also emits instructions the intrinsic
+stream does not show: register moves for undisturbed destinations,
+loop bookkeeping, prologue/epilogue code. The ``PAPER`` preset models
+those with constants *derived from the paper's own tables*; the
+``IDEAL`` preset charges one instruction per intrinsic plus minimal
+bookkeeping. Semantics are identical under both presets — only counts
+differ.
+
+Derivation (all references are to the paper's tables)
+------------------------------------------------------
+
+**Segmented plus-scan** (Listing 10). Per-strip cost solves to
+``22 + 12 * ceil(lg vl)`` and a one-time prologue of 39. This fits
+*exactly*:
+
+* Table 4 at every N (vl = 32 -> 82/strip; e.g. 10^6: 31250 strips * 82
+  + 39 = 2562539);
+* Table 7 at every VLEN (vl = 4/8/16/32 -> 46/58/70/82 per strip,
+  e.g. VLEN=128: 2500 * 46 + 39 = 115039);
+* Table 5's LMUL=4 column (vl = 128 -> 106/strip) within 0.5%;
+* the LMUL=2 counts *implied by Table 6's ratios* (vl = 64 -> 94/strip).
+  Table 5's printed LMUL=2 column instead duplicates Table 4's baseline
+  column — an apparent copy-paste error; see DESIGN.md.
+
+Decomposition used by the model: the inner loop body (lines 17-30 of
+Listing 10) issues 5 intrinsics; with the undisturbed-destination and
+masked-operation expansions (+1 register move each) that is 8 vector
+instructions, leaving an inner-loop scalar overhead of 4
+(offset shift, compare, branch, +1). The outer body issues 8
+intrinsics -> 10 vector instructions after expansions, plus 2 scalar
+instructions for the carry reload, leaving a strip overhead of 10.
+
+**p_add** (Listing 4). Tables 2 and 7 give 9 instructions/strip at
+every VLEN: 4 intrinsics + 5 scalar bookkeeping, prologue 9 (exact for
+N >= 10^3; Table 2's N=10^2 row reads 66 where the model gives 45, and
+Table 7's column sits a constant +25 above Table 2 — both recorded in
+EXPERIMENTS.md as inconsistencies of the source data).
+
+**Unsegmented plus-scan** (Listing 6). Table 3 gives 84.0/strip at
+vl=32 (e.g. 10^6: 31250 * 84 + 31 = 2625031, exact; 10^5 exact; N <=
+10^4 within 0.2%). The listing's instruction stream implies only
+~7 vector instructions per inner iteration; the residual (modeled as
+inner overhead 9, strip overhead 18) captures additional register
+shuffling in the paper's build — notably the paper's *unsegmented* scan
+measures slightly slower per strip than its segmented scan, which no
+instruction-stream argument can produce.  We keep the fitted value and
+flag it.
+
+**Spill model** (Tables 5-6, LMUL=8): see
+:mod:`repro.rvv.allocation`. Fitted constants there: each spilled
+value access costs 2 instructions (address + whole-register move), and
+a one-time spill frame setup of 1950 instructions; this lands within
+0.006%-3% of Table 5's LMUL=8 column across N.
+
+**Scalar baselines** (Tables 2-4): exact linear forms measured from the
+paper — ``p_add``: 6N + 1; ``plus_scan``: 6N + 26; segmented scan:
+11N + 24. See :mod:`repro.scalar.kernels`.
+
+**qsort** (Table 1): ~26 dynamic instructions per comparator call fits
+every row; see :mod:`repro.scalar.qsort`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_STRIP_OVERHEAD",
+    "PAPER_INNER_OVERHEAD",
+    "PAPER_PROLOGUE",
+    "DEFAULT_STRIP_OVERHEAD",
+    "DEFAULT_INNER_OVERHEAD",
+    "DEFAULT_PROLOGUE",
+    "IDEAL_INNER_OVERHEAD",
+    "ideal_strip_overhead",
+    "IDEAL_PROLOGUE",
+]
+
+# --- PAPER preset ---------------------------------------------------------
+
+#: Scalar bookkeeping charged once per strip-mining iteration, by kernel.
+#: Values are fitted as described in the module docstring; kernels not
+#: listed use DEFAULT_STRIP_OVERHEAD.
+PAPER_STRIP_OVERHEAD: dict[str, int] = {
+    "p_add": 5,
+    "p_sub": 5,
+    "p_mul": 5,
+    "p_and": 5,
+    "p_or": 5,
+    "p_xor": 5,
+    "p_max": 5,
+    "p_min": 5,
+    "p_srl": 5,
+    "p_sll": 5,
+    "p_select": 7,  # three input arrays -> extra pointer bumps (Table 1 fit)
+    "get_flags": 6,
+    "permute": 7,
+    "enumerate": 8,  # get_flags/permute/enumerate fitted to Table 1
+    "plus_scan": 18,  # fitted residual, see docstring
+    "seg_plus_scan": 10,
+}
+
+#: Scalar bookkeeping charged once per in-register-scan inner iteration.
+PAPER_INNER_OVERHEAD: dict[str, int] = {
+    "plus_scan": 9,  # fitted residual, see docstring
+    "seg_plus_scan": 4,
+}
+
+#: One-time per-call cost (function prologue/epilogue, setup before the
+#: strip loop such as vsetvlmax + broadcast of constants).
+PAPER_PROLOGUE: dict[str, int] = {
+    "p_add": 9,
+    "p_sub": 9,
+    "p_mul": 9,
+    "p_and": 9,
+    "p_or": 9,
+    "p_xor": 9,
+    "p_max": 9,
+    "p_min": 9,
+    "p_srl": 9,
+    "p_sll": 9,
+    "p_select": 20,
+    "get_flags": 9,
+    "permute": 20,
+    "enumerate": 25,  # per-call prologues fitted to Table 1 small-N rows
+    "plus_scan": 29,  # +2 counted setup intrinsics (vsetvlmax, broadcast) = 31 one-time
+    "seg_plus_scan": 36,  # +3 counted setup intrinsics = 39 one-time
+}
+
+#: Fallbacks for kernels without a fitted entry (derived operations such
+#: as split): modeled like a two-array elementwise loop.
+DEFAULT_STRIP_OVERHEAD = 6
+DEFAULT_INNER_OVERHEAD = 4
+DEFAULT_PROLOGUE = 10
+
+# --- IDEAL preset ----------------------------------------------------------
+
+#: Inner-loop bookkeeping: offset shift, compare, branch.
+IDEAL_INNER_OVERHEAD = 3
+
+#: One-time cost: entry branch + loop pre-check.
+IDEAL_PROLOGUE = 2
+
+
+def ideal_strip_overhead(n_arrays: int) -> int:
+    """Minimal per-strip bookkeeping: byte-offset shift, one pointer bump
+    per array, AVL decrement, loop branch."""
+    return 3 + max(1, n_arrays)

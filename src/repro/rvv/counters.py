@@ -1,0 +1,140 @@
+"""Dynamic instruction counting — the paper's performance metric.
+
+The paper evaluates on Spike, a *functional* (non-cycle-accurate) RISC-V
+simulator, and therefore reports **dynamic instruction counts** rather
+than cycles (§6.1). This module is the equivalent metric source for our
+simulated machine: every intrinsic executed and every modeled scalar
+bookkeeping instruction increments a counter here.
+
+Counts are broken down by category so ablation benches can attribute
+cost (e.g. how much of an LMUL=8 run is spill traffic, mirroring the
+paper's §6.3 discussion of register-spill overhead).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Cat", "Counters", "CounterSnapshot"]
+
+
+class Cat(enum.Enum):
+    """Dynamic-instruction categories."""
+
+    #: vsetvl / vsetvli configuration-setting instructions.
+    VCONFIG = "vconfig"
+    #: Vector unit-stride loads and stores (vle / vse).
+    VMEM = "vmem"
+    #: Vector indexed loads/stores (vluxei / vsuxei) — the permutation
+    #: primitive's workhorse (§4.2).
+    VMEM_INDEXED = "vmem_indexed"
+    #: Vector integer arithmetic/logical (vadd, vsub, vand, vor, ...).
+    VARITH = "varith"
+    #: Mask-producing compares (vmseq, vmsne, ...) and mask-register ops
+    #: (vmsbf, vmand, viota, vcpop, ...).
+    VMASK = "vmask"
+    #: Vector permutation instructions (vslideup, vslidedown, vrgather,
+    #: vcompress, vmv.s.x / vmv.x.s).
+    VPERM = "vperm"
+    #: Vector reductions (vredsum etc.).
+    VREDUCE = "vreduce"
+    #: Scalar instructions modeled around the vector kernel (pointer
+    #: bumps, loop branches, carry loads, ...).
+    SCALAR = "scalar"
+    #: Whole-register spill/reload traffic synthesized by the register
+    #: allocation model (§6.3, Tables 5-6).
+    SPILL = "spill"
+    #: Modeled memory-management cost (malloc/free/mmap page faults);
+    #: see repro.scalar.malloc_model and DESIGN.md's Table 1 analysis.
+    ALLOC = "alloc"
+
+
+_VECTOR_CATS = frozenset(
+    {
+        Cat.VCONFIG,
+        Cat.VMEM,
+        Cat.VMEM_INDEXED,
+        Cat.VARITH,
+        Cat.VMASK,
+        Cat.VPERM,
+        Cat.VREDUCE,
+    }
+)
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """An immutable copy of counter state, for deltas across regions."""
+
+    by_category: dict[Cat, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_category.values())
+
+    def __sub__(self, other: "CounterSnapshot") -> "CounterSnapshot":
+        return CounterSnapshot(
+            {
+                cat: self.by_category.get(cat, 0) - other.by_category.get(cat, 0)
+                for cat in Cat
+            }
+        )
+
+
+@dataclass
+class Counters:
+    """Mutable dynamic-instruction counters attached to a machine.
+
+    The hot-path API is :meth:`add`; kernels running millions of strips
+    call it once per modeled instruction group, so it does the minimum
+    work possible (a dict increment).
+    """
+
+    _counts: dict[Cat, int] = field(default_factory=lambda: {c: 0 for c in Cat})
+
+    def add(self, category: Cat, n: int = 1) -> None:
+        """Record ``n`` dynamic instructions of ``category``."""
+        self._counts[category] += n
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for cat in self._counts:
+            self._counts[cat] = 0
+
+    def snapshot(self) -> CounterSnapshot:
+        """An immutable copy of the current counts."""
+        return CounterSnapshot(dict(self._counts))
+
+    def __getitem__(self, category: Cat) -> int:
+        return self._counts[category]
+
+    @property
+    def total(self) -> int:
+        """Total dynamic instruction count (the paper's metric)."""
+        return sum(self._counts.values())
+
+    @property
+    def vector_total(self) -> int:
+        """Dynamic count of vector-unit instructions only."""
+        return sum(v for c, v in self._counts.items() if c in _VECTOR_CATS)
+
+    @property
+    def scalar_total(self) -> int:
+        """Dynamic count of modeled scalar instructions."""
+        return self._counts[Cat.SCALAR]
+
+    @property
+    def spill_total(self) -> int:
+        """Dynamic count of modeled spill/reload instructions."""
+        return self._counts[Cat.SPILL]
+
+    def as_dict(self) -> dict[str, int]:
+        """Counts keyed by category value, plus ``"total"``."""
+        out = {cat.value: n for cat, n in self._counts.items()}
+        out["total"] = self.total
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nonzero = {c.value: n for c, n in self._counts.items() if n}
+        return f"Counters(total={self.total}, {nonzero})"

@@ -1,0 +1,60 @@
+"""The RVV intrinsic API surface.
+
+Functions here mirror the RISC-V vector intrinsic C API the paper
+programs against (§3), taking the target :class:`~repro.rvv.machine.
+RVVMachine` as their first argument. For kernels that want the exact
+look of the paper's listings, :class:`Intr` binds a machine once so
+call sites read ``iv.vadd_vv(x, y, vl)``:
+
+>>> from repro.rvv import RVVMachine
+>>> from repro.rvv.intrinsics import Intr
+>>> m = RVVMachine(vlen=128)
+>>> iv = Intr(m)
+>>> vl = iv.vsetvl(3)
+>>> v = iv.vmv_v_x(7, vl)
+>>> v.tolist()
+[7, 7, 7]
+"""
+
+from __future__ import annotations
+
+import functools
+
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from . import arith, compare, loadstore, mask, move, permutation, reduction
+from .arith import *  # noqa: F401,F403
+from .compare import *  # noqa: F401,F403
+from .loadstore import *  # noqa: F401,F403
+from .mask import *  # noqa: F401,F403
+from .move import *  # noqa: F401,F403
+from .permutation import *  # noqa: F401,F403
+from .reduction import *  # noqa: F401,F403
+
+_MODULES = (arith, compare, loadstore, mask, move, permutation, reduction)
+
+__all__ = ["Intr", "VReg", "VMask"]
+for _mod in _MODULES:
+    __all__.extend(_mod.__all__)
+
+
+class Intr:
+    """All intrinsics bound to one machine, plus the configuration
+    instructions (``vsetvl``/``vsetvlmax``) forwarded from the machine.
+
+    Binding happens once at construction (a ``functools.partial`` per
+    intrinsic), so per-call overhead in strip-mined hot loops stays at
+    one attribute lookup.
+    """
+
+    def __init__(self, machine: RVVMachine) -> None:
+        self.machine = machine
+        for mod in _MODULES:
+            for name in mod.__all__:
+                fn = getattr(mod, name)
+                if callable(fn) and name != "vundefined":
+                    setattr(self, name, functools.partial(fn, machine))
+        self.vundefined = move.vundefined
+        self.vsetvl = machine.vsetvl
+        self.vsetvlmax = machine.vsetvlmax
+        self.vlmax = machine.vlmax

@@ -1,0 +1,69 @@
+"""Shared helpers for the intrinsic implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import MaskError, VectorLengthError
+from ..value import VMask, VReg
+
+__all__ = ["to_scalar", "check_same_vl", "apply_mask", "require_vl"]
+
+
+def to_scalar(x: int, dtype: np.dtype):
+    """Convert a Python int to a NumPy scalar of ``dtype`` with the
+    modular wrap-around semantics of machine arithmetic.
+
+    NumPy 2 raises :class:`OverflowError` when a Python int is out of
+    range for the target dtype; hardware (and the paper's C code)
+    wraps, so we wrap explicitly.
+    """
+    dtype = np.dtype(dtype)
+    bits = dtype.itemsize * 8
+    x = int(x) & ((1 << bits) - 1)
+    if dtype.kind == "i" and x >= (1 << (bits - 1)):
+        x -= 1 << bits
+    return dtype.type(x)
+
+
+def require_vl(vl: int) -> int:
+    """Validate an explicit vl argument."""
+    vl = int(vl)
+    if vl < 0:
+        raise VectorLengthError(f"vl must be non-negative, got {vl}")
+    return vl
+
+
+def check_same_vl(vl: int, *operands: VReg | VMask) -> None:
+    """Every operand must cover exactly ``vl`` active elements."""
+    for op in operands:
+        op.check_vl(vl)
+
+
+def apply_mask(
+    result: np.ndarray,
+    mask: VMask | None,
+    maskedoff: VReg | None,
+    vl: int,
+) -> np.ndarray:
+    """Merge ``result`` with ``maskedoff`` under ``mask`` (§3.2).
+
+    * No mask: the result passes through.
+    * Mask with ``maskedoff``: mask-undisturbed policy — masked-off
+      lanes take their values from ``maskedoff``.
+    * Mask without ``maskedoff``: mask-agnostic policy — the spec leaves
+      masked-off lanes undefined; we model "undefined" as all-ones so
+      that code depending on agnostic lanes fails loudly in tests.
+    """
+    if mask is None:
+        return result
+    mask.check_vl(vl)
+    if maskedoff is not None:
+        maskedoff.check_vl(vl)
+        if maskedoff.dtype != result.dtype:
+            raise MaskError(
+                f"maskedoff dtype {maskedoff.dtype} != result dtype {result.dtype}"
+            )
+        return np.where(mask.bits, result, maskedoff.data)
+    poison = np.full_like(result, np.iinfo(result.dtype).max)
+    return np.where(mask.bits, result, poison)

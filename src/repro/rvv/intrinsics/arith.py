@@ -1,0 +1,379 @@
+"""Vector integer arithmetic and logical intrinsics.
+
+These implement the *elementwise* class of the scan vector model
+(§4.1): vector-vector (``.vv``) and vector-scalar (``.vx``) forms, each
+with optional masking per §3.2 — a mask plus a ``maskedoff`` operand
+selects the mask-undisturbed policy; a mask alone is mask-agnostic.
+
+Arithmetic wraps modularly at the element width, matching hardware and
+the paper's ``unsigned int`` kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import VectorLengthError
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from ._common import apply_mask, check_same_vl, require_vl, to_scalar
+
+__all__ = [
+    "vadd_vv", "vadd_vx", "vsub_vv", "vsub_vx", "vrsub_vx",
+    "vmul_vv", "vmul_vx",
+    "vand_vv", "vand_vx", "vor_vv", "vor_vx", "vxor_vv", "vxor_vx",
+    "vsll_vx", "vsrl_vx", "vsra_vx",
+    "vminu_vv", "vminu_vx", "vmaxu_vv", "vmaxu_vx",
+    "vmin_vv", "vmin_vx", "vmax_vv", "vmax_vx",
+    "vmulhu_vv", "vmulh_vv",
+    "vmacc_vv", "vmacc_vx", "vnmsac_vv", "vmadd_vv",
+    "vwaddu_vv", "vwmulu_vv",
+    "vzext_vf2", "vsext_vf2",
+    "vmerge_vvm", "vmerge_vxm",
+]
+
+
+def _binary_vv(m, op, a: VReg, b: VReg, vl, mask, maskedoff) -> VReg:
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    result = op(a.data, b.data)
+    return VReg(apply_mask(result.astype(a.dtype, copy=False), mask, maskedoff, vl))
+
+
+def _binary_vx(m, op, a: VReg, x: int, vl, mask, maskedoff) -> VReg:
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    result = op(a.data, to_scalar(x, a.dtype))
+    return VReg(apply_mask(result.astype(a.dtype, copy=False), mask, maskedoff, vl))
+
+
+# --- add / sub --------------------------------------------------------------
+
+def vadd_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vadd.vv`` — the workhorse of both the elementwise p-add and the
+    slideup-and-add in-register scan step (Figure 1)."""
+    return _binary_vv(m, np.add, a, b, vl, mask, maskedoff)
+
+
+def vadd_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vadd.vx`` — vector + broadcast scalar (carry application)."""
+    return _binary_vx(m, np.add, a, x, vl, mask, maskedoff)
+
+
+def vsub_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vsub.vv``."""
+    return _binary_vv(m, np.subtract, a, b, vl, mask, maskedoff)
+
+
+def vsub_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vsub.vx``."""
+    return _binary_vx(m, np.subtract, a, x, vl, mask, maskedoff)
+
+
+def vrsub_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+             mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vrsub.vx``: ``x - a[i]`` (reverse subtract)."""
+    return _binary_vx(m, lambda v, s: s - v, a, x, vl, mask, maskedoff)
+
+
+# --- multiply ----------------------------------------------------------------
+
+def vmul_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmul.vv`` (low half of the product)."""
+    return _binary_vv(m, np.multiply, a, b, vl, mask, maskedoff)
+
+
+def vmul_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmul.vx``."""
+    return _binary_vx(m, np.multiply, a, x, vl, mask, maskedoff)
+
+
+# --- bitwise -----------------------------------------------------------------
+
+def vand_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vand.vv``."""
+    return _binary_vv(m, np.bitwise_and, a, b, vl, mask, maskedoff)
+
+
+def vand_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vand.vx`` — bit extraction in ``get_flags`` (radix sort)."""
+    return _binary_vx(m, np.bitwise_and, a, x, vl, mask, maskedoff)
+
+
+def vor_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+           mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vor.vv`` — the flag-propagation step of the in-register
+    segmented scan (Listing 10, line 27)."""
+    return _binary_vv(m, np.bitwise_or, a, b, vl, mask, maskedoff)
+
+
+def vor_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+           mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vor.vx``."""
+    return _binary_vx(m, np.bitwise_or, a, x, vl, mask, maskedoff)
+
+
+def vxor_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vxor.vv``."""
+    return _binary_vv(m, np.bitwise_xor, a, b, vl, mask, maskedoff)
+
+
+def vxor_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vxor.vx``."""
+    return _binary_vx(m, np.bitwise_xor, a, x, vl, mask, maskedoff)
+
+
+# --- shifts --------------------------------------------------------------------
+
+def _shift_amount(x: int, dtype: np.dtype) -> int:
+    # RVV uses the low lg2(SEW) bits of the shift operand.
+    return int(x) & (dtype.itemsize * 8 - 1)
+
+
+def vsll_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vsll.vx`` — e.g. scaling element indices to byte offsets for
+    ``vsuxei`` in the permute primitive."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    result = np.left_shift(a.data, _shift_amount(x, a.dtype))
+    return VReg(apply_mask(result.astype(a.dtype, copy=False), mask, maskedoff, vl))
+
+
+def vsrl_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vsrl.vx`` (logical right shift) — bit extraction in radix sort."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    unsigned = a.data.view(np.dtype(f"u{a.dtype.itemsize}"))
+    result = np.right_shift(unsigned, _shift_amount(x, a.dtype)).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+def vsra_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vsra.vx`` (arithmetic right shift)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    signed = a.data.view(np.dtype(f"i{a.dtype.itemsize}"))
+    result = np.right_shift(signed, _shift_amount(x, a.dtype)).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+# --- min / max -------------------------------------------------------------------
+
+def vminu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+             mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vminu.vv`` — enables min-scan."""
+    return _binary_vv(m, np.minimum, a, b, vl, mask, maskedoff)
+
+
+def vminu_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+             mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vminu.vx``."""
+    return _binary_vx(m, np.minimum, a, x, vl, mask, maskedoff)
+
+
+def vmaxu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+             mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmaxu.vv`` — enables max-scan."""
+    return _binary_vv(m, np.maximum, a, b, vl, mask, maskedoff)
+
+
+def vmaxu_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+             mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmaxu.vx``."""
+    return _binary_vx(m, np.maximum, a, x, vl, mask, maskedoff)
+
+
+# --- merge (select) ----------------------------------------------------------------
+
+def vmerge_vvm(m: RVVMachine, mask: VMask, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vmerge.vvm``: lane i takes ``b[i]`` where the mask is set, else
+    ``a[i]`` — the p-select elementwise primitive maps here."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b, mask)
+    m.op(Cat.VARITH)
+    return VReg(np.where(mask.bits, b.data, a.data).astype(a.dtype, copy=False))
+
+
+def vmerge_vxm(m: RVVMachine, mask: VMask, a: VReg, x: int, vl: int) -> VReg:
+    """``vmerge.vxm``: scalar in the set lanes."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, mask)
+    m.op(Cat.VARITH)
+    return VReg(np.where(mask.bits, to_scalar(x, a.dtype), a.data).astype(a.dtype, copy=False))
+
+
+# --- signed min / max -----------------------------------------------------
+
+def _signed_view(a: VReg) -> np.ndarray:
+    return a.data.view(np.dtype(f"i{a.dtype.itemsize}"))
+
+
+def vmin_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmin.vv`` (signed minimum; operands reinterpreted)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    result = np.minimum(_signed_view(a), _signed_view(b)).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+def vmin_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmin.vx``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    sx = to_scalar(x, np.dtype(f"i{a.dtype.itemsize}"))
+    result = np.minimum(_signed_view(a), sx).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+def vmax_vv(m: RVVMachine, a: VReg, b: VReg, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmax.vv`` (signed maximum)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    result = np.maximum(_signed_view(a), _signed_view(b)).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+def vmax_vx(m: RVVMachine, a: VReg, x: int, vl: int,
+            mask: VMask | None = None, maskedoff: VReg | None = None) -> VReg:
+    """``vmax.vx``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH, masked=mask is not None and maskedoff is not None)
+    sx = to_scalar(x, np.dtype(f"i{a.dtype.itemsize}"))
+    result = np.maximum(_signed_view(a), sx).view(a.dtype)
+    return VReg(apply_mask(result, mask, maskedoff, vl))
+
+
+# --- high-half multiply ------------------------------------------------------
+
+def vmulhu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vmulhu.vv``: the high SEW bits of the unsigned product."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH)
+    bits = a.dtype.itemsize * 8
+    wide = a.data.astype(object) * b.data.astype(object)
+    high = np.array([int(w) >> bits for w in wide], dtype=np.uint64)
+    return VReg(high.astype(a.dtype))
+
+
+def vmulh_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vmulh.vv``: the high SEW bits of the signed product."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH)
+    bits = a.dtype.itemsize * 8
+    sa, sb = _signed_view(a), _signed_view(b)
+    wide = sa.astype(object) * sb.astype(object)
+    high = np.array([(int(w) >> bits) & ((1 << bits) - 1) for w in wide],
+                    dtype=np.uint64)
+    return VReg(high.astype(a.dtype))
+
+
+# --- multiply-accumulate family ------------------------------------------------
+
+def vmacc_vv(m: RVVMachine, acc: VReg, a: VReg, b: VReg, vl: int,
+             mask: VMask | None = None) -> VReg:
+    """``vmacc.vv``: ``acc[i] += a[i] * b[i]`` (destructive on acc —
+    an undisturbed destination under the codegen model)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, acc, a, b)
+    m.op(Cat.VARITH, dest_undisturbed=True, masked=mask is not None)
+    result = (acc.data + a.data * b.data).astype(acc.dtype, copy=False)
+    return VReg(apply_mask(result, mask, acc, vl))
+
+
+def vmacc_vx(m: RVVMachine, acc: VReg, x: int, b: VReg, vl: int,
+             mask: VMask | None = None) -> VReg:
+    """``vmacc.vx``: ``acc[i] += x * b[i]``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, acc, b)
+    m.op(Cat.VARITH, dest_undisturbed=True, masked=mask is not None)
+    result = (acc.data + to_scalar(x, acc.dtype) * b.data).astype(acc.dtype, copy=False)
+    return VReg(apply_mask(result, mask, acc, vl))
+
+
+def vnmsac_vv(m: RVVMachine, acc: VReg, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vnmsac.vv``: ``acc[i] -= a[i] * b[i]``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, acc, a, b)
+    m.op(Cat.VARITH, dest_undisturbed=True)
+    return VReg((acc.data - a.data * b.data).astype(acc.dtype, copy=False))
+
+
+def vmadd_vv(m: RVVMachine, vd: VReg, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vmadd.vv``: ``vd[i] = vd[i] * a[i] + b[i]``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, vd, a, b)
+    m.op(Cat.VARITH, dest_undisturbed=True)
+    return VReg((vd.data * a.data + b.data).astype(vd.dtype, copy=False))
+
+
+# --- widening and extension ---------------------------------------------------------
+
+def _widened(dtype: np.dtype) -> np.dtype:
+    bits = dtype.itemsize * 8
+    if bits >= 64:
+        raise VectorLengthError("cannot widen 64-bit elements")
+    return np.dtype(f"{dtype.kind}{dtype.itemsize * 2}")
+
+
+def vwaddu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vwaddu.vv``: 2*SEW-wide unsigned sum (no wrap at SEW)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH)
+    wide = _widened(a.dtype)
+    return VReg(a.data.astype(wide) + b.data.astype(wide))
+
+
+def vwmulu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VReg:
+    """``vwmulu.vv``: 2*SEW-wide unsigned product."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VARITH)
+    wide = _widened(a.dtype)
+    return VReg(a.data.astype(wide) * b.data.astype(wide))
+
+
+def vzext_vf2(m: RVVMachine, a: VReg, vl: int) -> VReg:
+    """``vzext.vf2``: zero-extend to double width."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH)
+    return VReg(a.data.astype(_widened(a.dtype)))
+
+
+def vsext_vf2(m: RVVMachine, a: VReg, vl: int) -> VReg:
+    """``vsext.vf2``: sign-extend to double width."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VARITH)
+    signed = a.data.view(np.dtype(f"i{a.dtype.itemsize}"))
+    wide_signed = signed.astype(np.dtype(f"i{a.dtype.itemsize * 2}"))
+    return VReg(wide_signed.view(np.dtype(f"{a.dtype.kind}{a.dtype.itemsize * 2}")) if a.dtype.kind == "u" else wide_signed)

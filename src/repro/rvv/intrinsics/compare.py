@@ -1,0 +1,144 @@
+"""Mask-producing vector compare intrinsics (``vms*``).
+
+The paper uses ``vmseq`` to turn flag arrays into hardware masks for
+``viota`` (Listing 8) and ``vmsne`` to convert head-flag vectors into
+masks for ``vmsbf`` and the in-register segmented scan (Listing 10).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from ._common import check_same_vl, require_vl, to_scalar
+
+__all__ = [
+    "vmseq_vv", "vmseq_vx", "vmsne_vv", "vmsne_vx",
+    "vmsltu_vv", "vmsltu_vx", "vmsleu_vv", "vmsleu_vx",
+    "vmsgtu_vv", "vmsgtu_vx", "vmsgeu_vv",
+    "vmslt_vv", "vmslt_vx", "vmsle_vv", "vmsle_vx", "vmsgt_vv", "vmsgt_vx",
+]
+
+
+def _cmp_vv(m, op, a: VReg, b: VReg, vl: int) -> VMask:
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VMASK)
+    return VMask(op(a.data, b.data))
+
+
+def _cmp_vx(m, op, a: VReg, x: int, vl: int) -> VMask:
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VMASK)
+    return VMask(op(a.data, to_scalar(x, a.dtype)))
+
+
+def vmseq_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmseq.vv``: mask[i] = (a[i] == b[i])."""
+    return _cmp_vv(m, np.equal, a, b, vl)
+
+
+def vmseq_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmseq.vx`` — converts a 0/1 flag vector into a mask
+    (Listing 8, ``vmseq(v, setBit, vl)``)."""
+    return _cmp_vx(m, np.equal, a, x, vl)
+
+
+def vmsne_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsne.vv``: mask[i] = (a[i] != b[i])."""
+    return _cmp_vv(m, np.not_equal, a, b, vl)
+
+
+def vmsne_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsne.vx`` — head-flag vector to mask (Listing 10, line 14)."""
+    return _cmp_vx(m, np.not_equal, a, x, vl)
+
+
+def vmsltu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsltu.vv`` (unsigned less-than)."""
+    return _cmp_vv(m, np.less, a, b, vl)
+
+
+def vmsltu_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsltu.vx``."""
+    return _cmp_vx(m, np.less, a, x, vl)
+
+
+def vmsleu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsleu.vv``."""
+    return _cmp_vv(m, np.less_equal, a, b, vl)
+
+
+def vmsleu_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsleu.vx``."""
+    return _cmp_vx(m, np.less_equal, a, x, vl)
+
+
+def vmsgtu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsgtu.vv``."""
+    return _cmp_vv(m, np.greater, a, b, vl)
+
+
+def vmsgtu_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsgtu.vx``."""
+    return _cmp_vx(m, np.greater, a, x, vl)
+
+
+def vmsgeu_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsgeu.vv``."""
+    return _cmp_vv(m, np.greater_equal, a, b, vl)
+
+
+def _signed(a: VReg) -> np.ndarray:
+    return a.data.view(np.dtype(f"i{a.dtype.itemsize}"))
+
+
+def vmslt_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmslt.vv`` (signed less-than)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) < _signed(b))
+
+
+def vmslt_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmslt.vx``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) < to_scalar(x, np.dtype(f"i{a.dtype.itemsize}")))
+
+
+def vmsle_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsle.vv``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) <= _signed(b))
+
+
+def vmsle_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsle.vx``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) <= to_scalar(x, np.dtype(f"i{a.dtype.itemsize}")))
+
+
+def vmsgt_vv(m: RVVMachine, a: VReg, b: VReg, vl: int) -> VMask:
+    """``vmsgt.vv``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a, b)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) > _signed(b))
+
+
+def vmsgt_vx(m: RVVMachine, a: VReg, x: int, vl: int) -> VMask:
+    """``vmsgt.vx``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, a)
+    m.op(Cat.VMASK)
+    return VMask(_signed(a) > to_scalar(x, np.dtype(f"i{a.dtype.itemsize}")))

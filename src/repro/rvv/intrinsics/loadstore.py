@@ -1,0 +1,109 @@
+"""Vector memory intrinsics: unit-stride, strided, and indexed.
+
+The paper's kernels use unit-stride loads/stores (``vle32``/``vse32``)
+for strip mining and the *indexed unordered store* ``vsuxei32`` for the
+permutation primitive (Listing 5). Strided and indexed loads are
+provided for completeness (Blelloch's permutation class includes
+gathers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import VectorLengthError
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..memory import Pointer
+from ..value import VMask, VReg
+from ._common import check_same_vl, require_vl
+
+__all__ = [
+    "vle",
+    "vse",
+    "vlse",
+    "vsse",
+    "vluxei",
+    "vsuxei",
+]
+
+
+def vle(m: RVVMachine, ptr: Pointer, vl: int) -> VReg:
+    """Unit-stride load of ``vl`` elements (``vle<sew>.v``)."""
+    vl = require_vl(vl)
+    m.op(Cat.VMEM)
+    return VReg(ptr.read(vl))
+
+
+def vse(m: RVVMachine, ptr: Pointer, value: VReg, vl: int, mask: VMask | None = None) -> None:
+    """Unit-stride store of ``vl`` elements (``vse<sew>.v``).
+
+    A masked store leaves masked-off memory locations untouched.
+    """
+    vl = require_vl(vl)
+    check_same_vl(vl, value)
+    m.op(Cat.VMEM, masked=mask is not None)
+    if mask is None:
+        ptr.write(value.data)
+        return
+    mask.check_vl(vl)
+    view = ptr.view(vl)
+    view[mask.bits] = value.data[mask.bits].astype(ptr.dtype)
+
+
+def vlse(m: RVVMachine, ptr: Pointer, byte_stride: int, vl: int) -> VReg:
+    """Strided load (``vlse<sew>.v``): element i from
+    ``ptr + i * byte_stride`` bytes."""
+    vl = require_vl(vl)
+    if byte_stride % ptr.dtype.itemsize:
+        raise VectorLengthError(
+            f"stride {byte_stride} not a multiple of element size {ptr.dtype.itemsize}"
+        )
+    m.op(Cat.VMEM)
+    offsets = np.arange(vl, dtype=np.int64) * byte_stride
+    return VReg(ptr.mem.gather(ptr.addr, offsets, ptr.dtype))
+
+
+def vsse(m: RVVMachine, ptr: Pointer, byte_stride: int, value: VReg, vl: int) -> None:
+    """Strided store (``vsse<sew>.v``)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, value)
+    if byte_stride % ptr.dtype.itemsize:
+        raise VectorLengthError(
+            f"stride {byte_stride} not a multiple of element size {ptr.dtype.itemsize}"
+        )
+    m.op(Cat.VMEM)
+    offsets = np.arange(vl, dtype=np.int64) * byte_stride
+    ptr.mem.scatter(ptr.addr, offsets, value.data.astype(ptr.dtype))
+
+
+def vluxei(m: RVVMachine, ptr: Pointer, byte_offsets: VReg, vl: int) -> VReg:
+    """Indexed (gather) load ``vluxei<sew>.v``: element i from
+    ``ptr + byte_offsets[i]`` bytes."""
+    vl = require_vl(vl)
+    check_same_vl(vl, byte_offsets)
+    m.op(Cat.VMEM_INDEXED)
+    return VReg(ptr.mem.gather(ptr.addr, byte_offsets.data, ptr.dtype))
+
+
+def vsuxei(
+    m: RVVMachine,
+    ptr: Pointer,
+    byte_offsets: VReg,
+    value: VReg,
+    vl: int,
+    mask: VMask | None = None,
+) -> None:
+    """Indexed unordered (scatter) store ``vsuxei<sew>.v`` — the
+    instruction behind the paper's out-of-place ``permute`` (Listing 5):
+    element i goes to ``ptr + byte_offsets[i]`` bytes."""
+    vl = require_vl(vl)
+    check_same_vl(vl, byte_offsets, value)
+    m.op(Cat.VMEM_INDEXED, masked=mask is not None)
+    offsets = byte_offsets.data
+    data = value.data.astype(ptr.dtype)
+    if mask is not None:
+        mask.check_vl(vl)
+        offsets = offsets[mask.bits]
+        data = data[mask.bits]
+    ptr.mem.scatter(ptr.addr, offsets, data)

@@ -1,0 +1,167 @@
+"""Mask-register intrinsics: set-before/if/only-first, logical ops,
+population count, iota, element index, find-first.
+
+Two of these carry the paper's key insights:
+
+* ``viota`` is "an in-register enumerate operation" (§4.4) — it turns a
+  mask directly into an exclusive prefix count, which is why the
+  enumerate primitive built on viota + vcpop beats a generic exclusive
+  scan of the flags.
+* ``vmsbf`` (set-before-first) yields exactly the carry mask the
+  segmented scan needs: all lanes before the first head flag of the
+  strip — the lanes still owned by the previous strip's running segment
+  (§5.1, Listing 10 line 15).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from ._common import require_vl
+
+__all__ = [
+    "vmsbf_m", "vmsif_m", "vmsof_m",
+    "vmand_mm", "vmor_mm", "vmxor_mm", "vmandn_mm", "vmnand_mm", "vmnot_m",
+    "vmset_m", "vmclr_m",
+    "vcpop_m", "vfirst_m", "viota_m", "vid_v",
+]
+
+
+def vmsbf_m(m: RVVMachine, mask: VMask, vl: int) -> VMask:
+    """``vmsbf.m`` — set-before-first: 1 in every lane strictly before
+    the first set lane of ``mask``; all 1s when no lane is set."""
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    out = np.zeros(vl, dtype=bool)
+    set_positions = np.flatnonzero(mask.bits)
+    if set_positions.size == 0:
+        out[:] = True
+    else:
+        out[: set_positions[0]] = True
+    return VMask(out)
+
+
+def vmsif_m(m: RVVMachine, mask: VMask, vl: int) -> VMask:
+    """``vmsif.m`` — set-including-first."""
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    out = np.zeros(vl, dtype=bool)
+    set_positions = np.flatnonzero(mask.bits)
+    if set_positions.size == 0:
+        out[:] = True
+    else:
+        out[: set_positions[0] + 1] = True
+    return VMask(out)
+
+
+def vmsof_m(m: RVVMachine, mask: VMask, vl: int) -> VMask:
+    """``vmsof.m`` — set-only-first."""
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    out = np.zeros(vl, dtype=bool)
+    set_positions = np.flatnonzero(mask.bits)
+    if set_positions.size:
+        out[set_positions[0]] = True
+    return VMask(out)
+
+
+def _mask_logical(m, op, a: VMask, b: VMask, vl: int) -> VMask:
+    vl = require_vl(vl)
+    a.check_vl(vl)
+    b.check_vl(vl)
+    m.op(Cat.VMASK)
+    return VMask(op(a.bits, b.bits))
+
+
+def vmand_mm(m: RVVMachine, a: VMask, b: VMask, vl: int) -> VMask:
+    """``vmand.mm``."""
+    return _mask_logical(m, np.logical_and, a, b, vl)
+
+
+def vmor_mm(m: RVVMachine, a: VMask, b: VMask, vl: int) -> VMask:
+    """``vmor.mm``."""
+    return _mask_logical(m, np.logical_or, a, b, vl)
+
+
+def vmxor_mm(m: RVVMachine, a: VMask, b: VMask, vl: int) -> VMask:
+    """``vmxor.mm``."""
+    return _mask_logical(m, np.logical_xor, a, b, vl)
+
+
+def vmandn_mm(m: RVVMachine, a: VMask, b: VMask, vl: int) -> VMask:
+    """``vmandn.mm``: a AND NOT b."""
+    return _mask_logical(m, lambda x, y: np.logical_and(x, ~y), a, b, vl)
+
+
+def vmnand_mm(m: RVVMachine, a: VMask, b: VMask, vl: int) -> VMask:
+    """``vmnand.mm``."""
+    return _mask_logical(m, lambda x, y: ~np.logical_and(x, y), a, b, vl)
+
+
+def vmnot_m(m: RVVMachine, a: VMask, vl: int) -> VMask:
+    """``vmnot.m`` (assembler alias of ``vmnand.mm vd, vs, vs``)."""
+    vl = require_vl(vl)
+    a.check_vl(vl)
+    m.op(Cat.VMASK)
+    return VMask(~a.bits)
+
+
+def vmset_m(m: RVVMachine, vl: int) -> VMask:
+    """``vmset.m`` — all-ones mask."""
+    vl = require_vl(vl)
+    m.op(Cat.VMASK)
+    return VMask(np.ones(vl, dtype=bool))
+
+
+def vmclr_m(m: RVVMachine, vl: int) -> VMask:
+    """``vmclr.m`` — all-zeros mask."""
+    vl = require_vl(vl)
+    m.op(Cat.VMASK)
+    return VMask(np.zeros(vl, dtype=bool))
+
+
+def vcpop_m(m: RVVMachine, mask: VMask, vl: int) -> int:
+    """``vcpop.m`` — population count into a scalar register. Used to
+    propagate the enumerate count across strips (Listing 8, line 12)."""
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    return mask.popcount()
+
+
+def vfirst_m(m: RVVMachine, mask: VMask, vl: int) -> int:
+    """``vfirst.m`` — index of the first set lane, or -1 if none."""
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    set_positions = np.flatnonzero(mask.bits)
+    return int(set_positions[0]) if set_positions.size else -1
+
+
+def viota_m(m: RVVMachine, mask: VMask, vl: int, dtype=np.uint32) -> VReg:
+    """``viota.m`` — lane i receives the number of set mask lanes
+    strictly before i (an in-register *exclusive scan* of the mask).
+
+    This is the instruction that makes the paper's ``enumerate``
+    primitive cheap (§4.4, Listing 8).
+    """
+    vl = require_vl(vl)
+    mask.check_vl(vl)
+    m.op(Cat.VMASK)
+    out = np.zeros(vl, dtype=np.dtype(dtype))
+    if vl > 1:
+        out[1:] = np.cumsum(mask.bits[:-1], dtype=np.int64)
+    return VReg(out)
+
+
+def vid_v(m: RVVMachine, vl: int, dtype=np.uint32) -> VReg:
+    """``vid.v`` — lane i receives the index i."""
+    vl = require_vl(vl)
+    m.op(Cat.VMASK)
+    return VReg(np.arange(vl, dtype=np.dtype(dtype)))

@@ -1,0 +1,60 @@
+"""Vector move intrinsics: broadcasts and scalar-lane transfers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VReg
+from ._common import check_same_vl, require_vl, to_scalar
+
+__all__ = ["vmv_v_x", "vmv_v_v", "vmv_s_x", "vmv_x_s", "vundefined"]
+
+
+def vmv_v_x(m: RVVMachine, x: int, vl: int, dtype=np.uint32) -> VReg:
+    """``vmv.v.x`` — broadcast a scalar to all lanes. The paper's
+    kernels materialize their zero/one constant vectors this way
+    (Listing 6 line 6, Listing 10 lines 8-9)."""
+    vl = require_vl(vl)
+    m.op(Cat.VPERM)
+    dtype = np.dtype(dtype)
+    return VReg(np.full(vl, to_scalar(x, dtype), dtype=dtype))
+
+
+def vmv_v_v(m: RVVMachine, src: VReg, vl: int) -> VReg:
+    """``vmv.v.v`` — whole-value register copy."""
+    vl = require_vl(vl)
+    check_same_vl(vl, src)
+    m.op(Cat.VPERM)
+    return VReg(src.data.copy())
+
+
+def vmv_s_x(m: RVVMachine, dest: VReg, x: int, vl: int) -> VReg:
+    """``vmv.s.x`` — write the scalar into lane 0, keeping other lanes
+    from ``dest``. Listing 10 line 16 uses this to force a head flag at
+    the start of every strip (the strip boundary starts a carry region
+    whether or not the data has a flag there)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, dest)
+    m.op(Cat.VPERM, dest_undisturbed=True)
+    out = dest.data.copy()
+    if vl:
+        out[0] = to_scalar(x, dest.dtype)
+    return VReg(out)
+
+
+def vmv_x_s(m: RVVMachine, src: VReg) -> int:
+    """``vmv.x.s`` — read lane 0 into a scalar register."""
+    m.op(Cat.VPERM)
+    if src.vl == 0:
+        return 0
+    return int(src.data[0])
+
+
+def vundefined() -> None:
+    """The intrinsic API's ``vundefined()``: passing it as ``maskedoff``
+    selects the mask-agnostic policy (§3.2). Our intrinsics express that
+    by passing ``maskedoff=None``; this helper exists so ported listings
+    read like the original C."""
+    return None

@@ -1,0 +1,125 @@
+"""Vector permutation intrinsics: slides, gather, compress.
+
+``vslideup`` is the core of both in-register scans (Figures 1 and 4):
+each log-step shifts the partial sums up by ``offset`` lanes and adds.
+Because ``vslideup`` must *preserve* destination lanes below the
+offset, its destination operand carries live values — exactly the
+"undisturbed destination" case the codegen model charges an extra
+register move for under the PAPER preset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import VectorLengthError
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from ._common import check_same_vl, require_vl, to_scalar
+
+__all__ = [
+    "vslideup_vx",
+    "vslidedown_vx",
+    "vslide1up_vx",
+    "vslide1down_vx",
+    "vrgather_vv",
+    "vcompress_vm",
+]
+
+
+def vslideup_vx(m: RVVMachine, dest: VReg, src: VReg, offset: int, vl: int,
+                mask: VMask | None = None) -> VReg:
+    """``vslideup.vx``: lanes ``[offset, vl)`` receive
+    ``src[0, vl-offset)``; lanes below ``offset`` keep ``dest``'s values.
+
+    The paper passes a zero vector as ``dest`` so slid-in lanes read 0 —
+    the identity of +, making the slideup-and-add scan step correct at
+    the vector head (Listing 6; Listing 10 slides a *ones* vector into
+    the flag positions instead, the identity of logical OR).
+    """
+    vl = require_vl(vl)
+    offset = int(offset)
+    if offset < 0:
+        raise VectorLengthError(f"slide offset must be non-negative, got {offset}")
+    check_same_vl(vl, dest, src)
+    m.op(Cat.VPERM, dest_undisturbed=True, masked=mask is not None)
+    out = dest.data.copy()
+    if offset < vl:
+        out[offset:] = src.data[: vl - offset]
+    if mask is not None:
+        mask.check_vl(vl)
+        out = np.where(mask.bits, out, dest.data)
+    return VReg(out)
+
+
+def vslidedown_vx(m: RVVMachine, src: VReg, offset: int, vl: int) -> VReg:
+    """``vslidedown.vx``: lane i receives ``src[i + offset]``; lanes
+    sliding in from beyond vl read 0 in this model (the spec reads
+    elements up to VLMAX; our values carry only vl lanes)."""
+    vl = require_vl(vl)
+    offset = int(offset)
+    if offset < 0:
+        raise VectorLengthError(f"slide offset must be non-negative, got {offset}")
+    check_same_vl(vl, src)
+    m.op(Cat.VPERM)
+    out = np.zeros(vl, dtype=src.dtype)
+    if offset < vl:
+        out[: vl - offset] = src.data[offset:]
+    return VReg(out)
+
+
+def vslide1up_vx(m: RVVMachine, src: VReg, x: int, vl: int) -> VReg:
+    """``vslide1up.vx``: lane 0 receives the scalar ``x``, lane i
+    receives ``src[i-1]`` — a one-lane shift useful for exclusive scans
+    and cross-strip carries."""
+    vl = require_vl(vl)
+    check_same_vl(vl, src)
+    m.op(Cat.VPERM)
+    out = np.empty(vl, dtype=src.dtype)
+    if vl:
+        out[0] = to_scalar(x, src.dtype)
+        out[1:] = src.data[:-1]
+    return VReg(out)
+
+
+def vslide1down_vx(m: RVVMachine, src: VReg, x: int, vl: int) -> VReg:
+    """``vslide1down.vx``: lane vl-1 receives ``x``, lane i receives
+    ``src[i+1]``."""
+    vl = require_vl(vl)
+    check_same_vl(vl, src)
+    m.op(Cat.VPERM)
+    out = np.empty(vl, dtype=src.dtype)
+    if vl:
+        out[-1] = to_scalar(x, src.dtype)
+        out[:-1] = src.data[1:]
+    return VReg(out)
+
+
+def vrgather_vv(m: RVVMachine, src: VReg, index: VReg, vl: int) -> VReg:
+    """``vrgather.vv``: lane i receives ``src[index[i]]``, or 0 when the
+    index is out of range (per spec)."""
+    vl = require_vl(vl)
+    check_same_vl(vl, src, index)
+    m.op(Cat.VPERM)
+    idx = index.data.astype(np.int64)
+    out = np.zeros(vl, dtype=src.dtype)
+    in_range = (idx >= 0) & (idx < vl)
+    out[in_range] = src.data[idx[in_range]]
+    return VReg(out)
+
+
+def vcompress_vm(m: RVVMachine, mask: VMask, src: VReg, vl: int) -> VReg:
+    """``vcompress.vm``: pack the masked lanes of ``src`` to the front.
+
+    Lanes past the packed prefix read 0 in this model (the spec leaves
+    them to the destination's prior contents; no kernel here relies on
+    them).
+    """
+    vl = require_vl(vl)
+    check_same_vl(vl, src, mask)
+    m.op(Cat.VPERM)
+    packed = src.data[mask.bits]
+    out = np.zeros(vl, dtype=src.dtype)
+    out[: packed.size] = packed
+    return VReg(out)

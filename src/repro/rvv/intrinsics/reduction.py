@@ -1,0 +1,64 @@
+"""Vector single-width reduction intrinsics (``vred*``).
+
+Blelloch's model pairs every scan with a reduction; RVV provides them
+directly. The scan kernels here do not need reductions (the carry is
+read from the stored result instead, following Listing 6 line "carry =
+src[vl-1]"), but reductions round out the elementwise/scan primitive
+set and are used by the ablation benches to compare carry strategies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..counters import Cat
+from ..machine import RVVMachine
+from ..value import VMask, VReg
+from ._common import check_same_vl, require_vl, to_scalar
+
+__all__ = ["vredsum_vs", "vredmaxu_vs", "vredminu_vs", "vredand_vs", "vredor_vs", "vredxor_vs"]
+
+
+def _reduce(m, op, src: VReg, init: int, vl: int, mask: VMask | None, identity: int) -> int:
+    vl = require_vl(vl)
+    check_same_vl(vl, src)
+    m.op(Cat.VREDUCE)
+    data = src.data
+    if mask is not None:
+        mask.check_vl(vl)
+        data = data[mask.bits]
+    acc = op.reduce(data, initial=to_scalar(identity, src.dtype)) if data.size else to_scalar(identity, src.dtype)
+    combined = op(np.asarray(acc, dtype=src.dtype), to_scalar(init, src.dtype))
+    return int(np.asarray(combined, dtype=src.dtype))
+
+
+def vredsum_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredsum.vs``: init + sum of active lanes (modular)."""
+    return _reduce(m, np.add, src, init, vl, mask, 0)
+
+
+def vredmaxu_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredmaxu.vs``."""
+    return _reduce(m, np.maximum, src, init, vl, mask, 0)
+
+
+def vredminu_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredminu.vs``."""
+    all_ones = (1 << (np.dtype(src.dtype).itemsize * 8)) - 1
+    return _reduce(m, np.minimum, src, init, vl, mask, all_ones)
+
+
+def vredand_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredand.vs``."""
+    all_ones = (1 << (np.dtype(src.dtype).itemsize * 8)) - 1
+    return _reduce(m, np.bitwise_and, src, init, vl, mask, all_ones)
+
+
+def vredor_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredor.vs``."""
+    return _reduce(m, np.bitwise_or, src, init, vl, mask, 0)
+
+
+def vredxor_vs(m: RVVMachine, src: VReg, init: int, vl: int, mask: VMask | None = None) -> int:
+    """``vredxor.vs``."""
+    return _reduce(m, np.bitwise_xor, src, init, vl, mask, 0)

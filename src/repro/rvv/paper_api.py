@@ -1,0 +1,146 @@
+"""The RVV intrinsic API under the paper's exact names.
+
+The listings in the paper use the RISC-V intrinsic C spellings —
+``vsetvl_e32m1``, ``vle32_v_u32m1``, ``viota_m_u32m1``,
+``vadd_vv_u32m1_m`` and so on, with SEW/LMUL encoded in the suffix
+(§3). This module binds those names so the paper's code ports *line
+for line* (see :mod:`repro.svm.listings` for the verbatim ports used
+as executable documentation, and the equivalence tests in
+``tests/svm/test_listings.py``).
+
+Conventions mirrored from the C API:
+
+* the ``_m`` suffix marks the masked form; its first two arguments are
+  ``(mask, maskedoff)`` — passing ``vundefined()`` as ``maskedoff``
+  selects the mask-agnostic policy (§3.2, Listing 3);
+* ``vl`` is always the trailing argument;
+* ``m<k>`` suffixes pick the LMUL the vsetvl configures (the machine's
+  type system rejects mismatched vl just as the C type system rejects
+  mismatched ``vuint32m<k>_t``).
+
+Only the ``e32``/``u32`` instantiations the paper uses are spelled out
+— the generic layer in :mod:`repro.rvv.intrinsics` covers every SEW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .intrinsics import arith, compare, loadstore, mask as maskops, move, permutation
+from .machine import RVVMachine
+from .memory import Pointer
+from .types import LMUL, SEW
+from .value import VMask, VReg
+
+__all__ = ["PaperIntrinsics", "vundefined"]
+
+vundefined = move.vundefined
+
+
+class PaperIntrinsics:
+    """Paper-spelled intrinsic bindings for one machine.
+
+    >>> from repro.rvv import RVVMachine
+    >>> iv = PaperIntrinsics(RVVMachine(vlen=128))
+    >>> vl = iv.vsetvl_e32m1(3)
+    >>> v = iv.vmv_v_x_u32m1(7, vl)
+    >>> v.tolist()
+    [7, 7, 7]
+    """
+
+    def __init__(self, machine: RVVMachine) -> None:
+        self.m = machine
+
+    # -- configuration (§3.1) ------------------------------------------------
+    def vsetvl_e32m1(self, avl: int) -> int:
+        return self.m.vsetvl(avl, SEW.E32, LMUL.M1)
+
+    def vsetvl_e32m2(self, avl: int) -> int:
+        return self.m.vsetvl(avl, SEW.E32, LMUL.M2)
+
+    def vsetvl_e32m4(self, avl: int) -> int:
+        return self.m.vsetvl(avl, SEW.E32, LMUL.M4)
+
+    def vsetvl_e32m8(self, avl: int) -> int:
+        return self.m.vsetvl(avl, SEW.E32, LMUL.M8)
+
+    def vsetvlmax_e32m1(self) -> int:
+        return self.m.vsetvlmax(SEW.E32, LMUL.M1)
+
+    # -- loads/stores ----------------------------------------------------------
+    def vle32_v_u32m1(self, ptr: Pointer, vl: int) -> VReg:
+        return loadstore.vle(self.m, ptr, vl)
+
+    def vle32_v_i32m1(self, ptr: Pointer, vl: int) -> VReg:
+        return loadstore.vle(self.m, ptr.cast(np.int32), vl)
+
+    def vse32(self, ptr: Pointer, value: VReg, vl: int) -> None:
+        loadstore.vse(self.m, ptr, value, vl)
+
+    def vsuxei32_v_u32m1(self, ptr: Pointer, offsets: VReg, value: VReg,
+                         vl: int) -> None:
+        loadstore.vsuxei(self.m, ptr, offsets, value, vl)
+
+    # -- arithmetic --------------------------------------------------------------
+    def vadd(self, a: VReg, b, vl: int) -> VReg:
+        """The overloaded ``vadd`` of the C API: vv or vx by type."""
+        if isinstance(b, VReg):
+            return arith.vadd_vv(self.m, a, b, vl)
+        return arith.vadd_vx(self.m, a, b, vl)
+
+    def vadd_vv_u32m1(self, a: VReg, b: VReg, vl: int) -> VReg:
+        return arith.vadd_vv(self.m, a, b, vl)
+
+    def vadd_vx_u32m1(self, a: VReg, x: int, vl: int) -> VReg:
+        return arith.vadd_vx(self.m, a, x, vl)
+
+    def vadd_vv_u32m1_m(self, mask: VMask, maskedoff: VReg | None,
+                        a: VReg, b: VReg, vl: int) -> VReg:
+        """Listing 3's signature: (mask, maskedoff, op1, op2, vl)."""
+        return arith.vadd_vv(self.m, a, b, vl, mask=mask, maskedoff=maskedoff)
+
+    def vadd_vx_u32m1_m(self, mask: VMask, maskedoff: VReg | None,
+                        a: VReg, x: int, vl: int) -> VReg:
+        return arith.vadd_vx(self.m, a, x, vl, mask=mask, maskedoff=maskedoff)
+
+    def vand(self, a: VReg, x: int, vl: int) -> VReg:
+        return arith.vand_vx(self.m, a, x, vl)
+
+    def vsrl(self, a: VReg, x: int, vl: int) -> VReg:
+        return arith.vsrl_vx(self.m, a, x, vl)
+
+    def vsll(self, a: VReg, x: int, vl: int) -> VReg:
+        return arith.vsll_vx(self.m, a, x, vl)
+
+    def vor_vv_u32m1(self, a: VReg, b: VReg, vl: int) -> VReg:
+        return arith.vor_vv(self.m, a, b, vl)
+
+    def vmerge_vvm_u32m1(self, mask: VMask, a: VReg, b: VReg, vl: int) -> VReg:
+        return arith.vmerge_vvm(self.m, mask, a, b, vl)
+
+    # -- compares / masks ------------------------------------------------------------
+    def vmseq(self, a: VReg, x: int, vl: int) -> VMask:
+        return compare.vmseq_vx(self.m, a, x, vl)
+
+    def vmsne_vx_u32m1_b32(self, a: VReg, x: int, vl: int) -> VMask:
+        return compare.vmsne_vx(self.m, a, x, vl)
+
+    def vmsbf(self, mask: VMask, vl: int) -> VMask:
+        return maskops.vmsbf_m(self.m, mask, vl)
+
+    def viota_m_u32m1(self, mask: VMask, vl: int) -> VReg:
+        return maskops.viota_m(self.m, mask, vl, dtype=np.uint32)
+
+    def vcpop(self, mask: VMask, vl: int) -> int:
+        return maskops.vcpop_m(self.m, mask, vl)
+
+    # -- moves / permutation -------------------------------------------------------------
+    def vmv_v_x_u32m1(self, x: int, vl: int) -> VReg:
+        return move.vmv_v_x(self.m, x, vl, dtype=np.uint32)
+
+    def vmv_s_x_u32m1(self, dest: VReg, x: int, vl: int) -> VReg:
+        return move.vmv_s_x(self.m, dest, x, vl)
+
+    def vslideup_vx_u32m1(self, dest: VReg, src: VReg, offset: int,
+                          vl: int) -> VReg:
+        return permutation.vslideup_vx(self.m, dest, src, offset, vl)

@@ -1,0 +1,154 @@
+"""The RVV architectural vector register file with LMUL grouping.
+
+RVV provides 32 vector registers of VLEN bits each (§2.1). With a
+length multiplier LMUL = k > 1, registers form groups of k consecutive
+registers and instructions must name a group-aligned register number
+(§3.3): at LMUL=8 the only groups are v0-7, v8-15, v16-23 and v24-31.
+
+The functional intrinsic layer in :mod:`repro.rvv.intrinsics` passes
+vector *values* around (SSA style, like the intrinsic C API), so it does
+not route every operand through this file — but the register file is a
+real, stateful component used for:
+
+* validating group-alignment and register-number rules (tested
+  independently, and relied on by the LMUL register-pressure model);
+* the ``v0`` mask-register convention (§3.2): masked operations always
+  take their mask from v0;
+* whole-register load/store (``vl<k>r``/``vs<k>r``), the instructions
+  the allocation model charges for spill traffic (§6.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, RegisterError
+from .types import LMUL, SEW, dtype_for_sew
+
+__all__ = ["RegisterFile", "NUM_REGS", "MASK_REG"]
+
+#: Number of architectural vector registers.
+NUM_REGS = 32
+#: The register RVV uses for mask operands (always v0, §3.2).
+MASK_REG = 0
+
+
+class RegisterFile:
+    """Byte-granular storage for the 32 architectural vector registers."""
+
+    def __init__(self, vlen: int) -> None:
+        if vlen <= 0 or vlen % 8 or vlen & (vlen - 1):
+            raise ConfigurationError(
+                f"VLEN must be a power-of-two number of bits, got {vlen}"
+            )
+        self.vlen = vlen
+        self.vlenb = vlen // 8  # bytes per register (the vlenb CSR)
+        self._bytes = np.zeros(NUM_REGS * self.vlenb, dtype=np.uint8)
+
+    # -- group rules -------------------------------------------------------
+    def check_group(self, reg: int, lmul: LMUL) -> None:
+        """Validate a register number against the active LMUL.
+
+        Raises :class:`RegisterError` for out-of-range numbers or
+        numbers not aligned to the group size, mirroring the ISA's
+        illegal-instruction condition.
+        """
+        k = int(lmul)
+        if not 0 <= reg < NUM_REGS:
+            raise RegisterError(f"register v{reg} out of range")
+        if reg % k:
+            raise RegisterError(
+                f"v{reg} is not aligned for LMUL={k}; register numbers must be"
+                f" multiples of the group size"
+            )
+
+    def check_no_mask_overlap(self, reg: int, lmul: LMUL) -> None:
+        """A masked operation's destination group may not contain v0."""
+        self.check_group(reg, lmul)
+        if reg <= MASK_REG < reg + int(lmul):
+            raise RegisterError(
+                f"destination group v{reg}-v{reg + int(lmul) - 1} overlaps the"
+                f" mask register v0"
+            )
+
+    @staticmethod
+    def groups(lmul: LMUL) -> list[int]:
+        """Base register numbers of every group at the given LMUL."""
+        k = int(lmul)
+        return list(range(0, NUM_REGS, k))
+
+    # -- typed element access -----------------------------------------------
+    def _group_bytes(self, reg: int, lmul: LMUL) -> np.ndarray:
+        self.check_group(reg, lmul)
+        start = reg * self.vlenb
+        return self._bytes[start : start + int(lmul) * self.vlenb]
+
+    def read(self, reg: int, sew: SEW, lmul: LMUL, vl: int | None = None) -> np.ndarray:
+        """Read ``vl`` elements (default: the full group) from a group."""
+        data = self._group_bytes(reg, lmul).view(dtype_for_sew(sew))
+        if vl is None:
+            return data.copy()
+        if not 0 <= vl <= data.size:
+            raise RegisterError(f"vl={vl} exceeds group capacity {data.size}")
+        return data[:vl].copy()
+
+    def write(
+        self,
+        reg: int,
+        values: np.ndarray,
+        sew: SEW,
+        lmul: LMUL,
+        tail_undisturbed: bool = True,
+    ) -> None:
+        """Write elements into a group starting at element 0.
+
+        With ``tail_undisturbed=False`` (tail-agnostic), this model
+        writes an all-ones pattern into the tail, making accidental
+        dependence on tail values visible in tests — RVV allows either
+        leaving the tail or filling it with 1s.
+        """
+        data = self._group_bytes(reg, lmul).view(dtype_for_sew(sew))
+        values = np.asarray(values, dtype=data.dtype)
+        if values.size > data.size:
+            raise RegisterError(
+                f"{values.size} elements exceed group capacity {data.size}"
+            )
+        data[: values.size] = values
+        if not tail_undisturbed:
+            data[values.size :] = np.iinfo(data.dtype).max
+
+    # -- mask access ----------------------------------------------------------
+    def read_mask(self, vl: int) -> np.ndarray:
+        """Read the low ``vl`` mask bits from v0 as a boolean array.
+
+        RVV packs masks one bit per element regardless of SEW; we model
+        the packed layout by storing one bit per element in v0's bytes.
+        """
+        if vl > self.vlen:
+            raise RegisterError(f"mask vl={vl} exceeds VLEN={self.vlen}")
+        bits = np.unpackbits(self._group_bytes(MASK_REG, LMUL.M1), bitorder="little")
+        return bits[:vl].astype(bool)
+
+    def write_mask(self, mask: np.ndarray) -> None:
+        """Write a boolean array into v0's low mask bits."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.size > self.vlen:
+            raise RegisterError(f"mask of {mask.size} bits exceeds VLEN={self.vlen}")
+        bits = np.zeros(self.vlenb * 8, dtype=np.uint8)
+        bits[: mask.size] = mask
+        self._group_bytes(MASK_REG, LMUL.M1)[:] = np.packbits(bits, bitorder="little")
+
+    # -- whole-register moves (spill traffic) ----------------------------------
+    def whole_store(self, reg: int, lmul: LMUL) -> np.ndarray:
+        """``vs<k>r.v``: copy a whole group out (one instruction per group)."""
+        return self._group_bytes(reg, lmul).copy()
+
+    def whole_load(self, reg: int, lmul: LMUL, data: np.ndarray) -> None:
+        """``vl<k>re8.v``: fill a whole group from bytes."""
+        dest = self._group_bytes(reg, lmul)
+        data = np.asarray(data, dtype=np.uint8)
+        if data.size != dest.size:
+            raise RegisterError(
+                f"whole-register load size {data.size} != group size {dest.size}"
+            )
+        dest[:] = data

@@ -1,0 +1,115 @@
+"""Execution tracing — a Spike-style instruction log for debugging.
+
+Spike can emit a per-instruction commit log; the equivalent here is a
+:class:`TraceRecorder` attached to a machine's counters: every counted
+instruction group is recorded with its category and expansion, and the
+recorder can replay the stream, summarize it, or diff two runs — the
+tool used while calibrating the codegen model against the paper's
+per-strip costs.
+
+Tracing wraps the counter object (no hot-path cost when disabled) and
+nests: detaching restores the previous counter exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .counters import Cat, Counters
+from .machine import RVVMachine
+
+__all__ = ["TraceEvent", "TraceRecorder", "trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One counted instruction group."""
+
+    index: int
+    category: Cat
+    count: int
+
+
+@dataclass
+class TraceRecorder:
+    """Records every ``Counters.add`` on a machine while attached."""
+
+    machine: RVVMachine
+    events: list[TraceEvent] = field(default_factory=list)
+    _original: Counters | None = None
+
+    # -- attach/detach -----------------------------------------------------
+    def attach(self) -> "TraceRecorder":
+        if self._original is not None:
+            raise RuntimeError("trace recorder already attached")
+        self._original = self.machine.counters
+        recorder = self
+
+        class _TracingCounters(Counters):
+            def add(self, category: Cat, n: int = 1) -> None:  # noqa: D102
+                recorder.events.append(
+                    TraceEvent(len(recorder.events), category, n)
+                )
+                super().add(category, n)
+
+        tracing = _TracingCounters()
+        # carry over the current totals so the trace is a pure overlay
+        tracing._counts.update(self._original._counts)
+        self.machine.counters = tracing
+        return self
+
+    def detach(self) -> None:
+        if self._original is None:
+            raise RuntimeError("trace recorder not attached")
+        # fold the traced totals back into the original counter object
+        self._original._counts.update(self.machine.counters._counts)
+        self.machine.counters = self._original
+        self._original = None
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # -- analysis -----------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Dynamic instructions recorded while attached."""
+        return sum(e.count for e in self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Recorded instructions by category name."""
+        out: dict[str, int] = {}
+        for e in self.events:
+            out[e.category.value] = out.get(e.category.value, 0) + e.count
+        return out
+
+    def histogram(self) -> dict[tuple[Cat, int], int]:
+        """(category, expansion) -> occurrence count; shows how often
+        each codegen expansion fired (calibration's raw material)."""
+        out: dict[tuple[Cat, int], int] = {}
+        for e in self.events:
+            key = (e.category, e.count)
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def diff(self, other: "TraceRecorder") -> dict[str, int]:
+        """Per-category difference (self - other) — e.g. LMUL=8 vs
+        LMUL=1 isolates the spill traffic."""
+        mine, theirs = self.summary(), other.summary()
+        keys = set(mine) | set(theirs)
+        return {k: mine.get(k, 0) - theirs.get(k, 0) for k in sorted(keys)}
+
+
+def trace(machine: RVVMachine) -> TraceRecorder:
+    """Context manager recording a machine's instruction stream.
+
+    >>> from repro.rvv import RVVMachine
+    >>> m = RVVMachine(vlen=128)
+    >>> with trace(m) as t:
+    ...     _ = m.vsetvl(4)
+    >>> t.total
+    1
+    """
+    return TraceRecorder(machine)

@@ -1,0 +1,94 @@
+"""Vector value types passed between intrinsics.
+
+The RVV C intrinsic API is value-oriented: ``vint32m1_t va = vle32(...)``
+names an SSA value the compiler later assigns to a register group. Our
+intrinsic layer mirrors that style: :class:`VReg` wraps the active
+``vl`` elements of a register group and :class:`VMask` wraps a mask
+value (one bool per element). Register *numbers* only matter for the
+allocation model (:mod:`repro.rvv.allocation`), which reasons about
+pressure analytically, so values here are anonymous.
+
+Values are treated as immutable by convention: intrinsics return new
+instances rather than mutating operands, matching the functional C API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import MaskError, VectorLengthError
+
+__all__ = ["VReg", "VMask"]
+
+
+@dataclass(frozen=True)
+class VReg:
+    """The active elements of a vector register group.
+
+    ``data`` holds exactly ``vl`` elements; tail elements are not
+    modeled (tail-agnostic policy), which is what every kernel in the
+    paper uses.
+    """
+
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        data = np.asarray(self.data)
+        if data.ndim != 1:
+            raise VectorLengthError(f"vector value must be 1-D, got shape {data.shape}")
+        if data.dtype.kind not in ("u", "i"):
+            raise VectorLengthError(f"vector value must be integer-typed, got {data.dtype}")
+        object.__setattr__(self, "data", data)
+
+    @property
+    def vl(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def check_vl(self, vl: int) -> None:
+        """Assert this value covers ``vl`` active elements."""
+        if self.data.size != vl:
+            raise VectorLengthError(
+                f"operand has {self.data.size} active elements, expected vl={vl}"
+            )
+
+    def tolist(self) -> list[int]:
+        return self.data.tolist()
+
+
+@dataclass(frozen=True)
+class VMask:
+    """A mask value: one boolean per element position.
+
+    RVV stores masks packed in ``v0`` (§3.2); the packed layout is
+    exercised by :class:`repro.rvv.regfile.RegisterFile`, while values
+    flowing between intrinsics use the unpacked boolean form.
+    """
+
+    bits: np.ndarray
+
+    def __post_init__(self) -> None:
+        bits = np.asarray(self.bits)
+        if bits.ndim != 1 or bits.dtype != np.bool_:
+            raise MaskError(f"mask must be a 1-D bool array, got {bits.dtype}, ndim={bits.ndim}")
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def vl(self) -> int:
+        return self.bits.size
+
+    def check_vl(self, vl: int) -> None:
+        if self.bits.size != vl:
+            raise MaskError(f"mask has {self.bits.size} bits, expected vl={vl}")
+
+    def popcount(self) -> int:
+        """Number of set bits (the value ``vcpop`` returns)."""
+        return int(np.count_nonzero(self.bits))
+
+    def tolist(self) -> list[bool]:
+        return self.bits.tolist()

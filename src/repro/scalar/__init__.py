@@ -1,0 +1,53 @@
+"""Scalar baseline substrate: the sequential comparison targets.
+
+Every speedup the paper reports is a ratio of a vectorized kernel's
+dynamic instruction count to a sequential baseline's. This subpackage
+provides those baselines: a scalar RV64 loop-cost model
+(:mod:`~repro.scalar.machine`), the sequential kernels of Tables 2-4
+(:mod:`~repro.scalar.kernels`), the instrumented libc-style ``qsort``
+of Table 1 (:mod:`~repro.scalar.qsort`), and the heap-allocation cost
+model (:mod:`~repro.scalar.malloc_model`).
+"""
+
+from .kernels import (
+    enumerate_baseline,
+    get_flags_baseline,
+    max_scan_baseline,
+    min_scan_baseline,
+    p_add_baseline,
+    p_select_baseline,
+    permute_baseline,
+    plus_scan_baseline,
+    seg_max_scan_baseline,
+    seg_plus_scan_baseline,
+    segmented_cumsum,
+    segmented_reduce_numpy,
+)
+from .machine import BASELINE_COSTS, LoopCost, ScalarMachine
+from .malloc_model import GlibcMallocModel, ZeroMallocModel
+from .qsort import QSORT_COSTS, QsortCosts, SortStats, instrumented_qsort, qsort_baseline
+
+__all__ = [
+    "ScalarMachine",
+    "LoopCost",
+    "BASELINE_COSTS",
+    "p_add_baseline",
+    "p_select_baseline",
+    "plus_scan_baseline",
+    "max_scan_baseline",
+    "min_scan_baseline",
+    "seg_plus_scan_baseline",
+    "seg_max_scan_baseline",
+    "enumerate_baseline",
+    "permute_baseline",
+    "get_flags_baseline",
+    "segmented_cumsum",
+    "segmented_reduce_numpy",
+    "qsort_baseline",
+    "instrumented_qsort",
+    "QsortCosts",
+    "QSORT_COSTS",
+    "SortStats",
+    "GlibcMallocModel",
+    "ZeroMallocModel",
+]

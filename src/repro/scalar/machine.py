@@ -1,0 +1,117 @@
+"""A scalar RISC-V cost model for the paper's sequential baselines.
+
+The baselines in Tables 2-4 are "pure C code without the use of RVV
+intrinsics" (§6.2) compiled for RV64. Their dynamic instruction counts
+are *exactly linear* in N in the paper's tables:
+
+* ``p_add``        : 6N + 1     (632/6002/60001/600001/6000001 — the
+  N=10^2 row reads 632; every other row fits 6N+1, see EXPERIMENTS.md)
+* ``plus_scan``    : 6N + 26    (626/6026/60026/600026/6000026, exact)
+* ``seg_plus_scan``: 11N + 24   (1124/11024/110024/1100024/11000024, exact)
+
+Those forms follow directly from the RV64 loop bodies a compiler emits:
+e.g. the plus-scan body is ``lw; add(carry); sw; addi(ptr);
+addi(count); bnez`` — six instructions per element — plus a fixed
+prologue. :class:`ScalarMachine` executes the baseline *semantics*
+vectorized with NumPy (per the HPC guides: never loop per element in
+Python) and charges the per-element instruction budget of the modeled
+loop body. Because the modeled loop bodies are branch-balanced (both
+sides of any data-dependent branch retire the same instruction count),
+the charge is exact, not an estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..rvv.counters import Cat, Counters
+
+__all__ = ["ScalarMachine", "LoopCost"]
+
+
+@dataclass(frozen=True)
+class LoopCost:
+    """Instruction budget of one scalar loop: ``per_element`` dynamic
+    instructions per iteration plus a one-time ``prologue``."""
+
+    per_element: int
+    prologue: int
+
+    def total(self, n: int) -> int:
+        """Closed-form dynamic count for ``n`` elements."""
+        return self.per_element * int(n) + self.prologue
+
+
+#: Modeled RV64 loop bodies for the paper's baselines (see module
+#: docstring for the instruction-level derivations).
+BASELINE_COSTS: dict[str, LoopCost] = {
+    # lw, addw (broadcast scalar lives in a register), sw, addi ptr,
+    # addi count, bnez
+    "p_add": LoopCost(per_element=6, prologue=1),
+    "p_sub": LoopCost(per_element=6, prologue=1),
+    "p_mul": LoopCost(per_element=6, prologue=1),
+    "p_and": LoopCost(per_element=6, prologue=1),
+    "p_or": LoopCost(per_element=6, prologue=1),
+    "p_xor": LoopCost(per_element=6, prologue=1),
+    "p_max": LoopCost(per_element=7, prologue=1),   # extra branch/cmov
+    "p_min": LoopCost(per_element=7, prologue=1),
+    # lw flags, lw a, lw b, branch, sw, addi x3 ptrs, addi count, bnez -> 9
+    "p_select": LoopCost(per_element=9, prologue=1),
+    # lw, add carry, sw, addi ptr, addi count, bnez
+    "plus_scan": LoopCost(per_element=6, prologue=26),
+    "max_scan": LoopCost(per_element=7, prologue=26),
+    "min_scan": LoopCost(per_element=7, prologue=26),
+    "or_scan": LoopCost(per_element=6, prologue=26),
+    "and_scan": LoopCost(per_element=6, prologue=26),
+    # lw flag, bnez, (mv carry | add) — balanced, lw x, add, sw,
+    # mv carry, addi x2 ptrs, addi count, bnez -> 11
+    "seg_plus_scan": LoopCost(per_element=11, prologue=24),
+    "seg_max_scan": LoopCost(per_element=12, prologue=24),
+    "seg_min_scan": LoopCost(per_element=12, prologue=24),
+    "seg_or_scan": LoopCost(per_element=11, prologue=24),
+    "seg_and_scan": LoopCost(per_element=11, prologue=24),
+    # lw flag, cmp/branch, conditional store of index, incr counter,
+    # addi ptrs, count, bnez -> 8 (branch-balanced)
+    "enumerate": LoopCost(per_element=8, prologue=2),
+    # lw src, lw index, shifted address, sw, addi, addi, bnez -> 8
+    "permute": LoopCost(per_element=8, prologue=1),
+    # lw, srl, and, sw, addi x2, addi count, bnez -> 8
+    "get_flags": LoopCost(per_element=8, prologue=1),
+}
+
+
+class ScalarMachine:
+    """Counter-carrying execution context for sequential baselines.
+
+    Keeps its own :class:`~repro.rvv.counters.Counters` so a baseline
+    and its vector counterpart can be measured independently and
+    compared (every speedup in the paper is a ratio of two dynamic
+    counts).
+    """
+
+    def __init__(self, costs: dict[str, LoopCost] | None = None) -> None:
+        self.counters = Counters()
+        self.costs = dict(BASELINE_COSTS if costs is None else costs)
+
+    def charge_loop(self, kernel: str, n: int) -> None:
+        """Charge the dynamic-instruction budget of ``kernel`` over
+        ``n`` elements."""
+        try:
+            cost = self.costs[kernel]
+        except KeyError:
+            raise KeyError(
+                f"no scalar cost model for kernel {kernel!r}; known: {sorted(self.costs)}"
+            ) from None
+        self.counters.add(Cat.SCALAR, cost.total(n))
+
+    def charge(self, n: int) -> None:
+        """Charge ``n`` raw scalar instructions (for irregular code such
+        as the instrumented qsort)."""
+        self.counters.add(Cat.SCALAR, n)
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+    @property
+    def total(self) -> int:
+        return self.counters.total

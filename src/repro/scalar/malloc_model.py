@@ -1,0 +1,78 @@
+"""Heap-allocation cost model — the hidden variable in Table 1.
+
+The paper's split radix sort allocates two N-element scratch buffers
+inside *every* ``split`` call (Listing 7) — 64 allocations of 4N bytes
+over a 32-bit sort. Table 1's per-element cost jumps from ~80
+instructions at N = 10^4 to ~196 at N = 10^5 and stays there at 10^6.
+That is not a property of the sort: it is the libc allocator crossing
+its ``MMAP_THRESHOLD`` (128 KiB in glibc). Beyond the threshold every
+malloc becomes an ``mmap`` and every free a ``munmap``, and under a
+proxy-kernel environment (Spike + pk) the first touch of each fresh
+page executes a counted page-fault/zeroing path.
+
+Check against Table 1: the excess over the small-N per-element cost is
+(196 - 80) * 10^5 ≈ 11.6M instructions over 32 bit-iterations with 2
+large allocations each — ≈ 1800 instructions per 4 KiB page, a
+plausible fault-handler plus page-zeroing cost (a 4 KiB clear alone is
+512 stores). :class:`GlibcMallocModel`'s constants are fitted to that
+excess by ``tools/fit_radix.py``.
+
+Machines default to a zero-cost model; the Table 1 bench opts in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GlibcMallocModel", "ZeroMallocModel", "PAGE_SIZE", "MMAP_THRESHOLD"]
+
+#: RISC-V Sv39 base page size.
+PAGE_SIZE = 4096
+#: glibc's default M_MMAP_THRESHOLD.
+MMAP_THRESHOLD = 128 * 1024
+
+
+@dataclass(frozen=True)
+class GlibcMallocModel:
+    """Dynamic-instruction cost of glibc-style malloc/free under a
+    proxy kernel.
+
+    Small allocations hit the bin fast path; large ones pay a syscall
+    plus a per-page first-touch cost on use.
+    """
+
+    small_malloc: int = 90
+    small_free: int = 60
+    mmap_base: int = 450
+    munmap_base: int = 350
+    per_page: int = 1800
+    threshold: int = MMAP_THRESHOLD
+    page_size: int = PAGE_SIZE
+
+    def malloc_cost(self, nbytes: int) -> int:
+        """Instructions retired by ``malloc(nbytes)`` plus first-touch
+        page faults on the returned block."""
+        if nbytes <= 0:
+            return self.small_malloc
+        if nbytes < self.threshold:
+            return self.small_malloc
+        pages = -(-nbytes // self.page_size)
+        return self.mmap_base + pages * self.per_page
+
+    def free_cost(self, nbytes: int) -> int:
+        """Instructions retired by ``free`` of a block of ``nbytes``."""
+        if nbytes < self.threshold:
+            return self.small_free
+        return self.munmap_base
+
+
+@dataclass(frozen=True)
+class ZeroMallocModel:
+    """No allocation cost — for primitive microbenchmarks (Tables 2-7),
+    which allocate nothing inside the timed region."""
+
+    def malloc_cost(self, nbytes: int) -> int:
+        return 0
+
+    def free_cost(self, nbytes: int) -> int:
+        return 0

@@ -1,0 +1,178 @@
+"""Instrumented `qsort()` cost model — Table 1's baseline.
+
+The paper compares split radix sort against "a baseline qsort from
+stdlib" running under Spike (so a libc quicksort compiled for RV64,
+called through a comparator function pointer). Table 1's baseline
+column is ≈26 dynamic instructions per comparison across four decades
+of N — the signature of a comparator-callback sort (indirect call,
+argument marshalling, compare, return, plus partition bookkeeping per
+element).
+
+This module implements the classic libc structure — median-of-three
+quicksort with an insertion-sort cutoff for small partitions — fully
+instrumented: it *executes the sort* and counts comparator invocations,
+swaps, partition calls and insertion-sort moves. Partition work is
+vectorized with NumPy (the HPC guides' rule: no per-element Python
+loops), which leaves the counts exact for comparisons/partitions and a
+faithful Hoare-style model for swaps.
+
+The per-operation dynamic-instruction costs are fitted to Table 1 by
+``tools/fit_qsort.py`` (least squares over the five paper rows); the
+fitted constants live in :data:`QSORT_COSTS` with the fit residuals
+recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import VectorLengthError
+from .machine import ScalarMachine
+
+__all__ = ["SortStats", "QsortCosts", "QSORT_COSTS", "qsort_baseline", "instrumented_qsort"]
+
+#: Partitions at or below this size finish with insertion sort
+#: (glibc uses 4, newlib 7; the fit is insensitive to the exact cutoff
+#: because the per-op costs absorb it).
+INSERTION_THRESHOLD = 8
+
+
+@dataclass
+class SortStats:
+    """Operation counts observed during one instrumented sort."""
+
+    comparisons: int = 0
+    swaps: int = 0
+    partitions: int = 0
+    insertion_moves: int = 0
+    n: int = 0
+
+    def __iadd__(self, other: "SortStats") -> "SortStats":
+        self.comparisons += other.comparisons
+        self.swaps += other.swaps
+        self.partitions += other.partitions
+        self.insertion_moves += other.insertion_moves
+        return self
+
+
+@dataclass(frozen=True)
+class QsortCosts:
+    """Dynamic-instruction cost of each observed operation.
+
+    ``per_comparison`` dominates (indirect comparator call: ~10
+    instructions of call/return/marshalling + the compare itself +
+    the inner-loop step around it).
+    """
+
+    per_comparison: float
+    per_swap: float
+    per_partition: float
+    per_insertion_move: float
+    per_element: float
+    base: float
+
+    def dynamic_count(self, stats: SortStats) -> int:
+        """Model the Spike dynamic instruction count of this sort."""
+        return round(
+            self.per_comparison * stats.comparisons
+            + self.per_swap * stats.swaps
+            + self.per_partition * stats.partitions
+            + self.per_insertion_move * stats.insertion_moves
+            + self.per_element * stats.n
+            + self.base
+        )
+
+
+#: Fitted to Table 1 (see tools/fit_qsort.py); regenerate with
+#: ``python tools/fit_qsort.py`` after changing the sort structure.
+QSORT_COSTS = QsortCosts(
+    per_comparison=18.5019,
+    per_swap=15.0,
+    per_partition=120.0,
+    per_insertion_move=10.0,
+    per_element=3.4019,
+    base=50.0,
+)
+
+
+def _median_of_three(a: np.ndarray, stats: SortStats) -> int:
+    """Pick the median of first/middle/last (3 comparator calls)."""
+    stats.comparisons += 3
+    lo, mid, hi = int(a[0]), int(a[a.size // 2]), int(a[-1])
+    return sorted((lo, mid, hi))[1]
+
+
+def _insertion(a: np.ndarray, stats: SortStats) -> None:
+    """Insertion-sort a small block, counting comparisons and moves.
+
+    Insertion sort performs (#inversions + n - 1) comparisons and
+    #inversions element moves on average-case input; the inversion
+    count of a tiny block is computed with one vectorized pairwise
+    compare.
+    """
+    n = a.size
+    if n > 1:
+        inversions = int(np.sum(np.triu(a[:, None] > a[None, :], k=1)))
+        stats.comparisons += inversions + (n - 1)
+        stats.insertion_moves += inversions
+        a.sort()
+
+
+def _quicksort(a: np.ndarray, stats: SortStats) -> None:
+    """Median-of-three quicksort with three-way partitioning, in place.
+
+    Tail recursion on the larger side is converted to iteration so the
+    Python stack stays O(lg n).
+    """
+    while a.size > INSERTION_THRESHOLD:
+        stats.partitions += 1
+        pivot = _median_of_three(a, stats)
+        # one comparator call per element against the pivot
+        stats.comparisons += a.size
+        less = a < pivot
+        greater = a > pivot
+        n_less = int(np.count_nonzero(less))
+        n_greater = int(np.count_nonzero(greater))
+        # Hoare-style swap count: elements that end up left of the
+        # boundary but started right of it (== elements > pivot found
+        # in the final low region before partitioning).
+        stats.swaps += int(np.count_nonzero(greater[:n_less]))
+        # three-way partition (semantics)
+        mid_fill = a.size - n_less - n_greater
+        merged = np.concatenate((a[less], np.full(mid_fill, pivot, dtype=a.dtype), a[greater]))
+        a[:] = merged
+        left = a[:n_less]
+        right = a[a.size - n_greater:]
+        # recurse on the smaller side, loop on the larger
+        if left.size < right.size:
+            _quicksort(left, stats)
+            a = right
+        else:
+            _quicksort(right, stats)
+            a = left
+    _insertion(a, stats)
+
+
+def instrumented_qsort(values: np.ndarray) -> tuple[np.ndarray, SortStats]:
+    """Sort a copy of ``values``, returning the result and the
+    operation counts."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise VectorLengthError(f"qsort input must be 1-D, got shape {values.shape}")
+    out = values.copy()
+    stats = SortStats(n=out.size)
+    if out.size:
+        _quicksort(out, stats)
+    return out, stats
+
+
+def qsort_baseline(
+    sm: ScalarMachine, values: np.ndarray, costs: QsortCosts = QSORT_COSTS
+) -> np.ndarray:
+    """The Table 1 baseline: sort ``values`` and charge the modeled
+    dynamic instruction count on ``sm``."""
+    out, stats = instrumented_qsort(values)
+    sm.charge(costs.dynamic_count(stats))
+    return out

@@ -1,0 +1,50 @@
+"""The scan vector model for RVV — the paper's core contribution.
+
+Public surface: the :class:`~repro.svm.context.SVM` context (primitive
+dispatch with strict/fast execution), the operator set, and segment
+descriptor utilities. The strict strip-mined kernels
+(:mod:`elementwise`, :mod:`scan`, :mod:`segmented`, :mod:`enumerate_op`,
+:mod:`permute_ops`, :mod:`split_op`) are importable directly for
+instruction-level work; most callers should go through :class:`SVM`.
+"""
+
+from .context import SVM, SVMArray
+from .derived import scan_backward, seg_copy, seg_scan_backward, seg_total
+from .gather_scatter import gather_any, scatter_any
+from .operators import AND, MAX, MIN, OPERATORS, OR, PLUS, XOR, BinaryOp, get_operator
+from .segment_descriptor import (
+    head_flags_to_head_pointers,
+    head_flags_to_lengths,
+    head_pointers_to_head_flags,
+    lengths_to_head_flags,
+    segment_count,
+    segment_ids,
+    validate_head_flags,
+)
+
+__all__ = [
+    "SVM",
+    "SVMArray",
+    "seg_copy",
+    "seg_total",
+    "scan_backward",
+    "seg_scan_backward",
+    "gather_any",
+    "scatter_any",
+    "BinaryOp",
+    "get_operator",
+    "OPERATORS",
+    "PLUS",
+    "MAX",
+    "MIN",
+    "OR",
+    "AND",
+    "XOR",
+    "lengths_to_head_flags",
+    "head_flags_to_lengths",
+    "head_pointers_to_head_flags",
+    "head_flags_to_head_pointers",
+    "segment_count",
+    "segment_ids",
+    "validate_head_flags",
+]

@@ -1,0 +1,525 @@
+"""The scan vector model context — the library's main public API.
+
+:class:`SVM` binds a machine to the primitive set of Blelloch's scan
+vector model as supported by the paper: elementwise instructions,
+permutation instructions, scan instructions (unsegmented and
+segmented), and the derived operations ``enumerate`` and ``split``.
+Algorithms written against this interface never touch RVV details —
+the paper's stated goal ("parallel algorithms can be developed upon
+those primitives without knowing the details of RVV").
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import SVM
+>>> svm = SVM(vlen=256)
+>>> a = svm.array([3, 1, 7, 0, 4, 1, 6, 3])
+>>> svm.plus_scan(a)
+>>> a.to_numpy().tolist()
+[3, 4, 11, 11, 15, 16, 22, 25]
+>>> svm.instructions > 0
+True
+
+Execution modes
+---------------
+``mode="strict"`` drives the simulated machine intrinsic-by-intrinsic;
+``mode="fast"`` uses the NumPy fast path with identical closed-form
+counts; ``mode="auto"`` (default) picks per call by array size. The two
+modes are bit-identical in results *and* counters (cross-validated in
+the integration tests), so the choice only affects host-Python speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, VectorLengthError
+from ..rvv.codegen import CodegenModel
+from ..rvv.machine import RVVMachine
+from ..rvv.memory import Pointer
+from ..rvv.types import LMUL
+from . import elementwise as ew
+from . import elementwise_ext as ewx
+from . import enumerate_op as en
+from . import fastpath as fp
+from . import fastpath_ext as fpx
+from . import permute_ops as pm
+from . import scan as sc
+from . import segmented as sg
+from .operators import PLUS, BinaryOp
+
+__all__ = ["SVM", "SVMArray"]
+
+#: Below this element count the strict path is cheap enough that auto
+#: mode prefers it (keeps tiny calls on the fully-simulated path).
+AUTO_FAST_THRESHOLD = 2048
+
+
+@dataclass
+class SVMArray:
+    """A typed array living in simulated machine memory.
+
+    Produced by :meth:`SVM.array` / :meth:`SVM.zeros`; primitives
+    accept and return these. ``view()`` exposes the live memory as a
+    writable NumPy view; ``to_numpy()`` copies.
+    """
+
+    ptr: Pointer
+    n: int
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.ptr.dtype
+
+    def view(self) -> np.ndarray:
+        """Writable NumPy view of the underlying simulated memory."""
+        return self.ptr.view(self.n)
+
+    def to_numpy(self) -> np.ndarray:
+        """A copy of the array contents."""
+        return self.ptr.read(self.n)
+
+    def __len__(self) -> int:
+        return self.n
+
+
+class SVM:
+    """Scan-vector-model primitives over one RVV machine."""
+
+    def __init__(
+        self,
+        machine: RVVMachine | None = None,
+        *,
+        vlen: int = 1024,
+        codegen: str | CodegenModel = "ideal",
+        mode: str = "auto",
+        fast_threshold: int = AUTO_FAST_THRESHOLD,
+        lmul: LMUL = LMUL.M1,
+        malloc_model=None,
+    ) -> None:
+        if machine is None:
+            machine = RVVMachine(vlen=vlen, codegen=codegen, malloc_model=malloc_model)
+        self.machine = machine
+        if mode not in ("strict", "fast", "auto"):
+            raise ConfigurationError(
+                f"mode must be 'strict', 'fast' or 'auto', got {mode!r}"
+            )
+        self.mode = mode
+        self.fast_threshold = int(fast_threshold)
+        self.lmul = LMUL(lmul)
+
+    # ------------------------------------------------------------------
+    # array management
+    # ------------------------------------------------------------------
+    def array(self, values, dtype=np.uint32) -> SVMArray:
+        """Allocate an array in machine memory initialized from
+        ``values`` (no instructions charged — test fixtures and
+        workload setup are outside the measured kernels)."""
+        values = np.asarray(values, dtype=dtype)
+        if values.ndim != 1:
+            raise VectorLengthError(f"SVM arrays are 1-D, got shape {values.shape}")
+        ptr = self.machine.heap.alloc_array(max(values.size, 1), values.dtype)
+        if values.size:
+            ptr.write(values)
+        return SVMArray(ptr, values.size)
+
+    def zeros(self, n: int, dtype=np.uint32) -> SVMArray:
+        """Allocate a zero-filled array (uncharged, like :meth:`array`)."""
+        return self.array(np.zeros(int(n), dtype=dtype))
+
+    def empty(self, n: int, dtype=np.uint32) -> SVMArray:
+        """Allocate an uninitialized array (uncharged)."""
+        n = int(n)
+        ptr = self.machine.heap.alloc_array(max(n, 1), np.dtype(dtype))
+        return SVMArray(ptr, n)
+
+    def free(self, arr: SVMArray) -> None:
+        """Release an array's memory (uncharged; the charged path is
+        the machine's ``malloc``/``free`` used inside kernels)."""
+        self.machine.heap.free(arr.ptr.addr)
+
+    # ------------------------------------------------------------------
+    # counters
+    # ------------------------------------------------------------------
+    @property
+    def instructions(self) -> int:
+        """Total dynamic instruction count so far (the paper's metric)."""
+        return self.machine.counters.total
+
+    @property
+    def counters(self):
+        return self.machine.counters
+
+    def reset(self) -> None:
+        """Zero the instruction counters."""
+        self.machine.reset_counters()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _fast(self, n: int) -> bool:
+        if self.mode == "strict":
+            return False
+        if self.mode == "fast":
+            return True
+        return n >= self.fast_threshold
+
+    def _lmul(self, lmul: LMUL | None) -> LMUL:
+        return self.lmul if lmul is None else LMUL(lmul)
+
+    @staticmethod
+    def _check_equal_len(*arrays: SVMArray) -> int:
+        n = arrays[0].n
+        for a in arrays[1:]:
+            if a.n != n:
+                raise VectorLengthError(
+                    f"operand lengths differ: {[a.n for a in arrays]}"
+                )
+        return n
+
+    # ------------------------------------------------------------------
+    # elementwise primitives (§4.1)
+    # ------------------------------------------------------------------
+    def _elementwise_vx(self, kernel: str, a: SVMArray, x: int, lmul) -> None:
+        lmul = self._lmul(lmul)
+        if self._fast(a.n):
+            fp.fast_elementwise_vx(self.machine, kernel, a.n, a.ptr, x, lmul)
+        else:
+            getattr(ew, kernel)(self.machine, a.n, a.ptr, x, lmul)
+
+    def _elementwise_vv(self, kernel: str, a: SVMArray, b: SVMArray, lmul) -> None:
+        self._check_equal_len(a, b)
+        lmul = self._lmul(lmul)
+        if self._fast(a.n):
+            fp.fast_elementwise_vv(self.machine, kernel, a.n, a.ptr, b.ptr, lmul)
+        else:
+            getattr(ew, f"{kernel}_vv")(self.machine, a.n, a.ptr, b.ptr, lmul)
+
+    def p_add(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-add: ``a += x`` (scalar broadcast or elementwise vector)."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_add", a, x, lmul)
+        else:
+            self._elementwise_vx("p_add", a, x, lmul)
+
+    def p_sub(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-sub: ``a -= x``."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_sub", a, x, lmul)
+        else:
+            self._elementwise_vx("p_sub", a, x, lmul)
+
+    def p_mul(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-mul: ``a *= x`` (low product)."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_mul", a, x, lmul)
+        else:
+            self._elementwise_vx("p_mul", a, x, lmul)
+
+    def p_and(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-and: ``a &= x``."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_and", a, x, lmul)
+        else:
+            self._elementwise_vx("p_and", a, x, lmul)
+
+    def p_or(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-or: ``a |= x``."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_or", a, x, lmul)
+        else:
+            self._elementwise_vx("p_or", a, x, lmul)
+
+    def p_xor(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-xor: ``a ^= x``."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_xor", a, x, lmul)
+        else:
+            self._elementwise_vx("p_xor", a, x, lmul)
+
+    def p_max(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-max: ``a = max(a, x)`` (unsigned)."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_max", a, x, lmul)
+        else:
+            self._elementwise_vx("p_max", a, x, lmul)
+
+    def p_min(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
+        """p-min: ``a = min(a, x)`` (unsigned)."""
+        if isinstance(x, SVMArray):
+            self._elementwise_vv("p_min", a, x, lmul)
+        else:
+            self._elementwise_vx("p_min", a, x, lmul)
+
+    def p_srl(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
+        """p-srl: ``a >>= x`` (logical; scalar shift only)."""
+        self._elementwise_vx("p_srl", a, x, lmul)
+
+    def p_sll(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
+        """p-sll: ``a <<= x`` (scalar shift only)."""
+        self._elementwise_vx("p_sll", a, x, lmul)
+
+    def p_select(self, flags: SVMArray, a: SVMArray, b: SVMArray,
+                 lmul: LMUL | None = None) -> None:
+        """p-select: ``b[i] = a[i] where flags[i] else b[i]``."""
+        n = self._check_equal_len(flags, a, b)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            fp.fast_p_select(self.machine, n, flags.ptr, a.ptr, b.ptr, lmul)
+        else:
+            ew.p_select(self.machine, n, flags.ptr, a.ptr, b.ptr, lmul)
+
+    def get_flags(self, src: SVMArray, bit: int, out: SVMArray | None = None,
+                  lmul: LMUL | None = None) -> SVMArray:
+        """Extract bit ``bit`` of each element into a 0/1 flag vector."""
+        flags = self.empty(src.n, src.dtype) if out is None else out
+        self._check_equal_len(src, flags)
+        lmul = self._lmul(lmul)
+        if self._fast(src.n):
+            fp.fast_get_flags(self.machine, src.n, src.ptr, flags.ptr, bit, lmul)
+        else:
+            ew.get_flags(self.machine, src.n, src.ptr, flags.ptr, bit, lmul)
+        return flags
+
+    # ------------------------------------------------------------------
+    # scan primitives (§4.3, §5)
+    # ------------------------------------------------------------------
+    def scan(self, a: SVMArray, op: str | BinaryOp = PLUS, *,
+             inclusive: bool = True, lmul: LMUL | None = None) -> None:
+        """⊕-scan of ``a`` in place (inclusive by default)."""
+        lmul = self._lmul(lmul)
+        if self._fast(a.n):
+            fn = fp.fast_scan if inclusive else fp.fast_scan_exclusive
+        else:
+            fn = sc.scan if inclusive else sc.scan_exclusive
+        fn(self.machine, a.n, a.ptr, op, lmul)
+
+    def plus_scan(self, a: SVMArray, lmul: LMUL | None = None) -> None:
+        """The paper's plus-scan (Listing 6): inclusive prefix sums."""
+        self.scan(a, PLUS, inclusive=True, lmul=lmul)
+
+    def scan_exclusive(self, a: SVMArray, op: str | BinaryOp = PLUS,
+                       lmul: LMUL | None = None) -> None:
+        """Exclusive ⊕-scan (Blelloch's original definition)."""
+        self.scan(a, op, inclusive=False, lmul=lmul)
+
+    def seg_scan(self, a: SVMArray, head_flags: SVMArray,
+                 op: str | BinaryOp = PLUS, *, inclusive: bool = True,
+                 lmul: LMUL | None = None) -> None:
+        """Segmented ⊕-scan of ``a`` under ``head_flags``, in place."""
+        n = self._check_equal_len(a, head_flags)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            fn = fp.fast_seg_scan if inclusive else fp.fast_seg_scan_exclusive
+        else:
+            fn = sg.seg_scan if inclusive else sg.seg_scan_exclusive
+        fn(self.machine, n, a.ptr, head_flags.ptr, op, lmul)
+
+    def seg_plus_scan(self, a: SVMArray, head_flags: SVMArray,
+                      lmul: LMUL | None = None) -> None:
+        """The paper's segmented plus-scan (Listing 10)."""
+        self.seg_scan(a, head_flags, PLUS, inclusive=True, lmul=lmul)
+
+    # ------------------------------------------------------------------
+    # permutation primitives (§4.2) and derived ops (§4.4)
+    # ------------------------------------------------------------------
+    def permute(self, src: SVMArray, index: SVMArray, out: SVMArray | None = None,
+                lmul: LMUL | None = None) -> SVMArray:
+        """Out-of-place permute: ``out[index[i]] = src[i]`` (Listing 5)."""
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        n = self._check_equal_len(src, index, dst)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            fp.fast_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        else:
+            pm.permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        return dst
+
+    def back_permute(self, src: SVMArray, index: SVMArray,
+                     out: SVMArray | None = None, lmul: LMUL | None = None) -> SVMArray:
+        """Gather: ``out[i] = src[index[i]]``."""
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        n = self._check_equal_len(src, index, dst)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            fp.fast_back_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        else:
+            pm.back_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        return dst
+
+    def pack(self, src: SVMArray, flags: SVMArray, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+        """Stream compaction: keep flagged elements, preserving order.
+        Returns (destination array, number kept)."""
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        n = self._check_equal_len(src, flags, dst)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            kept = fp.fast_pack(self.machine, n, src.ptr, dst.ptr, flags.ptr, lmul)
+        else:
+            kept = pm.pack(self.machine, n, src.ptr, dst.ptr, flags.ptr, lmul)
+        return dst, kept
+
+    def enumerate(self, flags: SVMArray, set_bit: bool = True,
+                  out: SVMArray | None = None, lmul: LMUL | None = None
+                  ) -> tuple[SVMArray, int]:
+        """Enumerate (Listing 8): rank each position among those whose
+        flag equals ``set_bit``. Returns (ranks array, total count)."""
+        dst = self.empty(flags.n, np.uint32) if out is None else out
+        n = self._check_equal_len(flags, dst)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            count = fp.fast_enumerate(self.machine, n, flags.ptr, dst.ptr, set_bit, lmul)
+        else:
+            count = en.enumerate_op(self.machine, n, flags.ptr, dst.ptr, set_bit, lmul)
+        return dst, count
+
+    # ------------------------------------------------------------------
+    # extended primitives (Blelloch's full elementwise class)
+    # ------------------------------------------------------------------
+    def _cmp(self, which: str, a: SVMArray, b, out: SVMArray | None, lmul) -> SVMArray:
+        dst = self.empty(a.n, np.uint32) if out is None else out
+        lmul = self._lmul(lmul)
+        if isinstance(b, SVMArray):
+            self._check_equal_len(a, b, dst)
+            if self._fast(a.n):
+                fpx.fast_cmp_vv(self.machine, which, a.n, a.ptr, b.ptr, dst.ptr, lmul)
+            else:
+                getattr(ewx, f"p_{which}")(self.machine, a.n, a.ptr, b.ptr, dst.ptr, lmul)
+        else:
+            self._check_equal_len(a, dst)
+            if self._fast(a.n):
+                fpx.fast_cmp_vx(self.machine, which, a.n, a.ptr, b, dst.ptr, lmul)
+            else:
+                getattr(ewx, f"p_{which}_vx")(self.machine, a.n, a.ptr, b, dst.ptr, lmul)
+        return dst
+
+    def p_lt(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``out[i] = (a[i] < b[i or scalar])`` (unsigned)."""
+        return self._cmp("lt", a, b, out, lmul)
+
+    def p_le(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``a <= b``."""
+        return self._cmp("le", a, b, out, lmul)
+
+    def p_gt(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``a > b``."""
+        return self._cmp("gt", a, b, out, lmul)
+
+    def p_ge(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``a >= b``."""
+        return self._cmp("ge", a, b, out, lmul)
+
+    def p_eq(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``a == b``."""
+        return self._cmp("eq", a, b, out, lmul)
+
+    def p_ne(self, a: SVMArray, b, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Flag compare: ``a != b``."""
+        return self._cmp("ne", a, b, out, lmul)
+
+    def index_array(self, n: int, out: SVMArray | None = None,
+                    lmul: LMUL | None = None) -> SVMArray:
+        """Blelloch's index primitive: the vector ``[0, 1, ..., n-1]``."""
+        dst = self.empty(int(n), np.uint32) if out is None else out
+        lmul = self._lmul(lmul)
+        if self._fast(dst.n):
+            fpx.fast_index(self.machine, dst.n, dst.ptr, lmul)
+        else:
+            ewx.p_index(self.machine, dst.n, dst.ptr, lmul)
+        return dst
+
+    def p_rsub(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
+        """Reverse subtract in place: ``a[i] = x - a[i]``."""
+        lmul = self._lmul(lmul)
+        if self._fast(a.n):
+            fpx.fast_rsub(self.machine, a.n, a.ptr, x, lmul)
+        else:
+            ewx.p_rsub(self.machine, a.n, a.ptr, x, lmul)
+
+    def reduce(self, a: SVMArray, op: str | BinaryOp = PLUS,
+               lmul: LMUL | None = None) -> int:
+        """Full ⊕-reduction of ``a`` to a scalar."""
+        lmul = self._lmul(lmul)
+        if self._fast(a.n):
+            return fpx.fast_reduce(self.machine, a.n, a.ptr, op, lmul)
+        return ewx.reduce(self.machine, a.n, a.ptr, op, lmul)
+
+    def shift1up(self, src: SVMArray, fill: int, out: SVMArray | None = None,
+                 lmul: LMUL | None = None) -> SVMArray:
+        """Whole-array shift by one lane: ``out[0] = fill``,
+        ``out[i] = src[i-1]`` (in place when ``out is src``)."""
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        n = self._check_equal_len(src, dst)
+        lmul = self._lmul(lmul)
+        if self._fast(n):
+            fpx.fast_shift1up(self.machine, n, src.ptr, dst.ptr, fill, lmul)
+        else:
+            ewx.shift1up(self.machine, n, src.ptr, dst.ptr, fill, lmul)
+        return dst
+
+    def copy(self, src: SVMArray, out: SVMArray | None = None,
+             lmul: LMUL | None = None) -> SVMArray:
+        """Vector memcpy: a strip-mined vle/vse loop (charged like a
+        two-array elementwise pass without the compute op)."""
+        from ..rvv.counters import Cat
+        from ..rvv.intrinsics import loadstore
+        from ..rvv.types import sew_for_dtype
+        from .fastpath import strip_shape
+
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        n = self._check_equal_len(src, dst)
+        lmul = self._lmul(lmul)
+        m = self.machine
+        sew = sew_for_dtype(src.dtype)
+        m.prologue("p_add")
+        if self._fast(n):
+            if n:
+                dst.view()[:] = src.view()
+            vlmax = m.vlmax(sew, lmul)
+            full, rem = strip_shape(n, vlmax)
+            n_strips = full + (1 if rem else 0)
+            m.count(Cat.VCONFIG, n_strips)
+            m.count(Cat.VMEM, n_strips * 2)
+            m.count(Cat.SCALAR, n_strips * m.codegen.strip_overhead("p_add", 2))
+        else:
+            remaining, s, d = n, src.ptr, dst.ptr
+            while remaining > 0:
+                vl = m.vsetvl(remaining, sew, lmul)
+                v = loadstore.vle(m, s, vl)
+                loadstore.vse(m, d, v, vl)
+                s += vl
+                d += vl
+                remaining -= vl
+                m.strip_overhead("p_add", n_arrays=2)
+        return dst
+
+    def reverse(self, src: SVMArray, out: SVMArray | None = None,
+                lmul: LMUL | None = None) -> SVMArray:
+        """Reverse ``src`` — a derived permutation: build the reversal
+        index vector with ``p_index`` + ``p_rsub`` and gather through
+        ``back_permute`` (no dedicated hardware reverse exists in RVV)."""
+        idx = self.index_array(src.n, lmul=lmul)
+        self.p_rsub(idx, src.n - 1, lmul=lmul)
+        result = self.back_permute(src, idx, out=out, lmul=lmul)
+        self.free(idx)
+        return result
+
+    def split(self, src: SVMArray, flags: SVMArray, out: SVMArray | None = None,
+              lmul: LMUL | None = None) -> tuple[SVMArray, int]:
+        """Split (Listing 7): stable partition of ``src`` by ``flags``
+        (0-flag elements first). Returns (destination, #zeros)."""
+        from .split_op import split as _split  # local import: split composes SVM methods
+
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self._check_equal_len(src, flags, dst)
+        count = _split(self, src, dst, flags, lmul=self._lmul(lmul))
+        return dst, count

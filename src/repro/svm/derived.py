@@ -1,0 +1,122 @@
+"""Derived scan operations composed purely from primitives.
+
+Blelloch's model includes a richer scan family than the hardware-backed
+kernels expose directly; these build the rest from what exists:
+
+* :func:`seg_copy` — *copy-scan*: distribute each segment's head value
+  to every lane (the pivot-broadcast idiom of flat quicksort and the
+  value-distribute of RLE decode);
+* :func:`seg_total` — *reduce-and-distribute*: every lane receives its
+  segment's ⊕-total, via a forward scan plus a backward scan realized
+  on the reversed array (RVV has no backward scan instruction);
+* :func:`scan_backward` / :func:`seg_scan_backward` — suffix scans by
+  reversal, with the segmented form re-deriving head flags for the
+  reversed segmentation (a segment's *tail* becomes its head).
+
+Everything here charges real primitive costs — these are library
+compositions, not new hardware.
+"""
+
+from __future__ import annotations
+
+from ..rvv.types import LMUL
+from .context import SVM, SVMArray
+from .operators import PLUS, BinaryOp
+
+__all__ = ["seg_copy", "seg_total", "scan_backward", "seg_scan_backward", "tail_to_head_flags"]
+
+
+def seg_copy(svm: SVM, values: SVMArray, heads: SVMArray,
+             lmul: LMUL | None = None) -> SVMArray:
+    """Distribute each segment's first value to all of its lanes.
+
+    Implementation: zero every non-head lane (multiply by the 0/1 head
+    flags), then a segmented inclusive plus-scan — each lane's in-
+    segment prefix sum contains exactly the head value.
+    """
+    out = svm.copy(values, lmul=lmul)
+    svm.p_mul(out, heads, lmul=lmul)
+    if out.n:
+        # lane 0 implicitly heads a segment whether or not flagged —
+        # restore its value after the multiply (scalar store, 2 instr)
+        out.ptr[0] = int(values.ptr[0])
+        svm.machine.scalar(2)
+    svm.seg_plus_scan(out, heads, lmul=lmul)
+    return out
+
+
+def tail_to_head_flags(svm: SVM, heads: SVMArray,
+                       lmul: LMUL | None = None) -> SVMArray:
+    """Head flags of the *reversed* segmentation.
+
+    A segment's last lane is the lane before the next head (or the
+    array end); reversed, those lanes head the reversed segments. The
+    composition: reverse the heads, then shift down one lane sliding a
+    1 in at the boundary (the array end is always a segment tail).
+    """
+    rev = svm.reverse(heads, lmul=lmul)
+    out = svm.shift1up(rev, 1, lmul=lmul)
+    svm.free(rev)
+    return out
+
+
+def seg_total(svm: SVM, values: SVMArray, heads: SVMArray,
+              op: str | BinaryOp = PLUS, lmul: LMUL | None = None) -> SVMArray:
+    """Distribute each segment's ⊕-total to every lane of the segment.
+
+    ``total[i] = incl[i] ⊕ after[i]`` where ``incl`` is the forward
+    inclusive segmented scan and ``after`` — the ⊕ of the lanes behind
+    i in its segment — is an exclusive segmented scan of the reversed
+    array under the reversed segmentation.
+    """
+    incl = svm.copy(values, lmul=lmul)
+    svm.seg_scan(incl, heads, op, inclusive=True, lmul=lmul)
+
+    rev = svm.reverse(values, lmul=lmul)
+    heads_r = tail_to_head_flags(svm, heads, lmul=lmul)
+    svm.seg_scan(rev, heads_r, op, inclusive=False, lmul=lmul)
+    after = svm.reverse(rev, lmul=lmul)
+
+    _APPLY_VV[_op_name(op)](svm, incl, after, lmul)
+    for tmp in (rev, heads_r, after):
+        svm.free(tmp)
+    return incl
+
+
+def scan_backward(svm: SVM, values: SVMArray, op: str | BinaryOp = PLUS,
+                  *, inclusive: bool = True, lmul: LMUL | None = None) -> None:
+    """Suffix ⊕-scan in place: lane i receives the ⊕ of lanes i..n-1
+    (inclusive) or i+1..n-1 (exclusive)."""
+    rev = svm.reverse(values, lmul=lmul)
+    svm.scan(rev, op, inclusive=inclusive, lmul=lmul)
+    back = svm.reverse(rev, lmul=lmul)
+    svm.copy(back, out=values, lmul=lmul)
+    svm.free(rev)
+    svm.free(back)
+
+
+def seg_scan_backward(svm: SVM, values: SVMArray, heads: SVMArray,
+                      op: str | BinaryOp = PLUS, *, inclusive: bool = True,
+                      lmul: LMUL | None = None) -> None:
+    """Segmented suffix ⊕-scan in place (per-segment, from the right)."""
+    rev = svm.reverse(values, lmul=lmul)
+    heads_r = tail_to_head_flags(svm, heads, lmul=lmul)
+    svm.seg_scan(rev, heads_r, op, inclusive=inclusive, lmul=lmul)
+    back = svm.reverse(rev, lmul=lmul)
+    svm.copy(back, out=values, lmul=lmul)
+    for tmp in (rev, heads_r, back):
+        svm.free(tmp)
+
+
+def _op_name(op: str | BinaryOp) -> str:
+    return op if isinstance(op, str) else op.name
+
+
+_APPLY_VV = {
+    "plus": lambda svm, a, b, lmul: svm.p_add(a, b, lmul=lmul),
+    "max": lambda svm, a, b, lmul: svm.p_max(a, b, lmul=lmul),
+    "min": lambda svm, a, b, lmul: svm.p_min(a, b, lmul=lmul),
+    "or": lambda svm, a, b, lmul: svm.p_or(a, b, lmul=lmul),
+    "and": lambda svm, a, b, lmul: svm.p_and(a, b, lmul=lmul),
+    "xor": lambda svm, a, b, lmul: svm.p_xor(a, b, lmul=lmul),
+}

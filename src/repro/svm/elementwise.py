@@ -1,0 +1,248 @@
+"""Elementwise primitive instructions (§4.1) — strict strip-mined kernels.
+
+Each function is a direct port of the paper's strip-mining pattern
+(Listing 4) onto the intrinsic layer: configure vl, load, operate,
+store, advance — the remainder strip needs no special case because
+``vsetvl`` simply returns a shorter vl (§3.1).
+
+These are the *strict* implementations: they drive the machine
+intrinsic-by-intrinsic and get their dynamic counts from execution.
+The numerically-identical fast paths with closed-form counts live in
+:mod:`repro.svm.fastpath`; tests assert both agree exactly.
+"""
+
+from __future__ import annotations
+
+from ..rvv.allocation import ELEMENTWISE_PROFILE, plan_allocation
+from ..rvv.counters import Cat
+from ..rvv.intrinsics import arith, compare, loadstore
+from ..rvv.machine import RVVMachine
+from ..rvv.memory import Pointer
+from ..rvv.types import LMUL, sew_for_dtype
+
+__all__ = [
+    "p_add", "p_sub", "p_mul", "p_and", "p_or", "p_xor", "p_max", "p_min",
+    "p_srl", "p_sll",
+    "p_add_vv", "p_sub_vv", "p_mul_vv", "p_and_vv", "p_or_vv", "p_xor_vv",
+    "p_max_vv", "p_min_vv",
+    "p_select", "get_flags",
+]
+
+_VX_OPS = {
+    "p_add": arith.vadd_vx,
+    "p_srl": arith.vsrl_vx,
+    "p_sll": arith.vsll_vx,
+    "p_sub": arith.vsub_vx,
+    "p_mul": arith.vmul_vx,
+    "p_and": arith.vand_vx,
+    "p_or": arith.vor_vx,
+    "p_xor": arith.vxor_vx,
+    "p_max": arith.vmaxu_vx,
+    "p_min": arith.vminu_vx,
+}
+
+_VV_OPS = {
+    "p_add": arith.vadd_vv,
+    "p_sub": arith.vsub_vv,
+    "p_mul": arith.vmul_vv,
+    "p_and": arith.vand_vv,
+    "p_or": arith.vor_vv,
+    "p_xor": arith.vxor_vv,
+    "p_max": arith.vmaxu_vv,
+    "p_min": arith.vminu_vv,
+}
+
+
+def _elementwise_vx(kernel: str, m: RVVMachine, n: int, a: Pointer, x: int,
+                    lmul: LMUL = LMUL.M1) -> None:
+    """Shared body of the vector-scalar elementwise kernels (Listing 4)."""
+    op = _VX_OPS[kernel]
+    sew = sew_for_dtype(a.dtype)
+    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        va = loadstore.vle(m, a, vl)
+        va = op(m, va, x, vl)
+        loadstore.vse(m, a, va, vl)
+        a += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=1)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(0))
+
+
+def _elementwise_vv(kernel: str, m: RVVMachine, n: int, a: Pointer, b: Pointer,
+                    lmul: LMUL = LMUL.M1) -> None:
+    """Shared body of the vector-vector elementwise kernels: the result
+    is stored through ``a`` (the paper's ``vector_add``, Listing 1)."""
+    op = _VV_OPS[kernel]
+    sew = sew_for_dtype(a.dtype)
+    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        va = loadstore.vle(m, a, vl)
+        vb = loadstore.vle(m, b, vl)
+        va = op(m, va, vb, vl)
+        loadstore.vse(m, a, va, vl)
+        a += vl
+        b += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=2)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(0))
+
+
+# --- public vector-scalar forms (the paper's p-add variant, Listing 4) ------
+
+def p_add(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-add: ``a[i] += x`` — the paper's Listing 4, measured in Table 2."""
+    _elementwise_vx("p_add", m, n, a, x, lmul)
+
+
+def p_sub(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-sub: ``a[i] -= x``."""
+    _elementwise_vx("p_sub", m, n, a, x, lmul)
+
+
+def p_mul(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-mul: ``a[i] *= x`` (low product)."""
+    _elementwise_vx("p_mul", m, n, a, x, lmul)
+
+
+def p_and(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-and: ``a[i] &= x``."""
+    _elementwise_vx("p_and", m, n, a, x, lmul)
+
+
+def p_or(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-or: ``a[i] |= x``."""
+    _elementwise_vx("p_or", m, n, a, x, lmul)
+
+
+def p_xor(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-xor: ``a[i] ^= x``."""
+    _elementwise_vx("p_xor", m, n, a, x, lmul)
+
+
+def p_max(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-max: ``a[i] = max(a[i], x)`` (unsigned)."""
+    _elementwise_vx("p_max", m, n, a, x, lmul)
+
+
+def p_min(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-min: ``a[i] = min(a[i], x)`` (unsigned)."""
+    _elementwise_vx("p_min", m, n, a, x, lmul)
+
+
+def p_srl(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-srl: ``a[i] >>= x`` (logical) — digit extraction in wide-radix
+    sorts."""
+    _elementwise_vx("p_srl", m, n, a, x, lmul)
+
+
+def p_sll(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
+    """p-sll: ``a[i] <<= x``."""
+    _elementwise_vx("p_sll", m, n, a, x, lmul)
+
+
+# --- public vector-vector forms -----------------------------------------------
+
+def p_add_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """p-add (vector form): ``a[i] += b[i]`` — Listing 1."""
+    _elementwise_vv("p_add", m, n, a, b, lmul)
+
+
+def p_sub_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] -= b[i]``."""
+    _elementwise_vv("p_sub", m, n, a, b, lmul)
+
+
+def p_mul_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] *= b[i]``."""
+    _elementwise_vv("p_mul", m, n, a, b, lmul)
+
+
+def p_and_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] &= b[i]``."""
+    _elementwise_vv("p_and", m, n, a, b, lmul)
+
+
+def p_or_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] |= b[i]``."""
+    _elementwise_vv("p_or", m, n, a, b, lmul)
+
+
+def p_xor_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] ^= b[i]``."""
+    _elementwise_vv("p_xor", m, n, a, b, lmul)
+
+
+def p_max_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] = max(a[i], b[i])``."""
+    _elementwise_vv("p_max", m, n, a, b, lmul)
+
+
+def p_min_vv(m: RVVMachine, n: int, a: Pointer, b: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """``a[i] = min(a[i], b[i])``."""
+    _elementwise_vv("p_min", m, n, a, b, lmul)
+
+
+# --- p-select and get_flags (used by split radix sort, §4.4) --------------------
+
+def p_select(m: RVVMachine, n: int, flags: Pointer, a: Pointer, b: Pointer,
+             lmul: LMUL = LMUL.M1) -> None:
+    """p-select: ``b[i] = a[i] where flags[i] else b[i]`` — the form
+    Listing 7 uses to choose between the up/down index vectors."""
+    sew = sew_for_dtype(a.dtype)
+    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
+    m.prologue("p_select")
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        vflags = loadstore.vle(m, flags, vl)
+        va = loadstore.vle(m, a, vl)
+        vb = loadstore.vle(m, b, vl)
+        mask = compare.vmsne_vx(m, vflags, 0, vl)
+        vb = arith.vmerge_vvm(m, mask, vb, va, vl)
+        loadstore.vse(m, b, vb, vl)
+        flags += vl
+        a += vl
+        b += vl
+        n -= vl
+        m.strip_overhead("p_select", n_arrays=3)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(0))
+
+
+def get_flags(m: RVVMachine, n: int, src: Pointer, flags: Pointer, bit: int,
+              lmul: LMUL = LMUL.M1) -> None:
+    """Extract bit ``bit`` of every element into a 0/1 flag vector —
+    the per-pass first step of split radix sort (Listing 9, line 7)."""
+    sew = sew_for_dtype(src.dtype)
+    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
+    m.prologue("get_flags")
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        v = loadstore.vle(m, src, vl)
+        v = arith.vsrl_vx(m, v, bit, vl)
+        v = arith.vand_vx(m, v, 1, vl)
+        loadstore.vse(m, flags, v, vl)
+        src += vl
+        flags += vl
+        n -= vl
+        m.strip_overhead("get_flags", n_arrays=2)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(0))

@@ -1,0 +1,78 @@
+"""Binary operators for scans: ⊕, its identity, and its RVV mapping.
+
+Blelloch defines scan over any associative binary operator with a left
+identity. The paper implements ``+`` (plus-scan); this module
+generalizes the same kernels over the full operator set of the scan
+vector model (+, max, min, or, and, xor) by packaging, per operator:
+
+* the NumPy ufunc (for semantics, fast path, and baselines),
+* the identity element (what ``vslideup`` must slide in, and what an
+  exclusive scan's first lane holds),
+* the names of the vector-vector and vector-scalar intrinsics the
+  strict kernels dispatch to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["BinaryOp", "PLUS", "MAX", "MIN", "OR", "AND", "XOR", "OPERATORS", "get_operator"]
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """An associative operator usable in scan/segmented-scan kernels.
+
+    ``identity`` may depend on the element width (e.g. min's identity
+    is the all-ones value of the dtype), so it is a callable of dtype.
+    """
+
+    name: str
+    ufunc: np.ufunc
+    identity_fn: Callable[[np.dtype], int]
+    vv_intrinsic: str
+    vx_intrinsic: str
+
+    def identity(self, dtype: np.dtype) -> int:
+        """The left identity I⊕ for elements of ``dtype``."""
+        return self.identity_fn(np.dtype(dtype))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _zero(dtype: np.dtype) -> int:
+    return 0
+
+
+def _all_ones(dtype: np.dtype) -> int:
+    return (1 << (dtype.itemsize * 8)) - 1
+
+
+PLUS = BinaryOp("plus", np.add, _zero, "vadd_vv", "vadd_vx")
+MAX = BinaryOp("max", np.maximum, _zero, "vmaxu_vv", "vmaxu_vx")
+MIN = BinaryOp("min", np.minimum, _all_ones, "vminu_vv", "vminu_vx")
+OR = BinaryOp("or", np.bitwise_or, _zero, "vor_vv", "vor_vx")
+AND = BinaryOp("and", np.bitwise_and, _all_ones, "vand_vv", "vand_vx")
+XOR = BinaryOp("xor", np.bitwise_xor, _zero, "vxor_vv", "vxor_vx")
+
+OPERATORS: dict[str, BinaryOp] = {
+    op.name: op for op in (PLUS, MAX, MIN, OR, AND, XOR)
+}
+
+
+def get_operator(op: str | BinaryOp) -> BinaryOp:
+    """Resolve an operator by name (or pass a BinaryOp through)."""
+    if isinstance(op, BinaryOp):
+        return op
+    try:
+        return OPERATORS[op]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scan operator {op!r}; available: {sorted(OPERATORS)}"
+        ) from None

@@ -1,0 +1,170 @@
+"""Unsegmented scan primitives (§4.3) — strict strip-mined kernels.
+
+The scan kernel (a port of Listing 6) has two nested loops:
+
+* the outer strip-mining loop walks the array vlmax elements at a time;
+* the inner loop performs the *in-register scan* of Figure 1 —
+  ``ceil(lg vl)`` slideup-and-combine steps, doubling the offset each
+  time. ``vslideup`` slides the operator's identity into the vacated
+  low lanes, so lanes below the offset combine with a no-op.
+
+Cross-strip state is a scalar ``carry``: the running ⊕-total of all
+elements processed so far, applied to every lane of the next strip and
+refreshed by reading the last stored element (Listing 6's
+``carry = src[vl - 1]``).
+"""
+
+from __future__ import annotations
+
+from ..rvv.allocation import PLUS_SCAN_PROFILE, plan_allocation
+from ..rvv.counters import Cat
+from ..rvv.intrinsics import arith, loadstore, move, permutation
+from ..rvv.machine import RVVMachine
+from ..rvv.memory import Pointer
+from ..rvv.types import LMUL, sew_for_dtype
+from ..rvv.value import VReg
+from .operators import PLUS, BinaryOp, get_operator
+
+__all__ = ["plus_scan", "scan", "scan_exclusive", "inner_scan_steps"]
+
+_VV = {
+    "plus": arith.vadd_vv,
+    "max": arith.vmaxu_vv,
+    "min": arith.vminu_vv,
+    "or": arith.vor_vv,
+    "and": arith.vand_vv,
+    "xor": arith.vxor_vv,
+}
+_VX = {
+    "plus": arith.vadd_vx,
+    "max": arith.vmaxu_vx,
+    "min": arith.vminu_vx,
+    "or": arith.vor_vx,
+    "and": arith.vand_vx,
+    "xor": arith.vxor_vx,
+}
+
+
+def inner_scan_steps(vl: int) -> int:
+    """Number of slideup-and-combine iterations the in-register scan
+    needs for ``vl`` elements: offsets 1, 2, 4, ... < vl, i.e.
+    ``ceil(lg vl)`` (Figure 1 shows 3 steps for 8 elements)."""
+    steps = 0
+    offset = 1
+    while offset < vl:
+        steps += 1
+        offset <<= 1
+    return steps
+
+
+def _trim(v: VReg, vl: int) -> VReg:
+    """View the first ``vl`` lanes of a vlmax-wide constant value.
+
+    Hardware reuses the same register across strips of different vl;
+    taking the prefix view costs no instruction.
+    """
+    return v if v.vl == vl else VReg(v.data[:vl])
+
+
+def scan(m: RVVMachine, n: int, src: Pointer, op: str | BinaryOp = PLUS,
+         lmul: LMUL = LMUL.M1) -> None:
+    """Inclusive ⊕-scan of ``n`` elements in place (Listing 6
+    generalized over the operator)."""
+    op = get_operator(op)
+    vv = _VV[op.name]
+    vx = _VX[op.name]
+    sew = sew_for_dtype(src.dtype)
+    kernel = "plus_scan"  # calibration applies to the common structure
+    plan = plan_allocation(PLUS_SCAN_PROFILE, lmul)
+
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    vlmax = m.vsetvlmax(sew, lmul)
+    identity = op.identity(src.dtype)
+    vec_identity = move.vmv_v_x(m, identity, vlmax, dtype=src.dtype)
+    carry = identity
+
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        x = loadstore.vle(m, src, vl)
+        ident_vl = _trim(vec_identity, vl)
+        offset = 1
+        while offset < vl:
+            y = permutation.vslideup_vx(m, ident_vl, x, offset, vl)
+            x = vv(m, x, y, vl)
+            m.inner_overhead(kernel)
+            offset <<= 1
+        x = vx(m, x, carry, vl)
+        loadstore.vse(m, src, x, vl)
+        carry = src[vl - 1]
+        m.scalar(2)  # carry reload: address computation + lw
+        src += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=1)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(inner_scan_steps(vl)))
+
+
+def plus_scan(m: RVVMachine, n: int, src: Pointer, lmul: LMUL = LMUL.M1) -> None:
+    """The paper's plus-scan (Listing 6, measured in Table 3):
+    inclusive all-prefix-sums in place."""
+    scan(m, n, src, PLUS, lmul)
+
+
+def scan_exclusive(m: RVVMachine, n: int, src: Pointer, op: str | BinaryOp = PLUS,
+                   lmul: LMUL = LMUL.M1) -> None:
+    """Exclusive ⊕-scan in place: lane i receives the ⊕ of all
+    *preceding* elements, lane 0 the identity I⊕ (Blelloch's original
+    scan definition).
+
+    Implementation: run the in-register inclusive scan, then
+    ``vslide1up`` the carry into lane 0 — the carry entering a strip
+    *is* the exclusive prefix of its first element. The next carry is
+    the inclusive total of the strip, read from the pre-slide value's
+    last lane (one ``vslidedown`` + ``vmv.x.s``, since the stored
+    memory now holds exclusive values).
+    """
+    op = get_operator(op)
+    vv = _VV[op.name]
+    vx = _VX[op.name]
+    sew = sew_for_dtype(src.dtype)
+    kernel = "plus_scan"
+    plan = plan_allocation(PLUS_SCAN_PROFILE, lmul)
+
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    vlmax = m.vsetvlmax(sew, lmul)
+    identity = op.identity(src.dtype)
+    vec_identity = move.vmv_v_x(m, identity, vlmax, dtype=src.dtype)
+    carry = identity
+
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        x = loadstore.vle(m, src, vl)
+        ident_vl = _trim(vec_identity, vl)
+        offset = 1
+        while offset < vl:
+            y = permutation.vslideup_vx(m, ident_vl, x, offset, vl)
+            x = vv(m, x, y, vl)
+            m.inner_overhead(kernel)
+            offset <<= 1
+        # inclusive-with-carry total of this strip, before shifting
+        last = permutation.vslidedown_vx(m, x, vl - 1, vl)
+        strip_total = move.vmv_x_s(m, last)
+        excl = permutation.vslide1up_vx(m, x, identity, vl)
+        excl = vx(m, excl, carry, vl)
+        loadstore.vse(m, src, excl, vl)
+        new_carry = op.ufunc(
+            src.dtype.type(carry), src.dtype.type(strip_total)
+        )
+        carry = int(new_carry)
+        m.scalar(1)  # scalar combine of carry with the strip total
+        src += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=1)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(inner_scan_steps(vl)))

@@ -1,0 +1,138 @@
+"""Segment descriptors: head-flags, lengths, and head-pointers (§5).
+
+Blelloch suggests three equivalent representations of a segmentation;
+the paper picks *head-flags* "since it can be mapped to RVV
+instructions more directly without additional interpretation". This
+module provides all three with validated conversions, so applications
+can use whichever is natural (e.g. the flat quicksort maintains
+lengths, CSR SpMV starts from row pointers) and lower to head-flags at
+the kernel boundary.
+
+Conventions (matching the paper and Blelloch):
+
+* head-flags: ``flags[i] == 1`` iff element i starts a segment.
+  Element 0 starting a segment is implicit — kernels treat the array
+  start as a segment head whether or not ``flags[0]`` is set, exactly
+  as Listing 10 forces a head at every strip start with ``vmv.s.x``.
+* lengths: positive segment lengths summing to n. Zero-length segments
+  cannot be expressed in head-flags (two heads cannot share an index),
+  so conversion rejects them — a documented representational limit.
+* head-pointers: strictly increasing start indices, beginning with 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SegmentError
+
+__all__ = [
+    "validate_head_flags",
+    "lengths_to_head_flags",
+    "head_flags_to_lengths",
+    "head_pointers_to_head_flags",
+    "head_flags_to_head_pointers",
+    "segment_count",
+    "segment_ids",
+]
+
+
+def validate_head_flags(flags: np.ndarray) -> np.ndarray:
+    """Check a head-flag vector (only 0/1 values) and return it as an
+    integer array."""
+    flags = np.asarray(flags)
+    if flags.ndim != 1:
+        raise SegmentError(f"head-flags must be 1-D, got shape {flags.shape}")
+    if flags.size and not np.isin(flags, (0, 1)).all():
+        raise SegmentError("head-flags may contain only 0 and 1")
+    return flags
+
+
+def lengths_to_head_flags(lengths: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Convert a lengths descriptor to head-flags.
+
+    >>> lengths_to_head_flags([2, 3]).tolist()
+    [1, 0, 1, 0, 0]
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.ndim != 1:
+        raise SegmentError(f"lengths must be 1-D, got shape {lengths.shape}")
+    if lengths.size and (lengths <= 0).any():
+        raise SegmentError(
+            "segment lengths must be positive (zero-length segments are not"
+            " representable as head-flags)"
+        )
+    total = int(lengths.sum())
+    if n is not None and total != n:
+        raise SegmentError(f"segment lengths sum to {total}, expected {n}")
+    flags = np.zeros(total, dtype=np.uint32)
+    if lengths.size:
+        starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+        flags[starts] = 1
+    return flags
+
+
+def head_flags_to_lengths(flags: np.ndarray) -> np.ndarray:
+    """Convert head-flags to a lengths descriptor (element 0 implicitly
+    heads a segment).
+
+    >>> head_flags_to_lengths([0, 0, 1, 0, 1]).tolist()
+    [2, 2, 1]
+    """
+    flags = validate_head_flags(flags)
+    if flags.size == 0:
+        return np.empty(0, dtype=np.int64)
+    heads = np.flatnonzero(flags.astype(bool))
+    if heads.size == 0 or heads[0] != 0:
+        heads = np.concatenate(([0], heads))
+    return np.diff(np.concatenate((heads, [flags.size])))
+
+
+def head_pointers_to_head_flags(pointers: np.ndarray, n: int) -> np.ndarray:
+    """Convert strictly-increasing start indices to head-flags over
+    ``n`` elements."""
+    pointers = np.asarray(pointers, dtype=np.int64)
+    if pointers.ndim != 1:
+        raise SegmentError(f"head-pointers must be 1-D, got shape {pointers.shape}")
+    if pointers.size:
+        if pointers[0] != 0:
+            raise SegmentError("the first head-pointer must be 0")
+        if (np.diff(pointers) <= 0).any():
+            raise SegmentError("head-pointers must be strictly increasing")
+        if pointers[-1] >= n > 0:
+            pass  # last segment may start at any valid index
+        if (pointers >= n).any() or (pointers < 0).any():
+            raise SegmentError(f"head-pointers must lie in [0, {n})")
+    flags = np.zeros(n, dtype=np.uint32)
+    flags[pointers] = 1
+    return flags
+
+
+def head_flags_to_head_pointers(flags: np.ndarray) -> np.ndarray:
+    """Convert head-flags to start indices (element 0 implicit)."""
+    flags = validate_head_flags(flags)
+    if flags.size == 0:
+        return np.empty(0, dtype=np.int64)
+    heads = np.flatnonzero(flags.astype(bool))
+    if heads.size == 0 or heads[0] != 0:
+        heads = np.concatenate(([0], heads))
+    return heads
+
+
+def segment_count(flags: np.ndarray) -> int:
+    """Number of segments a head-flag vector describes."""
+    return head_flags_to_head_pointers(flags).size
+
+
+def segment_ids(flags: np.ndarray) -> np.ndarray:
+    """Segment index of every element (0-based), useful for oracles.
+
+    >>> segment_ids([1, 0, 1, 0, 0]).tolist()
+    [0, 0, 1, 1, 1]
+    """
+    flags = validate_head_flags(flags)
+    if flags.size == 0:
+        return np.empty(0, dtype=np.int64)
+    starts = flags.astype(bool).copy()
+    starts[0] = True
+    return np.cumsum(starts) - 1

@@ -1,0 +1,190 @@
+"""Segmented scan primitives (§5) — strict strip-mined kernels.
+
+This is the paper's centerpiece: segmented scan on RVV with head-flags
+as the segment descriptor (Listing 10). Two ideas make it work:
+
+1. **In-register segmented scan** (Figure 4): the unsegmented
+   slideup-and-combine sequence runs unchanged, but each combine is
+   *masked* so lanes whose window crosses a segment head do not absorb.
+   The mask is derived by scanning the flags alongside the data:
+   ``flags |= slideup(flags)`` accumulates "is there a head in my
+   window", and lanes with an accumulated flag are blocked. RVV mask
+   registers have no slideup, so the flags ride in a full vector
+   register (§5.2) — that extra live value is exactly what pushes the
+   kernel's register profile to 7 values and triggers spilling at
+   LMUL=8 (Table 5).
+
+2. **Carry masking**: the running carry from the previous strip may
+   only flow into lanes before the strip's first head flag. ``vmsbf``
+   (set-before-first) produces that lane set in one instruction from
+   the head-flag mask (Listing 10, line 15).
+"""
+
+from __future__ import annotations
+
+from ..rvv.allocation import SEG_SCAN_PROFILE, plan_allocation
+from ..rvv.counters import Cat
+from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, permutation
+from ..rvv.machine import RVVMachine
+from ..rvv.memory import Pointer
+from ..rvv.types import LMUL, sew_for_dtype
+from ..rvv.value import VReg
+from .operators import PLUS, BinaryOp, get_operator
+from .scan import inner_scan_steps
+
+__all__ = ["seg_plus_scan", "seg_scan", "seg_scan_exclusive"]
+
+_VV = {
+    "plus": arith.vadd_vv,
+    "max": arith.vmaxu_vv,
+    "min": arith.vminu_vv,
+    "or": arith.vor_vv,
+    "and": arith.vand_vv,
+    "xor": arith.vxor_vv,
+}
+_VX = {
+    "plus": arith.vadd_vx,
+    "max": arith.vmaxu_vx,
+    "min": arith.vminu_vx,
+    "or": arith.vor_vx,
+    "and": arith.vand_vx,
+    "xor": arith.vxor_vx,
+}
+
+
+def _trim(v: VReg, vl: int) -> VReg:
+    """Prefix view of a vlmax-wide constant (no instruction; see
+    :func:`repro.svm.scan._trim`)."""
+    return v if v.vl == vl else VReg(v.data[:vl])
+
+
+def seg_scan(m: RVVMachine, n: int, src: Pointer, head_flags: Pointer,
+             op: str | BinaryOp = PLUS, lmul: LMUL = LMUL.M1) -> None:
+    """Inclusive segmented ⊕-scan of ``n`` elements in place
+    (Listing 10 generalized over the operator).
+
+    ``head_flags`` is a 0/1 vector; flag 1 marks the first element of a
+    segment (element 0 implicitly starts one).
+    """
+    op = get_operator(op)
+    vv = _VV[op.name]
+    vx = _VX[op.name]
+    sew = sew_for_dtype(src.dtype)
+    kernel = "seg_plus_scan"
+    plan = plan_allocation(SEG_SCAN_PROFILE, lmul)
+
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    vlmax = m.vsetvlmax(sew, lmul)
+    identity = op.identity(src.dtype)
+    vec_identity = move.vmv_v_x(m, identity, vlmax, dtype=src.dtype)
+    vec_one = move.vmv_v_x(m, 1, vlmax, dtype=head_flags.dtype)
+    carry = identity
+
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        x = loadstore.vle(m, src, vl)
+        flags = loadstore.vle(m, head_flags, vl)
+        # lanes before the first head still belong to the previous
+        # strip's running segment: they take the carry
+        head_mask = compare.vmsne_vx(m, flags, 0, vl)
+        carry_mask = maskops.vmsbf_m(m, head_mask, vl)
+        # the strip boundary itself acts as a head for the in-register
+        # scan (cross-strip combining is the carry's job)
+        flags = move.vmv_s_x(m, flags, 1, vl)
+        ident_vl = _trim(vec_identity, vl)
+        one_vl = _trim(vec_one, vl)
+        offset = 1
+        while offset < vl:
+            # lanes whose accumulated flag is still 0 may absorb
+            add_mask = compare.vmsne_vx(m, flags, 1, vl)
+            y = permutation.vslideup_vx(m, ident_vl, x, offset, vl)
+            x = vv(m, x, y, vl, mask=add_mask, maskedoff=x)
+            flags_up = permutation.vslideup_vx(m, one_vl, flags, offset, vl)
+            flags = arith.vor_vv(m, flags, flags_up, vl)
+            m.inner_overhead(kernel)
+            offset <<= 1
+        x = vx(m, x, carry, vl, mask=carry_mask, maskedoff=x)
+        loadstore.vse(m, src, x, vl)
+        carry = src[vl - 1]
+        m.scalar(2)  # carry reload: address computation + lw
+        src += vl
+        head_flags += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=2)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(inner_scan_steps(vl)))
+
+
+def seg_plus_scan(m: RVVMachine, n: int, src: Pointer, head_flags: Pointer,
+                  lmul: LMUL = LMUL.M1) -> None:
+    """The paper's segmented plus-scan (Listing 10, measured in Tables
+    4-7): inclusive per-segment prefix sums in place."""
+    seg_scan(m, n, src, head_flags, PLUS, lmul)
+
+
+def seg_scan_exclusive(m: RVVMachine, n: int, src: Pointer, head_flags: Pointer,
+                       op: str | BinaryOp = PLUS, lmul: LMUL = LMUL.M1) -> None:
+    """Exclusive segmented ⊕-scan in place: every segment head receives
+    the identity; other lanes the ⊕ of their segment's preceding
+    elements.
+
+    Built on the inclusive kernel's structure plus a post-pass per
+    strip: shift lanes up by one (``vslide1up`` with the incoming
+    carry) and force the identity at heads (``vmerge`` under the head
+    mask). The carry crossing the strip boundary is the *inclusive*
+    running value, read before the shift.
+    """
+    op = get_operator(op)
+    vv = _VV[op.name]
+    vx = _VX[op.name]
+    sew = sew_for_dtype(src.dtype)
+    kernel = "seg_plus_scan"
+    plan = plan_allocation(SEG_SCAN_PROFILE, lmul)
+
+    m.prologue(kernel)
+    if plan.has_spills:
+        m.count(Cat.SPILL, plan.frame_setup)
+    vlmax = m.vsetvlmax(sew, lmul)
+    identity = op.identity(src.dtype)
+    vec_identity = move.vmv_v_x(m, identity, vlmax, dtype=src.dtype)
+    vec_one = move.vmv_v_x(m, 1, vlmax, dtype=head_flags.dtype)
+    carry = identity
+
+    n = int(n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        x = loadstore.vle(m, src, vl)
+        flags = loadstore.vle(m, head_flags, vl)
+        head_mask = compare.vmsne_vx(m, flags, 0, vl)
+        carry_mask = maskops.vmsbf_m(m, head_mask, vl)
+        flags = move.vmv_s_x(m, flags, 1, vl)
+        ident_vl = _trim(vec_identity, vl)
+        one_vl = _trim(vec_one, vl)
+        offset = 1
+        while offset < vl:
+            add_mask = compare.vmsne_vx(m, flags, 1, vl)
+            y = permutation.vslideup_vx(m, ident_vl, x, offset, vl)
+            x = vv(m, x, y, vl, mask=add_mask, maskedoff=x)
+            flags_up = permutation.vslideup_vx(m, one_vl, flags, offset, vl)
+            flags = arith.vor_vv(m, flags, flags_up, vl)
+            m.inner_overhead(kernel)
+            offset <<= 1
+        # inclusive values with carry applied — needed both for the
+        # outgoing carry and as the source of the exclusive shift
+        incl = vx(m, x, carry, vl, mask=carry_mask, maskedoff=x)
+        last = permutation.vslidedown_vx(m, incl, vl - 1, vl)
+        new_carry = move.vmv_x_s(m, last)
+        excl = permutation.vslide1up_vx(m, incl, carry, vl)
+        excl = arith.vmerge_vxm(m, head_mask, excl, identity, vl)
+        loadstore.vse(m, src, excl, vl)
+        carry = new_carry
+        m.scalar(1)
+        src += vl
+        head_flags += vl
+        n -= vl
+        m.strip_overhead(kernel, n_arrays=2)
+        if plan.has_spills:
+            m.count(Cat.SPILL, plan.strip_cost(inner_scan_steps(vl)))

@@ -1,0 +1,91 @@
+"""The split operation (§4.4, Listing 7) — stable partition by flag.
+
+Split permutes ``src`` into ``dst`` so that all elements whose flag is
+0 come first (starting at index 0) and all elements whose flag is 1
+follow, each group keeping its original order (Figure 3). It is the
+per-bit pass of split radix sort.
+
+The paper composes it from primitives only — two enumerates, a p-add,
+a p-select and a permute — allocating two scratch index vectors with
+``malloc`` per call. We port that structure exactly; the per-call
+scratch allocations are what make Table 1's large-N costs jump once
+the allocator switches to mmap (see repro.scalar.malloc_model).
+
+Note Figure 2's caption ("elements with bit value 1 move left") is
+contradicted by Listing 7 and Figure 3; as the listings (and a correct
+ascending radix sort) require, the 0-flag group goes first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rvv.types import LMUL
+
+__all__ = ["split", "split_pairs"]
+
+
+def split(svm, src, dst, flags, lmul: LMUL = LMUL.M1) -> int:
+    """Port of Listing 7 against the :class:`~repro.svm.context.SVM`
+    primitive interface (so it inherits the context's strict/fast
+    dispatch). Returns the number of 0-flag elements — the boundary
+    index between the two groups.
+
+    Steps (names follow the listing):
+
+    1. ``i_up``   = enumerate of the 0-flags: destination indices of
+       the 0-group, counting from 0; ``count`` = #zeros.
+    2. ``i_down`` = enumerate of the 1-flags, shifted by ``count`` with
+       ``p_add`` so the 1-group lands after the 0-group.
+    3. ``p_select`` merges ``i_down`` into ``i_up`` where the flag is
+       set, leaving every element's destination index in ``i_up``.
+    4. ``permute`` scatters ``src`` into ``dst`` by those indices.
+    """
+    from .context import SVMArray  # deferred: split is imported by context
+
+    n = src.n
+    m = svm.machine
+    idx_dtype = np.dtype(np.uint32)
+    # malloc'd through the machine so the allocation cost model applies
+    # (Listing 7 lines 2-5)
+    i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+    i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+    try:
+        _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
+        svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
+        svm.p_add(i_down, count, lmul=lmul)
+        svm.p_select(flags, i_down, i_up, lmul=lmul)
+        svm.permute(src, i_up, out=dst, lmul=lmul)
+    finally:
+        m.free(i_up.ptr.addr)
+        m.free(i_down.ptr.addr)
+    return count
+
+
+def split_pairs(svm, src, dst, payload_src, payload_dst, flags,
+                lmul: LMUL = LMUL.M1) -> int:
+    """Split a (key, payload) pair stream: both arrays move through the
+    *same* stable permutation, computed once and applied with two
+    permutes — the key-value form radix sort needs to carry record
+    payloads alongside keys.
+
+    Returns the number of 0-flag elements, like :func:`split`.
+    """
+    from .context import SVMArray  # deferred: split is imported by context
+
+    n = src.n
+    m = svm.machine
+    idx_dtype = np.dtype(np.uint32)
+    i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+    i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+    try:
+        _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
+        svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
+        svm.p_add(i_down, count, lmul=lmul)
+        svm.p_select(flags, i_down, i_up, lmul=lmul)
+        svm.permute(src, i_up, out=dst, lmul=lmul)
+        svm.permute(payload_src, i_up, out=payload_dst, lmul=lmul)
+    finally:
+        m.free(i_up.ptr.addr)
+        m.free(i_down.ptr.addr)
+    return count

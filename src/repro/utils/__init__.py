@@ -1,0 +1,5 @@
+"""Shared utilities: table/chart rendering and validation helpers."""
+
+from .formatting import fmt_count, fmt_ratio, render_ascii_chart, render_table
+
+__all__ = ["render_table", "render_ascii_chart", "fmt_count", "fmt_ratio"]

@@ -1,0 +1,82 @@
+"""Plain-text table and chart rendering for the bench harness.
+
+The harness prints every regenerated table side by side with the
+paper's reference values, and renders Figure 5 as an ASCII line chart
+(no plotting dependencies are available offline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_ascii_chart", "fmt_count", "fmt_ratio"]
+
+
+def fmt_count(x) -> str:
+    """Integer with thousands separators (or '-' for missing)."""
+    return "-" if x is None else f"{int(x):,}"
+
+
+def fmt_ratio(x, digits: int = 2) -> str:
+    """Fixed-point ratio (or '-' for missing)."""
+    return "-" if x is None else f"{x:.{digits}f}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None) -> str:
+    """Render rows as a monospace table with right-aligned numeric
+    columns (everything is stringified first)."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in srows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """A minimal ASCII line chart: each named series is a list of
+    (x, y) points; points are plotted with the series' marker and a
+    legend is appended. Linear axes."""
+    pts = [(x, y) for s in series.values() for x, y in s]
+    if not pts:
+        return "(empty chart)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@"
+    legend = []
+    for (name, points), marker in zip(series.items(), markers):
+        legend.append(f"{marker} = {name}")
+        for x, y in points:
+            col = round((x - x0) / xspan * (width - 1))
+            row = height - 1 - round((y - y0) / yspan * (height - 1))
+            grid[row][col] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        label = f"{y1 - i * yspan / (height - 1):8.2f} |" if height > 1 else f"{y1:8.2f} |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 9 + f"{x0:<12g}{x_label:^{max(width - 24, 0)}}{x1:>12g}")
+    lines.append("   " + "   ".join(legend) + ("   y: " + y_label if y_label else ""))
+    return "\n".join(lines)

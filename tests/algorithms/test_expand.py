@@ -1,0 +1,58 @@
+"""Tests for expand / processor allocation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import expand, expand_indices
+from repro.errors import VectorLengthError
+
+
+class TestExpand:
+    def test_basic(self, svm):
+        out, n = expand(svm, svm.array([7, 9, 4]), svm.array([2, 0, 3]))
+        assert n == 5
+        assert out.to_numpy()[:n].tolist() == [7, 7, 4, 4, 4]
+
+    def test_matches_np_repeat(self, svm, rng):
+        values = rng.integers(0, 100, 25, dtype=np.uint32)
+        counts = rng.integers(0, 5, 25, dtype=np.uint32)
+        out, n = expand(svm, svm.array(values), svm.array(counts))
+        expect = np.repeat(values, counts)
+        assert n == expect.size
+        assert np.array_equal(out.to_numpy()[:n], expect)
+
+    def test_all_zero_counts(self, svm):
+        out, n = expand(svm, svm.array([1, 2]), svm.array([0, 0]))
+        assert n == 0
+
+    def test_all_ones_is_identity(self, svm, rng):
+        values = rng.integers(0, 100, 17, dtype=np.uint32)
+        out, n = expand(svm, svm.array(values), svm.array(np.ones(17, np.uint32)))
+        assert n == 17
+        assert np.array_equal(out.to_numpy(), values)
+
+    def test_zero_values_expand_fine(self, svm):
+        out, n = expand(svm, svm.array([0, 5]), svm.array([3, 2]))
+        assert out.to_numpy()[:n].tolist() == [0, 0, 0, 5, 5]
+
+    def test_length_mismatch(self, svm):
+        with pytest.raises(VectorLengthError):
+            expand(svm, svm.array([1]), svm.array([1, 2]))
+
+    def test_spans_strips(self, svm):
+        """One element expanding past vl exercises the segmented
+        distribute's carry (vl=4 at VLEN=128)."""
+        out, n = expand(svm, svm.array([6]), svm.array([11]))
+        assert out.to_numpy()[:n].tolist() == [6] * 11
+
+
+class TestExpandIndices:
+    def test_basic(self, svm):
+        out, n = expand_indices(svm, svm.array([2, 0, 3]))
+        assert out.to_numpy()[:n].tolist() == [0, 0, 2, 2, 2]
+
+    def test_matches_np_repeat(self, svm, rng):
+        counts = rng.integers(0, 4, 20, dtype=np.uint32)
+        out, n = expand_indices(svm, svm.array(counts))
+        expect = np.repeat(np.arange(20), counts)
+        assert np.array_equal(out.to_numpy()[:n], expect.astype(np.uint32))

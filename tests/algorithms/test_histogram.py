@@ -1,0 +1,42 @@
+"""Tests for the sort+RLE histogram."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import histogram
+from repro.errors import ConfigurationError
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("n_buckets", [1, 2, 8, 16])
+    def test_matches_bincount(self, svm, rng, n_buckets):
+        data = rng.integers(0, n_buckets, 120, dtype=np.uint32)
+        got = histogram(svm, svm.array(data), n_buckets)
+        expect = np.bincount(data, minlength=n_buckets)
+        assert np.array_equal(got.to_numpy(), expect.astype(np.uint32))
+
+    def test_empty_data(self, svm):
+        got = histogram(svm, svm.array([]), 8)
+        assert got.to_numpy().tolist() == [0] * 8
+
+    def test_empty_buckets_stay_zero(self, svm):
+        got = histogram(svm, svm.array([3, 3, 3]), 8)
+        assert got.to_numpy().tolist() == [0, 0, 0, 3, 0, 0, 0, 0]
+
+    def test_single_bucket(self, svm):
+        got = histogram(svm, svm.array([0, 0, 0, 0]), 1)
+        assert got.to_numpy().tolist() == [4]
+
+    def test_rejects_non_power_of_two(self, svm):
+        with pytest.raises(ConfigurationError):
+            histogram(svm, svm.array([1]), 6)
+
+    def test_rejects_out_of_range(self, svm):
+        with pytest.raises(ConfigurationError):
+            histogram(svm, svm.array([9]), 8)
+
+    def test_input_untouched(self, svm):
+        data = np.array([3, 1, 2, 1], dtype=np.uint32)
+        arr = svm.array(data)
+        histogram(svm, arr, 4)
+        assert np.array_equal(arr.to_numpy(), data)

@@ -1,0 +1,81 @@
+"""Tests for the line-of-sight application."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import angle_measures, line_of_sight
+from repro.errors import VectorLengthError
+
+
+def _visible_oracle(altitudes):
+    """Naive O(n^2) visibility from point 0 using exact rational
+    comparisons (no fixed-point)."""
+    alt = np.asarray(altitudes, dtype=np.int64)
+    n = alt.size
+    vis = [True]
+    for i in range(1, n):
+        # visible iff angle strictly exceeds every earlier point's
+        mine = (alt[i] - alt[0], i)
+        blocked = False
+        for j in range(1, i):
+            theirs = (alt[j] - alt[0], j)
+            # compare (a/b) <= (c/d) with positive denominators
+            if mine[0] * theirs[1] <= theirs[0] * mine[1]:
+                blocked = True
+                break
+        vis.append(not blocked)
+    return np.array(vis, dtype=np.uint32)
+
+
+class TestAngleMeasures:
+    def test_monotone_in_altitude(self):
+        m = angle_measures([0, 10, 30])
+        assert m[2] > m[1] > 0
+
+    def test_equal_slope_equal_angle(self):
+        """20 high at distance 2 subtends the same angle as 10 at 1."""
+        m = angle_measures([0, 10, 20])
+        assert m[1] == m[2]
+
+    def test_downhill_stays_unsigned(self):
+        m = angle_measures([100, 0, 0])
+        assert (m >= 0).all()  # bias keeps negatives representable
+
+    def test_distance_discounts(self):
+        m = angle_measures([0, 10, 10])  # same rise, farther away
+        assert m[1] > m[2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(VectorLengthError):
+            angle_measures([])
+
+
+class TestLineOfSight:
+    def test_observer_always_visible(self, svm):
+        assert line_of_sight(svm, [5]).to_numpy().tolist() == [1]
+
+    def test_monotone_ridge(self, svm):
+        """Strictly rising terrain is fully visible."""
+        vis = line_of_sight(svm, [0, 10, 25, 45, 70])
+        assert vis.to_numpy().tolist() == [1, 1, 1, 1, 1]
+
+    def test_valley_hidden(self, svm):
+        vis = line_of_sight(svm, [10, 20, 5, 6, 60])
+        assert vis.to_numpy().tolist() == [1, 1, 0, 0, 1]
+
+    def test_peak_occludes_lower_rise(self, svm):
+        # 40 at distance 4 (slope 7.5) hides behind 20 at distance 1
+        vis = line_of_sight(svm, [10, 20, 5, 6, 40])
+        assert vis.to_numpy().tolist() == [1, 1, 0, 0, 0]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_oracle(self, svm, seed):
+        rng = np.random.default_rng(seed)
+        alt = rng.integers(0, 1000, 30)
+        got = line_of_sight(svm, alt).to_numpy()
+        assert np.array_equal(got, _visible_oracle(alt)), alt
+
+    def test_plateau_hides_equal_angles(self, svm):
+        """A point exactly grazing the horizon is occluded."""
+        vis = line_of_sight(svm, [0, 10, 20])  # same 10/1 slope at i=2
+        assert vis.to_numpy().tolist() == [1, 1, 0]

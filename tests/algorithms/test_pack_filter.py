@@ -1,0 +1,58 @@
+"""Tests for the filter/partition utilities."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    filter_equal,
+    filter_in_range,
+    filter_less_than,
+    partition_by_flag,
+)
+
+
+class TestFilters:
+    def test_less_than(self, svm, rng):
+        data = rng.integers(0, 100, 50, dtype=np.uint32)
+        out, kept = filter_less_than(svm, svm.array(data), 30)
+        expect = data[data < 30]
+        assert kept == expect.size
+        assert np.array_equal(out.to_numpy()[:kept], expect)
+
+    def test_equal(self, svm, rng):
+        data = rng.integers(0, 5, 60, dtype=np.uint32)
+        out, kept = filter_equal(svm, svm.array(data), 3)
+        assert kept == int((data == 3).sum())
+        assert (out.to_numpy()[:kept] == 3).all()
+
+    def test_in_range(self, svm, rng):
+        data = rng.integers(0, 100, 70, dtype=np.uint32)
+        out, kept = filter_in_range(svm, svm.array(data), 20, 40)
+        expect = data[(data >= 20) & (data < 40)]
+        assert kept == expect.size
+        assert np.array_equal(out.to_numpy()[:kept], expect)
+
+    def test_empty_result(self, svm):
+        out, kept = filter_less_than(svm, svm.array([10, 20]), 5)
+        assert kept == 0
+
+    def test_stability(self, svm):
+        data = np.array([9, 1, 8, 2, 7, 3], dtype=np.uint32)
+        out, kept = filter_less_than(svm, svm.array(data), 5)
+        assert out.to_numpy()[:kept].tolist() == [1, 2, 3]
+
+
+class TestPartition:
+    def test_split_semantics(self, svm):
+        data = svm.array([1, 2, 3, 4])
+        flags = svm.array([1, 0, 1, 0])
+        out, zeros, ones = partition_by_flag(svm, data, flags)
+        assert out.to_numpy().tolist() == [2, 4, 1, 3]
+        assert (zeros, ones) == (2, 2)
+
+    def test_counts_sum(self, svm, rng):
+        data = rng.integers(0, 100, 44, dtype=np.uint32)
+        flags_np = (rng.random(44) < 0.3).astype(np.uint32)
+        _, zeros, ones = partition_by_flag(svm, svm.array(data), svm.array(flags_np))
+        assert zeros + ones == 44
+        assert ones == int(flags_np.sum())

@@ -1,0 +1,93 @@
+"""Tests for the flat (segmented-scan) quicksort."""
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.algorithms import flat_quicksort, seg_total
+from repro.errors import ReproError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 17, 100])
+    def test_random(self, svm, rng, n):
+        data = rng.integers(0, 1000, n, dtype=np.uint32)
+        a = svm.array(data)
+        flat_quicksort(svm, a)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_duplicates(self, svm, rng):
+        data = rng.integers(0, 3, 60, dtype=np.uint32)
+        a = svm.array(data)
+        flat_quicksort(svm, a)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_all_equal_one_round(self, svm):
+        a = svm.array(np.full(40, 9, dtype=np.uint32))
+        rounds = flat_quicksort(svm, a)
+        assert rounds == 1  # everything is 'done' after one classify
+
+    def test_already_sorted_needs_shuffle(self, svm, rng):
+        """First-element pivots peel one element per round on sorted
+        input (the classic quicksort degenerate case); shuffle=True is
+        the documented remedy."""
+        data = np.arange(64, dtype=np.uint32)
+        a = svm.array(data)
+        with pytest.raises(ReproError):
+            flat_quicksort(svm, a, max_rounds=20)
+        b = svm.array(data)
+        flat_quicksort(svm, b, shuffle=True, rng=rng)
+        assert np.array_equal(b.to_numpy(), data)
+
+    def test_shuffle_option(self, svm, rng):
+        data = np.arange(128, dtype=np.uint32)
+        a = svm.array(data)
+        flat_quicksort(svm, a, shuffle=True, rng=rng)
+        assert np.array_equal(a.to_numpy(), data)
+
+    def test_extreme_values(self, svm):
+        data = np.array([2**32 - 1, 0, 2**31, 5], dtype=np.uint32)
+        a = svm.array(data)
+        flat_quicksort(svm, a)
+        assert a.to_numpy().tolist() == [0, 5, 2**31, 2**32 - 1]
+
+
+class TestRounds:
+    def test_expected_log_rounds(self, rng):
+        svm = SVM(vlen=1024, mode="fast")
+        data = rng.integers(0, 2**31, 2000, dtype=np.uint32)
+        a = svm.array(data)
+        rounds = flat_quicksort(svm, a)
+        assert rounds <= 3 * int(np.ceil(np.log2(2000)))
+
+    def test_max_rounds_raises(self, svm):
+        data = np.arange(32, dtype=np.uint32)[::-1].copy()
+        a = svm.array(data)
+        with pytest.raises(ReproError):
+            flat_quicksort(svm, a, max_rounds=1)
+
+
+class TestSegTotal:
+    def test_distributes_totals(self, svm):
+        x = svm.array([1, 2, 3, 4, 5])
+        heads = svm.array([1, 0, 1, 0, 0])
+        tot = seg_total(svm, x, heads)
+        assert tot.to_numpy().tolist() == [3, 3, 12, 12, 12]
+
+    def test_single_segment(self, svm, rng):
+        data = rng.integers(0, 100, 17, dtype=np.uint32)
+        tot = seg_total(svm, svm.array(data), svm.zeros(17))
+        assert (tot.to_numpy() == data.sum()).all()
+
+    def test_each_own_segment(self, svm):
+        data = np.array([4, 7, 1], dtype=np.uint32)
+        tot = seg_total(svm, svm.array(data), svm.array([1, 1, 1]))
+        assert np.array_equal(tot.to_numpy(), data)
+
+    def test_segments_across_strips(self, svm):
+        """vl=4 at VLEN=128: a 10-lane segment spans strips; the
+        reversed backward scan must still see the right segmentation."""
+        x = svm.array([1] * 10)
+        heads = svm.zeros(10)
+        tot = seg_total(svm, x, heads)
+        assert (tot.to_numpy() == 10).all()

@@ -1,0 +1,160 @@
+"""Tests for split radix sort (Listing 9)."""
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.algorithms import split_radix_sort
+from repro.errors import ConfigurationError
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64, 257])
+    def test_random(self, svm, rng, n):
+        data = rng.integers(0, 2**32, n, dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_duplicates_stable_result(self, svm, rng):
+        data = rng.integers(0, 4, 100, dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_already_sorted(self, svm):
+        data = np.arange(50, dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a)
+        assert np.array_equal(a.to_numpy(), data)
+
+    def test_reverse(self, svm):
+        data = np.arange(50, dtype=np.uint32)[::-1].copy()
+        a = svm.array(data)
+        split_radix_sort(svm, a)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_extreme_values(self, svm):
+        data = np.array([2**32 - 1, 0, 2**31, 1], dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a)
+        assert a.to_numpy().tolist() == [0, 1, 2**31, 2**32 - 1]
+
+
+class TestPartialBits:
+    def test_low_bit_keys(self, svm, rng):
+        """Keys < 2^8 need only 8 passes."""
+        data = rng.integers(0, 256, 80, dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a, bits=8)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_odd_bits_copy_back(self, svm, rng):
+        """Odd pass counts end in the scratch buffer; the result must
+        still land in the caller's array (the Listing 9 invariant)."""
+        data = rng.integers(0, 32, 40, dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a, bits=5)
+        assert np.array_equal(a.to_numpy(), np.sort(data))
+
+    def test_fewer_bits_fewer_instructions(self, svm, rng):
+        data = rng.integers(0, 256, 64, dtype=np.uint32)
+        a = svm.array(data)
+        svm.reset()
+        split_radix_sort(svm, a, bits=8)
+        eight = svm.instructions
+        b = svm.array(data)
+        svm.reset()
+        split_radix_sort(svm, b, bits=32)
+        assert eight < svm.instructions
+
+    def test_bits_zero_noop(self, svm):
+        data = np.array([3, 1, 2], dtype=np.uint32)
+        a = svm.array(data)
+        split_radix_sort(svm, a, bits=0)
+        assert np.array_equal(a.to_numpy(), data)
+
+    def test_bits_range_checked(self, svm):
+        a = svm.array([1])
+        with pytest.raises(ConfigurationError):
+            split_radix_sort(svm, a, bits=33)
+
+
+class TestAccounting:
+    def test_scratch_freed(self, svm, rng):
+        data = rng.integers(0, 2**32, 30, dtype=np.uint32)
+        a = svm.array(data)
+        before = svm.machine.heap.live_bytes
+        split_radix_sort(svm, a)
+        assert svm.machine.heap.live_bytes == before
+
+    def test_count_scales_linearly(self):
+        svm = SVM(vlen=1024, codegen="paper", mode="fast")
+        counts = {}
+        for n in (10**3, 10**4):
+            a = svm.array(np.random.default_rng(0).integers(0, 2**32, n, dtype=np.uint32))
+            svm.reset()
+            split_radix_sort(svm, a)
+            counts[n] = svm.instructions
+        assert 6 < counts[10**4] / counts[10**3] < 10  # ~linear in N
+
+
+class TestSignedSort:
+    def test_signed_order(self, svm):
+        """Two's-complement keys sort in signed order via the sign-bit
+        bias trick."""
+        raw = np.array([5, 2**32 - 3, 0, 2**31, 7], dtype=np.uint32)  # 5,-3,0,INT_MIN,7
+        a = svm.array(raw)
+        from repro.algorithms import split_radix_sort
+        split_radix_sort(svm, a, signed=True)
+        expect = np.sort(raw.view(np.int32)).view(np.uint32)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_random_signed(self, svm, rng):
+        raw = rng.integers(0, 2**32, 60, dtype=np.uint32)
+        a = svm.array(raw)
+        from repro.algorithms import split_radix_sort
+        split_radix_sort(svm, a, signed=True)
+        expect = np.sort(raw.view(np.int32)).view(np.uint32)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_signed_with_partial_bits_rejected(self, svm):
+        from repro.algorithms import split_radix_sort
+        a = svm.array([1, 2])
+        with pytest.raises(ConfigurationError):
+            split_radix_sort(svm, a, bits=8, signed=True)
+
+
+class TestKeyValueSort:
+    def test_payload_follows_keys(self, svm, rng):
+        from repro.algorithms import split_radix_sort_pairs
+        keys = rng.integers(0, 100, 50, dtype=np.uint32)
+        payload = np.arange(50, dtype=np.uint32)
+        k, p = svm.array(keys), svm.array(payload)
+        split_radix_sort_pairs(svm, k, p, bits=7)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(k.to_numpy(), keys[order])
+        assert np.array_equal(p.to_numpy(), payload[order])
+
+    def test_stability_of_payload(self, svm):
+        """Equal keys keep payload order — the stable-sort contract."""
+        from repro.algorithms import split_radix_sort_pairs
+        keys = np.array([2, 1, 2, 1, 2], dtype=np.uint32)
+        payload = np.array([10, 11, 12, 13, 14], dtype=np.uint32)
+        k, p = svm.array(keys), svm.array(payload)
+        split_radix_sort_pairs(svm, k, p, bits=2)
+        assert p.to_numpy().tolist() == [11, 13, 10, 12, 14]
+
+    def test_length_mismatch(self, svm):
+        from repro.algorithms import split_radix_sort_pairs
+        with pytest.raises(ConfigurationError):
+            split_radix_sort_pairs(svm, svm.array([1]), svm.array([1, 2]))
+
+    def test_odd_bits_copy_back(self, svm, rng):
+        from repro.algorithms import split_radix_sort_pairs
+        keys = rng.integers(0, 8, 20, dtype=np.uint32)
+        payload = np.arange(20, dtype=np.uint32)
+        k, p = svm.array(keys), svm.array(payload)
+        split_radix_sort_pairs(svm, k, p, bits=3)
+        order = np.argsort(keys, kind="stable")
+        assert np.array_equal(p.to_numpy(), payload[order])

@@ -1,0 +1,82 @@
+"""Tests for run-length encode/decode."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import rle_decode, rle_encode
+
+
+def _runs_oracle(data):
+    """Naive (value, length) runs."""
+    runs = []
+    for v in data:
+        if runs and runs[-1][0] == v:
+            runs[-1][1] += 1
+        else:
+            runs.append([int(v), 1])
+    return runs
+
+
+class TestEncode:
+    def test_simple(self, svm):
+        data = np.array([7, 7, 7, 2, 9, 9], dtype=np.uint32)
+        values, lengths, k = rle_encode(svm, svm.array(data))
+        assert k == 3
+        assert values.to_numpy()[:3].tolist() == [7, 2, 9]
+        assert lengths.to_numpy()[:3].tolist() == [3, 1, 2]
+
+    def test_single_run(self, svm):
+        values, lengths, k = rle_encode(svm, svm.array([5, 5, 5, 5]))
+        assert k == 1
+        assert values.to_numpy()[0] == 5 and lengths.to_numpy()[0] == 4
+
+    def test_no_adjacent_equal(self, svm):
+        data = np.array([1, 2, 3, 4], dtype=np.uint32)
+        values, lengths, k = rle_encode(svm, svm.array(data))
+        assert k == 4
+        assert (lengths.to_numpy()[:4] == 1).all()
+
+    def test_single_element(self, svm):
+        values, lengths, k = rle_encode(svm, svm.array([42]))
+        assert k == 1 and values.to_numpy()[0] == 42 and lengths.to_numpy()[0] == 1
+
+    def test_empty(self, svm):
+        _, _, k = rle_encode(svm, svm.array([]))
+        assert k == 0
+
+    def test_matches_oracle(self, svm, rng):
+        data = np.repeat(rng.integers(0, 5, 20, dtype=np.uint32),
+                         rng.integers(1, 6, 20))
+        values, lengths, k = rle_encode(svm, svm.array(data))
+        expect = _runs_oracle(data)
+        got = list(zip(values.to_numpy()[:k].tolist(), lengths.to_numpy()[:k].tolist()))
+        assert got == [(v, l) for v, l in expect]
+
+
+class TestDecode:
+    def test_simple(self, svm):
+        values = svm.array([7, 2, 9])
+        lengths = svm.array([3, 1, 2])
+        out = rle_decode(svm, values, lengths, 3)
+        assert out.to_numpy().tolist() == [7, 7, 7, 2, 9, 9]
+
+    def test_empty(self, svm):
+        out = rle_decode(svm, svm.array([]), svm.array([]), 0)
+        assert out.to_numpy().size == 0
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random(self, svm, seed):
+        rng = np.random.default_rng(seed)
+        data = np.repeat(rng.integers(0, 6, 30, dtype=np.uint32),
+                         rng.integers(1, 7, 30))
+        values, lengths, k = rle_encode(svm, svm.array(data))
+        out = rle_decode(svm, values, lengths, k)
+        assert np.array_equal(out.to_numpy(), data)
+
+    def test_compresses(self, svm):
+        """RLE's point: k runs for k*(len) elements."""
+        data = np.repeat(np.arange(5, dtype=np.uint32), 10)
+        _, _, k = rle_encode(svm, svm.array(data))
+        assert k == 5

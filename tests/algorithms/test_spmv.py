@@ -1,0 +1,75 @@
+"""Tests for CSR SpMV via segmented sums."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import CSRMatrix, spmv
+from repro.errors import SegmentError
+
+
+def _oracle(mat: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    return (mat.to_dense().astype(np.uint64) @ x.astype(np.uint64)).astype(np.uint32)
+
+
+class TestCSRMatrix:
+    def test_validation_row_ptr_shape(self):
+        with pytest.raises(SegmentError):
+            CSRMatrix(2, 2, [0, 1], [0], [1])
+
+    def test_validation_monotone(self):
+        with pytest.raises(SegmentError):
+            CSRMatrix(2, 2, [0, 2, 1], [0, 1], [1, 1])
+
+    def test_validation_col_range(self):
+        with pytest.raises(SegmentError):
+            CSRMatrix(1, 2, [0, 1], [5], [1])
+
+    def test_nnz(self):
+        m = CSRMatrix(2, 3, [0, 2, 3], [0, 2, 1], [1, 2, 3])
+        assert m.nnz == 3
+
+    def test_random_dense_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m = CSRMatrix.random(8, 6, 0.3, rng)
+        dense = m.to_dense()
+        assert dense.shape == (8, 6)
+        assert (dense != 0).sum() == m.nnz
+
+
+class TestSpmv:
+    def test_small_known(self, svm):
+        # [[1 0 2], [0 0 0], [0 3 0]] @ [1, 2, 3] = [7, 0, 6]
+        m = CSRMatrix(3, 3, [0, 2, 2, 3], [0, 2, 1], [1, 2, 3])
+        y = spmv(svm, m, svm.array([1, 2, 3]))
+        assert y.to_numpy().tolist() == [7, 0, 6]
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random(self, svm, seed):
+        rng = np.random.default_rng(seed)
+        m = CSRMatrix.random(11, 13, 0.25, rng)
+        xv = rng.integers(0, 10, 13, dtype=np.uint32)
+        y = spmv(svm, m, svm.array(xv))
+        assert np.array_equal(y.to_numpy(), _oracle(m, xv))
+
+    def test_empty_rows_stay_zero(self, svm):
+        m = CSRMatrix(4, 2, [0, 0, 1, 1, 2], [0, 1], [5, 7])
+        y = spmv(svm, m, svm.array([1, 1]))
+        assert y.to_numpy().tolist() == [0, 5, 0, 7]
+
+    def test_all_empty_matrix(self, svm):
+        m = CSRMatrix(3, 3, [0, 0, 0, 0], [], [])
+        y = spmv(svm, m, svm.array([1, 2, 3]))
+        assert y.to_numpy().tolist() == [0, 0, 0]
+
+    def test_dimension_check(self, svm):
+        m = CSRMatrix(2, 3, [0, 1, 1], [0], [1])
+        with pytest.raises(SegmentError):
+            spmv(svm, m, svm.array([1, 2]))
+
+    def test_wide_rows_across_strips(self, svm, rng):
+        """A row with > vl nonzeros exercises the segmented carry."""
+        n = 20
+        m = CSRMatrix(1, n, [0, n], np.arange(n), np.ones(n))
+        xv = rng.integers(0, 10, n, dtype=np.uint32)
+        y = spmv(svm, m, svm.array(xv))
+        assert y.to_numpy()[0] == xv.sum()

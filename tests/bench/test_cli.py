@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.kernel == "seg_plus_scan"
+        assert args.lmul == [1, 2, 4, 8]
+
+
+class TestCommands:
+    def test_table(self, capsys):
+        assert main(["table", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "115,039" in out
+
+    def test_table_unknown(self, capsys):
+        assert main(["table", "99"]) == 2
+
+    def test_advise(self, capsys):
+        assert main(["advise", "--n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "choose LMUL=4" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--sizes", "100", "1000", "--lmul", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "LMUL=4" in out and "145" in out
+
+    def test_sort_radix(self, capsys):
+        assert main(["sort", "--n", "500", "--algo", "radix"]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_sort_quicksort(self, capsys):
+        assert main(["sort", "--n", "300", "--algo", "quicksort"]) == 0
+        assert "quicksort" in capsys.readouterr().out

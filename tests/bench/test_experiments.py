@@ -1,0 +1,55 @@
+"""Smoke tests for the experiment regeneration functions at reduced
+sizes (the full sizes run in benchmarks/)."""
+
+import pytest
+
+from repro.bench import experiments as E
+
+SMALL = (10**2, 10**3)
+
+
+class TestTables:
+    def test_table1_small(self):
+        res = E.table1(sizes=SMALL)
+        assert len(res.rows) == 2
+        assert res.checks  # references exist for both sizes
+
+    def test_table2_exact_at_1e3(self):
+        res = E.table2(sizes=SMALL)
+        res.check_within(0.001)  # N=100 excluded inside table2()
+
+    def test_table3_small(self):
+        res = E.table3(sizes=SMALL)
+        res.check_within(0.07)
+
+    def test_table4_exact(self):
+        res = E.table4(sizes=SMALL)
+        res.check_within(0.0001)
+
+    def test_table5_small(self):
+        res = E.table5(sizes=SMALL)
+        res.check_within(0.035)
+        assert hasattr(res, "measured")
+
+    def test_table6_small(self):
+        res = E.table6(sizes=SMALL)
+        res.check_within(0.035)
+
+    def test_table7(self):
+        res = E.table7(n=10**3)
+        assert len(res.rows) == 4  # four VLENs; references only at 1e4
+
+    def test_figure5_chart_rendered(self):
+        res = E.figure5(n=10**3)
+        assert res.chart and "Figure 5" in res.chart
+
+    def test_headline_runs_small(self):
+        res = E.headline(n=10**4)
+        assert len(res.rows) == 4
+
+
+class TestDeterminism:
+    def test_same_result_twice(self):
+        a = E.table4(sizes=(100,))
+        b = E.table4(sizes=(100,))
+        assert a.rows == b.rows

@@ -1,0 +1,45 @@
+"""Tests for the table/chart renderers."""
+
+from repro.utils.formatting import fmt_count, fmt_ratio, render_ascii_chart, render_table
+
+
+class TestFormatters:
+    def test_fmt_count(self):
+        assert fmt_count(1234567) == "1,234,567"
+        assert fmt_count(None) == "-"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(2.345) == "2.35"
+        assert fmt_ratio(2.345, 3) == "2.345"
+        assert fmt_ratio(None) == "-"
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(["name", "n"], [["a", 1], ["bb", 22]], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "-+-" in lines[2]
+        # right-aligned: widths consistent
+        assert len(lines[3]) == len(lines[4])
+
+    def test_cell_wider_than_header(self):
+        text = render_table(["x"], [["wide-cell"]])
+        assert "wide-cell" in text
+
+
+class TestAsciiChart:
+    def test_basic_series(self):
+        chart = render_ascii_chart(
+            {"lin": [(0, 0), (10, 10)], "flat": [(0, 5), (10, 5)]},
+            width=20, height=8, title="T",
+        )
+        assert chart.startswith("T")
+        assert "* = lin" in chart and "o = flat" in chart
+
+    def test_empty(self):
+        assert render_ascii_chart({}) == "(empty chart)"
+
+    def test_single_point(self):
+        chart = render_ascii_chart({"p": [(1, 1)]}, width=10, height=4)
+        assert "*" in chart

@@ -1,0 +1,78 @@
+"""Tests for the experiment harness and reference-data integrity."""
+
+import pytest
+
+from repro.bench import paper_data as P
+from repro.bench.harness import ExperimentResult, rel_err, speedup
+
+
+class TestHelpers:
+    def test_rel_err(self):
+        assert rel_err(110, 100) == pytest.approx(0.10)
+        assert rel_err(90, 100) == pytest.approx(-0.10)
+        assert rel_err(None, 100) is None
+        assert rel_err(5, None) is None
+        assert rel_err(5, 0) is None
+
+    def test_speedup(self):
+        assert speedup(100, 25) == 4
+        assert speedup(100, 0) is None
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            "T", "demo", ["a", "b"], [[1, 2], [3, 4]],
+            checks=[("x", 100.0, 100.0), ("y", 103.0, 100.0)],
+        )
+
+    def test_render_contains_rows(self):
+        text = self._result().render()
+        assert "T: demo" in text and "3" in text
+
+    def test_max_abs_rel_err(self):
+        assert self._result().max_abs_rel_err() == pytest.approx(0.03)
+
+    def test_check_within_passes(self):
+        self._result().check_within(0.05)
+
+    def test_check_within_fails(self):
+        with pytest.raises(AssertionError, match="y"):
+            self._result().check_within(0.01)
+
+    def test_notes_rendered(self):
+        r = ExperimentResult("T", "demo", ["a"], [[1]], notes=["hello"])
+        assert "note: hello" in r.render()
+
+
+class TestPaperDataIntegrity:
+    def test_sizes_are_decades(self):
+        assert list(P.SIZES) == [10**k for k in range(2, 7)]
+
+    def test_all_tables_cover_all_sizes(self):
+        for table in (P.TABLE1_RADIX, P.TABLE1_QSORT, P.TABLE2_PADD,
+                      P.TABLE3_SCAN, P.TABLE4_SEG):
+            assert set(table) == set(P.SIZES)
+
+    def test_figure5_derived_from_table7(self):
+        assert P.FIGURE5_PADD_SPEEDUP[128] == 1.0
+        assert P.FIGURE5_SEG_SPEEDUP[1024] == pytest.approx(115039 / 25693)
+
+    def test_headline_seg_consistent_with_tables(self):
+        """The abstract's 4.29x and 15.09x must follow from Tables 4/5
+        at N=10^6 (the reproducible headline pair)."""
+        implied_l1 = P.TABLE4_SEG_BASE[10**6] / P.TABLE4_SEG[10**6]
+        assert implied_l1 == pytest.approx(P.HEADLINE["seg_scan_lmul1"], abs=0.005)
+        implied_l8 = P.TABLE4_SEG_BASE[10**6] / P.TABLE5_SEG_LMUL[8][10**6]
+        assert implied_l8 == pytest.approx(P.HEADLINE["seg_scan_lmul_tuned"], abs=0.01)
+
+    def test_table5_lmul2_column_is_corrupt(self):
+        """Documented source inconsistency: Table 5's LMUL=2 column
+        equals Table 4's baseline column verbatim."""
+        assert P.TABLE5_SEG_LMUL[2] == P.TABLE4_SEG_BASE
+
+    def test_table6_contradicts_table5_lmul2(self):
+        """...while Table 6's ratios imply ~1.47M at N=10^6, not 11M."""
+        implied = P.TABLE4_SEG[10**6] / (P.TABLE6_RATIO[2][10**6] * 2)
+        assert implied < 2 * 10**6
+        assert P.TABLE5_SEG_LMUL[2][10**6] > 10**7

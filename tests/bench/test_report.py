@@ -1,0 +1,30 @@
+"""Smoke test for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.bench.report import generate_report, main
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(sizes=(100, 1000))
+
+    def test_contains_every_experiment(self, report):
+        for exp in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+                    "Table 6", "Table 7", "Figure 5", "Headline"):
+            assert exp in report
+
+    def test_summary_table_present(self, report):
+        assert "Summary of reproduction quality" in report
+        assert "Worst relative error" in report
+
+    def test_inconsistency_record_present(self, report):
+        assert "Known inconsistencies" in report
+        assert "LMUL=2 column" in report
+
+    def test_stdout_mode(self, capsys):
+        # full-size run; keep it to the CLI-path check
+        assert main(["--stdout"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "2,562,539" in out

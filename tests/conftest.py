@@ -1,0 +1,31 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM, RVVMachine
+from repro.rvv.types import LMUL
+
+
+@pytest.fixture
+def machine() -> RVVMachine:
+    """A small-VLEN machine (many strips even for short arrays)."""
+    return RVVMachine(vlen=128)
+
+
+@pytest.fixture(params=["strict", "fast"])
+def svm_mode(request) -> str:
+    """Parametrize a test over both execution modes."""
+    return request.param
+
+
+@pytest.fixture
+def svm(svm_mode) -> SVM:
+    return SVM(vlen=128, mode=svm_mode)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)

@@ -1,0 +1,72 @@
+"""Multi-SEW coverage: the kernels are element-width generic (SEW is
+derived from the array dtype, §3.1's e<SEW> suffix), so u8/u16/u64
+arrays must work in both modes with matching counts — and *different*
+counts than u32 (vlmax scales with SEW)."""
+
+import numpy as np
+import pytest
+
+from repro import SVM
+
+DTYPES = [np.uint8, np.uint16, np.uint32, np.uint64]
+
+
+@pytest.mark.parametrize("dtype", DTYPES)
+class TestSemanticsAcrossSEW:
+    def test_p_add_wraps_at_width(self, dtype):
+        svm = SVM(vlen=128, mode="strict")
+        maxval = np.iinfo(dtype).max
+        a = svm.array([maxval], dtype=dtype)
+        svm.p_add(a, 2)
+        assert a.to_numpy().tolist() == [1]
+
+    def test_scan(self, dtype, rng):
+        svm = SVM(vlen=128, mode="strict")
+        hi = min(int(np.iinfo(dtype).max), 50)
+        data = rng.integers(0, hi, 37).astype(dtype)
+        a = svm.array(data, dtype=dtype)
+        svm.plus_scan(a)
+        expect = np.cumsum(data, dtype=dtype)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_seg_scan(self, dtype, rng):
+        svm = SVM(vlen=128, mode="strict")
+        data = rng.integers(0, 40, 29).astype(dtype)
+        flags = (rng.random(29) < 0.3).astype(dtype)
+        a, f = svm.array(data, dtype=dtype), svm.array(flags, dtype=dtype)
+        svm.seg_plus_scan(a, f)
+        from repro.scalar.kernels import segmented_cumsum
+        assert np.array_equal(a.to_numpy(), segmented_cumsum(data, flags))
+
+    def test_strict_fast_parity(self, dtype, rng):
+        data = rng.integers(0, 100, 53).astype(dtype)
+        results = []
+        for mode in ("strict", "fast"):
+            svm = SVM(vlen=256, codegen="paper", mode=mode)
+            a = svm.array(data, dtype=dtype)
+            svm.reset()
+            svm.plus_scan(a)
+            results.append((a.to_numpy().tolist(), svm.counters.as_dict()))
+        assert results[0] == results[1]
+
+
+class TestSEWChangesStripCount:
+    def test_vlmax_scales_with_width(self):
+        """At VLEN=128: 16 u8 lanes vs 2 u64 lanes — an 8x strip-count
+        difference for the same element count."""
+        counts = {}
+        for dtype in (np.uint8, np.uint64):
+            svm = SVM(vlen=128, mode="strict", codegen="paper")
+            a = svm.array(np.zeros(32, dtype=dtype), dtype=dtype)
+            svm.reset()
+            svm.p_add(a, 1)
+            counts[dtype] = svm.instructions
+        # u8: 2 strips; u64: 16 strips -> 9*2+9 vs 9*16+9
+        assert counts[np.uint8] == 27
+        assert counts[np.uint64] == 153
+
+    def test_reduce_u64(self, rng):
+        svm = SVM(vlen=128, mode="strict")
+        data = rng.integers(0, 2**60, 11).astype(np.uint64)
+        total = svm.reduce(svm.array(data, dtype=np.uint64), "plus")
+        assert total == int(data.sum(dtype=np.uint64))

@@ -1,0 +1,56 @@
+"""Tests for the LMUL advisor: predictions must equal measurement
+exactly, and the pick must be the sweep argmin."""
+
+import pytest
+
+from repro.lmul import choose_lmul, measure_kernel, predict_scan_count
+from repro.rvv.types import LMUL
+
+
+class TestPredictionExactness:
+    @pytest.mark.parametrize("kernel", ["plus_scan", "seg_plus_scan"])
+    @pytest.mark.parametrize("n", [1, 37, 100, 1000, 4096])
+    @pytest.mark.parametrize("lmul", [1, 2, 4, 8])
+    def test_equals_measurement(self, kernel, n, lmul):
+        pred = predict_scan_count(kernel, n, 1024, LMUL(lmul))
+        meas = measure_kernel(kernel, n, 1024, LMUL(lmul))
+        assert pred.count == meas.instructions
+
+    @pytest.mark.parametrize("vlen", [128, 256, 512, 1024])
+    def test_across_vlen(self, vlen):
+        pred = predict_scan_count("seg_plus_scan", 500, vlen, LMUL.M2)
+        meas = measure_kernel("seg_plus_scan", 500, vlen, LMUL.M2)
+        assert pred.count == meas.instructions
+
+    def test_ideal_preset_too(self):
+        pred = predict_scan_count("seg_plus_scan", 777, 1024, LMUL.M8, "ideal")
+        meas = measure_kernel("seg_plus_scan", 777, 1024, LMUL.M8, "ideal")
+        assert pred.count == meas.instructions
+
+
+class TestChoice:
+    def test_matches_sweep_argmin(self):
+        for n in (100, 5000, 200000):
+            counts = {
+                lm: measure_kernel("seg_plus_scan", n, 1024, LMUL(lm)).instructions
+                for lm in (1, 2, 4, 8)
+            }
+            choice = choose_lmul("seg_plus_scan", n, 1024)
+            assert choice.count == min(counts.values())
+
+    def test_paper_crossover(self):
+        """Table 5's shape: LMUL=4 wins at small N (LMUL=8 spills),
+        LMUL=8 wins at large N (strip savings amortize the spills)."""
+        assert int(choose_lmul("seg_plus_scan", 100, 1024).lmul) == 4
+        assert int(choose_lmul("seg_plus_scan", 10**6, 1024).lmul) == 8
+
+    def test_spill_report(self):
+        pred = predict_scan_count("seg_plus_scan", 1000, 1024, LMUL.M8)
+        assert pred.has_spills
+        assert "flags_slideup" in pred.spilled_values
+        assert not predict_scan_count("seg_plus_scan", 1000, 1024, LMUL.M4).has_spills
+
+    def test_candidate_restriction(self):
+        choice = choose_lmul("seg_plus_scan", 10**6, 1024,
+                             candidates=(LMUL.M1, LMUL.M2))
+        assert int(choice.lmul) == 2

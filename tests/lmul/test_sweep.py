@@ -1,0 +1,43 @@
+"""Tests for the sweep helpers behind Tables 5-7."""
+
+import pytest
+
+from repro.lmul import measure_kernel, sweep_lmul, sweep_vlen
+from repro.rvv.types import LMUL
+
+
+class TestMeasureKernel:
+    def test_point_fields(self):
+        p = measure_kernel("p_add", 100, 256, LMUL.M2)
+        assert (p.kernel, p.n, p.vlen, p.lmul) == ("p_add", 100, 256, LMUL.M2)
+        assert p.instructions > 0
+
+    def test_deterministic(self):
+        a = measure_kernel("seg_plus_scan", 500, 512)
+        b = measure_kernel("seg_plus_scan", 500, 512)
+        assert a.instructions == b.instructions
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            measure_kernel("fft", 10, 128)
+
+
+class TestSweeps:
+    def test_lmul_grid_shape(self):
+        points = sweep_lmul("seg_plus_scan", sizes=(100, 1000))
+        assert len(points) == 8
+        assert {int(p.lmul) for p in points} == {1, 2, 4, 8}
+
+    def test_vlen_line(self):
+        points = sweep_vlen("p_add", 10**4)
+        assert [p.vlen for p in points] == [128, 256, 512, 1024]
+        # elementwise work scales down linearly with VLEN (Figure 5)
+        counts = [p.instructions for p in points]
+        assert counts[0] > counts[1] > counts[2] > counts[3]
+        assert counts[0] / counts[3] == pytest.approx(8, rel=0.01)
+
+    def test_seg_scan_sublinear(self):
+        points = sweep_vlen("seg_plus_scan", 10**4)
+        counts = {p.vlen: p.instructions for p in points}
+        ratio = counts[128] / counts[1024]
+        assert 3.5 < ratio < 5.5  # Figure 5: ~4.5x, far below the ideal 8x

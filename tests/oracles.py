@@ -1,0 +1,56 @@
+"""Per-element reference oracles (deliberately naive: Python loops,
+not NumPy tricks) that the kernels are tested against."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+
+def scan_oracle(values, op, identity, inclusive=True, dtype=np.uint32):
+    """Reference ⊕-scan computed one element at a time with modular
+    wrap — the specification the kernels are tested against."""
+    dtype = np.dtype(dtype)
+    bits = dtype.itemsize * 8
+    mask = (1 << bits) - 1
+    out = []
+    acc = identity & mask
+    for v in values:
+        if inclusive:
+            acc = op(acc, int(v)) & mask
+            out.append(acc)
+        else:
+            out.append(acc)
+            acc = op(acc, int(v)) & mask
+    return np.array(out, dtype=dtype)
+
+
+def seg_scan_oracle(values, flags, op, identity, inclusive=True, dtype=np.uint32):
+    """Reference segmented ⊕-scan: the accumulator resets at every
+    head flag (element 0 implicitly heads a segment)."""
+    dtype = np.dtype(dtype)
+    bits = dtype.itemsize * 8
+    mask = (1 << bits) - 1
+    out = []
+    acc = identity & mask
+    for i, v in enumerate(values):
+        if i == 0 or flags[i]:
+            acc = identity & mask
+        if inclusive:
+            acc = op(acc, int(v)) & mask
+            out.append(acc)
+        else:
+            out.append(acc)
+            acc = op(acc, int(v)) & mask
+    return np.array(out, dtype=dtype)
+
+
+OPS = {
+    "plus": (lambda a, b: a + b, 0),
+    "max": (lambda a, b: max(a, b), 0),
+    "min": (lambda a, b: min(a, b), (1 << 32) - 1),
+    "or": (lambda a, b: a | b, 0),
+    "and": (lambda a, b: a & b, (1 << 32) - 1),
+    "xor": (lambda a, b: a ^ b, 0),
+}

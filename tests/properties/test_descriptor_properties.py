@@ -1,0 +1,67 @@
+"""Property-based tests for segment descriptors and derived ops."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import SVM
+from repro.algorithms import rle_decode, rle_encode
+from repro.svm.segment_descriptor import (
+    head_flags_to_head_pointers,
+    head_flags_to_lengths,
+    head_pointers_to_head_flags,
+    lengths_to_head_flags,
+    segment_ids,
+)
+
+_LENGTHS = st.lists(st.integers(1, 10), min_size=0, max_size=30)
+
+
+@given(lengths=_LENGTHS)
+@settings(max_examples=60, deadline=None)
+def test_lengths_roundtrip(lengths):
+    flags = lengths_to_head_flags(lengths)
+    assert head_flags_to_lengths(flags).tolist() == lengths
+
+
+@given(lengths=st.lists(st.integers(1, 10), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_pointers_roundtrip(lengths):
+    flags = lengths_to_head_flags(lengths)
+    pointers = head_flags_to_head_pointers(flags)
+    back = head_pointers_to_head_flags(pointers, flags.size)
+    back[0] = flags[0] if flags.size else 0  # flag 0 is implicit either way
+    assert np.array_equal(back[1:], flags[1:])
+
+
+@given(lengths=st.lists(st.integers(1, 10), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_segment_ids_consistent_with_lengths(lengths):
+    flags = lengths_to_head_flags(lengths)
+    ids = segment_ids(flags)
+    counts = np.bincount(ids, minlength=len(lengths))
+    assert counts.tolist() == lengths
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_rle_roundtrip(data):
+    values = data.draw(st.lists(st.integers(0, 5), min_size=1, max_size=60))
+    svm = SVM(vlen=128, mode="strict")
+    arr = svm.array(values)
+    v, l, k = rle_encode(svm, arr)
+    out = rle_decode(svm, v, l, k)
+    assert out.to_numpy().tolist() == values
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_rle_runs_are_maximal(data):
+    values = data.draw(st.lists(st.integers(0, 3), min_size=1, max_size=60))
+    svm = SVM(vlen=128, mode="fast")
+    v, l, k = rle_encode(svm, svm.array(values))
+    vals = v.to_numpy()[:k]
+    lens = l.to_numpy()[:k]
+    assert (lens >= 1).all()
+    assert int(lens.sum()) == len(values)
+    # adjacent runs always differ (maximality)
+    assert (vals[1:] != vals[:-1]).all()

@@ -1,0 +1,148 @@
+"""Property-based tests at the intrinsic level: algebraic identities
+the RVV instructions must satisfy."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.rvv import RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import arith, compare, mask as mo, move, permutation as pm
+
+_LANES = st.integers(min_value=1, max_value=64)
+
+
+def _vec(data):
+    return VReg(np.array(data, dtype=np.uint32))
+
+
+def _mask(bits):
+    return VMask(np.array(bits, dtype=bool))
+
+
+@st.composite
+def vec_and_mask(draw, max_lanes=64):
+    n = draw(st.integers(1, max_lanes))
+    data = draw(st.lists(st.integers(0, 2**32 - 1), min_size=n, max_size=n))
+    bits = draw(st.lists(st.booleans(), min_size=n, max_size=n))
+    return _vec(data), _mask(bits), n
+
+
+@given(vm=vec_and_mask())
+@settings(max_examples=80, deadline=None)
+def test_viota_is_exclusive_cumsum(vm):
+    _, mask, n = vm
+    m = RVVMachine(vlen=2048)
+    out = mo.viota_m(m, mask, n).data
+    expect = np.concatenate(([0], np.cumsum(mask.bits)[:-1])).astype(np.uint32)
+    assert np.array_equal(out, expect)
+
+
+@given(vm=vec_and_mask())
+@settings(max_examples=80, deadline=None)
+def test_vcpop_equals_viota_last_plus_bit(vm):
+    """vcpop == viota[last] + mask[last] — the identity Listing 8's
+    cross-strip count propagation relies on."""
+    _, mask, n = vm
+    m = RVVMachine(vlen=2048)
+    iota = mo.viota_m(m, mask, n).data
+    pop = mo.vcpop_m(m, mask, n)
+    assert pop == int(iota[-1]) + int(mask.bits[-1])
+
+
+@given(vm=vec_and_mask())
+@settings(max_examples=80, deadline=None)
+def test_msbf_msof_msif_partition(vm):
+    """vmsbf | vmsof == vmsif, and vmsbf & vmsof == 0."""
+    _, mask, n = vm
+    m = RVVMachine(vlen=2048)
+    sbf = mo.vmsbf_m(m, mask, n).bits
+    sof = mo.vmsof_m(m, mask, n).bits
+    sif = mo.vmsif_m(m, mask, n).bits
+    assert np.array_equal(sbf | sof, sif)
+    assert not (sbf & sof).any()
+
+
+@given(vm=vec_and_mask(), offset=st.integers(0, 70))
+@settings(max_examples=80, deadline=None)
+def test_slideup_preserves_low_lanes(vm, offset):
+    vec, _, n = vm
+    m = RVVMachine(vlen=2048)
+    dest = move.vmv_v_x(m, 1234, n)
+    out = pm.vslideup_vx(m, dest, vec, offset, n).data
+    cut = min(offset, n)
+    assert (out[:cut] == 1234).all()
+    assert np.array_equal(out[cut:], vec.data[: n - cut])
+
+
+@given(vm=vec_and_mask(), k=st.integers(1, 8))
+@settings(max_examples=60, deadline=None)
+def test_slide1up_iterated_equals_slideup(vm, k):
+    """k applications of vslide1up(x, 0) == one vslideup by k over a
+    zero destination — the identity behind the scan's doubling."""
+    vec, _, n = vm
+    m = RVVMachine(vlen=2048)
+    cur = vec
+    for _ in range(k):
+        cur = pm.vslide1up_vx(m, cur, 0, n)
+    zero = move.vmv_v_x(m, 0, n)
+    direct = pm.vslideup_vx(m, zero, vec, k, n)
+    assert np.array_equal(cur.data, direct.data)
+
+
+@given(vm=vec_and_mask())
+@settings(max_examples=80, deadline=None)
+def test_compress_equals_boolean_indexing(vm):
+    vec, mask, n = vm
+    m = RVVMachine(vlen=2048)
+    out = pm.vcompress_vm(m, mask, vec, n).data
+    packed = vec.data[mask.bits]
+    assert np.array_equal(out[: packed.size], packed)
+    assert not out[packed.size:].any()
+
+
+@given(vm=vec_and_mask())
+@settings(max_examples=80, deadline=None)
+def test_gather_identity_permutation(vm):
+    vec, _, n = vm
+    m = RVVMachine(vlen=2048)
+    idx = mo.vid_v(m, n)
+    assert np.array_equal(pm.vrgather_vv(m, vec, idx, n).data, vec.data)
+
+
+@given(vm=vec_and_mask(), x=st.integers(0, 2**32 - 1))
+@settings(max_examples=80, deadline=None)
+def test_compare_complement(vm, x):
+    """vmseq and vmsne partition the lanes; so do vmsltu and the
+    ge idiom (vmnot of vmsltu)."""
+    vec, _, n = vm
+    m = RVVMachine(vlen=2048)
+    eq = compare.vmseq_vx(m, vec, x, n).bits
+    ne = compare.vmsne_vx(m, vec, x, n).bits
+    assert np.array_equal(eq, ~ne)
+    lt = compare.vmsltu_vx(m, vec, x, n)
+    ge = mo.vmnot_m(m, lt, n).bits
+    assert np.array_equal(lt.bits, ~ge)
+
+
+@given(vm=vec_and_mask(), x=st.integers(0, 2**32 - 1))
+@settings(max_examples=80, deadline=None)
+def test_masked_merge_identity(vm, x):
+    """vmerge(mask, a, a) == a, and masked add with all-false mask is
+    the maskedoff operand."""
+    vec, mask, n = vm
+    m = RVVMachine(vlen=2048)
+    assert np.array_equal(
+        arith.vmerge_vvm(m, mask, vec, vec, n).data, vec.data)
+    off = move.vmv_v_x(m, 7, n)
+    none = _mask([False] * n)
+    out = arith.vadd_vx(m, vec, x, n, mask=none, maskedoff=off)
+    assert np.array_equal(out.data, off.data)
+
+
+@given(vm=vec_and_mask(), x=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_add_sub_roundtrip(vm, x):
+    vec, _, n = vm
+    m = RVVMachine(vlen=2048)
+    there = arith.vadd_vx(m, vec, x, n)
+    back = arith.vsub_vx(m, there, x, n)
+    assert np.array_equal(back.data, vec.data)

@@ -1,0 +1,89 @@
+"""Property-based tests for the memory substrate: the allocator
+against a reference model, and scatter/gather inverses."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MemoryError_
+from repro.rvv.memory import Allocator, Memory
+
+
+@st.composite
+def malloc_free_script(draw):
+    """A random interleaving of malloc(size) and free(handle) actions."""
+    n_ops = draw(st.integers(1, 40))
+    ops = []
+    live = 0
+    for _ in range(n_ops):
+        if live and draw(st.booleans()):
+            ops.append(("free", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(("malloc", draw(st.integers(0, 2000))))
+            live += 1
+    return ops
+
+
+@given(script=malloc_free_script())
+@settings(max_examples=80, deadline=None)
+def test_allocator_blocks_never_overlap(script):
+    """Live blocks are disjoint, aligned, inside the region, and
+    live_bytes matches a reference tally — for any malloc/free order."""
+    heap = Allocator(Memory(1 << 16))
+    live: list[tuple[int, int]] = []  # (addr, requested size)
+    expected_live_bytes = 0
+    for op, arg in script:
+        if op == "malloc":
+            try:
+                addr = heap.malloc(arg)
+            except MemoryError_:
+                continue  # genuine OOM under this script
+            rounded = max((arg + 15) // 16 * 16, 16)
+            assert addr % 16 == 0
+            assert 0 <= addr and addr + rounded <= 1 << 16
+            for other_addr, other_size in live:
+                other_rounded = max((other_size + 15) // 16 * 16, 16)
+                assert addr + rounded <= other_addr or other_addr + other_rounded <= addr
+            live.append((addr, arg))
+            expected_live_bytes += rounded
+        else:
+            addr, size = live.pop(arg % max(len(live), 1))
+            heap.free(addr)
+            expected_live_bytes -= max((size + 15) // 16 * 16, 16)
+    assert heap.live_bytes == expected_live_bytes
+
+
+@given(script=malloc_free_script())
+@settings(max_examples=40, deadline=None)
+def test_allocator_full_release_restores_capacity(script):
+    heap = Allocator(Memory(1 << 16))
+    addrs = []
+    for op, arg in script:
+        if op == "malloc":
+            try:
+                addrs.append(heap.malloc(arg))
+            except MemoryError_:
+                pass
+        elif addrs:
+            heap.free(addrs.pop(arg % len(addrs)))
+    for addr in addrs:
+        heap.free(addr)
+    # after freeing everything, one maximal block must fit again
+    assert heap.malloc((1 << 16) - 16) is not None
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_scatter_gather_inverse(data):
+    """gather(scatter(x)) == x for unique aligned offsets."""
+    n = data.draw(st.integers(1, 50))
+    values = np.array(
+        data.draw(st.lists(st.integers(0, 2**32 - 1), min_size=n, max_size=n)),
+        dtype=np.uint32,
+    )
+    slots = data.draw(st.permutations(range(n)))
+    offsets = np.array(slots, dtype=np.uint32) * 4
+    mem = Memory(4096)
+    mem.scatter(0, offsets, values)
+    back = mem.gather(0, offsets, np.uint32)
+    assert np.array_equal(back, values)

@@ -1,0 +1,76 @@
+"""Property-based strict/fast parity: hypothesis searches the
+configuration space for any divergence in results or counts."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import SVM
+from repro.rvv.types import LMUL
+
+_VALUES = st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=100)
+_VLENS = st.sampled_from([128, 256, 512, 1024])
+_LMULS = st.sampled_from([LMUL.M1, LMUL.M2, LMUL.M4, LMUL.M8])
+_PRESETS = st.sampled_from(["ideal", "paper"])
+
+
+def _both(vlen, codegen):
+    return (SVM(vlen=vlen, codegen=codegen, mode="strict"),
+            SVM(vlen=vlen, codegen=codegen, mode="fast"))
+
+
+@given(values=_VALUES, vlen=_VLENS, lmul=_LMULS, preset=_PRESETS)
+@settings(max_examples=50, deadline=None)
+def test_scan_parity(values, vlen, lmul, preset):
+    results = []
+    for svm in _both(vlen, preset):
+        a = svm.array(values)
+        svm.reset()
+        svm.plus_scan(a, lmul=lmul)
+        results.append((a.to_numpy().tolist(), svm.counters.as_dict()))
+    assert results[0] == results[1]
+
+
+@given(data=st.data(), vlen=_VLENS, lmul=_LMULS, preset=_PRESETS)
+@settings(max_examples=50, deadline=None)
+def test_seg_scan_parity(data, vlen, lmul, preset):
+    values = data.draw(_VALUES)
+    flags = data.draw(st.lists(st.integers(0, 1), min_size=len(values),
+                               max_size=len(values)))
+    results = []
+    for svm in _both(vlen, preset):
+        a, f = svm.array(values), svm.array(flags)
+        svm.reset()
+        svm.seg_plus_scan(a, f, lmul=lmul)
+        results.append((a.to_numpy().tolist(), svm.counters.as_dict()))
+    assert results[0] == results[1]
+
+
+@given(data=st.data(), vlen=_VLENS, preset=_PRESETS)
+@settings(max_examples=50, deadline=None)
+def test_pack_parity_data_dependent_counts(data, vlen, preset):
+    """pack's count is data-dependent (strips with no survivors skip
+    stores) — exactly where strict and fast could drift apart."""
+    values = data.draw(_VALUES)
+    flags = data.draw(st.lists(st.integers(0, 1), min_size=len(values),
+                               max_size=len(values)))
+    results = []
+    for svm in _both(vlen, preset):
+        a, f = svm.array(values), svm.array(flags)
+        svm.reset()
+        out, kept = svm.pack(a, f)
+        results.append((kept, out.to_numpy()[:kept].tolist(),
+                        svm.counters.as_dict()))
+    assert results[0] == results[1]
+
+
+@given(values=_VALUES, bit=st.integers(0, 31), vlen=_VLENS, preset=_PRESETS)
+@settings(max_examples=50, deadline=None)
+def test_enumerate_parity(values, bit, vlen, preset):
+    flags_np = (np.array(values, dtype=np.uint32) >> bit) & 1
+    results = []
+    for svm in _both(vlen, preset):
+        f = svm.array(flags_np)
+        svm.reset()
+        out, count = svm.enumerate(f, set_bit=True)
+        results.append((count, out.to_numpy().tolist(), svm.counters.as_dict()))
+    assert results[0] == results[1]

@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the scan primitives' core
+invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import SVM
+from tests.oracles import OPS, scan_oracle, seg_scan_oracle
+
+_ELEMENTS = st.integers(min_value=0, max_value=2**32 - 1)
+_ARRAYS = st.lists(_ELEMENTS, min_size=0, max_size=120)
+_OP_NAMES = st.sampled_from(sorted(OPS))
+_VLENS = st.sampled_from([128, 256, 512])
+_MODES = st.sampled_from(["strict", "fast"])
+
+
+@given(values=_ARRAYS, op=_OP_NAMES, vlen=_VLENS, mode=_MODES)
+@settings(max_examples=60, deadline=None)
+def test_inclusive_scan_matches_oracle(values, op, vlen, mode):
+    fn, identity = OPS[op]
+    svm = SVM(vlen=vlen, mode=mode)
+    a = svm.array(values)
+    svm.scan(a, op)
+    assert np.array_equal(a.to_numpy(), scan_oracle(values, fn, identity))
+
+
+@given(values=_ARRAYS, op=_OP_NAMES, vlen=_VLENS)
+@settings(max_examples=40, deadline=None)
+def test_exclusive_scan_matches_oracle(values, op, vlen):
+    fn, identity = OPS[op]
+    svm = SVM(vlen=vlen, mode="strict")
+    a = svm.array(values)
+    svm.scan(a, op, inclusive=False)
+    expect = scan_oracle(values, fn, identity, inclusive=False)
+    assert np.array_equal(a.to_numpy(), expect)
+
+
+@given(values=_ARRAYS, op=_OP_NAMES)
+@settings(max_examples=40, deadline=None)
+def test_scan_last_equals_reduce(values, op):
+    """The inclusive scan's final lane is the full reduction."""
+    svm = SVM(vlen=128, mode="strict")
+    if not values:
+        return
+    total = svm.reduce(svm.array(values), op)
+    a = svm.array(values)
+    svm.scan(a, op)
+    assert total == int(a.to_numpy()[-1])
+
+
+@given(data=st.data(), op=_OP_NAMES, vlen=_VLENS, mode=_MODES)
+@settings(max_examples=60, deadline=None)
+def test_segmented_scan_matches_oracle(data, op, vlen, mode):
+    fn, identity = OPS[op]
+    values = data.draw(_ARRAYS)
+    flags = data.draw(st.lists(st.integers(0, 1), min_size=len(values),
+                               max_size=len(values)))
+    svm = SVM(vlen=vlen, mode=mode)
+    a, f = svm.array(values), svm.array(flags)
+    svm.seg_scan(a, f, op)
+    expect = seg_scan_oracle(values, flags, fn, identity)
+    assert np.array_equal(a.to_numpy(), expect)
+
+
+@given(data=st.data(), op=_OP_NAMES)
+@settings(max_examples=40, deadline=None)
+def test_segmented_equals_per_segment_unsegmented(data, op):
+    """Splitting at the heads and scanning each piece independently
+    must equal one segmented scan — the defining property (§5)."""
+    values = data.draw(st.lists(_ELEMENTS, min_size=1, max_size=80))
+    flags = data.draw(st.lists(st.integers(0, 1), min_size=len(values),
+                               max_size=len(values)))
+    svm = SVM(vlen=128, mode="strict")
+    a, f = svm.array(values), svm.array(flags)
+    svm.seg_scan(a, f, op)
+    got = a.to_numpy()
+
+    flags = list(flags)
+    flags[0] = 1
+    bounds = [i for i, h in enumerate(flags) if h] + [len(values)]
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        piece = svm.array(values[lo:hi])
+        svm.scan(piece, op)
+        assert np.array_equal(got[lo:hi], piece.to_numpy())
+
+
+@given(values=_ARRAYS, vlen=_VLENS)
+@settings(max_examples=40, deadline=None)
+def test_no_heads_is_unsegmented(values, vlen):
+    """An all-zero flag vector reduces segmented scan to the plain
+    scan (§5.2's correctness requirement)."""
+    svm = SVM(vlen=vlen, mode="strict")
+    a = svm.array(values)
+    f = svm.zeros(len(values))
+    b = svm.array(values)
+    svm.seg_plus_scan(a, f)
+    svm.plus_scan(b)
+    assert np.array_equal(a.to_numpy(), b.to_numpy())
+
+
+@given(values=_ARRAYS, vlen1=_VLENS, vlen2=_VLENS)
+@settings(max_examples=30, deadline=None)
+def test_results_vlen_invariant(values, vlen1, vlen2):
+    """VLA portability: results cannot depend on the machine's VLEN."""
+    outs = []
+    for vlen in (vlen1, vlen2):
+        svm = SVM(vlen=vlen, mode="strict")
+        a = svm.array(values)
+        svm.plus_scan(a)
+        outs.append(a.to_numpy())
+    assert np.array_equal(outs[0], outs[1])

@@ -1,0 +1,83 @@
+"""Property-based tests for the sorting algorithms and split."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import SVM
+from repro.algorithms import flat_quicksort, split_radix_sort
+
+_KEYS = st.lists(st.integers(0, 2**32 - 1), min_size=0, max_size=90)
+_SMALL_KEYS = st.lists(st.integers(0, 255), min_size=0, max_size=90)
+_VLENS = st.sampled_from([128, 256, 1024])
+
+
+@given(keys=_SMALL_KEYS, vlen=_VLENS)
+@settings(max_examples=40, deadline=None)
+def test_radix_sort_equals_npsort(keys, vlen):
+    svm = SVM(vlen=vlen, mode="fast")
+    a = svm.array(keys)
+    split_radix_sort(svm, a, bits=8)
+    assert np.array_equal(a.to_numpy(), np.sort(np.array(keys, dtype=np.uint32)))
+
+
+@given(keys=_KEYS)
+@settings(max_examples=20, deadline=None)
+def test_radix_sort_full_width(keys):
+    svm = SVM(vlen=256, mode="fast")
+    a = svm.array(keys)
+    split_radix_sort(svm, a)
+    assert np.array_equal(a.to_numpy(), np.sort(np.array(keys, dtype=np.uint32)))
+
+
+@given(keys=st.lists(st.integers(0, 1000), min_size=0, max_size=70))
+@settings(max_examples=25, deadline=None)
+def test_flat_quicksort_equals_npsort(keys):
+    svm = SVM(vlen=256, mode="fast")
+    a = svm.array(keys)
+    flat_quicksort(svm, a, shuffle=True, rng=np.random.default_rng(0))
+    assert np.array_equal(a.to_numpy(), np.sort(np.array(keys, dtype=np.uint32)))
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_split_is_stable_partition(data):
+    """Split's contract (Figure 3): 0-flag elements first, both groups
+    in original order, boundary equals the zero count."""
+    values = data.draw(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=80))
+    flags = data.draw(st.lists(st.integers(0, 1), min_size=len(values),
+                               max_size=len(values)))
+    svm = SVM(vlen=128, mode="strict")
+    dst, zeros = svm.split(svm.array(values), svm.array(flags))
+    got = dst.to_numpy()
+    values_np = np.array(values, dtype=np.uint32)
+    flags_np = np.array(flags)
+    assert zeros == int((flags_np == 0).sum())
+    assert np.array_equal(got[:zeros], values_np[flags_np == 0])
+    assert np.array_equal(got[zeros:], values_np[flags_np == 1])
+
+
+@given(keys=st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=60),
+       bit=st.integers(0, 31))
+@settings(max_examples=40, deadline=None)
+def test_split_pass_invariant(keys, bit):
+    """One radix pass: after splitting by bit b, the array is the
+    stable partition by that bit — the loop invariant behind Listing 9."""
+    svm = SVM(vlen=128, mode="fast")
+    src = svm.array(keys)
+    flags = svm.get_flags(src, bit)
+    dst, zeros = svm.split(src, flags)
+    got = dst.to_numpy()
+    assert ((got[:zeros] >> bit) & 1 == 0).all()
+    assert ((got[zeros:] >> bit) & 1 == 1).all()
+
+
+@given(keys=_SMALL_KEYS)
+@settings(max_examples=25, deadline=None)
+def test_sort_is_permutation(keys):
+    """The output must be a permutation of the input (no element
+    created or destroyed)."""
+    svm = SVM(vlen=256, mode="fast")
+    a = svm.array(keys)
+    split_radix_sort(svm, a, bits=8)
+    got = a.to_numpy()
+    assert sorted(got.tolist()) == sorted(keys)

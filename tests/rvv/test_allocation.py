@@ -1,0 +1,96 @@
+"""Unit tests for the register-pressure/spill model behind Tables 5-6."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.rvv.allocation import (
+    ELEMENTWISE_PROFILE,
+    PLUS_SCAN_PROFILE,
+    SEG_SCAN_PROFILE,
+    SPILL_ACCESS_COST,
+    RegisterProfile,
+    ValueUse,
+    plan_allocation,
+    usable_groups,
+)
+from repro.rvv.types import LMUL
+
+
+class TestUsableGroups:
+    def test_lmul1_loses_only_masks(self):
+        assert usable_groups(LMUL.M1, mask_values=1) == 31
+        assert usable_groups(LMUL.M1, mask_values=2) == 30
+
+    def test_grouped_loses_v0_group(self):
+        assert usable_groups(LMUL.M2) == 15
+        assert usable_groups(LMUL.M4) == 7
+        assert usable_groups(LMUL.M8) == 3
+
+    def test_negative_masks(self):
+        with pytest.raises(AllocationError):
+            usable_groups(LMUL.M1, mask_values=-1)
+
+
+class TestSegScanProfile:
+    """The paper's LMUL anomaly in numbers: 7 live values fit at
+    LMUL<=4 and spill 4 at LMUL=8 (§6.3, Table 5)."""
+
+    def test_no_spill_up_to_m4(self):
+        for lm in (LMUL.M1, LMUL.M2, LMUL.M4):
+            plan = plan_allocation(SEG_SCAN_PROFILE, lm)
+            assert not plan.has_spills, lm
+            assert plan.strip_cost(8) == 0
+
+    def test_m4_fits_exactly(self):
+        plan = plan_allocation(SEG_SCAN_PROFILE, LMUL.M4)
+        assert plan.usable_groups == SEG_SCAN_PROFILE.n_values == 7
+
+    def test_m8_spills_four_coldest(self):
+        plan = plan_allocation(SEG_SCAN_PROFILE, LMUL.M8)
+        assert set(plan.spilled) == {"flags_slideup", "vec_zero", "vec_one",
+                                     "carry_bcast"}
+
+    def test_m8_costs_match_calibration(self):
+        """68 spill instructions per full strip at vl=256 (8 inner
+        iterations): 4 inner accesses + 2 outer, at 2 instructions
+        each — the Table 5 fit."""
+        plan = plan_allocation(SEG_SCAN_PROFILE, LMUL.M8)
+        assert plan.per_inner_iteration == 4 * SPILL_ACCESS_COST
+        assert plan.per_strip_outer == 2 * SPILL_ACCESS_COST
+        assert plan.strip_cost(8) == 68
+
+    def test_frame_setup_only_when_spilling(self):
+        assert plan_allocation(SEG_SCAN_PROFILE, LMUL.M4).frame_setup == 0
+        assert plan_allocation(SEG_SCAN_PROFILE, LMUL.M8).frame_setup == 1950
+
+
+class TestOtherProfiles:
+    def test_elementwise_never_spills(self):
+        for lm in LMUL:
+            assert not plan_allocation(ELEMENTWISE_PROFILE, lm).has_spills
+
+    def test_plus_scan_spills_one_at_m8(self):
+        plan = plan_allocation(PLUS_SCAN_PROFILE, LMUL.M8)
+        assert plan.spilled == ("carry_bcast",)
+
+
+class TestSelectionPolicy:
+    def test_keeps_hottest(self):
+        profile = RegisterProfile("k", (
+            ValueUse("cold", inner_accesses=0),
+            ValueUse("hot", inner_accesses=5),
+            ValueUse("warm", inner_accesses=2),
+            ValueUse("cool", inner_accesses=1),
+        ))
+        plan = plan_allocation(profile, LMUL.M8)  # 3 usable groups
+        assert plan.spilled == ("cold",)
+
+    def test_ties_break_by_declaration_order(self):
+        profile = RegisterProfile("k", (
+            ValueUse("a", inner_accesses=1),
+            ValueUse("b", inner_accesses=1),
+            ValueUse("c", inner_accesses=1),
+            ValueUse("d", inner_accesses=1),
+        ))
+        plan = plan_allocation(profile, LMUL.M8)
+        assert plan.spilled == ("d",)

@@ -1,0 +1,194 @@
+"""Tests for the assembly-level executor, including the paper's
+Listing 2 verbatim."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.rvv import Cat, RVVMachine
+from repro.rvv.asm import LISTING2_VECTOR_ADD, AsmCPU, parse
+
+
+@pytest.fixture
+def machine():
+    return RVVMachine(vlen=128)
+
+
+class TestParser:
+    def test_labels_and_comments(self):
+        prog = parse("""
+        # comment line
+        start:
+            li a0, 5   # trailing comment
+        loop: end:
+            ret
+        """)
+        assert prog.labels == {"start": 0, "loop": 1, "end": 1}
+        assert prog.instructions[0].mnemonic == "li"
+        assert prog.instructions[0].operands == ("a0", "5")
+
+    def test_undefined_label(self):
+        prog = parse("j nowhere")
+        cpu = AsmCPU(RVVMachine(vlen=128))
+        with pytest.raises(ReproError, match="nowhere"):
+            cpu.run(prog)
+
+    def test_unknown_mnemonic(self, machine):
+        cpu = AsmCPU(machine)
+        with pytest.raises(ReproError, match="unsupported mnemonic"):
+            cpu.run(parse("frobnicate a0, a1"))
+
+
+class TestScalarISA:
+    def test_alu(self, machine):
+        cpu = AsmCPU(machine)
+        cpu.run(parse("""
+            li a0, 10
+            li a1, 3
+            add a2, a0, a1
+            sub a3, a0, a1
+            slli a4, a1, 4
+            addi a5, a0, -1
+            ret
+        """))
+        assert cpu.x[12] == 13 and cpu.x[13] == 7
+        assert cpu.x[14] == 48 and cpu.x[15] == 9
+
+    def test_zero_register_immutable(self, machine):
+        cpu = AsmCPU(machine)
+        cpu.run(parse("li zero, 7\nret"))
+        assert cpu.x[0] == 0
+
+    def test_load_store(self, machine):
+        ptr = machine.array([0, 42, 0])
+        cpu = AsmCPU(machine)
+        cpu.x[11] = ptr.addr + 4
+        cpu.run(parse("""
+            lw a0, (a1)
+            addi a0, a0, 1
+            sw a0, (a1)
+            ret
+        """))
+        assert ptr.read(3).tolist() == [0, 43, 0]
+
+    def test_branch_loop(self, machine):
+        cpu = AsmCPU(machine)
+        retired = cpu.run(parse("""
+            li a0, 5
+            li a1, 0
+        loop:
+            addi a1, a1, 2
+            addi a0, a0, -1
+            bnez a0, loop
+            ret
+        """))
+        assert cpu.x[11] == 10
+        assert retired == 2 + 5 * 3 + 1
+
+    def test_fuel_limit(self, machine):
+        cpu = AsmCPU(machine)
+        with pytest.raises(ReproError, match="exceeded"):
+            cpu.run(parse("spin: j spin"), max_steps=100)
+
+
+class TestListing2:
+    """The paper's assembly listing, executed verbatim."""
+
+    @pytest.mark.parametrize("n", [1, 4, 13, 100])
+    def test_vector_add_semantics(self, machine, rng, n):
+        da = rng.integers(0, 2**32, n, dtype=np.uint32)
+        db = rng.integers(0, 2**32, n, dtype=np.uint32)
+        a, b = machine.array(da), machine.array(db)
+        cpu = AsmCPU(machine)
+        cpu.x[10], cpu.x[11], cpu.x[12] = n, a.addr, b.addr
+        cpu.run(parse(LISTING2_VECTOR_ADD), entry="vector_add")
+        assert np.array_equal(a.read(n), da + db)
+        assert np.array_equal(b.read(n), db)  # b untouched
+
+    def test_n_zero_early_exit(self, machine):
+        cpu = AsmCPU(machine)
+        cpu.x[10] = 0
+        retired = cpu.run(parse(LISTING2_VECTOR_ADD), entry="vector_add")
+        assert retired == 2  # beqz + ret
+
+    def test_dynamic_count_is_retired_count(self, machine):
+        """Every retired instruction is one dynamic instruction — the
+        Spike metric, literally."""
+        a = machine.array(np.zeros(13, dtype=np.uint32))
+        b = machine.array(np.ones(13, dtype=np.uint32))
+        cpu = AsmCPU(machine)
+        cpu.x[10], cpu.x[11], cpu.x[12] = 13, a.addr, b.addr
+        machine.reset_counters()
+        retired = cpu.run(parse(LISTING2_VECTOR_ADD), entry="vector_add")
+        assert machine.counters.total == retired
+        # 13 elements at vl=4 -> 4 strips of 10 instructions + beqz + ret
+        assert retired == 2 + 4 * 10
+
+    def test_category_breakdown(self, machine):
+        a = machine.array(np.zeros(8, dtype=np.uint32))
+        b = machine.array(np.zeros(8, dtype=np.uint32))
+        cpu = AsmCPU(machine)
+        cpu.x[10], cpu.x[11], cpu.x[12] = 8, a.addr, b.addr
+        machine.reset_counters()
+        cpu.run(parse(LISTING2_VECTOR_ADD), entry="vector_add")
+        c = machine.counters
+        assert c[Cat.VCONFIG] == 2   # one vsetvli per strip
+        assert c[Cat.VMEM] == 6      # 2 loads + 1 store per strip
+        assert c[Cat.VARITH] == 2
+
+
+class TestVectorISA:
+    def test_broadcast_and_reduce(self, machine):
+        cpu = AsmCPU(machine)
+        cpu.run(parse("""
+            li a0, 4
+            vsetvli a1, a0, e32, m1, ta, mu
+            li a2, 7
+            vmv.v.x v1, a2
+            vmv.v.i v2, 0
+            vredsum.vs v3, v1, v2
+            vmv.x.s a3, v3
+            ret
+        """))
+        assert cpu.x[13] == 28
+
+    def test_slideup_keeps_dest_lanes(self, machine):
+        p = machine.array([1, 2, 3, 4])
+        cpu = AsmCPU(machine)
+        cpu.x[10], cpu.x[11] = 4, p.addr
+        cpu.run(parse("""
+            vsetvli a2, a0, e32, m1, ta, mu
+            vle32.v v2, (a1)
+            vmv.v.i v3, 0
+            li a3, 1
+            vslideup.vx v3, v2, a3
+            vse32.v v3, (a1)
+            ret
+        """))
+        assert p.read(4).tolist() == [0, 1, 2, 3]
+
+    def test_lmul_group_alignment_enforced(self, machine):
+        cpu = AsmCPU(machine)
+        from repro.errors import RegisterError
+        with pytest.raises(RegisterError):
+            cpu.run(parse("""
+                li a0, 8
+                vsetvli a1, a0, e32, m2, ta, mu
+                vmv.v.i v3, 0
+                ret
+            """))
+
+    def test_vx_ops(self, machine):
+        p = machine.array([0b1100, 0b1010, 0, 0])
+        cpu = AsmCPU(machine)
+        cpu.x[10], cpu.x[11] = 4, p.addr
+        cpu.run(parse("""
+            vsetvli a2, a0, e32, m1, ta, mu
+            vle32.v v1, (a1)
+            li a3, 2
+            vsrl.vx v1, v1, a3
+            vadd.vi v1, v1, 1
+            vse32.v v1, (a1)
+            ret
+        """))
+        assert p.read(4).tolist() == [4, 3, 1, 1]

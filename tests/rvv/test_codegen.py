@@ -1,0 +1,63 @@
+"""Unit tests for the codegen cost presets and calibration plumbing."""
+
+import pytest
+
+from repro.rvv.codegen import IDEAL, PAPER, get_preset
+
+
+class TestPresets:
+    def test_ideal_flat_cost(self):
+        assert IDEAL.op_cost() == 1
+        assert IDEAL.op_cost(dest_undisturbed=True) == 1
+        assert IDEAL.op_cost(masked=True) == 1
+
+    def test_paper_expansions(self):
+        assert PAPER.op_cost() == 1
+        assert PAPER.op_cost(dest_undisturbed=True) == 2
+        assert PAPER.op_cost(masked=True) == 2
+        assert PAPER.op_cost(dest_undisturbed=True, masked=True) == 3
+
+    def test_lookup(self):
+        assert get_preset("ideal") is IDEAL
+        assert get_preset("paper") is PAPER
+        assert get_preset(PAPER) is PAPER
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_preset("gcc")
+
+
+class TestPaperOverheads:
+    """The fitted constants that make the tables land (derivations in
+    repro/rvv/calibration.py). These pin the calibration against
+    accidental edits — changing them invalidates EXPERIMENTS.md."""
+
+    def test_p_add_strip(self):
+        # 4 intrinsics + 5 scalars = 9/strip (Tables 2 and 7)
+        assert PAPER.strip_overhead("p_add") == 5
+
+    def test_seg_scan_decomposition(self):
+        # 22 + 12*lg(vl) per strip (Tables 4, 5, 7)
+        assert PAPER.strip_overhead("seg_plus_scan") == 10
+        assert PAPER.inner_overhead("seg_plus_scan") == 4
+        assert PAPER.prologue("seg_plus_scan") == 36  # +3 setup intrinsics = 39
+
+    def test_plus_scan_decomposition(self):
+        # 24 + 12*lg(vl) per strip (Table 3)
+        assert PAPER.strip_overhead("plus_scan") == 18
+        assert PAPER.inner_overhead("plus_scan") == 9
+        assert PAPER.prologue("plus_scan") == 29
+
+    def test_unknown_kernel_uses_defaults(self):
+        assert PAPER.strip_overhead("not_a_kernel") == PAPER.default_strip
+        assert PAPER.prologue("not_a_kernel") == PAPER.default_prologue
+
+
+class TestIdealStructural:
+    def test_strip_scales_with_arrays(self):
+        assert IDEAL.strip_overhead("anything", n_arrays=1) == 4
+        assert IDEAL.strip_overhead("anything", n_arrays=3) == 6
+
+    def test_inner_and_prologue(self):
+        assert IDEAL.inner_overhead("anything") == 3
+        assert IDEAL.prologue("anything") == 2

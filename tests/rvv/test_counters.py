@@ -1,0 +1,54 @@
+"""Unit tests for the dynamic-instruction counters."""
+
+from repro.rvv.counters import Cat, Counters
+
+
+class TestCounters:
+    def test_add_and_total(self):
+        c = Counters()
+        c.add(Cat.VARITH, 3)
+        c.add(Cat.SCALAR)
+        assert c[Cat.VARITH] == 3
+        assert c.total == 4
+
+    def test_category_rollups(self):
+        c = Counters()
+        c.add(Cat.VMEM, 2)
+        c.add(Cat.VMASK, 1)
+        c.add(Cat.SCALAR, 5)
+        c.add(Cat.SPILL, 7)
+        assert c.vector_total == 3
+        assert c.scalar_total == 5
+        assert c.spill_total == 7
+        assert c.total == 15
+
+    def test_reset(self):
+        c = Counters()
+        c.add(Cat.VARITH)
+        c.reset()
+        assert c.total == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        c = Counters()
+        c.add(Cat.VARITH)
+        snap = c.snapshot()
+        c.add(Cat.VARITH, 9)
+        assert snap.by_category[Cat.VARITH] == 1
+        assert snap.total == 1
+
+    def test_snapshot_delta(self):
+        c = Counters()
+        c.add(Cat.VMEM, 2)
+        before = c.snapshot()
+        c.add(Cat.VMEM, 3)
+        c.add(Cat.SCALAR, 1)
+        delta = c.snapshot() - before
+        assert delta.by_category[Cat.VMEM] == 3
+        assert delta.by_category[Cat.SCALAR] == 1
+        assert delta.total == 4
+
+    def test_as_dict(self):
+        c = Counters()
+        c.add(Cat.ALLOC, 4)
+        d = c.as_dict()
+        assert d["alloc"] == 4 and d["total"] == 4

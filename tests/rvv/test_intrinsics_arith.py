@@ -1,0 +1,125 @@
+"""Unit tests for the arithmetic/logical intrinsics: semantics,
+masking policies, modular wrap, instruction counting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MaskError, VectorLengthError
+from repro.rvv import Cat, RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import arith
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def v(*vals, dtype=np.uint32):
+    return VReg(np.array(vals, dtype=dtype))
+
+
+def mk(*bits):
+    return VMask(np.array(bits, dtype=bool))
+
+
+class TestBasicOps:
+    def test_vadd_vv(self, m):
+        out = arith.vadd_vv(m, v(1, 2, 3), v(10, 20, 30), 3)
+        assert out.tolist() == [11, 22, 33]
+        assert m.counters[Cat.VARITH] == 1
+
+    def test_vadd_vx(self, m):
+        assert arith.vadd_vx(m, v(1, 2), 5, 2).tolist() == [6, 7]
+
+    def test_vsub_wraps(self, m):
+        out = arith.vsub_vx(m, v(0), 1, 1)
+        assert out.tolist() == [2**32 - 1]
+
+    def test_vadd_wraps(self, m):
+        out = arith.vadd_vx(m, v(2**32 - 1), 2, 1)
+        assert out.tolist() == [1]
+
+    def test_vrsub(self, m):
+        assert arith.vrsub_vx(m, v(1, 2, 3), 10, 3).tolist() == [9, 8, 7]
+
+    def test_vmul_low_half(self, m):
+        out = arith.vmul_vx(m, v(2**31), 2, 1)
+        assert out.tolist() == [0]
+
+    def test_bitwise(self, m):
+        assert arith.vand_vx(m, v(0b1101), 0b1010, 1).tolist() == [0b1000]
+        assert arith.vor_vx(m, v(0b1101), 0b0010, 1).tolist() == [0b1111]
+        assert arith.vxor_vv(m, v(0b1100), v(0b1010), 1).tolist() == [0b0110]
+
+    def test_minmax_unsigned(self, m):
+        big = 2**31 + 5  # would be negative as int32
+        assert arith.vmaxu_vx(m, v(big), 7, 1).tolist() == [big]
+        assert arith.vminu_vx(m, v(big), 7, 1).tolist() == [7]
+
+
+class TestShifts:
+    def test_vsll(self, m):
+        assert arith.vsll_vx(m, v(1, 3), 2, 2).tolist() == [4, 12]
+
+    def test_vsrl_logical(self, m):
+        assert arith.vsrl_vx(m, v(2**31), 31, 1).tolist() == [1]
+
+    def test_vsra_arithmetic(self, m):
+        out = arith.vsra_vx(m, v(2**32 - 4), 1, 1)  # -4 >> 1 = -2
+        assert out.tolist() == [2**32 - 2]
+
+    def test_shift_amount_masked_to_sew(self, m):
+        """RVV uses only the low lg2(SEW) shift bits: 33 acts as 1."""
+        assert arith.vsll_vx(m, v(1), 33, 1).tolist() == [2]
+
+
+class TestMasking:
+    def test_undisturbed_policy(self, m):
+        """maskedoff supplies masked-off lanes (§3.2)."""
+        out = arith.vadd_vx(m, v(1, 2, 3), 10, 3,
+                            mask=mk(1, 0, 1), maskedoff=v(7, 7, 7))
+        assert out.tolist() == [11, 7, 13]
+
+    def test_agnostic_policy_poisons(self, m):
+        """Without maskedoff, masked-off lanes are modeled as all-ones
+        so accidental dependence fails loudly."""
+        out = arith.vadd_vx(m, v(1, 2), 10, 2, mask=mk(0, 1))
+        assert out.tolist() == [2**32 - 1, 12]
+
+    def test_masked_counts_expansion_under_paper(self):
+        m = RVVMachine(vlen=128, codegen="paper")
+        arith.vadd_vx(m, v(1), 1, 1, mask=mk(1), maskedoff=v(0))
+        assert m.counters[Cat.VARITH] == 2  # op + register copy
+
+    def test_mask_length_checked(self, m):
+        with pytest.raises(MaskError):
+            arith.vadd_vx(m, v(1, 2), 1, 2, mask=mk(1), maskedoff=v(0, 0))
+
+    def test_maskedoff_dtype_checked(self, m):
+        with pytest.raises(MaskError):
+            arith.vadd_vx(m, v(1), 1, 1, mask=mk(1),
+                          maskedoff=VReg(np.array([0], dtype=np.uint16)))
+
+
+class TestMerge:
+    def test_vmerge_vvm(self, m):
+        out = arith.vmerge_vvm(m, mk(1, 0, 1), v(0, 0, 0), v(5, 6, 7), 3)
+        assert out.tolist() == [5, 0, 7]
+
+    def test_vmerge_vxm(self, m):
+        out = arith.vmerge_vxm(m, mk(0, 1), v(3, 3), 9, 2)
+        assert out.tolist() == [3, 9]
+
+
+class TestValidation:
+    def test_vl_mismatch(self, m):
+        with pytest.raises(VectorLengthError):
+            arith.vadd_vv(m, v(1, 2), v(1, 2, 3), 2)
+
+    def test_negative_vl(self, m):
+        with pytest.raises(VectorLengthError):
+            arith.vadd_vx(m, v(1), 1, -1)
+
+    def test_dtype_preserved(self, m):
+        out = arith.vadd_vx(m, VReg(np.array([1], dtype=np.uint16)), 1, 1)
+        assert out.dtype == np.uint16

@@ -1,0 +1,126 @@
+"""Unit tests for the extended intrinsic families: signed min/max and
+compares, high/widening multiplies, the multiply-accumulate group, and
+zero/sign extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorLengthError
+from repro.rvv import RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import arith, compare
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def v(*vals, dtype=np.uint32):
+    return VReg(np.array(vals, dtype=dtype))
+
+
+NEG1 = 2**32 - 1  # -1 as u32
+NEG5 = 2**32 - 5
+
+
+class TestSignedMinMax:
+    def test_vmin_treats_bits_as_signed(self, m):
+        assert arith.vmin_vv(m, v(NEG1, 3), v(2, 1), 2).tolist() == [NEG1, 1]
+
+    def test_vmax_vx(self, m):
+        out = arith.vmax_vx(m, v(NEG5, 7), -2, 2)
+        assert out.tolist() == [2**32 - 2, 7]
+
+    def test_unsigned_vs_signed_disagree(self, m):
+        a, b = v(NEG1), v(1)
+        assert arith.vminu_vv(m, a, b, 1).tolist() == [1]       # u: 2^32-1 > 1
+        assert arith.vmin_vv(m, a, b, 1).tolist() == [NEG1]     # s: -1 < 1
+
+
+class TestSignedCompares:
+    def test_vmslt(self, m):
+        assert compare.vmslt_vx(m, v(NEG1, 1), 0, 2).tolist() == [1, 0]
+
+    def test_vmsle_vmsgt_complement(self, m):
+        a, b = v(3, NEG5, 7), v(3, 2, NEG1)
+        le = compare.vmsle_vv(m, a, b, 3).bits
+        gt = compare.vmsgt_vv(m, a, b, 3).bits
+        assert np.array_equal(le, ~gt)
+
+    def test_signed_vs_unsigned_disagree(self, m):
+        a = v(NEG1)
+        assert compare.vmslt_vx(m, a, 5, 1).tolist() == [1]   # -1 < 5
+        assert compare.vmsltu_vx(m, a, 5, 1).tolist() == [0]  # 2^32-1 > 5
+
+
+class TestHighMultiply:
+    def test_vmulhu(self, m):
+        out = arith.vmulhu_vv(m, v(2**31), v(4), 1)
+        assert out.tolist() == [2]  # (2^31 * 4) >> 32
+
+    def test_vmulhu_small_is_zero(self, m):
+        assert arith.vmulhu_vv(m, v(1000), v(1000), 1).tolist() == [0]
+
+    def test_vmulh_signed(self, m):
+        # (-1) * (-1) = 1 -> high half 0
+        assert arith.vmulh_vv(m, v(NEG1), v(NEG1), 1).tolist() == [0]
+        # (-1) * 1 = -1 -> high half all-ones
+        assert arith.vmulh_vv(m, v(NEG1), v(1), 1).tolist() == [NEG1]
+
+
+class TestMultiplyAccumulate:
+    def test_vmacc_vv(self, m):
+        out = arith.vmacc_vv(m, v(10, 20), v(2, 3), v(5, 5), 2)
+        assert out.tolist() == [20, 35]
+
+    def test_vmacc_vx(self, m):
+        assert arith.vmacc_vx(m, v(1), 3, v(4), 1).tolist() == [13]
+
+    def test_vmacc_wraps(self, m):
+        out = arith.vmacc_vv(m, v(5), v(2**31), v(2), 1)
+        assert out.tolist() == [5]
+
+    def test_vnmsac(self, m):
+        assert arith.vnmsac_vv(m, v(20), v(3), v(5), 1).tolist() == [5]
+
+    def test_vmadd(self, m):
+        # vd*a + b
+        assert arith.vmadd_vv(m, v(3), v(4), v(1), 1).tolist() == [13]
+
+    def test_vmacc_costs_dest_expansion_under_paper(self):
+        from repro.rvv.counters import Cat
+        m = RVVMachine(vlen=128, codegen="paper")
+        arith.vmacc_vv(m, v(0), v(1), v(1), 1)
+        assert m.counters[Cat.VARITH] == 2
+
+
+class TestWidening:
+    def test_vwaddu_no_wrap(self, m):
+        out = arith.vwaddu_vv(m, v(2**32 - 1), v(2), 1)
+        assert out.dtype == np.uint64
+        assert out.tolist() == [2**32 + 1]
+
+    def test_vwmulu(self, m):
+        out = arith.vwmulu_vv(m, v(2**31), v(4), 1)
+        assert out.tolist() == [2**33]
+
+    def test_widen_u64_rejected(self, m):
+        with pytest.raises(VectorLengthError):
+            arith.vwaddu_vv(m, VReg(np.array([1], dtype=np.uint64)),
+                            VReg(np.array([1], dtype=np.uint64)), 1)
+
+
+class TestExtension:
+    def test_vzext(self, m):
+        src = VReg(np.array([0xFF], dtype=np.uint16))
+        out = arith.vzext_vf2(m, src, 1)
+        assert out.dtype == np.uint32 and out.tolist() == [0xFF]
+
+    def test_vzext_high_bit_not_sign(self, m):
+        src = VReg(np.array([0x8000], dtype=np.uint16))
+        assert arith.vzext_vf2(m, src, 1).tolist() == [0x8000]
+
+    def test_vsext_propagates_sign(self, m):
+        src = VReg(np.array([0xFFFF], dtype=np.uint16))  # -1 as i16
+        out = arith.vsext_vf2(m, src, 1)
+        assert out.tolist() == [2**32 - 1]

@@ -1,0 +1,84 @@
+"""Unit tests for the memory intrinsics, including the indexed store
+behind the permute primitive (Listing 5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorLengthError
+from repro.rvv import Cat, RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import loadstore as ls
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def v(*vals, dtype=np.uint32):
+    return VReg(np.array(vals, dtype=dtype))
+
+
+class TestUnitStride:
+    def test_load_store_roundtrip(self, m):
+        p = m.array([1, 2, 3, 4])
+        val = ls.vle(m, p, 3)
+        assert val.tolist() == [1, 2, 3]
+        ls.vse(m, p + 1, val, 3)
+        assert p.read(4).tolist() == [1, 1, 2, 3]
+
+    def test_counts_vmem(self, m):
+        p = m.array([1])
+        ls.vse(m, p, ls.vle(m, p, 1), 1)
+        assert m.counters[Cat.VMEM] == 2
+
+    def test_masked_store_leaves_holes(self, m):
+        p = m.array([9, 9, 9])
+        ls.vse(m, p, v(1, 2, 3), 3, mask=VMask(np.array([1, 0, 1], dtype=bool)))
+        assert p.read(3).tolist() == [1, 9, 3]
+
+    def test_vl_mismatch(self, m):
+        p = m.array([1, 2])
+        with pytest.raises(VectorLengthError):
+            ls.vse(m, p, v(1, 2, 3), 2)
+
+
+class TestStrided:
+    def test_vlse(self, m):
+        p = m.array(list(range(8)))
+        out = ls.vlse(m, p, 8, 3)  # every other u32
+        assert out.tolist() == [0, 2, 4]
+
+    def test_vsse(self, m):
+        p = m.array([0] * 8)
+        ls.vsse(m, p, 8, v(5, 6, 7), 3)
+        assert p.read(8).tolist() == [5, 0, 6, 0, 7, 0, 0, 0]
+
+    def test_bad_stride(self, m):
+        p = m.array([1, 2])
+        with pytest.raises(VectorLengthError):
+            ls.vlse(m, p, 3, 1)
+
+
+class TestIndexed:
+    def test_vsuxei_scatter(self, m):
+        """The permute primitive's instruction: byte-offset scatter."""
+        p = m.array([0, 0, 0, 0])
+        ls.vsuxei(m, p, v(12, 0, 8), v(1, 2, 3), 3)
+        assert p.read(4).tolist() == [2, 0, 3, 1]
+        assert m.counters[Cat.VMEM_INDEXED] == 1
+
+    def test_vluxei_gather(self, m):
+        p = m.array([10, 20, 30, 40])
+        out = ls.vluxei(m, p, v(12, 4), 2)
+        assert out.tolist() == [40, 20]
+
+    def test_masked_scatter(self, m):
+        p = m.array([0, 0])
+        ls.vsuxei(m, p, v(0, 4), v(7, 8), 2,
+                  mask=VMask(np.array([0, 1], dtype=bool)))
+        assert p.read(2).tolist() == [0, 8]
+
+    def test_operand_length_check(self, m):
+        p = m.array([0, 0])
+        with pytest.raises(VectorLengthError):
+            ls.vsuxei(m, p, v(0), v(1, 2), 2)

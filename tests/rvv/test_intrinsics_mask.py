@@ -1,0 +1,115 @@
+"""Unit tests for the mask intrinsics — the instructions carrying the
+paper's key tricks (viota for enumerate, vmsbf for the carry mask)."""
+
+import numpy as np
+import pytest
+
+from repro.rvv import Cat, RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import compare, mask as mo
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def mk(*bits):
+    return VMask(np.array(bits, dtype=bool))
+
+
+class TestSetBeforeFirst:
+    def test_basic(self, m):
+        """All lanes strictly before the first set lane (§5.1)."""
+        assert mo.vmsbf_m(m, mk(0, 0, 1, 0, 1), 5).tolist() == [1, 1, 0, 0, 0]
+
+    def test_first_lane_set(self, m):
+        assert mo.vmsbf_m(m, mk(1, 0, 0), 3).tolist() == [0, 0, 0]
+
+    def test_no_set_lane_is_all_ones(self, m):
+        """No head flag in the strip -> every lane takes the carry."""
+        assert mo.vmsbf_m(m, mk(0, 0, 0), 3).tolist() == [1, 1, 1]
+
+    def test_counts(self, m):
+        mo.vmsbf_m(m, mk(1), 1)
+        assert m.counters[Cat.VMASK] == 1
+
+
+class TestSetIncludingOnlyFirst:
+    def test_vmsif(self, m):
+        assert mo.vmsif_m(m, mk(0, 1, 0, 1), 4).tolist() == [1, 1, 0, 0]
+        assert mo.vmsif_m(m, mk(0, 0), 2).tolist() == [1, 1]
+
+    def test_vmsof(self, m):
+        assert mo.vmsof_m(m, mk(0, 1, 0, 1), 4).tolist() == [0, 1, 0, 0]
+        assert mo.vmsof_m(m, mk(0, 0), 2).tolist() == [0, 0]
+
+
+class TestViota:
+    def test_exclusive_count(self, m):
+        """viota = exclusive prefix count of set lanes (Listing 8)."""
+        out = mo.viota_m(m, mk(1, 0, 1, 1, 0), 5)
+        assert out.tolist() == [0, 1, 1, 2, 3]
+
+    def test_none_set(self, m):
+        assert mo.viota_m(m, mk(0, 0, 0), 3).tolist() == [0, 0, 0]
+
+    def test_dtype(self, m):
+        out = mo.viota_m(m, mk(1, 1), 2, dtype=np.uint16)
+        assert out.dtype == np.uint16
+
+    def test_single_lane(self, m):
+        assert mo.viota_m(m, mk(1), 1).tolist() == [0]
+
+
+class TestPopAndFirst:
+    def test_vcpop(self, m):
+        assert mo.vcpop_m(m, mk(1, 0, 1, 1), 4) == 3
+        assert mo.vcpop_m(m, mk(0, 0), 2) == 0
+
+    def test_vfirst(self, m):
+        assert mo.vfirst_m(m, mk(0, 0, 1, 1), 4) == 2
+        assert mo.vfirst_m(m, mk(0, 0), 2) == -1
+
+    def test_vid(self, m):
+        assert mo.vid_v(m, 4).tolist() == [0, 1, 2, 3]
+
+
+class TestMaskLogical:
+    def test_and_or_xor(self, m):
+        a, b = mk(1, 1, 0, 0), mk(1, 0, 1, 0)
+        assert mo.vmand_mm(m, a, b, 4).tolist() == [1, 0, 0, 0]
+        assert mo.vmor_mm(m, a, b, 4).tolist() == [1, 1, 1, 0]
+        assert mo.vmxor_mm(m, a, b, 4).tolist() == [0, 1, 1, 0]
+
+    def test_andn_nand_not(self, m):
+        a, b = mk(1, 1, 0), mk(1, 0, 1)
+        assert mo.vmandn_mm(m, a, b, 3).tolist() == [0, 1, 0]
+        assert mo.vmnand_mm(m, a, b, 3).tolist() == [0, 1, 1]
+        assert mo.vmnot_m(m, a, 3).tolist() == [0, 0, 1]
+
+    def test_set_clr(self, m):
+        assert mo.vmset_m(m, 3).tolist() == [1, 1, 1]
+        assert mo.vmclr_m(m, 3).tolist() == [0, 0, 0]
+
+
+class TestCompareToMask:
+    def test_vmseq_vx(self, m):
+        va = VReg(np.array([1, 0, 1, 2], dtype=np.uint32))
+        assert compare.vmseq_vx(m, va, 1, 4).tolist() == [1, 0, 1, 0]
+
+    def test_vmsne_vx(self, m):
+        va = VReg(np.array([0, 3, 0], dtype=np.uint32))
+        assert compare.vmsne_vx(m, va, 0, 3).tolist() == [0, 1, 0]
+
+    def test_unsigned_compares(self, m):
+        big = 2**31 + 1
+        va = VReg(np.array([big, 5], dtype=np.uint32))
+        assert compare.vmsltu_vx(m, va, 10, 2).tolist() == [0, 1]
+        assert compare.vmsgtu_vx(m, va, 10, 2).tolist() == [1, 0]
+
+    def test_vv_forms(self, m):
+        a = VReg(np.array([1, 5, 3], dtype=np.uint32))
+        b = VReg(np.array([1, 3, 5], dtype=np.uint32))
+        assert compare.vmseq_vv(m, a, b, 3).tolist() == [1, 0, 0]
+        assert compare.vmsleu_vv(m, a, b, 3).tolist() == [1, 0, 1]
+        assert compare.vmsgeu_vv(m, a, b, 3).tolist() == [1, 1, 0]

@@ -1,0 +1,114 @@
+"""Unit tests for the permutation intrinsics — the in-register scan's
+machinery (Figure 1/4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorLengthError
+from repro.rvv import Cat, RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import move, permutation as pm
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def v(*vals, dtype=np.uint32):
+    return VReg(np.array(vals, dtype=dtype))
+
+
+def mk(*bits):
+    return VMask(np.array(bits, dtype=bool))
+
+
+class TestSlideup:
+    def test_semantics(self, m):
+        """Lanes below the offset keep the destination's values — the
+        paper slides a zero vector in as the + identity (Listing 6)."""
+        dest = v(0, 0, 0, 0)
+        src = v(1, 2, 3, 4)
+        assert pm.vslideup_vx(m, dest, src, 1, 4).tolist() == [0, 1, 2, 3]
+        assert pm.vslideup_vx(m, dest, src, 2, 4).tolist() == [0, 0, 1, 2]
+
+    def test_offset_zero_copies(self, m):
+        assert pm.vslideup_vx(m, v(9, 9), v(1, 2), 0, 2).tolist() == [1, 2]
+
+    def test_offset_past_vl(self, m):
+        assert pm.vslideup_vx(m, v(7, 7), v(1, 2), 5, 2).tolist() == [7, 7]
+
+    def test_dest_cost_expansion(self):
+        m = RVVMachine(vlen=128, codegen="paper")
+        pm.vslideup_vx(m, v(0), v(1), 1, 1)
+        assert m.counters[Cat.VPERM] == 2  # copy + slide under PAPER
+
+    def test_masked(self, m):
+        out = pm.vslideup_vx(m, v(0, 0, 0), v(1, 2, 3), 1, 3, mask=mk(1, 0, 1))
+        assert out.tolist() == [0, 0, 2]
+
+    def test_negative_offset(self, m):
+        with pytest.raises(VectorLengthError):
+            pm.vslideup_vx(m, v(0), v(1), -1, 1)
+
+
+class TestSlidedown:
+    def test_semantics(self, m):
+        assert pm.vslidedown_vx(m, v(1, 2, 3, 4), 1, 4).tolist() == [2, 3, 4, 0]
+
+    def test_extract_last(self, m):
+        """vslidedown by vl-1 + vmv.x.s reads the last lane — the
+        exclusive-scan carry extraction."""
+        out = pm.vslidedown_vx(m, v(5, 6, 7), 2, 3)
+        assert move.vmv_x_s(m, out) == 7
+
+
+class TestSlide1:
+    def test_slide1up(self, m):
+        assert pm.vslide1up_vx(m, v(1, 2, 3), 99, 3).tolist() == [99, 1, 2]
+
+    def test_slide1down(self, m):
+        assert pm.vslide1down_vx(m, v(1, 2, 3), 99, 3).tolist() == [2, 3, 99]
+
+    def test_single_lane(self, m):
+        assert pm.vslide1up_vx(m, v(4), 9, 1).tolist() == [9]
+
+
+class TestGatherCompress:
+    def test_vrgather(self, m):
+        out = pm.vrgather_vv(m, v(10, 20, 30), v(2, 0, 1), 3)
+        assert out.tolist() == [30, 10, 20]
+
+    def test_vrgather_out_of_range_zero(self, m):
+        out = pm.vrgather_vv(m, v(10, 20), v(5, 1), 2)
+        assert out.tolist() == [0, 20]
+
+    def test_vcompress(self, m):
+        out = pm.vcompress_vm(m, mk(1, 0, 1, 1), v(1, 2, 3, 4), 4)
+        assert out.tolist() == [1, 3, 4, 0]
+
+    def test_vcompress_none(self, m):
+        assert pm.vcompress_vm(m, mk(0, 0), v(1, 2), 2).tolist() == [0, 0]
+
+
+class TestMoves:
+    def test_broadcast(self, m):
+        assert move.vmv_v_x(m, 7, 3).tolist() == [7, 7, 7]
+
+    def test_broadcast_wraps(self, m):
+        assert move.vmv_v_x(m, 2**32 + 3, 1).tolist() == [3]
+
+    def test_vmv_v_v(self, m):
+        src = v(1, 2)
+        out = move.vmv_v_v(m, src, 2)
+        assert out.tolist() == [1, 2] and out.data is not src.data
+
+    def test_vmv_s_x_keeps_other_lanes(self, m):
+        """Listing 10 line 16: force a head flag at lane 0 only."""
+        out = move.vmv_s_x(m, v(5, 6, 7), 1, 3)
+        assert out.tolist() == [1, 6, 7]
+
+    def test_vmv_x_s(self, m):
+        assert move.vmv_x_s(m, v(42, 1)) == 42
+
+    def test_vundefined_is_none(self):
+        assert move.vundefined() is None

@@ -1,0 +1,51 @@
+"""Unit tests for the reduction intrinsics."""
+
+import numpy as np
+import pytest
+
+from repro.rvv import RVVMachine, VMask, VReg
+from repro.rvv.intrinsics import reduction as red
+
+
+@pytest.fixture
+def m():
+    return RVVMachine(vlen=128)
+
+
+def v(*vals, dtype=np.uint32):
+    return VReg(np.array(vals, dtype=dtype))
+
+
+def mk(*bits):
+    return VMask(np.array(bits, dtype=bool))
+
+
+class TestReductions:
+    def test_sum_with_init(self, m):
+        assert red.vredsum_vs(m, v(1, 2, 3), 10, 3) == 16
+
+    def test_sum_wraps(self, m):
+        assert red.vredsum_vs(m, v(2**32 - 1), 2, 1) == 1
+
+    def test_max(self, m):
+        assert red.vredmaxu_vs(m, v(3, 9, 1), 5, 3) == 9
+        assert red.vredmaxu_vs(m, v(3), 50, 1) == 50
+
+    def test_min(self, m):
+        assert red.vredminu_vs(m, v(3, 9), 100, 2) == 3
+        assert red.vredminu_vs(m, v(3, 9), 1, 2) == 1
+
+    def test_and_or_xor(self, m):
+        assert red.vredand_vs(m, v(0b1110, 0b1011), 0xFFFFFFFF, 2) == 0b1010
+        assert red.vredor_vs(m, v(0b0001, 0b0100), 0b1000, 2) == 0b1101
+        assert red.vredxor_vs(m, v(0b11, 0b01), 0, 2) == 0b10
+
+    def test_masked(self, m):
+        assert red.vredsum_vs(m, v(1, 100, 3), 0, 3, mask=mk(1, 0, 1)) == 4
+
+    def test_masked_all_off(self, m):
+        assert red.vredsum_vs(m, v(1, 2), 7, 2, mask=mk(0, 0)) == 7
+
+    def test_counts_one(self, m):
+        red.vredsum_vs(m, v(1), 0, 1)
+        assert m.counters.total == 1

@@ -1,0 +1,151 @@
+"""Unit tests for simulated memory, pointers, and the allocator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.rvv.memory import Allocator, Memory, Pointer
+
+
+class TestMemory:
+    def test_zero_initialized(self):
+        mem = Memory(1024)
+        assert not mem.load(0, 1024, np.uint8).any()
+
+    def test_store_load_roundtrip(self):
+        mem = Memory(1024)
+        data = np.arange(10, dtype=np.uint32)
+        mem.store(16, data)
+        assert np.array_equal(mem.load(16, 10, np.uint32), data)
+
+    def test_view_is_live(self):
+        mem = Memory(1024)
+        view = mem.view(0, 4, np.uint32)
+        view[2] = 7
+        assert mem.load(8, 1, np.uint32)[0] == 7
+
+    def test_out_of_bounds(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.view(60, 2, np.uint32)
+        with pytest.raises(MemoryError_):
+            mem.view(-4, 1, np.uint32)
+
+    def test_misaligned(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.view(2, 1, np.uint32)
+
+    def test_bad_size(self):
+        with pytest.raises(MemoryError_):
+            Memory(0)
+
+    def test_little_endian_layout(self):
+        mem = Memory(64)
+        mem.store(0, np.array([0x01020304], dtype=np.uint32))
+        assert mem.load(0, 4, np.uint8).tolist() == [0x04, 0x03, 0x02, 0x01]
+
+
+class TestScatterGather:
+    def test_gather(self):
+        mem = Memory(256)
+        mem.store(0, np.arange(16, dtype=np.uint32))
+        offsets = np.array([0, 8, 4], dtype=np.uint32)
+        assert mem.gather(0, offsets, np.uint32).tolist() == [0, 2, 1]
+
+    def test_scatter(self):
+        mem = Memory(256)
+        mem.scatter(0, np.array([4, 12], dtype=np.uint32),
+                    np.array([7, 9], dtype=np.uint32))
+        assert mem.load(0, 4, np.uint32).tolist() == [0, 7, 0, 9]
+
+    def test_scatter_last_writer_wins(self):
+        mem = Memory(256)
+        mem.scatter(0, np.array([0, 0], dtype=np.uint32),
+                    np.array([1, 2], dtype=np.uint32))
+        assert mem.load(0, 1, np.uint32)[0] == 2
+
+    def test_gather_empty(self):
+        mem = Memory(64)
+        assert mem.gather(0, np.empty(0, np.uint32), np.uint32).size == 0
+
+    def test_misaligned_indexed(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.gather(0, np.array([2], dtype=np.uint32), np.uint32)
+
+
+class TestPointer:
+    def test_element_arithmetic(self):
+        mem = Memory(1024)
+        p = Pointer(mem, 0, np.uint32)
+        assert (p + 3).addr == 12
+
+    def test_scalar_indexing(self):
+        mem = Memory(1024)
+        p = Pointer(mem, 0, np.uint32)
+        p.write(np.array([5, 6, 7], dtype=np.uint32))
+        assert p[1] == 6
+        p[1] = 42
+        assert p.read(3).tolist() == [5, 42, 7]
+
+    def test_cast(self):
+        mem = Memory(1024)
+        p = Pointer(mem, 0, np.uint32)
+        p.write(np.array([0x01020304], dtype=np.uint32))
+        assert p.cast(np.uint8).read(4).tolist() == [4, 3, 2, 1]
+
+
+class TestAllocator:
+    def test_alignment(self):
+        heap = Allocator(Memory(4096))
+        a = heap.malloc(5)
+        b = heap.malloc(5)
+        assert a % 16 == 0 and b % 16 == 0 and b >= a + 16
+
+    def test_free_and_reuse(self):
+        heap = Allocator(Memory(4096))
+        a = heap.malloc(64)
+        heap.free(a)
+        assert heap.malloc(64) == a  # first-fit reuses the hole
+
+    def test_coalescing(self):
+        heap = Allocator(Memory(4096))
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        rest = heap.malloc(4096 - 128)
+        heap.free(a)
+        heap.free(b)
+        heap.free(rest)
+        # after coalescing everything, a full-size block must fit again
+        assert heap.malloc(4096 - 16) is not None
+
+    def test_double_free(self):
+        heap = Allocator(Memory(4096))
+        a = heap.malloc(64)
+        heap.free(a)
+        with pytest.raises(MemoryError_):
+            heap.free(a)
+
+    def test_oom(self):
+        heap = Allocator(Memory(1024))
+        with pytest.raises(MemoryError_):
+            heap.malloc(4096)
+
+    def test_live_bytes(self):
+        heap = Allocator(Memory(4096))
+        a = heap.malloc(100)
+        assert heap.live_bytes == 112  # rounded to 16
+        heap.free(a)
+        assert heap.live_bytes == 0
+
+    def test_alloc_array(self):
+        heap = Allocator(Memory(4096))
+        p = heap.alloc_array(8, np.uint32)
+        p.write(np.arange(8, dtype=np.uint32))
+        assert p.read(8).tolist() == list(range(8))
+
+    def test_negative_malloc(self):
+        heap = Allocator(Memory(1024))
+        with pytest.raises(MemoryError_):
+            heap.malloc(-1)

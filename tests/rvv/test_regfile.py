@@ -1,0 +1,113 @@
+"""Unit tests for the architectural register file and LMUL grouping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, RegisterError
+from repro.rvv.regfile import MASK_REG, NUM_REGS, RegisterFile
+from repro.rvv.types import LMUL, SEW
+
+
+class TestGroupRules:
+    def test_alignment_required(self):
+        rf = RegisterFile(128)
+        rf.check_group(8, LMUL.M8)
+        with pytest.raises(RegisterError):
+            rf.check_group(4, LMUL.M8)
+        with pytest.raises(RegisterError):
+            rf.check_group(3, LMUL.M2)
+
+    def test_out_of_range(self):
+        rf = RegisterFile(128)
+        with pytest.raises(RegisterError):
+            rf.check_group(32, LMUL.M1)
+        with pytest.raises(RegisterError):
+            rf.check_group(-1, LMUL.M1)
+
+    def test_groups_enumeration(self):
+        assert RegisterFile.groups(LMUL.M8) == [0, 8, 16, 24]
+        assert len(RegisterFile.groups(LMUL.M1)) == NUM_REGS
+
+    def test_mask_overlap(self):
+        """A masked op's destination may not overlap v0 (the mask)."""
+        rf = RegisterFile(128)
+        with pytest.raises(RegisterError):
+            rf.check_no_mask_overlap(0, LMUL.M8)  # v0-7 contains v0
+        rf.check_no_mask_overlap(8, LMUL.M8)
+
+    def test_bad_vlen(self):
+        with pytest.raises(ConfigurationError):
+            RegisterFile(100)
+
+
+class TestElementAccess:
+    def test_write_read_roundtrip(self):
+        rf = RegisterFile(128)
+        rf.write(4, np.arange(4, dtype=np.uint32), SEW.E32, LMUL.M1)
+        assert rf.read(4, SEW.E32, LMUL.M1).tolist() == [0, 1, 2, 3]
+
+    def test_group_capacity(self):
+        rf = RegisterFile(128)
+        data = np.arange(8, dtype=np.uint32)  # 2 regs of 4 elements
+        rf.write(4, data, SEW.E32, LMUL.M2)
+        assert rf.read(4, SEW.E32, LMUL.M2).tolist() == list(range(8))
+        # the group's second register is v5
+        assert rf.read(5, SEW.E32, LMUL.M1).tolist() == [4, 5, 6, 7]
+
+    def test_overflow_rejected(self):
+        rf = RegisterFile(128)
+        with pytest.raises(RegisterError):
+            rf.write(0, np.arange(5, dtype=np.uint32), SEW.E32, LMUL.M1)
+
+    def test_partial_read_vl(self):
+        rf = RegisterFile(128)
+        rf.write(2, np.array([9, 8, 7, 6], dtype=np.uint32), SEW.E32, LMUL.M1)
+        assert rf.read(2, SEW.E32, LMUL.M1, vl=2).tolist() == [9, 8]
+        with pytest.raises(RegisterError):
+            rf.read(2, SEW.E32, LMUL.M1, vl=5)
+
+    def test_tail_agnostic_poison(self):
+        """Tail-agnostic writes fill the tail with 1s so tests relying
+        on tail values fail loudly."""
+        rf = RegisterFile(128)
+        rf.write(0, np.array([1], dtype=np.uint32), SEW.E32, LMUL.M1,
+                 tail_undisturbed=False)
+        tail = rf.read(0, SEW.E32, LMUL.M1)[1:]
+        assert (tail == np.iinfo(np.uint32).max).all()
+
+
+class TestMaskLayout:
+    def test_roundtrip(self):
+        rf = RegisterFile(128)
+        mask = np.array([1, 0, 1, 1, 0, 0, 0, 1], dtype=bool)
+        rf.write_mask(mask)
+        assert rf.read_mask(8).tolist() == mask.tolist()
+
+    def test_packed_one_bit_per_element(self):
+        """RVV packs masks 1 bit per element: 8 mask bits occupy one
+        byte of v0 regardless of SEW."""
+        rf = RegisterFile(128)
+        rf.write_mask(np.ones(8, dtype=bool))
+        assert rf.read(MASK_REG, SEW.E8, LMUL.M1)[0] == 0xFF
+
+    def test_too_long(self):
+        rf = RegisterFile(128)
+        with pytest.raises(RegisterError):
+            rf.write_mask(np.ones(129, dtype=bool))
+        with pytest.raises(RegisterError):
+            rf.read_mask(129)
+
+
+class TestWholeRegisterMoves:
+    def test_spill_roundtrip(self):
+        rf = RegisterFile(128)
+        rf.write(8, np.arange(8, dtype=np.uint32), SEW.E32, LMUL.M2)
+        saved = rf.whole_store(8, LMUL.M2)
+        rf.write(8, np.zeros(8, dtype=np.uint32), SEW.E32, LMUL.M2)
+        rf.whole_load(8, LMUL.M2, saved)
+        assert rf.read(8, SEW.E32, LMUL.M2).tolist() == list(range(8))
+
+    def test_size_check(self):
+        rf = RegisterFile(128)
+        with pytest.raises(RegisterError):
+            rf.whole_load(0, LMUL.M2, np.zeros(3, dtype=np.uint8))

@@ -1,0 +1,76 @@
+"""Tests for the execution-trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro import SVM, RVVMachine
+from repro.rvv.counters import Cat
+from repro.rvv.trace import TraceRecorder, trace
+
+
+class TestRecorder:
+    def test_records_events(self):
+        m = RVVMachine(vlen=128)
+        with trace(m) as t:
+            m.vsetvl(4)
+            m.scalar(3)
+        assert t.total == 4
+        assert [e.category for e in t.events] == [Cat.VCONFIG, Cat.SCALAR]
+
+    def test_counters_still_accumulate(self):
+        m = RVVMachine(vlen=128)
+        m.scalar(5)
+        with trace(m):
+            m.scalar(2)
+        m.scalar(1)
+        assert m.counters.total == 8
+
+    def test_detach_restores_original_object(self):
+        m = RVVMachine(vlen=128)
+        original = m.counters
+        with trace(m):
+            m.scalar(1)
+        assert m.counters is original
+
+    def test_double_attach_rejected(self):
+        m = RVVMachine(vlen=128)
+        t = TraceRecorder(m).attach()
+        with pytest.raises(RuntimeError):
+            t.attach()
+        t.detach()
+        with pytest.raises(RuntimeError):
+            t.detach()
+
+    def test_summary_by_category(self):
+        m = RVVMachine(vlen=128)
+        svm = SVM(m, mode="strict")
+        a = svm.array([1, 2, 3, 4, 5])
+        with trace(m) as t:
+            svm.p_add(a, 1)
+        s = t.summary()
+        assert s["vconfig"] == 2  # two strips at vl=4
+        assert s["vmem"] == 4
+        assert t.total == m.counters.total
+
+    def test_histogram_shows_expansions(self):
+        m = RVVMachine(vlen=128, codegen="paper")
+        svm = SVM(m, mode="strict")
+        a = svm.array([1, 2, 3, 4])
+        with trace(m) as t:
+            svm.plus_scan(a)
+        # the paper preset expands slideups to 2 instructions
+        assert any(cat == Cat.VPERM and n == 2 for (cat, n) in t.histogram())
+
+    def test_diff_isolates_spill_traffic(self):
+        def traced(lmul):
+            m = RVVMachine(vlen=1024, codegen="paper")
+            svm = SVM(m, mode="strict")
+            a = svm.array(np.zeros(512, dtype=np.uint32))
+            f = svm.array(np.zeros(512, dtype=np.uint32))
+            with trace(m) as t:
+                svm.seg_plus_scan(a, f, lmul=lmul)
+            return t
+
+        from repro.rvv.types import LMUL
+        d = traced(LMUL.M8).diff(traced(LMUL.M4))
+        assert d["spill"] > 0

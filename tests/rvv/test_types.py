@@ -1,0 +1,100 @@
+"""Unit tests for the RVV configuration types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rvv.types import (
+    LMUL,
+    SEW,
+    MaskPolicy,
+    TailPolicy,
+    VType,
+    dtype_for_sew,
+    sew_for_dtype,
+    vlmax_for,
+)
+
+
+class TestSEW:
+    def test_values(self):
+        assert [int(s) for s in SEW] == [8, 16, 32, 64]
+
+    def test_dtype_mapping_unsigned(self):
+        assert dtype_for_sew(SEW.E8) == np.uint8
+        assert dtype_for_sew(SEW.E32) == np.uint32
+        assert dtype_for_sew(SEW.E64) == np.uint64
+
+    def test_dtype_mapping_signed(self):
+        assert dtype_for_sew(SEW.E16, signed=True) == np.int16
+
+    def test_dtype_roundtrip(self):
+        for sew in SEW:
+            assert sew_for_dtype(dtype_for_sew(sew)) == sew
+            assert sew_for_dtype(dtype_for_sew(sew, signed=True)) == sew
+
+    def test_bad_sew(self):
+        with pytest.raises(ConfigurationError):
+            dtype_for_sew(24)  # type: ignore[arg-type]
+
+    def test_bad_dtype(self):
+        with pytest.raises(ConfigurationError):
+            sew_for_dtype(np.dtype(np.float32))
+
+
+class TestLMUL:
+    def test_values(self):
+        assert [int(m) for m in LMUL] == [1, 2, 4, 8]
+
+    def test_from_int(self):
+        assert LMUL(4) is LMUL.M4
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LMUL(3)
+
+
+class TestVlmax:
+    @pytest.mark.parametrize("vlen,sew,lmul,expected", [
+        (128, SEW.E32, LMUL.M1, 4),
+        (1024, SEW.E32, LMUL.M1, 32),
+        (1024, SEW.E32, LMUL.M8, 256),
+        (256, SEW.E8, LMUL.M1, 32),
+        (128, SEW.E64, LMUL.M2, 4),
+    ])
+    def test_formula(self, vlen, sew, lmul, expected):
+        """vlmax = VLEN / SEW * LMUL (§2.1, §3.3)."""
+        assert vlmax_for(vlen, sew, lmul) == expected
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            vlmax_for(100, SEW.E32, LMUL.M1)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            vlmax_for(0, SEW.E32, LMUL.M1)
+
+
+class TestVType:
+    def test_normalizes_ints(self):
+        vt = VType(32, 4)
+        assert vt.sew is SEW.E32 and vt.lmul is LMUL.M4
+
+    def test_defaults(self):
+        vt = VType(SEW.E32, LMUL.M1)
+        assert vt.tail is TailPolicy.AGNOSTIC
+        assert vt.mask is MaskPolicy.UNDISTURBED
+
+    def test_vlmax(self):
+        assert VType(SEW.E32, LMUL.M2).vlmax(512) == 32
+
+    def test_dtype(self):
+        assert VType(SEW.E16, LMUL.M1).dtype == np.uint16
+
+    def test_frozen(self):
+        vt = VType(SEW.E32, LMUL.M1)
+        with pytest.raises(AttributeError):
+            vt.sew = SEW.E8  # type: ignore[misc]
+
+    def test_str(self):
+        assert str(VType(SEW.E32, LMUL.M2)) == "e32m2,ta,mu"

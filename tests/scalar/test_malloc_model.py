@@ -1,0 +1,60 @@
+"""Unit tests for the heap-allocation cost model (Table 1's mmap
+jump)."""
+
+from repro.scalar.malloc_model import (
+    MMAP_THRESHOLD,
+    PAGE_SIZE,
+    GlibcMallocModel,
+    ZeroMallocModel,
+)
+
+
+class TestGlibcModel:
+    def test_small_fast_path(self):
+        model = GlibcMallocModel()
+        assert model.malloc_cost(64) == model.small_malloc
+        assert model.free_cost(64) == model.small_free
+
+    def test_threshold_boundary(self):
+        model = GlibcMallocModel()
+        below = model.malloc_cost(MMAP_THRESHOLD - 1)
+        at = model.malloc_cost(MMAP_THRESHOLD)
+        assert below == model.small_malloc
+        assert at > 10 * below
+
+    def test_per_page_scaling(self):
+        model = GlibcMallocModel()
+        one_mb = model.malloc_cost(1 << 20)
+        two_mb = model.malloc_cost(2 << 20)
+        assert two_mb - one_mb == (1 << 20) // PAGE_SIZE * model.per_page
+
+    def test_partial_page_rounds_up(self):
+        model = GlibcMallocModel()
+        assert (model.malloc_cost(MMAP_THRESHOLD + 1)
+                == model.mmap_base + (MMAP_THRESHOLD // PAGE_SIZE + 1) * model.per_page)
+
+    def test_large_free_flat(self):
+        model = GlibcMallocModel()
+        assert model.free_cost(1 << 20) == model.munmap_base
+        assert model.free_cost(64 << 20) == model.munmap_base
+
+    def test_zero_size(self):
+        assert GlibcMallocModel().malloc_cost(0) > 0  # malloc(0) still runs code
+
+    def test_table1_jump_magnitude(self):
+        """The per-element excess at N=1e5 implied by Table 1
+        (~116/element over 32 bit-iterations with 2 large allocations
+        each) should be within 25% of the model's prediction."""
+        model = GlibcMallocModel()
+        n = 10**5
+        per_iter = model.malloc_cost(4 * n) + model.free_cost(4 * n)
+        predicted_excess = 32 * 2 * per_iter / n
+        paper_excess = (195 - 80)  # instr/element, Table 1's jump
+        assert abs(predicted_excess - paper_excess) / paper_excess < 0.25
+
+
+class TestZeroModel:
+    def test_always_zero(self):
+        model = ZeroMallocModel()
+        assert model.malloc_cost(1 << 30) == 0
+        assert model.free_cost(1 << 30) == 0

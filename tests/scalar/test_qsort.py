@@ -1,0 +1,105 @@
+"""Unit tests for the instrumented qsort cost model (Table 1's
+baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VectorLengthError
+from repro.scalar import QSORT_COSTS, ScalarMachine, instrumented_qsort, qsort_baseline
+from repro.scalar.qsort import QsortCosts, SortStats
+
+
+class TestSortingCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 2, 8, 9, 100, 1000])
+    def test_random(self, n):
+        data = np.random.default_rng(n).integers(0, 2**32, n, dtype=np.uint32)
+        out, _ = instrumented_qsort(data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_already_sorted(self):
+        data = np.arange(500, dtype=np.uint32)
+        out, _ = instrumented_qsort(data)
+        assert np.array_equal(out, data)
+
+    def test_reverse_sorted(self):
+        data = np.arange(500, dtype=np.uint32)[::-1].copy()
+        out, _ = instrumented_qsort(data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_all_equal(self):
+        """Three-way partitioning keeps duplicates linear, not
+        quadratic."""
+        data = np.full(10_000, 7, dtype=np.uint32)
+        out, stats = instrumented_qsort(data)
+        assert np.array_equal(out, data)
+        assert stats.comparisons < 20 * 10_000
+
+    def test_few_distinct(self):
+        data = np.random.default_rng(3).integers(0, 4, 5000, dtype=np.uint32)
+        out, _ = instrumented_qsort(data)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_input_not_mutated(self):
+        data = np.array([3, 1, 2], dtype=np.uint32)
+        instrumented_qsort(data)
+        assert data.tolist() == [3, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(VectorLengthError):
+            instrumented_qsort(np.zeros((2, 2), dtype=np.uint32))
+
+
+class TestStats:
+    def test_nlogn_scaling(self):
+        c = {}
+        for n in (1000, 8000):
+            data = np.random.default_rng(0).integers(0, 2**32, n, dtype=np.uint32)
+            _, stats = instrumented_qsort(data)
+            c[n] = stats.comparisons
+        # 8x the input should cost ~8 * lg-ratio more comparisons, and
+        # certainly between 8x (linear) and 64x (quadratic)
+        assert 8 <= c[8000] / c[1000] < 16
+
+    def test_empty_stats(self):
+        _, stats = instrumented_qsort(np.empty(0, dtype=np.uint32))
+        assert stats.comparisons == 0 and stats.partitions == 0
+
+    def test_stats_accumulate(self):
+        s = SortStats(comparisons=1, swaps=2)
+        s += SortStats(comparisons=3, partitions=4)
+        assert s.comparisons == 4 and s.swaps == 2 and s.partitions == 4
+
+
+class TestCostModel:
+    def test_dynamic_count_formula(self):
+        costs = QsortCosts(10, 1, 100, 1, 2, 5)
+        stats = SortStats(comparisons=3, swaps=2, partitions=1,
+                          insertion_moves=4, n=10)
+        assert costs.dynamic_count(stats) == 30 + 2 + 100 + 4 + 20 + 5
+
+    def test_baseline_charges_machine(self):
+        sm = ScalarMachine()
+        data = np.random.default_rng(1).integers(0, 2**32, 100, dtype=np.uint32)
+        out = qsort_baseline(sm, data)
+        assert np.array_equal(out, np.sort(data))
+        assert sm.total > 0
+
+    def test_monotone_in_n(self):
+        counts = []
+        for n in (100, 1000, 10000):
+            sm = ScalarMachine()
+            qsort_baseline(sm, np.random.default_rng(0).integers(
+                0, 2**32, n, dtype=np.uint32))
+            counts.append(sm.total)
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_table1_magnitude(self):
+        """~26 dynamic instructions per comparison at N=10^4 — the
+        signature the fit targets (paper: 3,470,344)."""
+        sm = ScalarMachine()
+        qsort_baseline(sm, np.random.default_rng(42).integers(
+            0, 2**32, 10**4, dtype=np.uint32))
+        assert 3.0e6 < sm.total < 4.0e6
+
+    def test_default_costs_plausible(self):
+        assert 15 <= QSORT_COSTS.per_comparison <= 30

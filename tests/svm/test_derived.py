@@ -1,0 +1,97 @@
+"""Tests for the derived scan operations (copy-scan, reduce-distribute,
+backward scans)."""
+
+import numpy as np
+import pytest
+
+from repro.svm.derived import (
+    scan_backward,
+    seg_copy,
+    seg_scan_backward,
+    seg_total,
+    tail_to_head_flags,
+)
+from tests.oracles import OPS
+
+
+class TestSegCopy:
+    def test_distributes_head_values(self, svm):
+        vals = svm.array([5, 1, 2, 9, 3, 7])
+        heads = svm.array([1, 0, 0, 1, 0, 1])
+        out = seg_copy(svm, vals, heads)
+        assert out.to_numpy().tolist() == [5, 5, 5, 9, 9, 7]
+
+    def test_single_segment(self, svm):
+        vals = svm.array([4, 8, 2])
+        out = seg_copy(svm, vals, svm.zeros(3))
+        assert out.to_numpy().tolist() == [4, 4, 4]
+
+
+class TestTailToHead:
+    def test_basic(self, svm):
+        heads = svm.array([1, 0, 1, 0, 0])
+        out = tail_to_head_flags(svm, heads)
+        # reversed segmentation's heads: original tails (idx 1 and 4)
+        # reversed -> positions 0 and 3
+        assert out.to_numpy().tolist() == [1, 0, 0, 1, 0]
+
+
+class TestSegTotal:
+    @pytest.mark.parametrize("op", ["plus", "max", "min"])
+    def test_operators(self, svm, rng, op):
+        fn, ident = OPS[op]
+        vals_np = rng.integers(0, 100, 23, dtype=np.uint32)
+        heads_np = (rng.random(23) < 0.3).astype(np.uint32)
+        out = seg_total(svm, svm.array(vals_np), svm.array(heads_np), op)
+        # oracle: per-segment reduce broadcast
+        heads_np = heads_np.copy()
+        heads_np[0] = 1
+        bounds = np.flatnonzero(heads_np).tolist() + [23]
+        expect = np.empty(23, dtype=np.uint32)
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            acc = ident
+            for v in vals_np[lo:hi]:
+                acc = fn(acc, int(v)) & 0xFFFFFFFF
+            expect[lo:hi] = acc
+        assert np.array_equal(out.to_numpy(), expect)
+
+
+class TestBackwardScans:
+    def test_suffix_sum(self, svm):
+        a = svm.array([1, 2, 3, 4])
+        scan_backward(svm, a)
+        assert a.to_numpy().tolist() == [10, 9, 7, 4]
+
+    def test_exclusive_suffix(self, svm):
+        a = svm.array([1, 2, 3, 4])
+        scan_backward(svm, a, inclusive=False)
+        assert a.to_numpy().tolist() == [9, 7, 4, 0]
+
+    def test_suffix_max(self, svm):
+        a = svm.array([3, 9, 1, 5])
+        scan_backward(svm, a, "max")
+        assert a.to_numpy().tolist() == [9, 9, 5, 5]
+
+    def test_segmented_suffix(self, svm):
+        a = svm.array([1, 2, 3, 4, 5])
+        heads = svm.array([1, 0, 0, 1, 0])
+        seg_scan_backward(svm, a, heads)
+        assert a.to_numpy().tolist() == [6, 5, 3, 9, 5]
+
+    def test_segmented_suffix_exclusive(self, svm):
+        a = svm.array([1, 2, 3, 4, 5])
+        heads = svm.array([1, 0, 0, 1, 0])
+        seg_scan_backward(svm, a, heads, inclusive=False)
+        assert a.to_numpy().tolist() == [5, 3, 0, 5, 0]
+
+    def test_mode_parity(self, rng):
+        from repro import SVM
+        vals = rng.integers(0, 1000, 61, dtype=np.uint32)
+        results = []
+        for mode in ("strict", "fast"):
+            svm = SVM(vlen=128, mode=mode, codegen="paper")
+            a = svm.array(vals)
+            svm.reset()
+            scan_backward(svm, a)
+            results.append((a.to_numpy().tolist(), svm.instructions))
+        assert results[0] == results[1]

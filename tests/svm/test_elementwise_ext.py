@@ -1,0 +1,138 @@
+"""Tests for the extended primitive set (flag compares, index, rsub,
+reduce, shift1up)."""
+
+import numpy as np
+import pytest
+
+CMP = {
+    "p_lt": np.less, "p_le": np.less_equal, "p_gt": np.greater,
+    "p_ge": np.greater_equal, "p_eq": np.equal, "p_ne": np.not_equal,
+}
+
+
+class TestFlagCompares:
+    @pytest.mark.parametrize("name", sorted(CMP))
+    def test_vv_semantics(self, svm, rng, name):
+        da = rng.integers(0, 50, 37, dtype=np.uint32)
+        db = rng.integers(0, 50, 37, dtype=np.uint32)
+        out = getattr(svm, name)(svm.array(da), svm.array(db))
+        assert np.array_equal(out.to_numpy(), CMP[name](da, db).astype(np.uint32))
+
+    @pytest.mark.parametrize("name", sorted(CMP))
+    def test_vx_semantics(self, svm, rng, name):
+        da = rng.integers(0, 50, 23, dtype=np.uint32)
+        out = getattr(svm, name)(svm.array(da), 25)
+        assert np.array_equal(out.to_numpy(), CMP[name](da, np.uint32(25)).astype(np.uint32))
+
+    def test_unsigned_comparison(self, svm):
+        big = 2**31 + 7
+        out = svm.p_gt(svm.array([big, 3]), 10)
+        assert out.to_numpy().tolist() == [1, 0]
+
+    def test_output_is_binary_flags(self, svm, rng):
+        da = rng.integers(0, 10, 40, dtype=np.uint32)
+        out = svm.p_le(svm.array(da), 5)
+        assert set(np.unique(out.to_numpy())) <= {0, 1}
+
+
+class TestIndexAndRsub:
+    def test_index_array(self, svm):
+        out = svm.index_array(13)
+        assert out.to_numpy().tolist() == list(range(13))
+
+    def test_index_multi_strip_offsets(self, svm):
+        """VLEN=128 -> vl=4; vid must be rebased every strip."""
+        out = svm.index_array(10)
+        assert out.to_numpy().tolist() == list(range(10))
+
+    def test_p_rsub(self, svm):
+        a = svm.array([0, 3, 10])
+        svm.p_rsub(a, 10)
+        assert a.to_numpy().tolist() == [10, 7, 0]
+
+    def test_rsub_wraps(self, svm):
+        a = svm.array([5])
+        svm.p_rsub(a, 2)
+        assert a.to_numpy().tolist() == [2**32 - 3]
+
+    def test_reversal_index_idiom(self, svm):
+        idx = svm.index_array(5)
+        svm.p_rsub(idx, 4)
+        assert idx.to_numpy().tolist() == [4, 3, 2, 1, 0]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("op,fn,ident", [
+        ("plus", lambda a: int(a.sum(dtype=np.uint64)) % 2**32, 0),
+        ("max", lambda a: int(a.max()), 0),
+        ("min", lambda a: int(a.min()), 2**32 - 1),
+        ("or", lambda a: int(np.bitwise_or.reduce(a)), 0),
+        ("and", lambda a: int(np.bitwise_and.reduce(a)), 2**32 - 1),
+        ("xor", lambda a: int(np.bitwise_xor.reduce(a)), 0),
+    ])
+    def test_operators(self, svm, rng, op, fn, ident):
+        data = rng.integers(0, 2**32, 37, dtype=np.uint32)
+        assert svm.reduce(svm.array(data), op) == fn(data)
+
+    def test_empty_returns_identity(self, svm):
+        assert svm.reduce(svm.array([]), "plus") == 0
+        assert svm.reduce(svm.array([]), "min") == 2**32 - 1
+
+    def test_matches_scan_last(self, svm, rng):
+        data = rng.integers(0, 1000, 21, dtype=np.uint32)
+        total = svm.reduce(svm.array(data), "plus")
+        a = svm.array(data)
+        svm.plus_scan(a)
+        assert total == int(a.to_numpy()[-1])
+
+
+class TestShift1Up:
+    def test_semantics(self, svm):
+        out = svm.shift1up(svm.array([1, 2, 3]), 9)
+        assert out.to_numpy().tolist() == [9, 1, 2]
+
+    def test_cross_strip_boundary_carry(self, svm):
+        """The boundary element must ride across strips (vl=4)."""
+        out = svm.shift1up(svm.array(list(range(10))), 99)
+        assert out.to_numpy().tolist() == [99] + list(range(9))
+
+    def test_in_place_aliasing(self, svm):
+        a = svm.array([1, 2, 3, 4, 5, 6])
+        got = svm.shift1up(a, 0, out=a)
+        assert got is a
+        assert a.to_numpy().tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_fill_wraps(self, svm):
+        out = svm.shift1up(svm.array([1]), 2**32 + 5)
+        assert out.to_numpy().tolist() == [5]
+
+
+class TestShifts:
+    def test_p_srl(self, svm):
+        a = svm.array([8, 9, 2**31])
+        svm.p_srl(a, 3)
+        assert a.to_numpy().tolist() == [1, 1, 2**28]
+
+    def test_p_sll(self, svm):
+        a = svm.array([1, 3])
+        svm.p_sll(a, 4)
+        assert a.to_numpy().tolist() == [16, 48]
+
+    def test_shift_amount_masked(self, svm):
+        """Hardware uses the low lg2(SEW) shift bits: 33 acts as 1."""
+        a = svm.array([4])
+        svm.p_srl(a, 33)
+        assert a.to_numpy().tolist() == [2]
+
+    def test_parity(self, rng):
+        from repro import SVM
+        data = rng.integers(0, 2**32, 77, dtype=np.uint32)
+        results = []
+        for mode in ("strict", "fast"):
+            svm = SVM(vlen=128, mode=mode, codegen="paper")
+            a = svm.array(data)
+            svm.reset()
+            svm.p_srl(a, 5)
+            svm.p_sll(a, 2)
+            results.append((a.to_numpy().tolist(), svm.counters.as_dict()))
+        assert results[0] == results[1]

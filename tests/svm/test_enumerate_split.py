@@ -1,0 +1,92 @@
+"""Tests for enumerate (Listing 8) and split (Listing 7)."""
+
+import numpy as np
+import pytest
+
+from repro.rvv.counters import Cat
+
+
+class TestEnumerate:
+    def test_enumerate_ones(self, svm):
+        flags = svm.array([1, 0, 1, 1, 0, 1])
+        ranks, count = svm.enumerate(flags, set_bit=True)
+        assert ranks.to_numpy().tolist() == [0, 1, 1, 2, 3, 3]
+        assert count == 4
+
+    def test_enumerate_zeros(self, svm):
+        flags = svm.array([1, 0, 1, 1, 0, 1])
+        ranks, count = svm.enumerate(flags, set_bit=False)
+        assert ranks.to_numpy().tolist() == [0, 0, 1, 1, 1, 2]
+        assert count == 2
+
+    def test_cross_strip_count_propagation(self, svm):
+        """Listing 8's vcpop accumulation: ranks keep counting across
+        strips (VLEN=128 -> vl=4)."""
+        flags = svm.array([1] * 12)
+        ranks, count = svm.enumerate(flags, set_bit=True)
+        assert ranks.to_numpy().tolist() == list(range(12))
+        assert count == 12
+
+    def test_is_exclusive_scan_of_matches(self, svm, rng):
+        raw = (rng.random(50) < 0.4).astype(np.uint32)
+        flags = svm.array(raw)
+        ranks, count = svm.enumerate(flags, set_bit=True)
+        expect = np.concatenate(([0], np.cumsum(raw)[:-1]))
+        assert np.array_equal(ranks.to_numpy(), expect.astype(np.uint32))
+        assert count == int(raw.sum())
+
+    def test_uses_viota_not_slideups(self, svm):
+        """The §4.4 optimization: enumerate's in-register phase is
+        viota (mask category), not the scan's slideup chain."""
+        flags = svm.array([1, 0, 1, 0])
+        svm.reset()
+        svm.enumerate(flags, set_bit=True)
+        assert svm.counters[Cat.VPERM] == 0
+        assert svm.counters[Cat.VMASK] >= 3  # vmseq + viota + vcpop
+
+
+class TestSplit:
+    def test_figure3_example(self, svm):
+        """Figure 3: flag-0 elements to the bottom, order preserved."""
+        src = svm.array([1, 2, 3, 4, 5, 6])
+        flags = svm.array([0, 1, 0, 1, 0, 1])
+        dst, zeros = svm.split(src, flags)
+        assert dst.to_numpy().tolist() == [1, 3, 5, 2, 4, 6]
+        assert zeros == 3
+
+    def test_stability(self, svm, rng):
+        data = rng.integers(0, 100, 40, dtype=np.uint32)
+        raw_flags = (rng.random(40) < 0.5).astype(np.uint32)
+        src, flags = svm.array(data), svm.array(raw_flags)
+        dst, zeros = svm.split(src, flags)
+        expect = np.concatenate((data[raw_flags == 0], data[raw_flags == 1]))
+        assert np.array_equal(dst.to_numpy(), expect)
+        assert zeros == int((raw_flags == 0).sum())
+
+    def test_all_zero_flags(self, svm):
+        src = svm.array([4, 5, 6])
+        dst, zeros = svm.split(src, svm.zeros(3))
+        assert dst.to_numpy().tolist() == [4, 5, 6]
+        assert zeros == 3
+
+    def test_all_one_flags(self, svm):
+        src = svm.array([4, 5, 6])
+        dst, zeros = svm.split(src, svm.array([1, 1, 1]))
+        assert dst.to_numpy().tolist() == [4, 5, 6]
+        assert zeros == 0
+
+    def test_scratch_freed(self, svm):
+        """Listing 7 frees i_up/i_down; the heap must not leak."""
+        src = svm.array([1, 2, 3, 4])
+        flags = svm.array([0, 1, 0, 1])
+        before = svm.machine.heap.live_bytes
+        dst, _ = svm.split(src, flags)
+        after = svm.machine.heap.live_bytes
+        # only the returned destination array remains allocated
+        assert after - before == dst.ptr.view(4).nbytes
+
+    def test_source_untouched(self, svm):
+        src = svm.array([9, 1, 8, 2])
+        flags = svm.array([1, 0, 1, 0])
+        svm.split(src, flags)
+        assert src.to_numpy().tolist() == [9, 1, 8, 2]

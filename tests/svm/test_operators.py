@@ -1,0 +1,52 @@
+"""Unit tests for the scan operator abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.svm.operators import AND, MAX, MIN, OPERATORS, OR, PLUS, XOR, get_operator
+
+
+class TestIdentities:
+    def test_plus_identity(self):
+        assert PLUS.identity(np.uint32) == 0
+
+    def test_min_identity_is_all_ones(self):
+        assert MIN.identity(np.uint32) == 2**32 - 1
+        assert MIN.identity(np.uint16) == 2**16 - 1
+
+    def test_and_identity(self):
+        assert AND.identity(np.uint8) == 0xFF
+
+    def test_max_or_xor_identity(self):
+        for op in (MAX, OR, XOR):
+            assert op.identity(np.uint32) == 0
+
+    def test_identity_is_left_identity(self):
+        """I⊕ ⊕ a == a for every operator — the property exclusive
+        scans rely on."""
+        rng = np.random.default_rng(1)
+        for op in OPERATORS.values():
+            ident = np.uint32(op.identity(np.uint32))
+            a = rng.integers(0, 2**32, 10, dtype=np.uint32)
+            assert np.array_equal(op.ufunc(ident, a), a), op.name
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_operator("plus") is PLUS
+        assert get_operator("max") is MAX
+
+    def test_passthrough(self):
+        assert get_operator(OR) is OR
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_operator("mul")
+
+    def test_intrinsic_names_resolve(self):
+        """Every operator's declared intrinsics must exist."""
+        from repro.rvv.intrinsics import arith
+        for op in OPERATORS.values():
+            assert hasattr(arith, op.vv_intrinsic), op.vv_intrinsic
+            assert hasattr(arith, op.vx_intrinsic), op.vx_intrinsic

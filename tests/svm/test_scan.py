@@ -1,0 +1,117 @@
+"""Tests for the unsegmented scan primitives (§4.3): all operators,
+inclusive and exclusive, against the per-element oracle."""
+
+import numpy as np
+import pytest
+
+from repro.rvv.counters import Cat
+from repro.svm.scan import inner_scan_steps
+from tests.oracles import OPS, scan_oracle
+
+
+class TestInnerScanSteps:
+    """Figure 1: ceil(lg vl) slideup-and-add iterations."""
+
+    @pytest.mark.parametrize("vl,steps", [
+        (0, 0), (1, 0), (2, 1), (3, 2), (4, 2), (8, 3), (32, 5), (100, 7),
+        (256, 8),
+    ])
+    def test_values(self, vl, steps):
+        assert inner_scan_steps(vl) == steps
+
+
+class TestInclusiveScan:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_all_operators(self, svm, rng, op):
+        fn, identity = OPS[op]
+        data = rng.integers(0, 2**32, 37, dtype=np.uint32)
+        a = svm.array(data)
+        svm.scan(a, op)
+        assert np.array_equal(a.to_numpy(), scan_oracle(data, fn, identity))
+
+    def test_plus_scan_alias(self, svm):
+        a = svm.array([1, 2, 3, 4])
+        svm.plus_scan(a)
+        assert a.to_numpy().tolist() == [1, 3, 6, 10]
+
+    def test_carry_across_strips(self, svm):
+        """VLEN=128 gives vl=4: 12 elements need 3 strips, exercising
+        the carry chain (Listing 6's carry = src[vl-1])."""
+        a = svm.array([1] * 12)
+        svm.plus_scan(a)
+        assert a.to_numpy().tolist() == list(range(1, 13))
+
+    def test_modular_wrap(self, svm):
+        a = svm.array([2**32 - 1, 5])
+        svm.plus_scan(a)
+        assert a.to_numpy().tolist() == [2**32 - 1, 4]
+
+    def test_single_element(self, svm):
+        a = svm.array([9])
+        svm.plus_scan(a)
+        assert a.to_numpy().tolist() == [9]
+
+    def test_empty(self, svm):
+        a = svm.array([])
+        svm.plus_scan(a)
+        assert a.to_numpy().size == 0
+
+
+class TestExclusiveScan:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_all_operators(self, svm, rng, op):
+        fn, identity = OPS[op]
+        data = rng.integers(0, 2**32, 37, dtype=np.uint32)
+        a = svm.array(data)
+        svm.scan_exclusive(a, op)
+        expect = scan_oracle(data, fn, identity, inclusive=False)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_blelloch_definition(self, svm):
+        """[I, a0, a0+a1, ...] — the paper's §1 definition."""
+        a = svm.array([3, 1, 7, 0, 4])
+        svm.scan_exclusive(a)
+        assert a.to_numpy().tolist() == [0, 3, 4, 11, 11]
+
+    def test_min_identity_first(self, svm):
+        a = svm.array([5, 3])
+        svm.scan_exclusive(a, "min")
+        assert a.to_numpy().tolist() == [2**32 - 1, 5]
+
+    def test_relation_to_inclusive(self, svm, rng):
+        data = rng.integers(0, 1000, 29, dtype=np.uint32)
+        a, b = svm.array(data), svm.array(data)
+        svm.plus_scan(a)
+        svm.scan_exclusive(b)
+        incl, excl = a.to_numpy(), b.to_numpy()
+        assert np.array_equal(excl[1:], incl[:-1])
+        assert excl[0] == 0
+
+
+class TestScanCounts:
+    def test_paper_per_strip_cost(self):
+        """Table 3's 84-per-strip decomposition at vl=32."""
+        from repro import SVM
+        svm = SVM(vlen=1024, codegen="paper", mode="strict")
+        a = svm.array(np.zeros(64, dtype=np.uint32))  # 2 full strips
+        svm.reset()
+        svm.plus_scan(a)
+        assert svm.instructions == 31 + 2 * 84
+
+    def test_inner_loop_dominates_by_category(self, svm):
+        a = svm.array(np.zeros(32, dtype=np.uint32))
+        svm.reset()
+        svm.plus_scan(a)
+        # 8 strips of vl=4 (VLEN=128): 2 slideup-add steps each
+        assert svm.counters[Cat.VPERM] >= 8 * 2  # slideups (+ broadcast)
+        assert svm.counters[Cat.VARITH] == 8 * 2 + 8  # adds + carry adds
+
+    def test_count_data_independent(self, svm, rng):
+        counts = []
+        for seed in (1, 2):
+            data = np.random.default_rng(seed).integers(0, 2**32, 50, dtype=np.uint32)
+            a = svm.array(data)
+            svm.reset()
+            svm.plus_scan(a)
+            counts.append(svm.instructions)
+        assert counts[0] == counts[1]

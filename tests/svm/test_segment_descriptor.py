@@ -1,0 +1,93 @@
+"""Unit tests for the three segment descriptors and conversions (§5)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SegmentError
+from repro.svm.segment_descriptor import (
+    head_flags_to_head_pointers,
+    head_flags_to_lengths,
+    head_pointers_to_head_flags,
+    lengths_to_head_flags,
+    segment_count,
+    segment_ids,
+    validate_head_flags,
+)
+
+
+class TestLengths:
+    def test_to_flags(self):
+        assert lengths_to_head_flags([2, 3]).tolist() == [1, 0, 1, 0, 0]
+
+    def test_from_flags(self):
+        assert head_flags_to_lengths([1, 0, 1, 0, 0]).tolist() == [2, 3]
+
+    def test_implicit_first_head(self):
+        """Element 0 heads a segment even without a flag — the
+        convention the kernels use (Listing 10's vmv.s.x)."""
+        assert head_flags_to_lengths([0, 0, 1]).tolist() == [2, 1]
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        lengths = rng.integers(1, 6, 20)
+        back = head_flags_to_lengths(lengths_to_head_flags(lengths))
+        assert back.tolist() == lengths.tolist()
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(SegmentError):
+            lengths_to_head_flags([2, 0, 1])
+
+    def test_sum_check(self):
+        with pytest.raises(SegmentError):
+            lengths_to_head_flags([2, 2], n=5)
+
+    def test_empty(self):
+        assert lengths_to_head_flags([]).size == 0
+        assert head_flags_to_lengths([]).size == 0
+
+
+class TestHeadPointers:
+    def test_to_flags(self):
+        assert head_pointers_to_head_flags([0, 2], 4).tolist() == [1, 0, 1, 0]
+
+    def test_from_flags(self):
+        assert head_flags_to_head_pointers([1, 0, 0, 1]).tolist() == [0, 3]
+
+    def test_implicit_zero(self):
+        assert head_flags_to_head_pointers([0, 1]).tolist() == [0, 1]
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(SegmentError):
+            head_pointers_to_head_flags([1, 2], 4)
+
+    def test_must_be_increasing(self):
+        with pytest.raises(SegmentError):
+            head_pointers_to_head_flags([0, 2, 2], 4)
+
+    def test_range_check(self):
+        with pytest.raises(SegmentError):
+            head_pointers_to_head_flags([0, 9], 4)
+
+
+class TestValidation:
+    def test_only_binary_values(self):
+        with pytest.raises(SegmentError):
+            validate_head_flags([0, 2])
+
+    def test_rejects_2d(self):
+        with pytest.raises(SegmentError):
+            validate_head_flags(np.zeros((2, 2)))
+
+
+class TestDerived:
+    def test_segment_count(self):
+        assert segment_count([0, 0, 1, 0, 1]) == 3
+        assert segment_count([1, 0]) == 1
+
+    def test_segment_ids(self):
+        assert segment_ids([1, 0, 1, 0, 0]).tolist() == [0, 0, 1, 1, 1]
+        assert segment_ids([0, 0, 1]).tolist() == [0, 0, 1]
+
+    def test_empty(self):
+        assert segment_ids([]).size == 0
+        assert segment_count([]) == 0

@@ -1,0 +1,130 @@
+"""Tests for the segmented scan primitives (§5): all operators,
+inclusive and exclusive, against the per-element oracle — with
+particular attention to segments crossing strip boundaries."""
+
+import numpy as np
+import pytest
+
+from tests.oracles import OPS, seg_scan_oracle
+
+
+def _random_case(rng, n, density=0.25):
+    data = rng.integers(0, 2**32, n, dtype=np.uint32)
+    flags = (rng.random(n) < density).astype(np.uint32)
+    return data, flags
+
+
+class TestInclusiveSegScan:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_all_operators(self, svm, rng, op):
+        fn, identity = OPS[op]
+        data, flags = _random_case(rng, 37)
+        a, f = svm.array(data), svm.array(flags)
+        svm.seg_scan(a, f, op)
+        expect = seg_scan_oracle(data, flags, fn, identity)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_paper_example_shape(self, svm):
+        a = svm.array([1, 2, 3, 4, 5, 6])
+        f = svm.array([1, 0, 1, 0, 0, 1])
+        svm.seg_plus_scan(a, f)
+        assert a.to_numpy().tolist() == [1, 3, 3, 7, 12, 6]
+
+    def test_no_flags_equals_unsegmented(self, svm, rng):
+        """A single segment must reproduce the unsegmented scan — the
+        §5.2 requirement driving the in-register algorithm."""
+        data = rng.integers(0, 1000, 29, dtype=np.uint32)
+        a, f = svm.array(data), svm.zeros(29)
+        b = svm.array(data)
+        svm.seg_plus_scan(a, f)
+        svm.plus_scan(b)
+        assert np.array_equal(a.to_numpy(), b.to_numpy())
+
+    def test_all_flags_identity_scan(self, svm):
+        """Every lane its own segment: output == input."""
+        data = np.array([5, 7, 1, 9], dtype=np.uint32)
+        a = svm.array(data)
+        f = svm.array(np.ones(4, dtype=np.uint32))
+        svm.seg_plus_scan(a, f)
+        assert np.array_equal(a.to_numpy(), data)
+
+    def test_segment_spanning_strips(self, svm):
+        """VLEN=128 -> vl=4; a 12-element segment spans 3 strips and
+        must carry correctly (the vmsbf carry mask, Listing 10)."""
+        a = svm.array([1] * 12)
+        f = svm.zeros(12)
+        svm.seg_plus_scan(a, f)
+        assert a.to_numpy().tolist() == list(range(1, 13))
+
+    def test_head_at_strip_boundary(self, svm):
+        """A head exactly at a strip start must block the carry."""
+        a = svm.array([1] * 8)
+        flags = np.zeros(8, dtype=np.uint32)
+        flags[4] = 1  # strip boundary at VLEN=128 (vl=4)
+        f = svm.array(flags)
+        svm.seg_plus_scan(a, f)
+        assert a.to_numpy().tolist() == [1, 2, 3, 4, 1, 2, 3, 4]
+
+    def test_head_just_after_strip_boundary(self, svm):
+        a = svm.array([1] * 8)
+        flags = np.zeros(8, dtype=np.uint32)
+        flags[5] = 1
+        f = svm.array(flags)
+        svm.seg_plus_scan(a, f)
+        assert a.to_numpy().tolist() == [1, 2, 3, 4, 5, 1, 2, 3]
+
+    def test_flag_on_element_zero_irrelevant(self, svm):
+        for first in (0, 1):
+            a = svm.array([2, 3])
+            f = svm.array([first, 0])
+            svm.seg_plus_scan(a, f)
+            assert a.to_numpy().tolist() == [2, 5]
+
+
+class TestExclusiveSegScan:
+    @pytest.mark.parametrize("op", sorted(OPS))
+    def test_all_operators(self, svm, rng, op):
+        fn, identity = OPS[op]
+        data, flags = _random_case(rng, 37)
+        a, f = svm.array(data), svm.array(flags)
+        svm.seg_scan(a, f, op, inclusive=False)
+        expect = seg_scan_oracle(data, flags, fn, identity, inclusive=False)
+        assert np.array_equal(a.to_numpy(), expect)
+
+    def test_heads_get_identity(self, svm):
+        a = svm.array([5, 6, 7, 8])
+        f = svm.array([0, 0, 1, 0])
+        svm.seg_scan(a, f, "plus", inclusive=False)
+        assert a.to_numpy().tolist() == [0, 5, 0, 7]
+
+    def test_exclusive_across_strips(self, svm):
+        a = svm.array([1] * 10)
+        f = svm.zeros(10)
+        svm.seg_scan(a, f, "plus", inclusive=False)
+        assert a.to_numpy().tolist() == list(range(10))
+
+
+class TestSegScanCounts:
+    def test_paper_per_strip_decomposition(self):
+        """The calibration's centerpiece: 39 + strips*(22 + 12*lg vl),
+        exact against Tables 4/7."""
+        from repro import SVM
+        for vlen, expected_per_strip in ((128, 46), (256, 58), (1024, 82)):
+            svm = SVM(vlen=vlen, codegen="paper", mode="strict")
+            lanes = vlen // 32
+            a = svm.array(np.zeros(lanes * 3, dtype=np.uint32))
+            f = svm.zeros(lanes * 3)
+            svm.reset()
+            svm.seg_plus_scan(a, f)
+            assert svm.instructions == 39 + 3 * expected_per_strip, vlen
+
+    def test_count_independent_of_flags(self, svm, rng):
+        counts = set()
+        for density in (0.0, 0.5, 1.0):
+            data = rng.integers(0, 100, 40, dtype=np.uint32)
+            flags = (np.random.default_rng(1).random(40) < density).astype(np.uint32)
+            a, f = svm.array(data), svm.array(flags)
+            svm.reset()
+            svm.seg_plus_scan(a, f)
+            counts.add(svm.instructions)
+        assert len(counts) == 1

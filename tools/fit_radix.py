@@ -1,0 +1,52 @@
+"""Verify (and re-derive) the malloc cost model against Table 1.
+
+The paper's split radix sort per-element cost jumps from ~80 at N=1e4
+to ~196 at N>=1e5 (Table 1). The hypothesis encoded in
+repro/scalar/malloc_model.py: each split pass mallocs two 4N-byte
+buffers; past glibc's 128 KiB threshold those become mmap/munmap pairs
+whose fresh pages fault through counted proxy-kernel code.
+
+This script (a) solves for the per-page cost implied by Table 1's
+excess, and (b) re-measures the full Table 1 column with the current
+model so the fit can be checked after any change.
+
+Run:  python tools/fit_radix.py
+"""
+
+import numpy as np
+
+from repro import SVM
+from repro.algorithms import split_radix_sort
+from repro.scalar.malloc_model import MMAP_THRESHOLD, PAGE_SIZE, GlibcMallocModel
+
+PAPER_RADIX = {100: 23988, 10**3: 94842, 10**4: 803690,
+               10**5: 19603490, 10**6: 195102988}
+
+# --- (a) implied per-page cost -------------------------------------------------
+# excess per element between the small-N regime (no mmap) and large-N
+small_per_elem = PAPER_RADIX[10**4] / 10**4      # ~80.4, bins only
+for n in (10**5, 10**6):
+    excess_total = PAPER_RADIX[n] - small_per_elem * n
+    pages_per_alloc = -(-4 * n // PAGE_SIZE)
+    # 32 bit passes x 2 large allocations each (i_up, i_down)
+    n_allocs = 32 * 2
+    implied_per_page = excess_total / (n_allocs * pages_per_alloc)
+    print(f"N={n:>8}: Table 1 excess {excess_total:>13,.0f} over "
+          f"{n_allocs} allocs x {pages_per_alloc} pages "
+          f"-> {implied_per_page:.0f} instr/page")
+print(f"model uses per_page={GlibcMallocModel().per_page} "
+      f"(threshold {MMAP_THRESHOLD // 1024} KiB)")
+
+# --- (b) full-column check with the current model ---------------------------------
+print()
+for n, ref in PAPER_RADIX.items():
+    svm = SVM(vlen=1024, codegen="paper", mode="fast",
+              malloc_model=GlibcMallocModel())
+    data = np.random.default_rng(7).integers(0, 2**32, n, dtype=np.uint32)
+    arr = svm.array(data)
+    svm.reset()
+    split_radix_sort(svm, arr)
+    assert np.array_equal(arr.to_numpy(), np.sort(data))
+    c = svm.instructions
+    print(f"N={n:>8}: measured {c:>13,} paper {ref:>13,} "
+          f"err {100 * (c - ref) / ref:+.1f}%")
