@@ -1,0 +1,110 @@
+"""Strip fusion vs eager execution across the VLEN/LMUL grid.
+
+The lazy engine's pitch is that a chain of elementwise passes feeding
+a scan costs one load + one store per strip instead of one round trip
+per pass (§5's strip-mining discipline applied across *operations*,
+not just within one). This bench quantifies that on a depth-3 chain +
+plus-scan pipeline with the paper-calibrated codegen preset, sweeps
+the fused-vs-eager ratio over VLEN ∈ {128, 256, 512, 1024} × LMUL ∈
+{1, 2, 4, 8} and over chain depth, and emits ``BENCH_fusion.json``.
+
+The headline acceptance check lives here: at VLEN=1024 the fused
+depth-3+scan pipeline must save at least 25% of total dynamic
+instructions over the eager spelling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import SVM
+from repro.bench.harness import ExperimentResult
+from repro.rvv.types import LMUL
+from repro.utils.formatting import fmt_count, fmt_ratio
+
+from conftest import record
+
+N = 100_000
+CHAIN = (("p_add", 10), ("p_mul", 3), ("p_xor", 5), ("p_or", 1), ("p_add", 7))
+
+
+def _pipeline(api, data, lmul, depth):
+    for op, x in CHAIN[:depth]:
+        getattr(api, op)(data, x, lmul=lmul)
+    api.plus_scan(data, lmul=lmul)
+    return data
+
+
+def _measure(n, vlen, lmul, depth, fused):
+    svm = SVM(vlen=vlen, codegen="paper", mode="fast")
+    data = svm.array(np.random.default_rng(0).integers(0, 2**16, n, dtype=np.uint32))
+    svm.reset()
+    if fused:
+        with svm.lazy() as lz:
+            _pipeline(lz, data, lmul, depth)
+    else:
+        _pipeline(svm, data, lmul, depth)
+    return svm.instructions, data.to_numpy()
+
+
+def test_fusion_grid(benchmark):
+    grid = []
+    rows = []
+    for vlen in (128, 256, 512, 1024):
+        for lmul in (1, 2, 4, 8):
+            eager, ref = _measure(N, vlen, LMUL(lmul), 3, fused=False)
+            fused, got = _measure(N, vlen, LMUL(lmul), 3, fused=True)
+            assert np.array_equal(ref, got)
+            assert fused <= eager
+            saving = 100.0 * (eager - fused) / eager
+            grid.append({"vlen": vlen, "lmul": lmul, "eager": eager,
+                         "fused": fused, "saving_pct": round(saving, 2)})
+            rows.append([str(vlen), str(lmul), fmt_count(eager),
+                         fmt_count(fused), fmt_ratio(eager / fused),
+                         f"{saving:.1f}%"])
+
+    # acceptance: depth-3 chains at VLEN=1024 save >= 25% at every LMUL
+    for cell in grid:
+        if cell["vlen"] == 1024:
+            assert cell["saving_pct"] >= 25.0, cell
+
+    depth_sweep = []
+    depth_rows = []
+    for depth in (1, 2, 3, 4, 5):
+        eager, ref = _measure(N, 1024, LMUL.M1, depth, fused=False)
+        fused, got = _measure(N, 1024, LMUL.M1, depth, fused=True)
+        assert np.array_equal(ref, got)
+        saving = 100.0 * (eager - fused) / eager
+        depth_sweep.append({"depth": depth, "eager": eager, "fused": fused,
+                            "saving_pct": round(saving, 2)})
+        depth_rows.append([str(depth), fmt_count(eager), fmt_count(fused),
+                           fmt_ratio(eager / fused), f"{saving:.1f}%"])
+
+    record(ExperimentResult(
+        "Fusion grid",
+        f"depth-3 chain + plus_scan, N={N:,}, paper codegen: fused vs eager",
+        ["VLEN", "LMUL", "eager", "fused", "speedup x", "saved"], rows,
+        notes=["every cell is bit-identical to the eager run; the saving is"
+               " the eliminated per-strip load/store round trips and their"
+               " vsetvl/loop bookkeeping."],
+    ))
+    record(ExperimentResult(
+        "Fusion depth sweep",
+        f"chain depth + plus_scan at VLEN=1024 LMUL=1, N={N:,}",
+        ["depth", "eager", "fused", "speedup x", "saved"], depth_rows,
+    ))
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_fusion.json"
+    out.write_text(json.dumps({
+        "pipeline": "elementwise chain (depth d) + plus_scan, uint32",
+        "n": N,
+        "codegen": "paper",
+        "mode": "fast",
+        "grid": grid,
+        "depth_sweep": depth_sweep,
+    }, indent=2) + "\n")
+
+    benchmark(_measure, 10_000, 1024, LMUL.M1, 3, True)

@@ -6,6 +6,16 @@ records matching a predicate" database/streaming kernel on scan-model
 primitives: one compare pass to build flags, one pack to compact.
 ``partition_by_flag`` exposes the paper's split as a standalone stable
 partition with both halves' sizes.
+
+These pipelines run through the lazy execution engine
+(:mod:`repro.engine`): the calls inside each ``svm.lazy()`` block are
+captured as a plan and fused where legal before executing. For
+``filter_in_range`` the ``p_ge → p_mul`` chain collapses into a single
+strip loop (one load, compare + merge + multiply in registers, one
+store), cutting the intermediate VMEM/VCONFIG traffic; pack — whose
+count is data-dependent — replays verbatim. Results and counters are
+never worse than the eager spelling (asserted in
+``tests/engine/test_consumers.py``).
 """
 
 from __future__ import annotations
@@ -20,32 +30,37 @@ def filter_less_than(svm: SVM, data: SVMArray, threshold: int,
                      lmul: LMUL | None = None) -> tuple[SVMArray, int]:
     """Keep elements strictly below ``threshold`` (stable). Returns
     (packed array, count)."""
-    flags = svm.p_lt(data, threshold, lmul=lmul)
-    out, kept = svm.pack(data, flags, lmul=lmul)
-    svm.free(flags)
-    return out, kept
+    with svm.lazy() as lz:
+        flags = lz.p_lt(data, threshold, lmul=lmul)
+        out, kept = lz.pack(data, flags, lmul=lmul)
+        lz.free(flags)
+    return out, kept.value
 
 
 def filter_equal(svm: SVM, data: SVMArray, value: int,
                  lmul: LMUL | None = None) -> tuple[SVMArray, int]:
     """Keep elements equal to ``value`` (stable)."""
-    flags = svm.p_eq(data, value, lmul=lmul)
-    out, kept = svm.pack(data, flags, lmul=lmul)
-    svm.free(flags)
-    return out, kept
+    with svm.lazy() as lz:
+        flags = lz.p_eq(data, value, lmul=lmul)
+        out, kept = lz.pack(data, flags, lmul=lmul)
+        lz.free(flags)
+    return out, kept.value
 
 
 def filter_in_range(svm: SVM, data: SVMArray, lo: int, hi: int,
                     lmul: LMUL | None = None) -> tuple[SVMArray, int]:
-    """Keep elements in ``[lo, hi)`` (stable): two compares and a
-    flag product."""
-    ge_lo = svm.p_ge(data, lo, lmul=lmul)
-    lt_hi = svm.p_lt(data, hi, lmul=lmul)
-    svm.p_mul(ge_lo, lt_hi, lmul=lmul)
-    out, kept = svm.pack(data, ge_lo, lmul=lmul)
-    svm.free(ge_lo)
-    svm.free(lt_hi)
-    return out, kept
+    """Keep elements in ``[lo, hi)`` (stable): two compares and a flag
+    product. Recorded with the ``lt`` pass first so that ``p_ge`` and
+    the ``p_mul`` combining the two flag vectors are adjacent — the
+    fuser merges them into one strip loop."""
+    with svm.lazy() as lz:
+        lt_hi = lz.p_lt(data, hi, lmul=lmul)
+        ge_lo = lz.p_ge(data, lo, lmul=lmul)
+        lz.p_mul(ge_lo, lt_hi, lmul=lmul)
+        out, kept = lz.pack(data, ge_lo, lmul=lmul)
+        lz.free(ge_lo)
+        lz.free(lt_hi)
+    return out, kept.value
 
 
 def partition_by_flag(svm: SVM, data: SVMArray, flags: SVMArray,

@@ -13,6 +13,10 @@ Commands
 ``sort --n N [--algo radix|quicksort] [--vlen V]``
     Sort random keys on the simulated machine and report the dynamic
     instruction count (and the qsort baseline for comparison).
+``fuse [--pipeline P] [--n N] [--vlen V] [--lmul L] [--codegen C]``
+    Capture a pipeline with the lazy engine, dump the plan before and
+    after fusion, and report the measured per-category counter savings
+    of fused vs eager execution.
 """
 
 from __future__ import annotations
@@ -110,11 +114,93 @@ def _cmd_sort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pipe_chain_scan(lz, data, lmul):
+    lz.p_add(data, 10, lmul=lmul)
+    lz.p_mul(data, 3, lmul=lmul)
+    lz.p_xor(data, 5, lmul=lmul)
+    lz.plus_scan(data, lmul=lmul)
+    return data
+
+
+def _pipe_elementwise(lz, data, lmul):
+    lz.p_add(data, 1, lmul=lmul)
+    lz.p_sll(data, 1, lmul=lmul)
+    lz.p_or(data, 1, lmul=lmul)
+    return data
+
+
+def _pipe_filter(lz, data, lmul):
+    lt_hi = lz.p_lt(data, 3 * 2**14, lmul=lmul)
+    ge_lo = lz.p_ge(data, 2**14, lmul=lmul)
+    lz.p_mul(ge_lo, lt_hi, lmul=lmul)
+    out, _kept = lz.pack(data, ge_lo, lmul=lmul)
+    lz.free(ge_lo)
+    lz.free(lt_hi)
+    return out
+
+
+_FUSE_PIPELINES = {
+    "chain-scan": _pipe_chain_scan,
+    "elementwise": _pipe_elementwise,
+    "filter": _pipe_filter,
+}
+
+
+def _cmd_fuse(args: argparse.Namespace) -> int:
+    from .rvv.counters import Cat
+    from .rvv.types import LMUL
+    from .svm.context import SVM
+    from .utils.formatting import render_table
+
+    pipeline = _FUSE_PIPELINES[args.pipeline]
+    lmul = LMUL(args.lmul)
+
+    def run(fuse: bool):
+        svm = SVM(vlen=args.vlen, codegen=args.codegen)
+        rng = np.random.default_rng(args.seed)
+        data = svm.array(rng.integers(0, 2**16, args.n, dtype=np.uint32))
+        svm.reset()
+        with svm.lazy(fuse=fuse) as lz:
+            result = pipeline(lz, data, lmul)
+        return svm.machine.counters.snapshot(), result.to_numpy(), lz
+
+    eager, ref, _ = run(False)
+    fused, got, lz = run(True)
+
+    print(lz.plan.describe())
+    print()
+    print(lz.fused.describe(lz.plan))
+    print()
+
+    rows = []
+    for cat in Cat:
+        e, f = eager.by_category.get(cat, 0), fused.by_category.get(cat, 0)
+        if e or f:
+            rows.append([cat.value, f"{e:,}", f"{f:,}", f"{e - f:+,}"])
+    rows.append(["total", f"{eager.total:,}", f"{fused.total:,}",
+                 f"{eager.total - fused.total:+,}"])
+    print(render_table(
+        ["category", "eager", "fused", "saved"], rows,
+        title=(f"{args.pipeline}: dynamic instructions, n={args.n:,} "
+               f"VLEN={args.vlen} LMUL={args.lmul} ({args.codegen})"),
+    ))
+    if not np.array_equal(ref, got):
+        print("fused result differs from eager (BUG)", file=sys.stderr)
+        return 1
+    pct = 100.0 * (eager.total - fused.total) / eager.total if eager.total else 0.0
+    print(f"results bit-identical; fused saves {pct:.1f}% of dynamic instructions")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Scan vector model for RVV — reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
@@ -147,6 +233,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vlen", type=int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_sort)
+
+    p = sub.add_parser(
+        "fuse", help="inspect the lazy engine's plan fusion on a pipeline"
+    )
+    p.add_argument("--pipeline", choices=sorted(_FUSE_PIPELINES),
+                   default="chain-scan")
+    p.add_argument("--n", type=int, default=10000)
+    p.add_argument("--vlen", type=int, default=1024)
+    p.add_argument("--lmul", type=int, choices=[1, 2, 4, 8], default=1)
+    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_fuse)
 
     return parser
 

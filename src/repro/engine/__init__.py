@@ -1,0 +1,47 @@
+"""Lazy plan-capture + strip-fusion execution engine.
+
+The paper's primitives are each a standalone strip-mined loop, so a
+pipeline such as ``split`` (Listing 7) pays a full
+vsetvl + load + store round trip per primitive per strip even when
+consecutive elementwise operations consume each other's output. This
+package adds the missing layer between user pipelines and the
+primitive kernels:
+
+* :mod:`repro.engine.ir` — a small operation-graph IR over SVM arrays;
+* :mod:`repro.engine.capture` — a deferred, SVM-compatible recorder
+  (``with svm.lazy() as lz:`` or an explicit :class:`PlanBuilder`);
+* :mod:`repro.engine.fuse` — optimization passes: dead-temp
+  elimination plus fusion of compatible elementwise chains (and
+  elementwise→scan producers) into single strip loops that load once,
+  apply every lane operation in registers, and store once;
+* :mod:`repro.engine.executor` — runs fused groups either strictly on
+  the :class:`~repro.rvv.machine.RVVMachine` intrinsics or via the
+  NumPy fast path with identical closed-form counters (preserving the
+  repo's strict-vs-fast bit-and-counter equality invariant);
+* :mod:`repro.engine.cache` — a plan cache keyed on (op signature, n,
+  VLEN, SEW, LMUL, codegen preset) so repeated pipelines skip
+  re-planning.
+
+See ``docs/engine.md`` for the IR, fusion legality rules, the cache
+key, and a worked before/after counter example.
+"""
+
+from .cache import CacheStats, PlanCache
+from .capture import PlanBuilder
+from .executor import Engine, execute
+from .fuse import FusedGroup, FusedPlan, fuse
+from .ir import OpNode, Plan, ScalarFuture
+
+__all__ = [
+    "Engine",
+    "PlanBuilder",
+    "Plan",
+    "OpNode",
+    "ScalarFuture",
+    "fuse",
+    "FusedGroup",
+    "FusedPlan",
+    "PlanCache",
+    "CacheStats",
+    "execute",
+]

@@ -1,0 +1,76 @@
+"""Plan cache: skip re-running the fusion passes for repeated pipelines.
+
+The key is :meth:`repro.engine.ir.Plan.signature` — the α-renamed node
+structure plus everything planning depends on (per-buffer length and
+element width, per-node LMUL, VLEN, codegen preset). The cached value
+is a :class:`~repro.engine.fuse.FusedPlan`, which stores only node
+indices, so one cached entry replays against every α-equivalent plan
+(same pipeline over fresh buffers or different constants).
+
+Eviction is LRU with a bounded size: a serving process cycling through
+many distinct pipelines stays bounded in memory, and the hot pipelines
+stay resident.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["PlanCache", "CacheStats", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`PlanCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PlanCache:
+    """A bounded LRU map from plan signatures to fused plans."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: tuple):
+        """The cached fused plan for ``key``, or None (counted as a miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: tuple, fused) -> None:
+        self._entries[key] = fused
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries

@@ -1,0 +1,285 @@
+"""Deferred recording of SVM pipelines into a :class:`Plan`.
+
+:class:`PlanBuilder` mirrors the :class:`~repro.svm.context.SVM`
+surface. Methods the fuser understands (in-place elementwise, flag
+compares, ``get_flags``, scans) record structured nodes; everything
+else (``pack``, ``enumerate``, ``permute``, ``p_select``, ``reduce``,
+...) records an opaque node that replays the SVM call verbatim at
+execution — so *any* pipeline can run through the engine, and the
+fuser simply works around the parts it cannot merge.
+
+Allocation is eager (``empty``/``zeros``/``array`` hand back live
+SVMArrays immediately, marked as plan temporaries); only *execution*
+is deferred. Data-dependent scalar results (the counts of ``pack`` and
+``enumerate``, the value of ``reduce``) come back as
+:class:`~repro.engine.ir.ScalarFuture` placeholders, usable as scalar
+operands of later recorded ops and resolved when the plan executes.
+
+The usual entry point is ``with svm.lazy() as lz:`` (see
+:meth:`repro.svm.context.SVM.lazy`), which builds and executes the
+plan on block exit; an explicit PlanBuilder plus
+:meth:`PlanBuilder.build` and :meth:`~repro.engine.executor.Engine.run`
+gives manual control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rvv.types import LMUL
+from ..svm.context import SVMArray
+from ..svm.operators import PLUS, BinaryOp, get_operator
+from .ir import Buf, Buffer, Kind, OpNode, Plan, ScalarFuture
+
+__all__ = ["PlanBuilder"]
+
+
+class PlanBuilder:
+    """Records SVM calls into a :class:`Plan` instead of executing them."""
+
+    def __init__(self, svm) -> None:
+        self.svm = svm
+        self._buffers: dict[int, Buffer] = {}
+        self._by_addr: dict[int, int] = {}
+        self._nodes: list[OpNode] = []
+        #: Set by :meth:`build` / :meth:`SVM.lazy` on completion.
+        self.plan: Plan | None = None
+        self.fused = None
+
+    # ------------------------------------------------------------------
+    # buffer registry
+    # ------------------------------------------------------------------
+    def _bid(self, arr: SVMArray, temp: bool = False) -> int:
+        addr = arr.ptr.addr
+        bid = self._by_addr.get(addr)
+        if bid is None:
+            bid = len(self._buffers)
+            self._buffers[bid] = Buffer(bid, arr.n, arr.dtype, arr, temp=temp)
+            self._by_addr[addr] = bid
+        return bid
+
+    def _record(self, node: OpNode) -> None:
+        self._nodes.append(node)
+
+    def build(self) -> Plan:
+        """Freeze the recording into an executable plan."""
+        self.plan = Plan(dict(self._buffers), list(self._nodes))
+        return self.plan
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # ------------------------------------------------------------------
+    # allocation (eager — capture defers execution, not memory)
+    # ------------------------------------------------------------------
+    def array(self, values, dtype=np.uint32) -> SVMArray:
+        arr = self.svm.array(values, dtype)
+        self._bid(arr, temp=True)
+        return arr
+
+    def zeros(self, n: int, dtype=np.uint32) -> SVMArray:
+        arr = self.svm.zeros(n, dtype)
+        self._bid(arr, temp=True)
+        return arr
+
+    def empty(self, n: int, dtype=np.uint32) -> SVMArray:
+        arr = self.svm.empty(n, dtype)
+        self._bid(arr, temp=True)
+        return arr
+
+    def free(self, arr: SVMArray) -> None:
+        bid = self._bid(arr)
+        self._record(OpNode(Kind.FREE, dst=bid))
+        # the address may be recycled by a later allocation
+        self._by_addr.pop(arr.ptr.addr, None)
+
+    # ------------------------------------------------------------------
+    # fusable elementwise records
+    # ------------------------------------------------------------------
+    def _ew(self, kernel: str, a: SVMArray, x, lmul) -> None:
+        lmul = self.svm._lmul(lmul)
+        if isinstance(x, SVMArray):
+            self.svm._check_equal_len(a, x)
+            self._record(OpNode(Kind.EW_VV, op=kernel, dst=self._bid(a),
+                                operand=self._bid(x), lmul=lmul))
+        else:
+            self._record(OpNode(Kind.EW_VX, op=kernel, dst=self._bid(a),
+                                scalar=x, lmul=lmul))
+
+    def p_add(self, a, x, lmul=None):
+        self._ew("p_add", a, x, lmul)
+
+    def p_sub(self, a, x, lmul=None):
+        self._ew("p_sub", a, x, lmul)
+
+    def p_mul(self, a, x, lmul=None):
+        self._ew("p_mul", a, x, lmul)
+
+    def p_and(self, a, x, lmul=None):
+        self._ew("p_and", a, x, lmul)
+
+    def p_or(self, a, x, lmul=None):
+        self._ew("p_or", a, x, lmul)
+
+    def p_xor(self, a, x, lmul=None):
+        self._ew("p_xor", a, x, lmul)
+
+    def p_max(self, a, x, lmul=None):
+        self._ew("p_max", a, x, lmul)
+
+    def p_min(self, a, x, lmul=None):
+        self._ew("p_min", a, x, lmul)
+
+    def p_srl(self, a, x, lmul=None):
+        lmul = self.svm._lmul(lmul)
+        self._record(OpNode(Kind.EW_VX, op="p_srl", dst=self._bid(a),
+                            scalar=x, lmul=lmul))
+
+    def p_sll(self, a, x, lmul=None):
+        lmul = self.svm._lmul(lmul)
+        self._record(OpNode(Kind.EW_VX, op="p_sll", dst=self._bid(a),
+                            scalar=x, lmul=lmul))
+
+    def p_rsub(self, a, x, lmul=None):
+        lmul = self.svm._lmul(lmul)
+        self._record(OpNode(Kind.EW_VX, op="p_rsub", dst=self._bid(a),
+                            scalar=x, lmul=lmul))
+
+    # ------------------------------------------------------------------
+    # flag compares and get_flags
+    # ------------------------------------------------------------------
+    def _cmp(self, which: str, a: SVMArray, b, out, lmul) -> SVMArray:
+        dst = self.empty(a.n, np.uint32) if out is None else out
+        lmul = self.svm._lmul(lmul)
+        if isinstance(b, SVMArray):
+            self.svm._check_equal_len(a, b, dst)
+            self._record(OpNode(Kind.CMP_VV, op=which, dst=self._bid(dst),
+                                src=self._bid(a), operand=self._bid(b), lmul=lmul))
+        else:
+            self.svm._check_equal_len(a, dst)
+            self._record(OpNode(Kind.CMP_VX, op=which, dst=self._bid(dst),
+                                src=self._bid(a), scalar=b, lmul=lmul))
+        return dst
+
+    def p_lt(self, a, b, out=None, lmul=None):
+        return self._cmp("lt", a, b, out, lmul)
+
+    def p_le(self, a, b, out=None, lmul=None):
+        return self._cmp("le", a, b, out, lmul)
+
+    def p_gt(self, a, b, out=None, lmul=None):
+        return self._cmp("gt", a, b, out, lmul)
+
+    def p_ge(self, a, b, out=None, lmul=None):
+        return self._cmp("ge", a, b, out, lmul)
+
+    def p_eq(self, a, b, out=None, lmul=None):
+        return self._cmp("eq", a, b, out, lmul)
+
+    def p_ne(self, a, b, out=None, lmul=None):
+        return self._cmp("ne", a, b, out, lmul)
+
+    def get_flags(self, src: SVMArray, bit: int, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, dst)
+        lmul = self.svm._lmul(lmul)
+        self._record(OpNode(Kind.GET_FLAGS, dst=self._bid(dst),
+                            src=self._bid(src), scalar=bit, lmul=lmul))
+        return dst
+
+    # ------------------------------------------------------------------
+    # scans
+    # ------------------------------------------------------------------
+    def scan(self, a: SVMArray, op: str | BinaryOp = PLUS, *,
+             inclusive: bool = True, lmul: LMUL | None = None) -> None:
+        self._record(OpNode(
+            Kind.SCAN, op=get_operator(op).name, dst=self._bid(a),
+            inclusive=inclusive, lmul=self.svm._lmul(lmul),
+        ))
+
+    def plus_scan(self, a: SVMArray, lmul: LMUL | None = None) -> None:
+        self.scan(a, PLUS, inclusive=True, lmul=lmul)
+
+    def scan_exclusive(self, a: SVMArray, op: str | BinaryOp = PLUS,
+                       lmul: LMUL | None = None) -> None:
+        self.scan(a, op, inclusive=False, lmul=lmul)
+
+    # ------------------------------------------------------------------
+    # opaque records (verbatim SVM replay)
+    # ------------------------------------------------------------------
+    def _opaque(self, method: str, args: tuple, kwargs: dict,
+                future: ScalarFuture | None = None,
+                future_index: int | None = None) -> None:
+        wrap = lambda v: Buf(self._bid(v)) if isinstance(v, SVMArray) else v
+        self._record(OpNode(
+            Kind.OPAQUE, method=method,
+            args=tuple(wrap(a) for a in args),
+            kwargs={k: wrap(v) for k, v in kwargs.items()},
+            future=future, future_index=future_index,
+            lmul=self.svm._lmul(kwargs.get("lmul")),
+        ))
+
+    def p_select(self, flags, a, b, lmul=None) -> None:
+        self.svm._check_equal_len(flags, a, b)
+        self._opaque("p_select", (flags, a, b), {"lmul": lmul})
+
+    def permute(self, src, index, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, index, dst)
+        self._opaque("permute", (src, index), {"out": dst, "lmul": lmul})
+        return dst
+
+    def back_permute(self, src, index, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, index, dst)
+        self._opaque("back_permute", (src, index), {"out": dst, "lmul": lmul})
+        return dst
+
+    def pack(self, src, flags, out=None, lmul=None) -> tuple[SVMArray, ScalarFuture]:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, flags, dst)
+        kept = ScalarFuture("pack.kept")
+        self._opaque("pack", (src, flags), {"out": dst, "lmul": lmul},
+                     future=kept, future_index=1)
+        return dst, kept
+
+    def enumerate(self, flags, set_bit: bool = True, out=None,
+                  lmul=None) -> tuple[SVMArray, ScalarFuture]:
+        dst = self.empty(flags.n, np.uint32) if out is None else out
+        self.svm._check_equal_len(flags, dst)
+        count = ScalarFuture("enumerate.count")
+        self._opaque("enumerate", (flags, set_bit), {"out": dst, "lmul": lmul},
+                     future=count, future_index=1)
+        return dst, count
+
+    def reduce(self, a, op: str | BinaryOp = PLUS, lmul=None) -> ScalarFuture:
+        result = ScalarFuture("reduce")
+        self._opaque("reduce", (a, get_operator(op).name), {"lmul": lmul},
+                     future=result, future_index=None)
+        return result
+
+    def seg_scan(self, a, head_flags, op: str | BinaryOp = PLUS, *,
+                 inclusive: bool = True, lmul=None) -> None:
+        self.svm._check_equal_len(a, head_flags)
+        self._opaque("seg_scan", (a, head_flags, get_operator(op).name),
+                     {"inclusive": inclusive, "lmul": lmul})
+
+    def seg_plus_scan(self, a, head_flags, lmul=None) -> None:
+        self.seg_scan(a, head_flags, PLUS, inclusive=True, lmul=lmul)
+
+    def shift1up(self, src, fill: int, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, dst)
+        self._opaque("shift1up", (src, fill), {"out": dst, "lmul": lmul})
+        return dst
+
+    def copy(self, src, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, dst)
+        self._opaque("copy", (src,), {"out": dst, "lmul": lmul})
+        return dst
+
+    def index_array(self, n: int, out=None, lmul=None) -> SVMArray:
+        dst = self.empty(int(n), np.uint32) if out is None else out
+        self._opaque("index_array", (int(n),), {"out": dst, "lmul": lmul})
+        return dst

@@ -1,0 +1,325 @@
+"""Execute a fused plan, strictly or via the fast path.
+
+Non-fused units replay the recorded :class:`~repro.svm.context.SVM`
+method call verbatim, so their results *and* counters are exactly what
+eager execution would have produced — ``svm.lazy(fuse=False)`` is a
+bit- and counter-identical spelling of the eager program.
+
+Fused groups have two interchangeable implementations mirroring the
+repo's strict/fast contract:
+
+* :func:`run_group_strict` drives the machine intrinsic-by-intrinsic:
+  one strip loop that loads the head value, applies every lane op in
+  registers, runs the optional in-register scan tail, and stores once;
+* :func:`run_group_fast` computes the same chain with NumPy and calls
+  :func:`charge_group`, the closed-form counter mirror of the strict
+  loop.
+
+Both paths share the vl sequence (``n``, VLEN, SEW, LMUL determine
+it), so results and per-category counts agree exactly — the invariant
+``tests/engine`` asserts across modes, sizes, and presets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rvv.counters import Cat
+from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, permutation
+from ..rvv.types import LMUL
+from ..rvv.value import VReg
+from ..svm import elementwise as ew
+from ..svm import elementwise_ext as ewx
+from ..svm.fastpath import _UFUNC_VX, _wrap, strip_shape
+from ..svm.fastpath_ext import _NP_CMP
+from ..svm.operators import get_operator
+from ..svm.scan import inner_scan_steps
+from .cache import PlanCache
+from .fuse import (
+    KERNEL_EW,
+    KERNEL_SCAN,
+    FusedGroup,
+    FusedPlan,
+    GroupSpec,
+    fuse as fuse_plan,
+    group_profile,
+    materialize,
+)
+from .ir import Buf, EngineError, Kind, OpNode, Plan, resolve_scalar
+
+__all__ = ["Engine", "execute", "run_group_strict", "run_group_fast", "charge_group"]
+
+from ..rvv.allocation import plan_allocation
+
+_CMP_VX_INTRIN = ewx._CMP_VX  # no "ge": that relation uses vmsltu + vmnot
+_CMP_VV_INTRIN = ewx._CMP_VV
+
+
+def _trim(v: VReg, vl: int) -> VReg:
+    return v if v.vl == vl else VReg(v.data[:vl])
+
+
+# ---------------------------------------------------------------------------
+# strict group execution
+# ---------------------------------------------------------------------------
+
+def _apply_lane_strict(m, lane, acc, vl, vzero, operand_ptr):
+    """One in-register lane op of the fused strip body."""
+    if lane.kind == "vx":
+        return ew._VX_OPS[lane.op](m, acc, resolve_scalar(lane.scalar), vl)
+    if lane.kind == "vv":
+        vb = loadstore.vle(m, operand_ptr, vl)
+        return ew._VV_OPS[lane.op](m, acc, vb, vl)
+    if lane.kind == "cmp_vx":
+        x = resolve_scalar(lane.scalar)
+        if lane.op == "ge":  # vmsgeu.vx does not exist: vmsltu + vmnot
+            msk = compare.vmsltu_vx(m, acc, x, vl)
+            msk = maskops.vmnot_m(m, msk, vl)
+        else:
+            msk = _CMP_VX_INTRIN[lane.op](m, acc, x, vl)
+        return arith.vmerge_vxm(m, msk, _trim(vzero, vl), 1, vl)
+    if lane.kind == "cmp_vv":
+        vb = loadstore.vle(m, operand_ptr, vl)
+        msk = _CMP_VV_INTRIN[lane.op](m, acc, vb, vl)
+        return arith.vmerge_vxm(m, msk, _trim(vzero, vl), 1, vl)
+    raise EngineError(f"unknown lane kind {lane.kind!r}")
+
+
+def run_group_strict(svm, plan: Plan, group: FusedGroup) -> None:
+    """Drive one fused group through the machine intrinsics."""
+    m = svm.machine
+    sew = group.sew
+    lmul = group.lmul
+    kernel = KERNEL_SCAN if group.scan_op is not None else KERNEL_EW
+    alloc = plan_allocation(group_profile(group), lmul)
+
+    m.prologue(kernel)
+    if alloc.has_spills:
+        m.count(Cat.SPILL, alloc.frame_setup)
+
+    # one-time constant setup (a single vsetvlmax covers every broadcast)
+    vec_identity = vzero = None
+    op = identity = None
+    if group.scan_op is not None or group.needs_zero:
+        vlmax = m.vsetvlmax(sew, lmul)
+        if group.scan_op is not None:
+            op = get_operator(group.scan_op)
+            identity = op.identity(group.dtype)
+            vec_identity = move.vmv_v_x(m, identity, vlmax, dtype=group.dtype)
+        if group.needs_zero:
+            vzero = move.vmv_v_x(m, 0, vlmax, dtype=group.dtype)
+    if group.scan_op is not None:
+        scan_vv = ew._VV_OPS[_SCAN_EW[op.name]]
+        scan_vx = ew._VX_OPS[_SCAN_EW[op.name]]
+        carry = identity
+
+    head = plan.buffers[group.head_src].array.ptr
+    dst = plan.buffers[group.dst].array.ptr
+    ptrs = [
+        plan.buffers[l.operand].array.ptr if l.operand is not None else None
+        for l in group.lane_ops
+    ]
+
+    n = int(group.n)
+    while n > 0:
+        vl = m.vsetvl(n, sew, lmul)
+        acc = loadstore.vle(m, head, vl)
+        for i, lane in enumerate(group.lane_ops):
+            acc = _apply_lane_strict(m, lane, acc, vl, vzero, ptrs[i])
+            if ptrs[i] is not None:
+                ptrs[i] += vl
+        if group.scan_op is not None:
+            ident_vl = _trim(vec_identity, vl)
+            offset = 1
+            while offset < vl:
+                y = permutation.vslideup_vx(m, ident_vl, acc, offset, vl)
+                acc = scan_vv(m, acc, y, vl)
+                m.inner_overhead(kernel)
+                offset <<= 1
+            acc = scan_vx(m, acc, carry, vl)
+        loadstore.vse(m, dst, acc, vl)
+        if group.scan_op is not None:
+            carry = dst[vl - 1]
+            m.scalar(2)  # carry reload: address computation + lw
+        head += vl
+        dst += vl
+        n -= vl
+        m.strip_overhead(kernel, group.n_arrays)
+        if alloc.has_spills:
+            steps = inner_scan_steps(vl) if group.scan_op is not None else 0
+            m.count(Cat.SPILL, alloc.strip_cost(steps))
+
+
+#: Scan operator name -> elementwise kernel with the same vv/vx intrinsics.
+_SCAN_EW = {
+    "plus": "p_add", "max": "p_max", "min": "p_min",
+    "or": "p_or", "and": "p_and", "xor": "p_xor",
+}
+
+
+# ---------------------------------------------------------------------------
+# fast group execution (NumPy semantics + closed-form counters)
+# ---------------------------------------------------------------------------
+
+def charge_group(m, group: FusedGroup) -> None:
+    """Closed-form per-category counts of :func:`run_group_strict` —
+    depends only on the vl sequence, never on the data."""
+    sew = group.sew
+    lmul = group.lmul
+    scan = group.scan_op is not None
+    kernel = KERNEL_SCAN if scan else KERNEL_EW
+    cg = m.codegen
+    vlmax = m.vlmax(sew, lmul)
+    full, rem = strip_shape(group.n, vlmax)
+    n_strips = full + (1 if rem else 0)
+    alloc = plan_allocation(group_profile(group), lmul)
+
+    m.count(Cat.SCALAR, cg.prologue(kernel))
+    if alloc.has_spills:
+        spill = alloc.frame_setup
+        if scan:
+            spill += full * alloc.strip_cost(inner_scan_steps(vlmax))
+            if rem:
+                spill += alloc.strip_cost(inner_scan_steps(rem))
+        else:
+            spill += n_strips * alloc.strip_cost(0)
+        m.count(Cat.SPILL, spill)
+    # one-time constant setup
+    if scan or group.needs_zero:
+        m.count(Cat.VCONFIG, 1)
+        m.count(Cat.VPERM, ((1 if scan else 0) + (1 if group.needs_zero else 0)) * cg.op_cost())
+    # per strip
+    m.count(Cat.VCONFIG, n_strips)
+    m.count(Cat.VMEM, n_strips * (group.n_loads + 1))
+    if group.n_varith:
+        m.count(Cat.VARITH, n_strips * group.n_varith * cg.op_cost())
+    if group.n_mask:
+        m.count(Cat.VMASK, n_strips * group.n_mask * cg.op_cost())
+    if scan:
+        total_steps = full * inner_scan_steps(vlmax) + inner_scan_steps(rem)
+        m.count(Cat.VPERM, total_steps * cg.op_cost(dest_undisturbed=True))
+        m.count(Cat.VARITH, total_steps * cg.op_cost())
+        m.count(Cat.SCALAR, total_steps * cg.inner_overhead(kernel))
+        m.count(Cat.VARITH, n_strips * cg.op_cost())  # carry apply
+        m.count(Cat.SCALAR, n_strips * 2)  # carry reload
+    m.count(Cat.SCALAR, n_strips * cg.strip_overhead(kernel, group.n_arrays))
+
+
+def run_group_fast(svm, plan: Plan, group: FusedGroup) -> None:
+    """NumPy execution of one fused group + closed-form counters."""
+    n = int(group.n)
+    if n:
+        dtype = np.dtype(group.dtype)
+        acc = np.array(plan.buffers[group.head_src].array.ptr.view(n), copy=True)
+        for lane in group.lane_ops:
+            if lane.kind == "vx":
+                _UFUNC_VX[lane.op](acc, _wrap(resolve_scalar(lane.scalar), dtype), out=acc)
+            elif lane.kind == "vv":
+                operand = plan.buffers[lane.operand].array.ptr.view(n)
+                _UFUNC_VX[lane.op](acc, operand, out=acc)
+            elif lane.kind == "cmp_vx":
+                acc = _NP_CMP[lane.op](
+                    acc, _wrap(resolve_scalar(lane.scalar), dtype)
+                ).astype(dtype)
+            elif lane.kind == "cmp_vv":
+                operand = plan.buffers[lane.operand].array.ptr.view(n)
+                acc = _NP_CMP[lane.op](acc, operand).astype(dtype)
+            else:
+                raise EngineError(f"unknown lane kind {lane.kind!r}")
+        if group.scan_op is not None:
+            get_operator(group.scan_op).ufunc.accumulate(acc, out=acc)
+        plan.buffers[group.dst].array.ptr.view(n)[:] = acc
+    charge_group(svm.machine, group)
+
+
+# ---------------------------------------------------------------------------
+# eager unit execution (verbatim SVM replay)
+# ---------------------------------------------------------------------------
+
+def _run_node_eager(svm, plan: Plan, node: OpNode) -> None:
+    arr = lambda bid: plan.buffers[bid].array
+
+    if node.kind is Kind.EW_VX:
+        getattr(svm, node.op)(arr(node.dst), resolve_scalar(node.scalar), lmul=node.lmul)
+    elif node.kind is Kind.EW_VV:
+        getattr(svm, node.op)(arr(node.dst), arr(node.operand), lmul=node.lmul)
+    elif node.kind is Kind.CMP_VX:
+        getattr(svm, f"p_{node.op}")(
+            arr(node.src), resolve_scalar(node.scalar), out=arr(node.dst), lmul=node.lmul
+        )
+    elif node.kind is Kind.CMP_VV:
+        getattr(svm, f"p_{node.op}")(
+            arr(node.src), arr(node.operand), out=arr(node.dst), lmul=node.lmul
+        )
+    elif node.kind is Kind.GET_FLAGS:
+        svm.get_flags(arr(node.src), resolve_scalar(node.scalar),
+                      out=arr(node.dst), lmul=node.lmul)
+    elif node.kind is Kind.SCAN:
+        svm.scan(arr(node.dst), node.op, inclusive=node.inclusive, lmul=node.lmul)
+    elif node.kind is Kind.FREE:
+        svm.free(arr(node.dst))
+    elif node.kind is Kind.OPAQUE:
+        bind = lambda a: arr(a.bid) if isinstance(a, Buf) else (
+            resolve_scalar(a) if hasattr(a, "resolve") else a
+        )
+        args = tuple(bind(a) for a in node.args)
+        kwargs = {k: bind(v) for k, v in node.kwargs.items()}
+        ret = getattr(svm, node.method)(*args, **kwargs)
+        if node.future is not None:
+            value = ret if node.future_index is None else ret[node.future_index]
+            node.future.resolve(value)
+    else:  # pragma: no cover - exhaustive over Kind
+        raise EngineError(f"cannot execute node kind {node.kind}")
+
+
+# ---------------------------------------------------------------------------
+# plan execution + the Engine facade
+# ---------------------------------------------------------------------------
+
+def execute(svm, plan: Plan, fused: FusedPlan) -> None:
+    """Run a fused plan's units in program order against ``svm``."""
+    for unit in fused.units:
+        if isinstance(unit, GroupSpec):
+            group = materialize(plan, unit)
+            if svm._fast(group.n):
+                run_group_fast(svm, plan, group)
+            else:
+                run_group_strict(svm, plan, group)
+        else:
+            _run_node_eager(svm, plan, plan.nodes[unit])
+
+
+class Engine:
+    """Owns the plan cache and runs captured plans for one SVM context."""
+
+    def __init__(self, svm, cache: PlanCache | None = None) -> None:
+        self.svm = svm
+        self.cache = cache if cache is not None else PlanCache()
+        #: Most recent (plan, fused plan) pair — used by ``repro fuse``.
+        self.last_plan: Plan | None = None
+        self.last_fused: FusedPlan | None = None
+
+    def plan_key(self, plan: Plan) -> tuple:
+        m = self.svm.machine
+        return plan.signature(m.vlen, m.codegen.name)
+
+    def fused_for(self, plan: Plan) -> FusedPlan:
+        """The fusion recipe for ``plan``, through the cache."""
+        key = self.plan_key(plan)
+        fused = self.cache.get(key)
+        if fused is None:
+            fused = fuse_plan(plan)
+            self.cache.put(key, fused)
+        return fused
+
+    def run(self, plan: Plan, fuse: bool = True) -> FusedPlan:
+        """Execute ``plan``; with ``fuse=False`` every node replays
+        eagerly (bit- and counter-identical to not using the engine)."""
+        if fuse:
+            fused = self.fused_for(plan)
+        else:
+            fused = FusedPlan(units=list(range(len(plan.nodes))))
+        execute(self.svm, plan, fused)
+        self.last_plan = plan
+        self.last_fused = fused
+        return fused

@@ -1,0 +1,312 @@
+"""Operation-graph IR for the lazy execution engine.
+
+A :class:`Plan` is a straight-line list of :class:`OpNode` records over
+a table of :class:`Buffer` handles. Buffers wrap live
+:class:`~repro.svm.context.SVMArray` objects — the engine defers
+*execution*, not allocation, so capture is cheap and plans always bind
+to concrete simulated memory.
+
+Node kinds split into two classes:
+
+* **fusable** kinds (:data:`Kind.EW_VX`, :data:`Kind.EW_VV`,
+  :data:`Kind.CMP_VX`, :data:`Kind.CMP_VV`, :data:`Kind.GET_FLAGS`,
+  :data:`Kind.SCAN`) carry enough structure for
+  :mod:`repro.engine.fuse` to merge them into single strip loops;
+* **opaque** kinds (:data:`Kind.OPAQUE`, :data:`Kind.FREE`) replay a
+  recorded :class:`~repro.svm.context.SVM` method call verbatim, so any
+  primitive the fuser does not understand still executes exactly as it
+  would eagerly.
+
+Data-dependent scalar results (the count returned by ``enumerate`` or
+``pack``, the value of ``reduce``) become :class:`ScalarFuture`
+placeholders at capture time and are resolved during execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..errors import ReproError
+from ..rvv.types import LMUL, sew_for_dtype
+
+__all__ = ["Kind", "Buffer", "OpNode", "Plan", "ScalarFuture", "EngineError", "Buf"]
+
+
+class EngineError(ReproError):
+    """An invalid engine operation (unresolved future, bad capture)."""
+
+
+class ScalarFuture:
+    """A scalar produced by a deferred operation (e.g. the survivor
+    count of ``pack``), resolved when the plan executes."""
+
+    __slots__ = ("_value", "_resolved", "label")
+
+    def __init__(self, label: str = "scalar") -> None:
+        self._value: int = 0
+        self._resolved = False
+        self.label = label
+
+    def resolve(self, value: int) -> None:
+        self._value = int(value)
+        self._resolved = True
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    @property
+    def value(self) -> int:
+        """The resolved value; raises until the plan has executed."""
+        if not self._resolved:
+            raise EngineError(
+                f"ScalarFuture {self.label!r} read before the plan executed; "
+                "futures resolve when the lazy block exits"
+            )
+        return self._value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = self._value if self._resolved else "unresolved"
+        return f"ScalarFuture({self.label!r}, {state})"
+
+
+def resolve_scalar(x) -> int:
+    """Resolve an int-or-future operand at execution time."""
+    if isinstance(x, ScalarFuture):
+        return x.value
+    return int(x)
+
+
+class Kind(enum.Enum):
+    """Node kinds understood by the fuser and executor."""
+
+    #: In-place vector-scalar elementwise op: ``dst[i] = dst[i] ∘ x``.
+    EW_VX = "ew_vx"
+    #: In-place vector-vector elementwise op: ``dst[i] = dst[i] ∘ b[i]``.
+    EW_VV = "ew_vv"
+    #: Flag compare against a scalar: ``dst[i] = (src[i] ⋈ x)``.
+    CMP_VX = "cmp_vx"
+    #: Flag compare against a vector: ``dst[i] = (src[i] ⋈ b[i])``.
+    CMP_VV = "cmp_vv"
+    #: Bit extraction: ``dst[i] = (src[i] >> bit) & 1``.
+    GET_FLAGS = "get_flags"
+    #: In-place inclusive/exclusive ⊕-scan of ``dst``.
+    SCAN = "scan"
+    #: A recorded SVM method call replayed verbatim at execution.
+    OPAQUE = "opaque"
+    #: Release a buffer's simulated memory.
+    FREE = "free"
+
+
+#: Kinds whose only effect is writing their dst buffer (no futures, no
+#: allocation) — safe to delete when the dst value is provably dead.
+PURE_KINDS = frozenset(
+    {Kind.EW_VX, Kind.EW_VV, Kind.CMP_VX, Kind.CMP_VV, Kind.GET_FLAGS, Kind.SCAN}
+)
+
+
+@dataclass(frozen=True)
+class Buf:
+    """Marker wrapping a buffer id inside an opaque node's args."""
+
+    bid: int
+
+
+@dataclass
+class Buffer:
+    """One SVM array participating in a plan."""
+
+    bid: int
+    n: int
+    dtype: np.dtype
+    array: Any  # SVMArray (untyped to avoid an import cycle)
+    #: Allocated by the recorder inside the lazy block (DCE candidate
+    #: once it is also freed inside the plan).
+    temp: bool = False
+
+    @property
+    def sew(self):
+        return sew_for_dtype(self.dtype)
+
+
+@dataclass
+class OpNode:
+    """One recorded operation.
+
+    Field usage by kind:
+
+    ========== ===== ===== ======= ====== =====================
+    kind       dst   src   operand scalar extras
+    ========== ===== ===== ======= ====== =====================
+    EW_VX      ✓     —     —       x      op
+    EW_VV      ✓     —     ✓       —      op
+    CMP_VX     ✓     ✓     —       x      op = which
+    CMP_VV     ✓     ✓     ✓       —      op = which
+    GET_FLAGS  ✓     ✓     —       bit    —
+    SCAN       ✓     —     —       —      op = ⊕ name, inclusive
+    OPAQUE     —     —     —       —      method/args/kwargs/future
+    FREE       ✓     —     —       —      —
+    ========== ===== ===== ======= ====== =====================
+    """
+
+    kind: Kind
+    op: str = ""
+    dst: int | None = None
+    src: int | None = None
+    operand: int | None = None
+    scalar: Any = None  # int | ScalarFuture
+    lmul: LMUL = LMUL.M1
+    inclusive: bool = True
+    method: str = ""
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    future: ScalarFuture | None = None
+    #: Index into the method's return tuple holding the future's value
+    #: (None means the return value itself).
+    future_index: int | None = None
+
+    # -- dataflow ----------------------------------------------------------
+    def buffers_read(self) -> set[int]:
+        """Buffer ids this node reads *from memory*.
+
+        An in-place elementwise node reads its dst, but that read is
+        implicit in the accumulator when fused, so dst membership here
+        is what the *eager* kernel touches; the fuser applies its own,
+        stricter notion (see :mod:`repro.engine.fuse`).
+        """
+        reads: set[int] = set()
+        if self.kind in (Kind.EW_VX, Kind.EW_VV, Kind.SCAN):
+            reads.add(self.dst)
+        if self.src is not None:
+            reads.add(self.src)
+        if self.operand is not None:
+            reads.add(self.operand)
+        if self.kind is Kind.OPAQUE:
+            for a in self.args:
+                if isinstance(a, Buf):
+                    reads.add(a.bid)
+            for a in self.kwargs.values():
+                if isinstance(a, Buf):
+                    reads.add(a.bid)
+        return reads
+
+    def buffers_written(self) -> set[int]:
+        """Buffer ids this node may write."""
+        if self.kind is Kind.OPAQUE:
+            # conservatively: every buffer argument may be written
+            return self.buffers_read()
+        if self.kind is Kind.FREE:
+            return set()
+        return {self.dst} if self.dst is not None else set()
+
+
+class Plan:
+    """A captured straight-line operation graph over SVM buffers."""
+
+    def __init__(self, buffers: dict[int, Buffer], nodes: list[OpNode]) -> None:
+        self.buffers = buffers
+        self.nodes = nodes
+
+    # -- cache key ---------------------------------------------------------
+    def signature(self, vlen: int, codegen: str) -> tuple:
+        """A hashable structural key: node shapes with buffers α-renamed
+        in first-use order, plus everything planning depends on —
+        (per-buffer n and SEW, per-node LMUL, VLEN, codegen preset).
+        Scalar *values* are excluded: the same pipeline over different
+        constants shares one plan.
+        """
+        slots: dict[int, int] = {}
+
+        def slot(bid: int | None):
+            if bid is None:
+                return None
+            if bid not in slots:
+                slots[bid] = len(slots)
+            return slots[bid]
+
+        node_sig = []
+        for node in self.nodes:
+            if node.kind is Kind.OPAQUE:
+                arg_sig = tuple(
+                    slot(a.bid) if isinstance(a, Buf) else "·" for a in node.args
+                )
+                kw_sig = tuple(
+                    (k, slot(v.bid) if isinstance(v, Buf) else "·")
+                    for k, v in sorted(node.kwargs.items())
+                )
+                node_sig.append(
+                    (node.kind.value, node.method, arg_sig, kw_sig, int(node.lmul))
+                )
+            else:
+                node_sig.append(
+                    (
+                        node.kind.value,
+                        node.op,
+                        node.inclusive,
+                        slot(node.dst),
+                        slot(node.src),
+                        slot(node.operand),
+                        node.scalar is not None,
+                        int(node.lmul),
+                    )
+                )
+        buf_sig = tuple(
+            (s, self.buffers[bid].n, self.buffers[bid].dtype.str, self.buffers[bid].temp)
+            for bid, s in sorted(slots.items(), key=lambda kv: kv[1])
+        )
+        return (int(vlen), str(codegen), buf_sig, tuple(node_sig))
+
+    # -- inspection --------------------------------------------------------
+    def describe(self) -> str:
+        """Human-readable node listing (the ``repro fuse`` dump)."""
+        lines = [f"plan: {len(self.nodes)} nodes, {len(self.buffers)} buffers"]
+        for i, node in enumerate(self.nodes):
+            lines.append(f"  [{i:>2}] {_describe_node(self, node)}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _bname(plan: Plan, bid: int | None) -> str:
+    if bid is None:
+        return "?"
+    b = plan.buffers[bid]
+    tag = "t" if b.temp else "b"
+    return f"{tag}{bid}[{b.n}]"
+
+
+def _describe_node(plan: Plan, node: OpNode) -> str:
+    lm = f" lmul={int(node.lmul)}"
+    if node.kind is Kind.EW_VX:
+        return f"{node.op}.vx   {_bname(plan, node.dst)} ∘= {node.scalar!r}{lm}"
+    if node.kind is Kind.EW_VV:
+        return f"{node.op}.vv   {_bname(plan, node.dst)} ∘= {_bname(plan, node.operand)}{lm}"
+    if node.kind is Kind.CMP_VX:
+        return (f"p_{node.op}.vx   {_bname(plan, node.dst)} = "
+                f"({_bname(plan, node.src)} {node.op} {node.scalar!r}){lm}")
+    if node.kind is Kind.CMP_VV:
+        return (f"p_{node.op}.vv   {_bname(plan, node.dst)} = "
+                f"({_bname(plan, node.src)} {node.op} {_bname(plan, node.operand)}){lm}")
+    if node.kind is Kind.GET_FLAGS:
+        return (f"get_flags  {_bname(plan, node.dst)} = "
+                f"({_bname(plan, node.src)} >> {node.scalar!r}) & 1{lm}")
+    if node.kind is Kind.SCAN:
+        word = "scan" if node.inclusive else "scan_excl"
+        return f"{word}({node.op})  {_bname(plan, node.dst)} in place{lm}"
+    if node.kind is Kind.FREE:
+        return f"free       {_bname(plan, node.dst)}"
+    argbits = ", ".join(
+        _bname(plan, a.bid) if isinstance(a, Buf) else repr(a) for a in node.args
+    )
+    return f"{node.method}({argbits})  [opaque]{lm}"

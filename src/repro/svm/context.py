@@ -31,6 +31,7 @@ the integration tests), so the choice only affects host-Python speed.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -109,6 +110,7 @@ class SVM:
         self.mode = mode
         self.fast_threshold = int(fast_threshold)
         self.lmul = LMUL(lmul)
+        self._engine = None  # lazily-created repro.engine.Engine
 
     # ------------------------------------------------------------------
     # array management
@@ -139,6 +141,50 @@ class SVM:
         """Release an array's memory (uncharged; the charged path is
         the machine's ``malloc``/``free`` used inside kernels)."""
         self.machine.heap.free(arr.ptr.addr)
+
+    # ------------------------------------------------------------------
+    # lazy execution engine (plan capture + strip fusion)
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The lazy execution engine bound to this context (created on
+        first use; owns the plan cache)."""
+        if self._engine is None:
+            from ..engine import Engine  # local import: engine depends on svm
+
+            self._engine = Engine(self)
+        return self._engine
+
+    @contextmanager
+    def lazy(self, *, fuse: bool = True):
+        """Record SVM calls instead of executing them; run the captured
+        plan — fused by default — when the block exits.
+
+        >>> svm = SVM(vlen=256)
+        >>> a = svm.array([1, 2, 3, 4])
+        >>> with svm.lazy() as lz:
+        ...     lz.p_add(a, 10)
+        ...     lz.p_mul(a, 2)
+        ...     lz.plus_scan(a)
+        >>> a.to_numpy().tolist()
+        [22, 46, 72, 100]
+
+        The recorder (a :class:`~repro.engine.capture.PlanBuilder`)
+        mirrors the SVM method surface; ops the fuser cannot merge
+        replay verbatim. Results and counters never degrade versus
+        eager execution: with ``fuse=False`` they are *identical*, with
+        fusion the results are bit-identical and no per-category count
+        increases. Data-dependent scalars (``pack``/``enumerate``
+        counts, ``reduce``) come back as futures; read ``.value`` after
+        the block. After exit ``lz.plan`` and ``lz.fused`` hold the
+        captured and fused plans for inspection.
+        """
+        from ..engine.capture import PlanBuilder  # local import as above
+
+        lz = PlanBuilder(self)
+        yield lz
+        plan = lz.build()
+        lz.fused = self.engine.run(plan, fuse=fuse)
 
     # ------------------------------------------------------------------
     # counters

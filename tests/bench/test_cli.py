@@ -10,6 +10,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep"])
         assert args.kernel == "seg_plus_scan"
@@ -42,3 +50,16 @@ class TestCommands:
     def test_sort_quicksort(self, capsys):
         assert main(["sort", "--n", "300", "--algo", "quicksort"]) == 0
         assert "quicksort" in capsys.readouterr().out
+
+    def test_fuse(self, capsys):
+        assert main(["fuse", "--n", "200", "--vlen", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "fuse [0, 1, 2, 3]" in out          # the after-dump
+        assert "plan: 4 nodes" in out              # the before-dump
+        assert "bit-identical" in out
+
+    def test_fuse_filter_pipeline(self, capsys):
+        assert main(["fuse", "--pipeline", "filter", "--n", "200",
+                     "--vlen", "128", "--codegen", "ideal"]) == 0
+        out = capsys.readouterr().out
+        assert "[opaque]" in out and "keep" in out

@@ -1,0 +1,115 @@
+"""Shared pipelines and runners for the engine suite.
+
+Every pipeline is written against the common SVM/PlanBuilder surface,
+so the same function body runs eagerly (``pipe(svm, ...)``) or under
+capture (``pipe(lz, ...)``) — the parity tests lean on that symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.rvv.types import LMUL
+
+
+# ---------------------------------------------------------------------------
+# pipelines (api is an SVM or a PlanBuilder)
+# ---------------------------------------------------------------------------
+
+def pipe_chain_scan(api, data, lmul):
+    """Depth-3 elementwise chain feeding an inclusive plus-scan."""
+    api.p_add(data, 10, lmul=lmul)
+    api.p_mul(data, 3, lmul=lmul)
+    api.p_xor(data, 5, lmul=lmul)
+    api.plus_scan(data, lmul=lmul)
+    return data
+
+
+def pipe_cmp_chain(api, data, lmul):
+    """Compare head (the awkward 'ge' relation) + arithmetic tail."""
+    flags = api.p_ge(data, 2**14, lmul=lmul)
+    api.p_mul(flags, 7, lmul=lmul)
+    api.p_add(flags, 1, lmul=lmul)
+    return flags
+
+
+def pipe_flags(api, data, lmul):
+    """get_flags (expands to two lane ops) + elementwise tail."""
+    f = api.get_flags(data, 3, lmul=lmul)
+    api.p_add(f, 1, lmul=lmul)
+    api.p_sll(f, 2, lmul=lmul)
+    return f
+
+
+def pipe_vv_mix(api, data, lmul):
+    """Vector-vector operand + scan tail (exercises the LMUL=8 gate)."""
+    other = api.copy(data, lmul=lmul)
+    api.p_add(data, other, lmul=lmul)
+    api.p_max(data, 3, lmul=lmul)
+    api.plus_scan(data, lmul=lmul)
+    api.free(other)
+    return data
+
+
+def pipe_alias(api, data, lmul):
+    """dst as its own vector operand — legal only as the head lane."""
+    api.p_add(data, data, lmul=lmul)
+    api.p_mul(data, 3, lmul=lmul)
+    api.plus_scan(data, lmul=lmul)
+    return data
+
+
+def pipe_pack_future(api, data, lmul):
+    """Opaque pack whose deferred count feeds a later scalar operand."""
+    flags = api.p_lt(data, 2**15, lmul=lmul)
+    out, kept = api.pack(data, flags, lmul=lmul)
+    api.p_add(out, kept, lmul=lmul)
+    api.free(flags)
+    return out
+
+
+PIPELINES = {
+    "chain_scan": pipe_chain_scan,
+    "cmp_chain": pipe_cmp_chain,
+    "flags": pipe_flags,
+    "vv_mix": pipe_vv_mix,
+    "alias": pipe_alias,
+    "pack_future": pipe_pack_future,
+}
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+def make_data(svm, n, seed=0):
+    rng = np.random.default_rng(seed)
+    return svm.array(rng.integers(0, 2**16, n, dtype=np.uint32))
+
+
+def run_eager(pipe, n, *, vlen=128, lmul=LMUL.M1, mode="strict",
+              codegen="ideal", seed=0):
+    """The pipeline spelled directly against the SVM (no engine)."""
+    svm = SVM(vlen=vlen, mode=mode, codegen=codegen)
+    data = make_data(svm, n, seed)
+    svm.reset()
+    out = pipe(svm, data, lmul)
+    return svm.machine.counters.snapshot(), out.to_numpy()
+
+
+def run_lazy(pipe, n, *, fuse=True, vlen=128, lmul=LMUL.M1, mode="strict",
+             codegen="ideal", seed=0):
+    """The same pipeline captured and run through the engine."""
+    svm = SVM(vlen=vlen, mode=mode, codegen=codegen)
+    data = make_data(svm, n, seed)
+    svm.reset()
+    with svm.lazy(fuse=fuse) as lz:
+        out = pipe(lz, data, lmul)
+    return svm.machine.counters.snapshot(), out.to_numpy(), svm
+
+
+@pytest.fixture(params=sorted(PIPELINES))
+def pipeline(request):
+    return PIPELINES[request.param]

@@ -1,0 +1,74 @@
+"""The engine's real consumer: the pack/filter pipelines route through
+``svm.lazy()`` and must be correct *and* never costlier than the same
+pipeline spelled eagerly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.algorithms.pack_filter import filter_in_range, filter_less_than
+from repro.rvv.counters import Cat
+
+from .conftest import make_data
+
+
+def eager_in_range(svm, data, lo, hi):
+    """filter_in_range spelled directly against the SVM (no engine)."""
+    lt_hi = svm.p_lt(data, hi)
+    ge_lo = svm.p_ge(data, lo)
+    svm.p_mul(ge_lo, lt_hi)
+    out, kept = svm.pack(data, ge_lo)
+    svm.free(ge_lo)
+    svm.free(lt_hi)
+    return out, kept
+
+
+@pytest.mark.parametrize("n", [0, 1, 33, 500])
+def test_filter_in_range_matches_eager_and_saves(n):
+    lo, hi = 2**14, 3 * 2**14
+
+    svm_e = SVM(vlen=128)
+    data = make_data(svm_e, n)
+    svm_e.reset()
+    out_e, kept_e = eager_in_range(svm_e, data, lo, hi)
+    eager = svm_e.machine.counters.snapshot()
+
+    svm_f = SVM(vlen=128)
+    data = make_data(svm_f, n)
+    svm_f.reset()
+    out_f, kept_f = filter_in_range(svm_f, data, lo, hi)
+    fused = svm_f.machine.counters.snapshot()
+
+    host = data.to_numpy()
+    expect = host[(host >= lo) & (host < hi)]
+    assert kept_e == kept_f == len(expect)
+    assert np.array_equal(out_e.to_numpy()[:kept_e], expect)
+    assert np.array_equal(out_f.to_numpy()[:kept_f], expect)
+    for cat in Cat:
+        assert fused.by_category.get(cat, 0) <= eager.by_category.get(cat, 0)
+
+
+@pytest.mark.parametrize("mode", ["strict", "fast"])
+def test_filter_less_than_both_modes(mode):
+    svm = SVM(vlen=128, mode=mode)
+    data = make_data(svm, 300)
+    out, kept = filter_less_than(svm, data, 2**15)
+    host = data.to_numpy()
+    expect = host[host < 2**15]
+    assert kept == len(expect)
+    assert np.array_equal(out.to_numpy()[:kept], expect)
+
+
+def test_repeated_filters_reuse_the_plan():
+    svm = SVM(vlen=128)
+    for seed in range(3):
+        data = make_data(svm, 256, seed=seed)
+        out, kept = filter_in_range(svm, data, 100, 2**15)
+        host = data.to_numpy()
+        expect = host[(host >= 100) & (host < 2**15)]
+        assert kept == len(expect)
+        assert np.array_equal(out.to_numpy()[:kept], expect)
+    stats = svm.engine.cache.stats
+    assert stats.misses == 1 and stats.hits == 2
