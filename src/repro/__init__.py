@@ -10,6 +10,10 @@ Layering (see DESIGN.md):
 * :mod:`repro.svm` — the scan vector model primitives (the paper's
   contribution): elementwise, permutation, scan, segmented scan,
   enumerate, split;
+* :mod:`repro.engine` — lazy plan capture and strip fusion over the
+  primitives (plan cache included);
+* :mod:`repro.obs` — observability: hierarchical profiling spans,
+  metrics, and tree/JSON/Chrome-trace exporters;
 * :mod:`repro.lmul` — the LMUL register-grouping optimization study;
 * :mod:`repro.algorithms` — applications built purely on primitives
   (split radix sort, flat quicksort, RLE, SpMV, ...);

@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 from ..svm.gather_scatter import scatter_any
@@ -43,15 +44,16 @@ def histogram(svm: SVM, data: SVMArray, n_buckets: int,
         raise ConfigurationError("data contains values >= n_buckets")
 
     bits = int(n_buckets).bit_length() - 1
-    keys = svm.copy(data, lmul=lmul)
-    if bits:
-        split_radix_sort(svm, keys, bits=bits, lmul=lmul)
-    values, lengths, n_runs = rle_encode(svm, keys, lmul=lmul)
+    with _span(svm.machine, "histogram", n=data.n, buckets=n_buckets):
+        keys = svm.copy(data, lmul=lmul)
+        if bits:
+            split_radix_sort(svm, keys, bits=bits, lmul=lmul)
+        values, lengths, n_runs = rle_encode(svm, keys, lmul=lmul)
 
-    # each run is one occupied bucket: counts[value] = length
-    scatter_any(svm, SVMArray(lengths.ptr, n_runs),
-                SVMArray(values.ptr, n_runs), counts, lmul=lmul)
+        # each run is one occupied bucket: counts[value] = length
+        scatter_any(svm, SVMArray(lengths.ptr, n_runs),
+                    SVMArray(values.ptr, n_runs), counts, lmul=lmul)
 
-    for tmp in (keys, values, lengths):
-        svm.free(tmp)
+        for tmp in (keys, values, lengths):
+            svm.free(tmp)
     return counts

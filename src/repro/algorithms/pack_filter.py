@@ -20,6 +20,7 @@ never worse than the eager spelling (asserted in
 
 from __future__ import annotations
 
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 
@@ -30,20 +31,22 @@ def filter_less_than(svm: SVM, data: SVMArray, threshold: int,
                      lmul: LMUL | None = None) -> tuple[SVMArray, int]:
     """Keep elements strictly below ``threshold`` (stable). Returns
     (packed array, count)."""
-    with svm.lazy() as lz:
-        flags = lz.p_lt(data, threshold, lmul=lmul)
-        out, kept = lz.pack(data, flags, lmul=lmul)
-        lz.free(flags)
+    with _span(svm.machine, "filter_less_than", n=data.n):
+        with svm.lazy() as lz:
+            flags = lz.p_lt(data, threshold, lmul=lmul)
+            out, kept = lz.pack(data, flags, lmul=lmul)
+            lz.free(flags)
     return out, kept.value
 
 
 def filter_equal(svm: SVM, data: SVMArray, value: int,
                  lmul: LMUL | None = None) -> tuple[SVMArray, int]:
     """Keep elements equal to ``value`` (stable)."""
-    with svm.lazy() as lz:
-        flags = lz.p_eq(data, value, lmul=lmul)
-        out, kept = lz.pack(data, flags, lmul=lmul)
-        lz.free(flags)
+    with _span(svm.machine, "filter_equal", n=data.n):
+        with svm.lazy() as lz:
+            flags = lz.p_eq(data, value, lmul=lmul)
+            out, kept = lz.pack(data, flags, lmul=lmul)
+            lz.free(flags)
     return out, kept.value
 
 
@@ -53,13 +56,14 @@ def filter_in_range(svm: SVM, data: SVMArray, lo: int, hi: int,
     product. Recorded with the ``lt`` pass first so that ``p_ge`` and
     the ``p_mul`` combining the two flag vectors are adjacent — the
     fuser merges them into one strip loop."""
-    with svm.lazy() as lz:
-        lt_hi = lz.p_lt(data, hi, lmul=lmul)
-        ge_lo = lz.p_ge(data, lo, lmul=lmul)
-        lz.p_mul(ge_lo, lt_hi, lmul=lmul)
-        out, kept = lz.pack(data, ge_lo, lmul=lmul)
-        lz.free(ge_lo)
-        lz.free(lt_hi)
+    with _span(svm.machine, "filter_in_range", n=data.n):
+        with svm.lazy() as lz:
+            lt_hi = lz.p_lt(data, hi, lmul=lmul)
+            ge_lo = lz.p_ge(data, lo, lmul=lmul)
+            lz.p_mul(ge_lo, lt_hi, lmul=lmul)
+            out, kept = lz.pack(data, ge_lo, lmul=lmul)
+            lz.free(ge_lo)
+            lz.free(lt_hi)
     return out, kept.value
 
 
@@ -68,5 +72,6 @@ def partition_by_flag(svm: SVM, data: SVMArray, flags: SVMArray,
     """Stable partition by a 0/1 flag vector via the paper's split
     (Listing 7): 0-flag elements first. Returns (partitioned array,
     #zeros, #ones)."""
-    out, zeros = svm.split(data, flags, lmul=lmul)
+    with _span(svm.machine, "partition_by_flag", n=data.n):
+        out, zeros = svm.split(data, flags, lmul=lmul)
     return out, zeros, data.n - zeros

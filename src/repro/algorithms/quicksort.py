@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 from ..svm.derived import seg_copy, seg_total
@@ -68,6 +69,11 @@ def flat_quicksort(svm: SVM, keys: SVMArray, *, shuffle: bool = False,
     if max_rounds is None:
         max_rounds = 2 * int(np.ceil(np.log2(n))) + 32
 
+    with _span(svm.machine, "quicksort", n=n):
+        return _flat_quicksort_body(svm, keys, n, shuffle, max_rounds, lmul, rng)
+
+
+def _flat_quicksort_body(svm, keys, n, shuffle, max_rounds, lmul, rng) -> int:
     if shuffle:
         rng = np.random.default_rng() if rng is None else rng
         perm = svm.array(rng.permutation(n).astype(np.uint32))
@@ -83,71 +89,72 @@ def flat_quicksort(svm: SVM, keys: SVMArray, *, shuffle: bool = False,
 
     rounds = 0
     for rounds in range(1, max_rounds + 1):
-        # 1. broadcast each segment's pivot (head element)
-        pivots = seg_copy(svm, keys, heads, lmul=lmul)
+        with _span(svm.machine, "round", i=rounds):
+            # 1. broadcast each segment's pivot (head element)
+            pivots = seg_copy(svm, keys, heads, lmul=lmul)
 
-        # 2. classify
-        lt = svm.p_lt(keys, pivots, lmul=lmul)
-        eq = svm.p_eq(keys, pivots, lmul=lmul)
-        gt = svm.p_gt(keys, pivots, lmul=lmul)
+            # 2. classify
+            lt = svm.p_lt(keys, pivots, lmul=lmul)
+            eq = svm.p_eq(keys, pivots, lmul=lmul)
+            gt = svm.p_gt(keys, pivots, lmul=lmul)
 
-        # 3. ranks within class and per-segment class totals
-        rank_lt = svm.copy(lt)
-        svm.seg_scan(rank_lt, heads, "plus", inclusive=False, lmul=lmul)
-        rank_eq = svm.copy(eq)
-        svm.seg_scan(rank_eq, heads, "plus", inclusive=False, lmul=lmul)
-        rank_gt = svm.copy(gt)
-        svm.seg_scan(rank_gt, heads, "plus", inclusive=False, lmul=lmul)
-        tot_lt = seg_total(svm, lt, heads, lmul=lmul)
-        tot_eq = seg_total(svm, eq, heads, lmul=lmul)
-        tot_gt = seg_total(svm, gt, heads, lmul=lmul)
+            # 3. ranks within class and per-segment class totals
+            rank_lt = svm.copy(lt)
+            svm.seg_scan(rank_lt, heads, "plus", inclusive=False, lmul=lmul)
+            rank_eq = svm.copy(eq)
+            svm.seg_scan(rank_eq, heads, "plus", inclusive=False, lmul=lmul)
+            rank_gt = svm.copy(gt)
+            svm.seg_scan(rank_gt, heads, "plus", inclusive=False, lmul=lmul)
+            tot_lt = seg_total(svm, lt, heads, lmul=lmul)
+            tot_eq = seg_total(svm, eq, heads, lmul=lmul)
+            tot_gt = seg_total(svm, gt, heads, lmul=lmul)
 
-        # done segments: nothing strictly below or above the pivot
-        z_lt = svm.p_eq(tot_lt, 0, lmul=lmul)
-        z_gt = svm.p_eq(tot_gt, 0, lmul=lmul)
-        done = z_lt
-        svm.p_mul(done, z_gt, lmul=lmul)
+            # done segments: nothing strictly below or above the pivot
+            z_lt = svm.p_eq(tot_lt, 0, lmul=lmul)
+            z_gt = svm.p_eq(tot_gt, 0, lmul=lmul)
+            done = z_lt
+            svm.p_mul(done, z_gt, lmul=lmul)
 
-        # segment start index, distributed to every lane
-        seg_start = seg_copy(svm, idx, heads, lmul=lmul)
+            # segment start index, distributed to every lane
+            seg_start = seg_copy(svm, idx, heads, lmul=lmul)
 
-        # destination = start + class offset + rank within class
-        dest_lt = svm.copy(seg_start)
-        svm.p_add(dest_lt, rank_lt, lmul=lmul)
-        dest_eq = svm.copy(seg_start)
-        svm.p_add(dest_eq, tot_lt, lmul=lmul)
-        svm.p_add(dest_eq, rank_eq, lmul=lmul)
-        dest_gt = svm.copy(seg_start)
-        svm.p_add(dest_gt, tot_lt, lmul=lmul)
-        svm.p_add(dest_gt, tot_eq, lmul=lmul)
-        svm.p_add(dest_gt, rank_gt, lmul=lmul)
-        dest = dest_gt
-        svm.p_select(eq, dest_eq, dest, lmul=lmul)
-        svm.p_select(lt, dest_lt, dest, lmul=lmul)
-        svm.p_select(done, idx, dest, lmul=lmul)  # done lanes stay put
+            # destination = start + class offset + rank within class
+            dest_lt = svm.copy(seg_start)
+            svm.p_add(dest_lt, rank_lt, lmul=lmul)
+            dest_eq = svm.copy(seg_start)
+            svm.p_add(dest_eq, tot_lt, lmul=lmul)
+            svm.p_add(dest_eq, rank_eq, lmul=lmul)
+            dest_gt = svm.copy(seg_start)
+            svm.p_add(dest_gt, tot_lt, lmul=lmul)
+            svm.p_add(dest_gt, tot_eq, lmul=lmul)
+            svm.p_add(dest_gt, rank_gt, lmul=lmul)
+            dest = dest_gt
+            svm.p_select(eq, dest_eq, dest, lmul=lmul)
+            svm.p_select(lt, dest_lt, dest, lmul=lmul)
+            svm.p_select(done, idx, dest, lmul=lmul)  # done lanes stay put
 
-        # 4. new segment heads: first lane of each nonempty class
-        m_lt = _class_marker(svm, lt, rank_lt, lmul)
-        m_eq = _class_marker(svm, eq, rank_eq, lmul)
-        m_gt = _class_marker(svm, gt, rank_gt, lmul)
-        marker = m_lt
-        svm.p_or(marker, m_eq, lmul=lmul)
-        svm.p_or(marker, m_gt, lmul=lmul)
-        svm.p_select(done, heads, marker, lmul=lmul)  # done: keep heads
+            # 4. new segment heads: first lane of each nonempty class
+            m_lt = _class_marker(svm, lt, rank_lt, lmul)
+            m_eq = _class_marker(svm, eq, rank_eq, lmul)
+            m_gt = _class_marker(svm, gt, rank_gt, lmul)
+            marker = m_lt
+            svm.p_or(marker, m_eq, lmul=lmul)
+            svm.p_or(marker, m_gt, lmul=lmul)
+            svm.p_select(done, heads, marker, lmul=lmul)  # done: keep heads
 
-        new_keys = svm.permute(keys, dest, lmul=lmul)
-        new_heads = svm.permute(marker, dest, lmul=lmul)
-        svm.copy(new_keys, out=keys)
-        svm.copy(new_heads, out=heads)
+            new_keys = svm.permute(keys, dest, lmul=lmul)
+            new_heads = svm.permute(marker, dest, lmul=lmul)
+            svm.copy(new_keys, out=keys)
+            svm.copy(new_heads, out=heads)
 
-        finished = svm.reduce(done, "plus", lmul=lmul) == n
+            finished = svm.reduce(done, "plus", lmul=lmul) == n
 
-        for tmp in (pivots, lt, eq, gt, rank_lt, rank_eq, rank_gt,
-                    tot_lt, tot_eq, tot_gt, z_lt, z_gt, seg_start,
-                    dest_lt, dest_eq, dest_gt, m_lt, m_eq,
-                    new_keys, new_heads):
-            svm.free(tmp)
-        # done aliased z_lt, marker aliased m_lt, dest aliased dest_gt
+            for tmp in (pivots, lt, eq, gt, rank_lt, rank_eq, rank_gt,
+                        tot_lt, tot_eq, tot_gt, z_lt, z_gt, seg_start,
+                        dest_lt, dest_eq, dest_gt, m_lt, m_eq,
+                        new_keys, new_heads):
+                svm.free(tmp)
+            # done aliased z_lt, marker aliased m_lt, dest aliased dest_gt
 
         if finished:
             break

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 from ..svm.split_op import split, split_pairs
@@ -66,22 +67,24 @@ def split_radix_sort(svm: SVM, src: SVMArray, bits: int | None = None,
     if not 0 <= bits <= width:
         raise ConfigurationError(f"bits must be in [0, {width}], got {bits}")
 
-    # Listing 9 lines 2-5: scratch buffer and flag storage
-    buffer = SVMArray(m.alloc_array(max(n, 1), src.dtype), n)
-    flags = SVMArray(m.alloc_array(max(n, 1), src.dtype), n)
-    cur, alt = src, buffer
-    try:
-        for bit in range(bits):
-            svm.get_flags(cur, bit, out=flags, lmul=lmul)
-            split(svm, cur, alt, flags, lmul=lmul)
-            cur, alt = alt, cur  # Listing 9's pointer swap
-            m.scalar(3)
-        if cur is not src:
-            # odd pass count: move the result back into src's storage
-            svm.copy(cur, out=src, lmul=lmul)
-    finally:
-        m.free(buffer.ptr.addr)
-        m.free(flags.ptr.addr)
+    with _span(m, "radix_sort", n=n, bits=bits):
+        # Listing 9 lines 2-5: scratch buffer and flag storage
+        buffer = SVMArray(m.alloc_array(max(n, 1), src.dtype), n)
+        flags = SVMArray(m.alloc_array(max(n, 1), src.dtype), n)
+        cur, alt = src, buffer
+        try:
+            for bit in range(bits):
+                with _span(m, "pass", bit=bit):
+                    svm.get_flags(cur, bit, out=flags, lmul=lmul)
+                    split(svm, cur, alt, flags, lmul=lmul)
+                    cur, alt = alt, cur  # Listing 9's pointer swap
+                    m.scalar(3)
+            if cur is not src:
+                # odd pass count: move the result back into src's storage
+                svm.copy(cur, out=src, lmul=lmul)
+        finally:
+            m.free(buffer.ptr.addr)
+            m.free(flags.ptr.addr)
 
 
 def split_radix_sort_pairs(svm: SVM, keys: SVMArray, payload: SVMArray,
@@ -106,22 +109,24 @@ def split_radix_sort_pairs(svm: SVM, keys: SVMArray, payload: SVMArray,
     if not 0 <= bits <= width:
         raise ConfigurationError(f"bits must be in [0, {width}], got {bits}")
 
-    key_buf = SVMArray(m.alloc_array(max(n, 1), keys.dtype), n)
-    pay_buf = SVMArray(m.alloc_array(max(n, 1), payload.dtype), n)
-    flags = SVMArray(m.alloc_array(max(n, 1), keys.dtype), n)
-    cur_k, alt_k = keys, key_buf
-    cur_p, alt_p = payload, pay_buf
-    try:
-        for bit in range(bits):
-            svm.get_flags(cur_k, bit, out=flags, lmul=lmul)
-            split_pairs(svm, cur_k, alt_k, cur_p, alt_p, flags, lmul=lmul)
-            cur_k, alt_k = alt_k, cur_k
-            cur_p, alt_p = alt_p, cur_p
-            m.scalar(3)
-        if cur_k is not keys:
-            svm.copy(cur_k, out=keys, lmul=lmul)
-            svm.copy(cur_p, out=payload, lmul=lmul)
-    finally:
-        m.free(key_buf.ptr.addr)
-        m.free(pay_buf.ptr.addr)
-        m.free(flags.ptr.addr)
+    with _span(m, "radix_sort_pairs", n=n, bits=bits):
+        key_buf = SVMArray(m.alloc_array(max(n, 1), keys.dtype), n)
+        pay_buf = SVMArray(m.alloc_array(max(n, 1), payload.dtype), n)
+        flags = SVMArray(m.alloc_array(max(n, 1), keys.dtype), n)
+        cur_k, alt_k = keys, key_buf
+        cur_p, alt_p = payload, pay_buf
+        try:
+            for bit in range(bits):
+                with _span(m, "pass", bit=bit):
+                    svm.get_flags(cur_k, bit, out=flags, lmul=lmul)
+                    split_pairs(svm, cur_k, alt_k, cur_p, alt_p, flags, lmul=lmul)
+                    cur_k, alt_k = alt_k, cur_k
+                    cur_p, alt_p = alt_p, cur_p
+                    m.scalar(3)
+            if cur_k is not keys:
+                svm.copy(cur_k, out=keys, lmul=lmul)
+                svm.copy(cur_p, out=payload, lmul=lmul)
+        finally:
+            m.free(key_buf.ptr.addr)
+            m.free(pay_buf.ptr.addr)
+            m.free(flags.ptr.addr)

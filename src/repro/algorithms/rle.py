@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ReproError
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 from ..svm.gather_scatter import scatter_any
@@ -37,7 +38,11 @@ def rle_encode(svm: SVM, data: SVMArray, lmul: LMUL | None = None
     n = data.n
     if n == 0:
         return svm.empty(0), svm.empty(0), 0
+    with _span(svm.machine, "rle_encode", n=n):
+        return _rle_encode_body(svm, data, n, lmul)
 
+
+def _rle_encode_body(svm, data, n, lmul):
     # run boundaries: lane 0 always starts a run; shift in data[0]^1 so
     # p_ne flags it without a special case
     first = int(data.ptr[0])
@@ -93,6 +98,11 @@ def rle_decode(svm: SVM, values: SVMArray, lengths: SVMArray, n_runs: int,
     """
     if n_runs == 0:
         return svm.empty(0)
+    with _span(svm.machine, "rle_decode", n_runs=n_runs):
+        return _rle_decode_body(svm, values, lengths, n_runs, lmul)
+
+
+def _rle_decode_body(svm, values, lengths, n_runs, lmul):
     runs_v = SVMArray(values.ptr, n_runs)
     runs_l = SVMArray(lengths.ptr, n_runs)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SegmentError
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from ..svm.context import SVM, SVMArray
 from ..svm.gather_scatter import gather_any, scatter_any
@@ -96,7 +97,12 @@ def spmv(svm: SVM, matrix: CSRMatrix, x: SVMArray,
     y = svm.zeros(matrix.n_rows)
     if nnz == 0:
         return y
+    with _span(svm.machine, "spmv", n=nnz, rows=matrix.n_rows):
+        _spmv_body(svm, matrix, x, y, nnz, lmul)
+    return y
 
+
+def _spmv_body(svm, matrix, x, y, nnz, lmul) -> None:
     vals = svm.array(matrix.values)
     cols = svm.array(matrix.col_idx)
     # head flags from the row-pointer descriptor, skipping empty rows
@@ -120,4 +126,3 @@ def spmv(svm: SVM, matrix: CSRMatrix, x: SVMArray,
 
     for tmp in (vals, cols, flags, xg, ends, totals, rows):
         svm.free(tmp)
-    return y

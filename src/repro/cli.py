@@ -16,7 +16,11 @@ Commands
 ``fuse [--pipeline P] [--n N] [--vlen V] [--lmul L] [--codegen C]``
     Capture a pipeline with the lazy engine, dump the plan before and
     after fusion, and report the measured per-category counter savings
-    of fused vs eager execution.
+    of fused vs eager execution (plus plan-cache statistics).
+``profile --algo sort|filter|scan [--format tree|json|chrome-trace]``
+    Run a workload with profiling spans enabled and print (or write)
+    the hierarchical profile: tree report with per-category breakdown,
+    JSON, or a Chrome-trace file loadable in Perfetto / about:tracing.
 """
 
 from __future__ import annotations
@@ -157,15 +161,22 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
 
     def run(fuse: bool):
         svm = SVM(vlen=args.vlen, codegen=args.codegen)
-        rng = np.random.default_rng(args.seed)
-        data = svm.array(rng.integers(0, 2**16, args.n, dtype=np.uint32))
-        svm.reset()
-        with svm.lazy(fuse=fuse) as lz:
-            result = pipeline(lz, data, lmul)
-        return svm.machine.counters.snapshot(), result.to_numpy(), lz
 
-    eager, ref, _ = run(False)
-    fused, got, lz = run(True)
+        def once():
+            rng = np.random.default_rng(args.seed)
+            data = svm.array(rng.integers(0, 2**16, args.n, dtype=np.uint32))
+            svm.reset()
+            with svm.lazy(fuse=fuse) as lz:
+                result = pipeline(lz, data, lmul)
+            return svm.machine.counters.snapshot(), result.to_numpy(), lz
+
+        if fuse:
+            once()  # warm the plan cache; the measured run below hits it
+        snap, out, lz = once()
+        return snap, out, lz, svm.engine.cache
+
+    eager, ref, _, _ = run(False)
+    fused, got, lz, cache = run(True)
 
     print(lz.plan.describe())
     print()
@@ -189,6 +200,82 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
         return 1
     pct = 100.0 * (eager.total - fused.total) / eager.total if eager.total else 0.0
     print(f"results bit-identical; fused saves {pct:.1f}% of dynamic instructions")
+    s = cache.stats_dict()
+    print(f"plan cache: hits={s['hits']} misses={s['misses']} "
+          f"evictions={s['evictions']} size={s['size']}/{s['capacity']} "
+          f"hit_rate={s['hit_rate']:.2f}")
+    return 0
+
+
+def _profile_workload_sort(svm, args, rng) -> int:
+    from .algorithms import split_radix_sort
+
+    keys = rng.integers(0, 2 ** args.bits, args.n, dtype=np.uint32)
+    arr = svm.array(keys)
+    svm.reset()
+    split_radix_sort(svm, arr, bits=args.bits)
+    if not np.array_equal(arr.to_numpy(), np.sort(keys)):
+        print("sort FAILED verification", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _profile_workload_filter(svm, args, rng) -> int:
+    from .algorithms import filter_in_range
+
+    # two α-equivalent runs: the second one's plan comes from the cache,
+    # so the profile shows both a plan_cache.miss and a plan_cache.hit
+    for _ in range(2):
+        data = svm.array(rng.integers(0, 2 ** 16, args.n, dtype=np.uint32))
+        filter_in_range(svm, data, 2 ** 14, 3 * 2 ** 14)
+    return 0
+
+
+def _profile_workload_scan(svm, args, rng) -> int:
+    data = svm.array(rng.integers(0, 100, args.n, dtype=np.uint32))
+    svm.reset()
+    svm.plus_scan(data)
+    seg = svm.array(rng.integers(0, 100, args.n, dtype=np.uint32))
+    heads = np.zeros(args.n, dtype=np.uint32)
+    if args.n:
+        heads[::64] = 1
+    flags = svm.array(heads)
+    svm.seg_plus_scan(seg, flags)
+    return 0
+
+
+_PROFILE_WORKLOADS = {
+    "sort": _profile_workload_sort,
+    "filter": _profile_workload_filter,
+    "scan": _profile_workload_scan,
+}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .svm.context import SVM
+
+    svm = SVM(vlen=args.vlen, codegen=args.codegen, mode=args.mode,
+              profile="strips" if args.strips else True)
+    rng = np.random.default_rng(args.seed)
+    rc = _PROFILE_WORKLOADS[args.algo](svm, args, rng)
+    if rc:
+        return rc
+    col = svm.profiler
+    col.finish()
+    if args.format == "tree":
+        text = col.report(max_depth=args.max_depth)
+    elif args.format == "json":
+        text = json.dumps(col.to_json(), indent=2)
+    else:  # chrome-trace
+        text = json.dumps(col.to_chrome_trace(), indent=2)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text + "\n")
+        print(f"wrote {args.format} profile to {args.out}")
+    else:
+        print(text)
     return 0
 
 
@@ -245,6 +332,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_fuse)
+
+    p = sub.add_parser(
+        "profile", help="run a workload with profiling spans and export"
+    )
+    p.add_argument("--algo", choices=sorted(_PROFILE_WORKLOADS), default="sort")
+    p.add_argument("--format", choices=["tree", "json", "chrome-trace"],
+                   default="tree")
+    p.add_argument("--n", type=int, default=4096)
+    p.add_argument("--bits", type=int, default=8,
+                   help="key bits for the sort workload")
+    p.add_argument("--vlen", type=int, default=1024)
+    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    p.add_argument("--mode", choices=["strict", "fast", "auto"], default="auto")
+    p.add_argument("--strips", action="store_true",
+                   help="record a span per vsetvl strip (verbose)")
+    p.add_argument("--max-depth", type=int, default=None,
+                   help="clip the tree report below this depth")
+    p.add_argument("--out", default=None, help="write to a file instead of stdout")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_profile)
 
     return parser
 

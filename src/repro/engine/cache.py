@@ -69,6 +69,23 @@ class PlanCache:
     def clear(self) -> None:
         self._entries.clear()
 
+    @property
+    def size(self) -> int:
+        """Number of resident entries (≤ ``capacity``)."""
+        return len(self._entries)
+
+    def stats_dict(self) -> dict:
+        """Cache statistics as a plain dict — the shape ``repro fuse``
+        prints and the profiler exports."""
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.stats.hit_rate,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -22,6 +22,8 @@ it), so results and per-category counts agree exactly — the invariant
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 import numpy as np
 
 from ..rvv.counters import Cat
@@ -277,14 +279,29 @@ def _run_node_eager(svm, plan: Plan, node: OpNode) -> None:
 # ---------------------------------------------------------------------------
 
 def execute(svm, plan: Plan, fused: FusedPlan) -> None:
-    """Run a fused plan's units in program order against ``svm``."""
+    """Run a fused plan's units in program order against ``svm``.
+
+    With a profiler installed each fused group gets its own span
+    (``fused_scan``/``fused_ew`` with {n, nodes, path} metadata);
+    non-fused units replay through the instrumented SVM methods, so
+    they show up under their primitive names as in eager mode.
+    """
+    col = getattr(svm.machine, "collector", None)
     for unit in fused.units:
         if isinstance(unit, GroupSpec):
             group = materialize(plan, unit)
-            if svm._fast(group.n):
-                run_group_fast(svm, plan, group)
+            fast = svm._fast(group.n)
+            if col is not None:
+                name = "fused_scan" if group.scan_op is not None else "fused_ew"
+                ctx = col.span(name, n=group.n, nodes=len(unit.node_indices),
+                               path="fast" if fast else "strict")
             else:
-                run_group_strict(svm, plan, group)
+                ctx = nullcontext()
+            with ctx:
+                if fast:
+                    run_group_fast(svm, plan, group)
+                else:
+                    run_group_strict(svm, plan, group)
         else:
             _run_node_eager(svm, plan, plan.nodes[unit])
 
@@ -307,9 +324,13 @@ class Engine:
         """The fusion recipe for ``plan``, through the cache."""
         key = self.plan_key(plan)
         fused = self.cache.get(key)
-        if fused is None:
+        hit = fused is not None
+        if not hit:
             fused = fuse_plan(plan)
             self.cache.put(key, fused)
+        col = getattr(self.svm.machine, "collector", None)
+        if col is not None:
+            col.plan_cache_event(hit, self.cache)
         return fused
 
     def run(self, plan: Plan, fuse: bool = True) -> FusedPlan:

@@ -1,0 +1,55 @@
+"""repro.obs — observability for the SVM stack.
+
+The paper's whole evaluation is *attribution*: which primitive, which
+strip, which category the dynamic instructions went to (§6.1-6.3).
+This package turns that from per-bench ad-hoc code into a layer:
+
+* :mod:`repro.obs.spans` — hierarchical profiling spans (algorithm →
+  primitive → strip) capturing per-span counter deltas, wall time,
+  and metadata, with zero cost when no collector is installed;
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges,
+  and histograms (per-strip vl, strips per call, plan-cache hit
+  rate, spill share);
+* :mod:`repro.obs.export` — the tree report, JSON export, and
+  Chrome-trace (``chrome://tracing`` / Perfetto) export;
+* :mod:`repro.obs.tap` — a counter-event tap that fan-outs every
+  ``Counters.add`` to subscribers (the mechanism under
+  :class:`~repro.rvv.trace.TraceRecorder`).
+
+Entry points: ``SVM(profile=True)`` + ``svm.profiler``, the
+:func:`~repro.obs.spans.profile` context manager for a bare machine,
+and the ``repro profile`` CLI subcommand. See ``docs/observability.md``.
+"""
+
+from .export import render_tree, to_chrome_trace, to_json
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import (
+    NULL_SPAN,
+    ProfileCollector,
+    Span,
+    SpanEvent,
+    instrument_method,
+    profile,
+    span,
+)
+from .tap import CounterTap, install_tap, uninstall_tap_if_idle
+
+__all__ = [
+    "ProfileCollector",
+    "Span",
+    "SpanEvent",
+    "profile",
+    "span",
+    "instrument_method",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "render_tree",
+    "to_json",
+    "to_chrome_trace",
+    "CounterTap",
+    "install_tap",
+    "uninstall_tap_if_idle",
+]

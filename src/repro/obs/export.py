@@ -1,0 +1,227 @@
+"""Profile exporters: tree report, JSON, and Chrome-trace JSON.
+
+Three views of one :class:`~repro.obs.spans.ProfileCollector`:
+
+* :func:`render_tree` — a terminal drill-down: every span with its
+  inclusive dynamic-instruction total, share of its parent, and
+  per-category breakdown. Spans with children grow a synthetic
+  ``(self)`` child holding the remainder, so the displayed children
+  always sum *exactly* to the parent's delta (the invariant
+  ``tests/obs`` verifies).
+* :func:`to_json` — the same tree plus metrics and events as plain
+  data, for diffing runs or feeding dashboards.
+* :func:`to_chrome_trace` — the `Trace Event Format
+  <https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+  consumed by ``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_:
+  one complete ("X") event per span with the counter delta in ``args``,
+  instant ("i") events for collector events such as plan-cache
+  hits/misses, and a counter ("C") track charting cumulative dynamic
+  instructions.
+
+All exporters call :meth:`ProfileCollector.finish` first, so the root
+span is always closed and up to date.
+"""
+
+from __future__ import annotations
+
+from ..rvv.counters import Cat, CounterSnapshot
+
+__all__ = ["render_tree", "to_json", "to_chrome_trace"]
+
+#: Synthetic process/thread ids of the single simulated machine.
+_PID = 1
+_TID = 1
+
+
+def _nonzero(delta: CounterSnapshot) -> dict[str, int]:
+    return {cat.value: n for cat, n in delta.by_category.items() if n}
+
+
+def _cat_summary(delta: CounterSnapshot, top: int = 4) -> str:
+    """The span's largest categories, compact: ``vmem 38.2% · ...``."""
+    total = delta.total
+    if not total:
+        return ""
+    items = sorted(_nonzero(delta).items(), key=lambda kv: -kv[1])
+    parts = [f"{name} {100.0 * n / total:.1f}%" for name, n in items[:top]]
+    if len(items) > top:
+        parts.append(f"+{len(items) - top}")
+    return " · ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# tree report
+# ---------------------------------------------------------------------------
+
+def render_tree(collector, max_depth: int | None = None) -> str:
+    """Human-readable span tree with per-category attribution."""
+    root = collector.finish()
+    m = collector.machine
+    lines = [
+        f"profile: VLEN={m.vlen} codegen={m.codegen.name} — "
+        f"{root.total:,} dynamic instructions, {root.wall * 1e3:.2f} ms wall"
+    ]
+    _render_span(root, lines, prefix="", is_last=True,
+                 parent_total=root.total, max_depth=max_depth, is_root=True)
+    return "\n".join(lines)
+
+
+def _fmt_line(label: str, total: int, pct: float, cats: str,
+              error: str | None = None) -> str:
+    bits = [f"{label}", f"{total:,} instr", f"{pct:5.1f}%"]
+    if cats:
+        bits.append(f"[{cats}]")
+    if error:
+        bits.append(f"!! raised {error}")
+    return "  ".join(bits)
+
+
+def _render_span(span, lines: list[str], prefix: str, is_last: bool,
+                 parent_total: int, max_depth: int | None,
+                 is_root: bool = False) -> None:
+    if span.delta is None:  # still open (should not happen post-finish)
+        return
+    pct = 100.0 * span.total / parent_total if parent_total else 100.0
+    if not is_root:
+        connector = "└─ " if is_last else "├─ "
+        lines.append(prefix + connector
+                     + _fmt_line(span.label(), span.total, pct,
+                                 _cat_summary(span.delta), span.error))
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    else:
+        child_prefix = ""
+    if max_depth is not None and span.depth >= max_depth:
+        if span.children:
+            lines.append(child_prefix + f"└─ … {len(span.children)} children"
+                         f" (below --max-depth)")
+        return
+    children = [c for c in span.children if c.delta is not None]
+    self_delta = span.self_delta() if children else None
+    show_self = self_delta is not None and self_delta.total > 0
+    for i, child in enumerate(children):
+        last = (i == len(children) - 1) and not show_self
+        _render_span(child, lines, child_prefix, last, span.total, max_depth)
+    if show_self:
+        pct_self = 100.0 * self_delta.total / span.total if span.total else 0.0
+        lines.append(child_prefix + "└─ "
+                     + _fmt_line("(self)", self_delta.total, pct_self,
+                                 _cat_summary(self_delta)))
+
+
+# ---------------------------------------------------------------------------
+# JSON
+# ---------------------------------------------------------------------------
+
+def _span_dict(span) -> dict:
+    children = [c for c in span.children if c.delta is not None]
+    out = {
+        "name": span.name,
+        "meta": dict(span.meta),
+        "total": span.total,
+        "by_category": _nonzero(span.delta),
+        "wall_ms": round(span.wall * 1e3, 6),
+        "n_strips": span.n_strips,
+    }
+    if span.error:
+        out["error"] = span.error
+    if children:
+        kids = [_span_dict(c) for c in children]
+        self_delta = span.self_delta()
+        kids.append({
+            "name": "(self)",
+            "meta": {},
+            "total": self_delta.total,
+            "by_category": _nonzero(self_delta),
+            "wall_ms": 0.0,
+            "n_strips": 0,
+        })
+        out["children"] = kids
+    return out
+
+
+def to_json(collector) -> dict:
+    """The whole profile as plain data: span tree, metrics, events.
+
+    Every span with children carries a trailing ``(self)`` child, so
+    ``sum(child["by_category"]) == parent["by_category"]`` holds
+    exactly, category by category.
+    """
+    root = collector.finish()
+    m = collector.machine
+    return {
+        "machine": {"vlen": m.vlen, "codegen": m.codegen.name},
+        "profile": _span_dict(root),
+        "metrics": collector.metrics.as_dict(),
+        "events": [
+            {"name": e.name, "ts_ms": round(e.ts * 1e3, 6), "meta": dict(e.meta)}
+            for e in collector.events
+        ],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace (chrome://tracing / Perfetto)
+# ---------------------------------------------------------------------------
+
+def to_chrome_trace(collector) -> dict:
+    """Chrome Trace Event Format JSON for the span timeline.
+
+    Load the serialized output in ``chrome://tracing`` or
+    https://ui.perfetto.dev — spans become nested slices on one
+    thread track, with the per-category instruction delta in each
+    slice's ``args``; collector events appear as instants and the
+    cumulative instruction count as a counter track.
+    """
+    root = collector.finish()
+    m = collector.machine
+    events: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": _PID, "tid": _TID,
+         "args": {"name": f"repro RVVMachine (VLEN={m.vlen}, {m.codegen.name})"}},
+        {"ph": "M", "name": "thread_name", "pid": _PID, "tid": _TID,
+         "args": {"name": "svm"}},
+    ]
+    for span in root.walk():
+        if span.delta is None:
+            continue
+        args = {"instructions": span.total, **_nonzero(span.delta)}
+        for key, value in span.meta.items():
+            args[f"meta.{key}"] = value
+        if span.error:
+            args["error"] = span.error
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": "strip" if span.strip else "span",
+            "ts": round(span.t0 * 1e6, 3),          # microseconds
+            "dur": max(round(span.wall * 1e6, 3), 0.0),
+            "pid": _PID,
+            "tid": _TID,
+            "args": args,
+        })
+        events.append({
+            "ph": "C",
+            "name": "dynamic instructions",
+            "ts": round((span.t0 + span.wall) * 1e6, 3),
+            "pid": _PID,
+            "tid": _TID,
+            "args": {"total": span.end_total},
+        })
+    for ev in collector.events:
+        events.append({
+            "ph": "i",
+            "name": ev.name,
+            "s": "t",                                # thread-scoped instant
+            "ts": round(ev.ts * 1e6, 3),
+            "pid": _PID,
+            "tid": _TID,
+            "args": dict(ev.meta),
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "vlen": m.vlen,
+            "codegen": m.codegen.name,
+            "total_instructions": root.total,
+        },
+    }

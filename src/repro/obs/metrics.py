@@ -1,0 +1,171 @@
+"""Metrics registry — named counters, gauges, and histograms.
+
+The span tree (:mod:`repro.obs.spans`) answers "where did the
+instructions go"; the registry answers the aggregate questions the
+benches keep re-deriving by hand: what vl did the strips actually
+receive (tail-strip shortening, §3.1), how many strips per primitive
+call, how often the engine's plan cache hit, what share of the run was
+spill traffic (§6.3). Instrumentation sites reach the registry through
+the installed :class:`~repro.obs.spans.ProfileCollector`; nothing here
+touches the machine or its counters.
+
+All metrics are plain Python objects updated in place — cheap enough
+for per-strip observation, queryable as a dict
+(:meth:`MetricsRegistry.as_dict`), and renderable as a text report
+(:meth:`MetricsRegistry.render`).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, cache hits, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (cache size, hit rate, spill share, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Keeps count/sum/min/max plus an exact value→occurrences map — the
+    observed domains here (per-strip vl, strips per call) are small and
+    discrete, so exact counts beat bucketing; the map degrades to the
+    summary statistics if a workload ever observes many distinct
+    values (`by_value` stops growing past ``max_distinct``).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "by_value", "max_distinct")
+
+    def __init__(self, name: str, max_distinct: int = 256) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self.by_value: dict = {}
+        self.max_distinct = max_distinct
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value in self.by_value:
+            self.by_value[value] += 1
+        elif len(self.by_value) < self.max_distinct:
+            self.by_value[value] = 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 4),
+            "by_value": {str(k): v for k, v in sorted(self.by_value.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Histogram({self.name}: count={self.count}, min={self.min},"
+                f" max={self.max}, mean={self.mean:.2f})")
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics.
+
+    Names are dotted paths by convention (``engine.plan_cache.hits``,
+    ``svm.strip_vl``); asking for an existing name with a different
+    metric type is an error — a name means one thing.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict:
+        """Every metric keyed by name: counters/gauges as their value,
+        histograms as their summary dict."""
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.as_dict()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self) -> str:
+        """Text report, one metric per line."""
+        if not self._metrics:
+            return "metrics: (none recorded)"
+        lines = ["metrics:"]
+        width = max(len(n) for n in self._metrics)
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                value = (f"count={metric.count}  min={metric.min}  "
+                         f"max={metric.max}  mean={metric.mean:.2f}")
+            elif isinstance(metric.value, float):
+                value = f"{metric.value:.4f}"
+            else:
+                value = f"{metric.value:,}"
+            lines.append(f"  {name:<{width}}  {value}")
+        return "\n".join(lines)

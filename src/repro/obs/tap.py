@@ -1,0 +1,82 @@
+"""Counter-event tap: broadcast every ``Counters.add`` to subscribers.
+
+:class:`~repro.rvv.trace.TraceRecorder` used to subclass ``Counters``
+and swap a private copy onto the machine, folding totals back on
+detach — which double-counted (or lost) events as soon as two
+recorders attached to machines sharing one counters object. The tap
+fixes the mechanism:
+
+* a :class:`CounterTap` **shares the wrapped object's count storage**
+  (no copy, no fold-back), so totals are consistent at every moment
+  no matter how many taps or subscribers exist;
+* any number of subscribers attach to one tap; the tap uninstalls
+  itself (restoring the original counters object) only when the last
+  one leaves;
+* two machines sharing a ``Counters`` each get their own tap over the
+  same storage — each machine's subscribers see that machine's
+  events, while the shared totals stay exact.
+
+The hot path gains one loop over the (usually empty or one-element)
+subscriber list; with no tap installed there is no overhead at all,
+because the machine still holds a plain ``Counters``.
+"""
+
+from __future__ import annotations
+
+from ..rvv.counters import Counters
+
+__all__ = ["CounterTap", "install_tap", "uninstall_tap_if_idle"]
+
+
+class CounterTap(Counters):
+    """A ``Counters`` stand-in that notifies subscribers on every add.
+
+    Shares ``_counts`` with the wrapped instance, so reads through
+    either object (totals, snapshots, resets) always agree.
+    """
+
+    def __init__(self, base: Counters) -> None:
+        self._base = base
+        self._counts = base._counts          # shared storage, not a copy
+        self._subscribers: list = []
+
+    @property
+    def base(self) -> Counters:
+        """The wrapped, original counters object."""
+        return self._base
+
+    @property
+    def subscribers(self) -> tuple:
+        return tuple(self._subscribers)
+
+    def add(self, category, n: int = 1) -> None:
+        self._counts[category] += n
+        for callback in self._subscribers:
+            callback(category, n)
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(category, n)`` for every future add."""
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        self._subscribers.remove(callback)
+
+
+def install_tap(machine) -> CounterTap:
+    """The machine's tap, installing one if its counters are untapped."""
+    counters = machine.counters
+    if isinstance(counters, CounterTap):
+        return counters
+    tap = CounterTap(counters)
+    machine.counters = tap
+    return tap
+
+
+def uninstall_tap_if_idle(machine) -> bool:
+    """Restore the machine's original counters object if its tap has
+    no subscribers left. Returns True if the tap was removed."""
+    counters = machine.counters
+    if isinstance(counters, CounterTap) and not counters._subscribers:
+        machine.counters = counters.base
+        return True
+    return False

@@ -82,6 +82,9 @@ class RVVMachine:
         self.heap = Allocator(self.memory)
         self.regfile = RegisterFile(vlen)
         self.malloc_model = malloc_model if malloc_model is not None else _ZeroMallocModel()
+        #: Installed :class:`~repro.obs.spans.ProfileCollector` (None =
+        #: profiling off; the only cost is this attribute's None check).
+        self.collector = None
         #: Current vl CSR (set by vsetvl; None until first configuration).
         self.vl: int | None = None
         #: Current vtype CSR.
@@ -104,8 +107,12 @@ class RVVMachine:
         """
         if avl < 0:
             raise VectorLengthError(f"AVL must be non-negative, got {avl}")
-        self.counters.add(Cat.VCONFIG)
         vl = min(int(avl), self.vlmax(sew, lmul))
+        if self.collector is not None:
+            # strip boundary: notify *before* counting so this vsetvl
+            # is attributed to the strip it opens
+            self.collector.on_vsetvl(vl)
+        self.counters.add(Cat.VCONFIG)
         self.vl = vl
         self.vtype = VType(sew, lmul)
         return vl

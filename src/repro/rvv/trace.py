@@ -7,15 +7,27 @@ recorder can replay the stream, summarize it, or diff two runs — the
 tool used while calibrating the codegen model against the paper's
 per-strip costs.
 
-Tracing wraps the counter object (no hot-path cost when disabled) and
-nests: detaching restores the previous counter exactly.
+.. deprecated::
+    ``TraceRecorder`` predates :mod:`repro.obs` and is kept for its
+    flat event-stream view (histogram of codegen expansions, run
+    diffs). For hierarchical attribution — which primitive or
+    algorithm phase produced the counts — use profiling spans
+    (``SVM(profile=True)`` / :func:`repro.obs.profile`) instead.
+
+The recorder rides on :class:`repro.obs.tap.CounterTap`: a subscriber
+on the machine's counter stream rather than the old subclass-and-swap
+of the counters object. Any number of recorders may attach to the
+same machine — or to machines *sharing* a counters object — without
+perturbing totals, and detaching restores the original counters
+object once the last subscriber leaves.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .counters import Cat, Counters
+from ..obs.tap import CounterTap, install_tap, uninstall_tap_if_idle
+from .counters import Cat
 from .machine import RVVMachine
 
 __all__ = ["TraceEvent", "TraceRecorder", "trace"]
@@ -36,35 +48,25 @@ class TraceRecorder:
 
     machine: RVVMachine
     events: list[TraceEvent] = field(default_factory=list)
-    _original: Counters | None = None
+    _tap: CounterTap | None = None
 
     # -- attach/detach -----------------------------------------------------
     def attach(self) -> "TraceRecorder":
-        if self._original is not None:
+        if self._tap is not None:
             raise RuntimeError("trace recorder already attached")
-        self._original = self.machine.counters
-        recorder = self
-
-        class _TracingCounters(Counters):
-            def add(self, category: Cat, n: int = 1) -> None:  # noqa: D102
-                recorder.events.append(
-                    TraceEvent(len(recorder.events), category, n)
-                )
-                super().add(category, n)
-
-        tracing = _TracingCounters()
-        # carry over the current totals so the trace is a pure overlay
-        tracing._counts.update(self._original._counts)
-        self.machine.counters = tracing
+        self._tap = install_tap(self.machine)
+        self._tap.subscribe(self._record)
         return self
 
     def detach(self) -> None:
-        if self._original is None:
+        if self._tap is None:
             raise RuntimeError("trace recorder not attached")
-        # fold the traced totals back into the original counter object
-        self._original._counts.update(self.machine.counters._counts)
-        self.machine.counters = self._original
-        self._original = None
+        self._tap.unsubscribe(self._record)
+        self._tap = None
+        uninstall_tap_if_idle(self.machine)
+
+    def _record(self, category: Cat, n: int) -> None:
+        self.events.append(TraceEvent(len(self.events), category, n))
 
     def __enter__(self) -> "TraceRecorder":
         return self.attach()

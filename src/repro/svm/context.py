@@ -99,6 +99,7 @@ class SVM:
         fast_threshold: int = AUTO_FAST_THRESHOLD,
         lmul: LMUL = LMUL.M1,
         malloc_model=None,
+        profile: bool | str = False,
     ) -> None:
         if machine is None:
             machine = RVVMachine(vlen=vlen, codegen=codegen, malloc_model=malloc_model)
@@ -111,6 +112,16 @@ class SVM:
         self.fast_threshold = int(fast_threshold)
         self.lmul = LMUL(lmul)
         self._engine = None  # lazily-created repro.engine.Engine
+        if profile not in (False, True, "strips"):
+            raise ConfigurationError(
+                f"profile must be False, True or 'strips', got {profile!r}"
+            )
+        if profile:
+            from ..obs import ProfileCollector  # local: obs is optional here
+
+            machine.collector = ProfileCollector(
+                machine, strips=(profile == "strips")
+            )
 
     # ------------------------------------------------------------------
     # array management
@@ -197,6 +208,13 @@ class SVM:
     @property
     def counters(self):
         return self.machine.counters
+
+    @property
+    def profiler(self):
+        """The installed :class:`~repro.obs.spans.ProfileCollector`
+        (None unless constructed with ``profile=...`` or one was
+        installed via :func:`repro.obs.profile`)."""
+        return self.machine.collector
 
     def reset(self) -> None:
         """Zero the instruction counters."""
@@ -569,3 +587,29 @@ class SVM:
         self._check_equal_len(src, flags, dst)
         count = _split(self, src, dst, flags, lmul=self._lmul(lmul))
         return dst, count
+
+
+# ----------------------------------------------------------------------
+# profiling instrumentation
+# ----------------------------------------------------------------------
+# Each primitive is wrapped so that, when a collector is installed on
+# the machine, the call opens a span named after the primitive with
+# {n, path} metadata. With no collector the wrapper is a single
+# attribute check on top of the original method. Convenience aliases
+# that delegate to an instrumented method (plus_scan/scan_exclusive →
+# scan, seg_plus_scan → seg_scan, split → split_op.split, reverse →
+# index/rsub/back_permute) are left unwrapped so each call produces
+# exactly one primitive span.
+from ..obs.spans import instrument_method as _instrument  # noqa: E402
+
+_PROFILED = (
+    "p_add", "p_sub", "p_mul", "p_and", "p_or", "p_xor", "p_max",
+    "p_min", "p_srl", "p_sll", "p_select", "get_flags",
+    "p_lt", "p_le", "p_gt", "p_ge", "p_eq", "p_ne",
+    "scan", "seg_scan",
+    "permute", "back_permute", "pack", "enumerate",
+    "index_array", "p_rsub", "reduce", "shift1up", "copy",
+)
+for _name in _PROFILED:
+    setattr(SVM, _name, _instrument(getattr(SVM, _name)))
+del _name

@@ -19,6 +19,7 @@ compositions, not new hardware.
 
 from __future__ import annotations
 
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 from .context import SVM, SVMArray
 from .operators import PLUS, BinaryOp
@@ -34,14 +35,15 @@ def seg_copy(svm: SVM, values: SVMArray, heads: SVMArray,
     flags), then a segmented inclusive plus-scan — each lane's in-
     segment prefix sum contains exactly the head value.
     """
-    out = svm.copy(values, lmul=lmul)
-    svm.p_mul(out, heads, lmul=lmul)
-    if out.n:
-        # lane 0 implicitly heads a segment whether or not flagged —
-        # restore its value after the multiply (scalar store, 2 instr)
-        out.ptr[0] = int(values.ptr[0])
-        svm.machine.scalar(2)
-    svm.seg_plus_scan(out, heads, lmul=lmul)
+    with _span(svm.machine, "seg_copy", n=values.n):
+        out = svm.copy(values, lmul=lmul)
+        svm.p_mul(out, heads, lmul=lmul)
+        if out.n:
+            # lane 0 implicitly heads a segment whether or not flagged —
+            # restore its value after the multiply (scalar store, 2 instr)
+            out.ptr[0] = int(values.ptr[0])
+            svm.machine.scalar(2)
+        svm.seg_plus_scan(out, heads, lmul=lmul)
     return out
 
 
@@ -69,17 +71,18 @@ def seg_total(svm: SVM, values: SVMArray, heads: SVMArray,
     i in its segment — is an exclusive segmented scan of the reversed
     array under the reversed segmentation.
     """
-    incl = svm.copy(values, lmul=lmul)
-    svm.seg_scan(incl, heads, op, inclusive=True, lmul=lmul)
+    with _span(svm.machine, "seg_total", n=values.n):
+        incl = svm.copy(values, lmul=lmul)
+        svm.seg_scan(incl, heads, op, inclusive=True, lmul=lmul)
 
-    rev = svm.reverse(values, lmul=lmul)
-    heads_r = tail_to_head_flags(svm, heads, lmul=lmul)
-    svm.seg_scan(rev, heads_r, op, inclusive=False, lmul=lmul)
-    after = svm.reverse(rev, lmul=lmul)
+        rev = svm.reverse(values, lmul=lmul)
+        heads_r = tail_to_head_flags(svm, heads, lmul=lmul)
+        svm.seg_scan(rev, heads_r, op, inclusive=False, lmul=lmul)
+        after = svm.reverse(rev, lmul=lmul)
 
-    _APPLY_VV[_op_name(op)](svm, incl, after, lmul)
-    for tmp in (rev, heads_r, after):
-        svm.free(tmp)
+        _APPLY_VV[_op_name(op)](svm, incl, after, lmul)
+        for tmp in (rev, heads_r, after):
+            svm.free(tmp)
     return incl
 
 

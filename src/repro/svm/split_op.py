@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..obs.spans import span as _span
 from ..rvv.types import LMUL
 
 __all__ = ["split", "split_pairs"]
@@ -48,17 +49,18 @@ def split(svm, src, dst, flags, lmul: LMUL = LMUL.M1) -> int:
     idx_dtype = np.dtype(np.uint32)
     # malloc'd through the machine so the allocation cost model applies
     # (Listing 7 lines 2-5)
-    i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
-    i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
-    try:
-        _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
-        svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
-        svm.p_add(i_down, count, lmul=lmul)
-        svm.p_select(flags, i_down, i_up, lmul=lmul)
-        svm.permute(src, i_up, out=dst, lmul=lmul)
-    finally:
-        m.free(i_up.ptr.addr)
-        m.free(i_down.ptr.addr)
+    with _span(m, "split", n=n):
+        i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+        i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+        try:
+            _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
+            svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
+            svm.p_add(i_down, count, lmul=lmul)
+            svm.p_select(flags, i_down, i_up, lmul=lmul)
+            svm.permute(src, i_up, out=dst, lmul=lmul)
+        finally:
+            m.free(i_up.ptr.addr)
+            m.free(i_down.ptr.addr)
     return count
 
 
@@ -76,16 +78,17 @@ def split_pairs(svm, src, dst, payload_src, payload_dst, flags,
     n = src.n
     m = svm.machine
     idx_dtype = np.dtype(np.uint32)
-    i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
-    i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
-    try:
-        _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
-        svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
-        svm.p_add(i_down, count, lmul=lmul)
-        svm.p_select(flags, i_down, i_up, lmul=lmul)
-        svm.permute(src, i_up, out=dst, lmul=lmul)
-        svm.permute(payload_src, i_up, out=payload_dst, lmul=lmul)
-    finally:
-        m.free(i_up.ptr.addr)
-        m.free(i_down.ptr.addr)
+    with _span(m, "split_pairs", n=n):
+        i_up = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+        i_down = SVMArray(m.alloc_array(max(n, 1), idx_dtype), n)
+        try:
+            _, count = svm.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
+            svm.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
+            svm.p_add(i_down, count, lmul=lmul)
+            svm.p_select(flags, i_down, i_up, lmul=lmul)
+            svm.permute(src, i_up, out=dst, lmul=lmul)
+            svm.permute(payload_src, i_up, out=payload_dst, lmul=lmul)
+        finally:
+            m.free(i_up.ptr.addr)
+            m.free(i_down.ptr.addr)
     return count

@@ -1,0 +1,103 @@
+"""tools/bench_compare.py — the CI perf-regression gate."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+import bench_compare  # noqa: E402
+
+
+BASE = {
+    "pipeline": "chain",
+    "n": 1000,
+    "grid": [
+        {"vlen": 128, "eager": 1000, "fused": 400, "saving_pct": 60.0},
+        {"vlen": 256, "eager": 500, "fused": 210, "saving_pct": 58.0},
+    ],
+}
+
+
+def _write(tmp_path, name, doc):
+    p = tmp_path / name
+    p.write_text(json.dumps(doc))
+    return str(p)
+
+
+class TestCompare:
+    def test_identical_passes(self):
+        assert bench_compare.compare(BASE, json.loads(json.dumps(BASE))) == []
+
+    def test_count_drift_fails_at_zero_tolerance(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["grid"][1]["fused"] = 211
+        failures = bench_compare.compare(BASE, fresh, tolerance=0.0)
+        assert len(failures) == 1
+        assert "grid[1].fused" in failures[0]
+
+    def test_tolerance_allows_small_drift(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["grid"][0]["eager"] = 1009  # 0.9% drift
+        assert bench_compare.compare(BASE, fresh, tolerance=0.01) == []
+        assert bench_compare.compare(BASE, fresh, tolerance=0.001) != []
+
+    def test_missing_key_fails(self):
+        fresh = json.loads(json.dumps(BASE))
+        del fresh["grid"][0]["fused"]
+        failures = bench_compare.compare(BASE, fresh)
+        assert any("missing" in f for f in failures)
+
+    def test_length_mismatch_fails(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["grid"].pop()
+        failures = bench_compare.compare(BASE, fresh)
+        assert any("length" in f for f in failures)
+
+    def test_string_leaves_compared_exactly(self):
+        fresh = json.loads(json.dumps(BASE))
+        fresh["pipeline"] = "other"
+        failures = bench_compare.compare(BASE, fresh, tolerance=0.5)
+        assert any("pipeline" in f for f in failures)
+
+    def test_type_mismatch_fails(self):
+        failures = bench_compare.compare({"a": 1}, {"a": "one"})
+        assert failures and "expected number" in failures[0]
+
+
+class TestMain:
+    def test_match_exits_zero(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", BASE)
+        fresh = _write(tmp_path, "fresh.json", BASE)
+        assert bench_compare.main([base, fresh]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        doc = json.loads(json.dumps(BASE))
+        doc["grid"][0]["fused"] = 9999
+        base = _write(tmp_path, "base.json", BASE)
+        fresh = _write(tmp_path, "fresh.json", doc)
+        assert bench_compare.main([base, fresh]) == 1
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "1 regression(s)" in err
+
+    def test_tolerance_flag(self, tmp_path):
+        doc = json.loads(json.dumps(BASE))
+        doc["grid"][0]["eager"] = 1009
+        base = _write(tmp_path, "base.json", BASE)
+        fresh = _write(tmp_path, "fresh.json", doc)
+        assert bench_compare.main([base, fresh, "--tolerance", "0.01"]) == 0
+        assert bench_compare.main([base, fresh]) == 1
+
+    def test_negative_tolerance_rejected(self, tmp_path):
+        base = _write(tmp_path, "base.json", BASE)
+        with pytest.raises(SystemExit) as exc:
+            bench_compare.main([base, base, "--tolerance", "-1"])
+        assert exc.value.code == 2
+
+    def test_committed_baseline_self_compares(self, capsys):
+        repo = Path(__file__).resolve().parents[2]
+        baseline = str(repo / "BENCH_fusion.json")
+        assert bench_compare.main([baseline, baseline, "--tolerance", "0"]) == 0

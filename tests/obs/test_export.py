@@ -1,0 +1,165 @@
+"""Exporter tests: tree golden output, JSON structure, Chrome-trace
+schema — all on a deterministic fake clock."""
+
+import json
+
+from repro.obs.export import render_tree, to_chrome_trace, to_json
+from repro.obs.spans import ProfileCollector
+from repro.rvv.counters import Cat
+from repro.rvv.machine import RVVMachine
+
+
+class FakeClock:
+    """Monotonic clock advancing 1 ms per reading — deterministic wall
+    times and timestamps for golden assertions."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 0.001
+        return self.t
+
+
+def _sample_collector():
+    m = RVVMachine(vlen=256)
+    col = ProfileCollector(m, clock=FakeClock())
+    m.collector = col
+    with col.span("alpha", n=8):
+        m.count(Cat.VMEM, 2)
+        with col.span("beta"):
+            m.count(Cat.VARITH, 3)
+        m.count(Cat.SCALAR, 5)
+    with col.span("gamma"):
+        m.count(Cat.VPERM, 1)
+    col.event("cache.hit", size=1)
+    col.finish()
+    return m, col
+
+
+class TestRenderTree:
+    def test_golden_tree(self):
+        _, col = _sample_collector()
+        # FakeClock: every reading advances 1 ms; the exact wall values
+        # follow from the number of clock reads, so the output is stable
+        text = render_tree(col)
+        lines = text.splitlines()
+        assert lines[0].startswith("profile: VLEN=256 codegen=ideal — "
+                                   "11 dynamic instructions")
+        assert lines[1] == ("├─ alpha(n=8)  10 instr   90.9%  "
+                            "[scalar 50.0% · varith 30.0% · vmem 20.0%]")
+        assert lines[2] == ("│  ├─ beta  3 instr   30.0%  [varith 100.0%]")
+        assert lines[3] == ("│  └─ (self)  7 instr   70.0%  "
+                            "[scalar 71.4% · vmem 28.6%]")
+        assert lines[4] == "└─ gamma  1 instr    9.1%  [vperm 100.0%]"
+
+    def test_max_depth_clips(self):
+        _, col = _sample_collector()
+        text = render_tree(col, max_depth=1)
+        assert "beta" not in text
+        assert "below --max-depth" in text
+
+    def test_error_annotation(self):
+        m = RVVMachine(vlen=256)
+        col = ProfileCollector(m, clock=FakeClock())
+        m.collector = col
+        try:
+            with col.span("bad"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        text = render_tree(col)
+        assert "!! raised KeyError" in text
+
+
+class TestToJson:
+    def test_structure(self):
+        _, col = _sample_collector()
+        doc = to_json(col)
+        assert doc["machine"] == {"vlen": 256, "codegen": "ideal"}
+        root = doc["profile"]
+        assert root["name"] == "profile"
+        assert root["total"] == 11
+        assert [c["name"] for c in root["children"]] == ["alpha", "gamma", "(self)"]
+        assert doc["events"][0]["name"] == "cache.hit"
+        assert doc["events"][0]["meta"] == {"size": 1}
+        assert json.loads(json.dumps(doc)) == doc  # serializable round-trip
+
+    def test_children_sum_exactly_to_parent(self):
+        _, col = _sample_collector()
+        doc = to_json(col)
+
+        def check(span):
+            kids = span.get("children")
+            if not kids:
+                return
+            summed: dict = {}
+            for child in kids:
+                for cat, n in child["by_category"].items():
+                    summed[cat] = summed.get(cat, 0) + n
+            assert summed == span["by_category"], span["name"]
+            assert sum(c["total"] for c in kids) == span["total"]
+            for child in kids:
+                check(child)
+
+        check(doc["profile"])
+
+    def test_self_child_non_negative(self):
+        _, col = _sample_collector()
+        doc = to_json(col)
+        for span in _walk_json(doc["profile"]):
+            if span["name"] == "(self)":
+                assert span["total"] >= 0
+                assert all(n >= 0 for n in span["by_category"].values())
+
+
+def _walk_json(span):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk_json(child)
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        _, col = _sample_collector()
+        doc = to_chrome_trace(col)
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["vlen"] == 256
+        assert doc["otherData"]["total_instructions"] == 11
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "C", "i"}
+        for e in doc["traceEvents"]:
+            # the Trace Event Format's required keys, per phase
+            assert {"ph", "name", "pid", "tid"} <= set(e)
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0
+                assert "instructions" in e["args"]
+            if e["ph"] == "i":
+                assert e["s"] in ("t", "p", "g")
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_span_events_nest_within_parent_duration(self):
+        _, col = _sample_collector()
+        doc = to_chrome_trace(col)
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in slices}
+        alpha, beta = by_name["alpha"], by_name["beta"]
+        assert alpha["ts"] <= beta["ts"]
+        assert beta["ts"] + beta["dur"] <= alpha["ts"] + alpha["dur"]
+
+    def test_meta_lands_in_args(self):
+        _, col = _sample_collector()
+        doc = to_chrome_trace(col)
+        alpha = next(e for e in doc["traceEvents"]
+                     if e["ph"] == "X" and e["name"] == "alpha")
+        assert alpha["args"]["meta.n"] == 8
+
+    def test_counter_track_is_cumulative(self):
+        _, col = _sample_collector()
+        doc = to_chrome_trace(col)
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert counters[0]["name"] == "dynamic instructions"
+        # root closes last with the full total
+        assert max(e["args"]["total"] for e in counters) == 11

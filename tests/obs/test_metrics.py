@@ -1,0 +1,87 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_sets(self):
+        g = Gauge("x")
+        g.set(3)
+        g.set(0.25)
+        assert g.value == 0.25
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("h")
+        for v in (8, 8, 8, 3):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 27
+        assert h.min == 3
+        assert h.max == 8
+        assert h.mean == pytest.approx(27 / 4)
+        assert h.by_value == {8: 3, 3: 1}
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+    def test_distinct_value_cap(self):
+        h = Histogram("h", max_distinct=4)
+        for v in range(10):
+            h.observe(v)
+        # summary stats stay exact, the value map stops growing
+        assert h.count == 10
+        assert h.min == 0 and h.max == 9
+        assert len(h.by_value) == 4
+
+    def test_as_dict(self):
+        h = Histogram("h")
+        h.observe(2)
+        h.observe(2)
+        d = h.as_dict()
+        assert d["count"] == 2
+        assert d["sum"] == 4
+        assert d["by_value"] == {"2": 2}
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        r = MetricsRegistry()
+        c = r.counter("a.b")
+        assert r.counter("a.b") is c
+        assert "a.b" in r
+        assert len(r) == 1
+
+    def test_type_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError, match="is a Counter"):
+            r.gauge("x")
+
+    def test_as_dict_shapes(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(2)
+        r.gauge("g").set(0.5)
+        r.histogram("h").observe(7)
+        d = r.as_dict()
+        assert d["c"] == 2
+        assert d["g"] == 0.5
+        assert d["h"]["count"] == 1
+
+    def test_render(self):
+        r = MetricsRegistry()
+        assert r.render() == "metrics: (none recorded)"
+        r.counter("hits").inc(3)
+        text = r.render()
+        assert text.startswith("metrics:")
+        assert "hits" in text and "3" in text

@@ -74,3 +74,61 @@ class TestRecorder:
         from repro.rvv.types import LMUL
         d = traced(LMUL.M8).diff(traced(LMUL.M4))
         assert d["spill"] > 0
+
+
+class TestSharedCounters:
+    """The tap mechanism fixes the old subclass-and-swap recorder: any
+    number of recorders can attach — including to machines sharing one
+    counters object — without perturbing the shared totals."""
+
+    def test_two_recorders_one_machine(self):
+        m = RVVMachine(vlen=128)
+        m.scalar(1)
+        with trace(m) as outer:
+            m.scalar(2)
+            with trace(m) as inner:
+                m.scalar(4)
+            m.scalar(8)
+        m.scalar(16)
+        # each recorder sees exactly its attached window, once
+        assert inner.total == 4
+        assert outer.total == 2 + 4 + 8
+        # and the machine's totals were never double-counted or lost
+        assert m.counters.total == 1 + 2 + 4 + 8 + 16
+
+    def test_two_machines_sharing_counters(self):
+        a = RVVMachine(vlen=128)
+        b = RVVMachine(vlen=128)
+        b.counters = a.counters  # shared totals (the old failure mode)
+        with trace(a) as ta, trace(b) as tb:
+            a.scalar(3)
+            b.scalar(5)
+        # per-machine streams stay separate...
+        assert ta.total == 3
+        assert tb.total == 5
+        # ...while the shared object holds the exact combined total
+        assert a.counters.total == 8
+        assert b.counters.total == 8
+
+    def test_totals_exact_at_every_moment(self):
+        m = RVVMachine(vlen=128)
+        with trace(m):
+            m.scalar(7)
+            # visible immediately through the machine, mid-attach
+            assert m.counters.total == 7
+            snap = m.counters.snapshot()
+            assert snap.by_category[Cat.SCALAR] == 7
+
+    def test_detach_order_independent(self):
+        m = RVVMachine(vlen=128)
+        original = m.counters
+        t1 = TraceRecorder(m).attach()
+        t2 = TraceRecorder(m).attach()
+        m.scalar(1)
+        t1.detach()  # first-attached detaches first
+        m.scalar(2)
+        t2.detach()
+        assert m.counters is original
+        assert t1.total == 1
+        assert t2.total == 3
+        assert m.counters.total == 3

@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Compare a fresh benchmark run against a committed baseline JSON.
+
+The BENCH_*.json files commit the simulator's dynamic-instruction
+counts; those are deterministic, so any drift is a real behavior change
+— the CI perf job regenerates BENCH_fusion.json and runs this with
+``--tolerance 0`` to catch silent count regressions.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json FRESH.json [--tolerance R]
+
+Every numeric leaf of the baseline is compared to the same path in the
+fresh file; relative drift above ``--tolerance`` (default 0, exact) and
+missing paths both fail. Exit status is 0 when everything matches, 1 on
+any regression, 2 on usage errors. Non-numeric leaves (strings like the
+pipeline description) must match exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["compare", "compare_files", "main"]
+
+
+def _is_number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def compare(baseline, fresh, tolerance: float = 0.0, path: str = "$") -> list[str]:
+    """Recursively diff ``fresh`` against ``baseline``; returns a list
+    of human-readable failure strings (empty = match).
+
+    ``tolerance`` is relative: a numeric leaf passes when
+    ``|fresh - base| <= tolerance * max(|base|, 1)``.
+    """
+    failures: list[str] = []
+    if isinstance(baseline, dict):
+        if not isinstance(fresh, dict):
+            return [f"{path}: expected object, got {type(fresh).__name__}"]
+        for key, base_val in baseline.items():
+            sub = f"{path}.{key}"
+            if key not in fresh:
+                failures.append(f"{sub}: missing from fresh run")
+                continue
+            failures.extend(compare(base_val, fresh[key], tolerance, sub))
+    elif isinstance(baseline, list):
+        if not isinstance(fresh, list):
+            return [f"{path}: expected array, got {type(fresh).__name__}"]
+        if len(fresh) != len(baseline):
+            failures.append(
+                f"{path}: length {len(fresh)} != baseline {len(baseline)}"
+            )
+        for i, base_val in enumerate(baseline[: len(fresh)]):
+            failures.extend(compare(base_val, fresh[i], tolerance, f"{path}[{i}]"))
+    elif _is_number(baseline):
+        if not _is_number(fresh):
+            failures.append(f"{path}: expected number, got {fresh!r}")
+        else:
+            limit = tolerance * max(abs(baseline), 1.0)
+            drift = abs(fresh - baseline)
+            if drift > limit:
+                rel = drift / max(abs(baseline), 1.0)
+                failures.append(
+                    f"{path}: {fresh} vs baseline {baseline} "
+                    f"(drift {rel:.4%} > tolerance {tolerance:.2%})"
+                )
+    else:
+        if fresh != baseline:
+            failures.append(f"{path}: {fresh!r} != baseline {baseline!r}")
+    return failures
+
+
+def compare_files(baseline_path: str, fresh_path: str,
+                  tolerance: float = 0.0) -> list[str]:
+    """Load both JSON files and :func:`compare` them."""
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    return compare(baseline, fresh, tolerance)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare a fresh benchmark JSON against a baseline"
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly generated JSON")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="allowed relative drift per numeric leaf "
+                             "(default 0: exact)")
+    args = parser.parse_args(argv)
+    if args.tolerance < 0:
+        parser.error("tolerance must be >= 0")
+
+    failures = compare_files(args.baseline, args.fresh, args.tolerance)
+    if failures:
+        for line in failures:
+            print(f"REGRESSION {line}", file=sys.stderr)
+        print(f"{len(failures)} regression(s) vs {args.baseline}",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {args.fresh} matches {args.baseline} "
+          f"(tolerance {args.tolerance:.2%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
