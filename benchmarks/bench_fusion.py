@@ -8,6 +8,12 @@ plus-scan pipeline with the paper-calibrated codegen preset, sweeps
 the fused-vs-eager ratio over VLEN ∈ {128, 256, 512, 1024} × LMUL ∈
 {1, 2, 4, 8} and over chain depth, and emits ``BENCH_fusion.json``.
 
+Grid cells run through :func:`repro.parallel.fusion_cell` /
+:func:`repro.parallel.run_grid`, so setting ``REPRO_BENCH_JOBS=N`` (or
+running ``repro bench --jobs N``) fans the sweep over N worker
+processes with per-worker machines; results and JSON output are
+byte-identical at any job count.
+
 The headline acceptance check lives here: at VLEN=1024 the fused
 depth-3+scan pipeline must save at least 25% of total dynamic
 instructions over the eager spelling.
@@ -18,70 +24,57 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
-from repro import SVM
 from repro.bench.harness import ExperimentResult
+from repro.parallel import default_jobs, fusion_cell, run_grid
 from repro.rvv.types import LMUL
 from repro.utils.formatting import fmt_count, fmt_ratio
 
 from conftest import record
 
 N = 100_000
-CHAIN = (("p_add", 10), ("p_mul", 3), ("p_xor", 5), ("p_or", 1), ("p_add", 7))
-
-
-def _pipeline(api, data, lmul, depth):
-    for op, x in CHAIN[:depth]:
-        getattr(api, op)(data, x, lmul=lmul)
-    api.plus_scan(data, lmul=lmul)
-    return data
-
-
-def _measure(n, vlen, lmul, depth, fused):
-    svm = SVM(vlen=vlen, codegen="paper", mode="fast")
-    data = svm.array(np.random.default_rng(0).integers(0, 2**16, n, dtype=np.uint32))
-    svm.reset()
-    if fused:
-        with svm.lazy() as lz:
-            _pipeline(lz, data, lmul, depth)
-    else:
-        _pipeline(svm, data, lmul, depth)
-    return svm.instructions, data.to_numpy()
+SEED = 0
 
 
 def test_fusion_grid(benchmark):
+    params = [
+        {"n": N, "vlen": vlen, "lmul": lmul, "depth": 3, "seed": SEED}
+        for vlen in (128, 256, 512, 1024)
+        for lmul in (1, 2, 4, 8)
+    ]
+    cells = run_grid(fusion_cell, params, jobs=default_jobs())
+
     grid = []
     rows = []
-    for vlen in (128, 256, 512, 1024):
-        for lmul in (1, 2, 4, 8):
-            eager, ref = _measure(N, vlen, LMUL(lmul), 3, fused=False)
-            fused, got = _measure(N, vlen, LMUL(lmul), 3, fused=True)
-            assert np.array_equal(ref, got)
-            assert fused <= eager
-            saving = 100.0 * (eager - fused) / eager
-            grid.append({"vlen": vlen, "lmul": lmul, "eager": eager,
-                         "fused": fused, "saving_pct": round(saving, 2)})
-            rows.append([str(vlen), str(lmul), fmt_count(eager),
-                         fmt_count(fused), fmt_ratio(eager / fused),
-                         f"{saving:.1f}%"])
+    for cell in cells:
+        assert cell.pop("identical"), cell
+        assert cell["fused"] <= cell["eager"]
+        grid.append(cell)
+        rows.append([str(cell["vlen"]), str(cell["lmul"]),
+                     fmt_count(cell["eager"]), fmt_count(cell["fused"]),
+                     fmt_ratio(cell["eager"] / cell["fused"]),
+                     f"{cell['saving_pct']:.1f}%"])
 
     # acceptance: depth-3 chains at VLEN=1024 save >= 25% at every LMUL
     for cell in grid:
         if cell["vlen"] == 1024:
             assert cell["saving_pct"] >= 25.0, cell
 
+    depth_params = [
+        {"n": N, "vlen": 1024, "lmul": 1, "depth": depth, "seed": SEED}
+        for depth in (1, 2, 3, 4, 5)
+    ]
+    depth_cells = run_grid(fusion_cell, depth_params, jobs=default_jobs())
     depth_sweep = []
     depth_rows = []
-    for depth in (1, 2, 3, 4, 5):
-        eager, ref = _measure(N, 1024, LMUL.M1, depth, fused=False)
-        fused, got = _measure(N, 1024, LMUL.M1, depth, fused=True)
-        assert np.array_equal(ref, got)
-        saving = 100.0 * (eager - fused) / eager
-        depth_sweep.append({"depth": depth, "eager": eager, "fused": fused,
-                            "saving_pct": round(saving, 2)})
-        depth_rows.append([str(depth), fmt_count(eager), fmt_count(fused),
-                           fmt_ratio(eager / fused), f"{saving:.1f}%"])
+    for depth_param, cell in zip(depth_params, depth_cells):
+        assert cell.pop("identical"), cell
+        depth_sweep.append({"depth": depth_param["depth"],
+                            "eager": cell["eager"], "fused": cell["fused"],
+                            "saving_pct": cell["saving_pct"]})
+        depth_rows.append([str(depth_param["depth"]), fmt_count(cell["eager"]),
+                           fmt_count(cell["fused"]),
+                           fmt_ratio(cell["eager"] / cell["fused"]),
+                           f"{cell['saving_pct']:.1f}%"])
 
     record(ExperimentResult(
         "Fusion grid",
@@ -107,4 +100,6 @@ def test_fusion_grid(benchmark):
         "depth_sweep": depth_sweep,
     }, indent=2) + "\n")
 
-    benchmark(_measure, 10_000, 1024, LMUL.M1, 3, True)
+    benchmark(fusion_cell,
+              {"n": 10_000, "vlen": 1024, "lmul": int(LMUL.M1), "depth": 3,
+               "seed": SEED})

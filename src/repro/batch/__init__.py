@@ -1,0 +1,14 @@
+"""Batched execution of one fused plan over many inputs.
+
+``svm.batch(pipe, inputs)`` (or :func:`run_batch`) amortizes plan
+capture, cache lookup, dispatch, and counter charging across a whole
+batch: same-length inputs share one cached
+:class:`~repro.engine.fuse.FusedPlan`, data moves as a single 2D NumPy
+evaluation per execution unit, and counters are charged once from
+row 0's delta scaled by the batch size — bit- and counter-identical to
+looping the single-input path. See ``docs/batching.md``.
+"""
+
+from .runner import BatchBucket, BatchResult, run_batch
+
+__all__ = ["BatchBucket", "BatchResult", "run_batch"]

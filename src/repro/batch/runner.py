@@ -1,0 +1,352 @@
+"""Batched plan execution: one fused plan, many independent inputs.
+
+The paper's primitives are data-oblivious in their instruction counts
+(§3, Tables 2-4): the vl strip sequence — and therefore every closed-
+form charge — depends only on (n, VLEN, SEW, LMUL), never on element
+values. That is what makes batching sound: a cached
+:class:`~repro.engine.fuse.FusedPlan` evaluated over B same-length
+inputs performs B identical instruction streams, so the batch can
+
+* execute the *data* as one 2D NumPy evaluation per execution unit
+  (batch axis × element axis), and
+* charge the *counters* by running row 0 through the ordinary
+  single-input engine and scaling its counter delta by the remaining
+  B-1 rows — exact, because integer scaling of an identical per-row
+  profile is exact.
+
+The result is bit- and counter-identical to looping the single-input
+path, which stays the definitional semantics:
+
+* ragged batches are split into length buckets first (the vl sequence
+  depends only on n, so only same-(n, dtype) rows may share a plan);
+* buckets whose plan contains an opaque node (pack, permute,
+  enumerate, segmented ops, ... — anything data-dependent or with a
+  :class:`~repro.engine.ir.ScalarFuture`) fall back to literally
+  looping the single-input path, as does strict mode;
+* the 2D fast path replays the pre-compiled
+  :class:`~repro.engine.specialize.SpecializedGroup` lane chains with
+  ``axis=1`` scan tails.
+
+See ``docs/batching.md`` for the API and the bucketing rule.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.capture import PlanBuilder
+from ..engine.executor import execute
+from ..engine.fuse import GroupSpec, materialize
+from ..engine.ir import EngineError, Kind, Plan, resolve_scalar
+from ..svm.fastpath import _UFUNC_VX, _wrap
+from ..svm.fastpath_ext import _NP_CMP
+from ..svm.operators import get_operator
+
+__all__ = ["BatchBucket", "BatchResult", "run_batch"]
+
+
+@dataclass(frozen=True)
+class BatchBucket:
+    """One length bucket of a batch and how it was dispatched."""
+
+    n: int
+    dtype: str
+    rows: int
+    #: ``"2d"`` (matrix fast path) or ``"loop"`` (per-row fallback).
+    path: str
+    #: Positions of this bucket's rows in the original input order.
+    indices: tuple[int, ...]
+
+
+@dataclass
+class BatchResult:
+    """Outputs in input order plus per-bucket dispatch reports."""
+
+    outputs: list[np.ndarray] = field(default_factory=list)
+    buckets: list[BatchBucket] = field(default_factory=list)
+
+    @property
+    def rows(self) -> int:
+        return len(self.outputs)
+
+    def __len__(self) -> int:
+        return len(self.outputs)
+
+    def __getitem__(self, i):
+        return self.outputs[i]
+
+    def __iter__(self):
+        return iter(self.outputs)
+
+
+def _freed_bids(plan: Plan) -> set[int]:
+    return {node.dst for node in plan.nodes if node.kind is Kind.FREE}
+
+
+def _release(svm, plan: Plan, input_addr: int, executed: bool = True) -> None:
+    """Free the buffers one single-input run would not leave behind:
+    plan temporaries and the input we allocated, minus anything the
+    plan already freed. External (non-temp) arrays are left alone.
+    A never-executed probe capture (``executed=False``) still holds
+    everything, including buffers its FREE nodes would have freed."""
+    freed = _freed_bids(plan) if executed else set()
+    for bid, buf in plan.buffers.items():
+        if bid in freed:
+            continue
+        if buf.temp or buf.array.ptr.addr == input_addr:
+            svm.free(buf.array)
+
+
+def _capture(svm, pipe, row: np.ndarray):
+    """Capture ``pipe`` over a fresh input array; returns
+    (plan, input SVMArray, output SVMArray)."""
+    data = svm.array(row, dtype=row.dtype)
+    lz = PlanBuilder(svm)
+    out = pipe(lz, data)
+    if out is None:
+        raise EngineError(
+            "batch pipelines must return their output SVMArray"
+        )
+    return lz.build(), data, out
+
+
+def _batchable(plan: Plan) -> bool:
+    """A plan batches as a 2D evaluation iff every node is closed-form:
+    opaque nodes are data-dependent (pack) or resolve ScalarFutures,
+    so their rows cannot share one vectorized evaluation."""
+    return all(node.kind is not Kind.OPAQUE for node in plan.nodes)
+
+
+# ---------------------------------------------------------------------------
+# 2D evaluation of one plan over the trailing B-1 rows
+# ---------------------------------------------------------------------------
+
+def _mat_getter(plan: Plan, init: dict[int, np.ndarray], b1: int):
+    """Lazy [b1, n] matrices per buffer id: the input matrix is
+    pre-seeded by the caller; temporaries materialize from their
+    pre-execution contents on first touch."""
+    mats: dict[int, np.ndarray] = {}
+
+    def get(bid: int) -> np.ndarray:
+        mat = mats.get(bid)
+        if mat is None:
+            mat = np.broadcast_to(init[bid], (b1, init[bid].size)).copy()
+            mats[bid] = mat
+        return mat
+
+    return mats, get
+
+
+def _group_2d(plan: Plan, sg, mats, get) -> None:
+    """Replay a specialized group's lane chain on a [b1, n] matrix —
+    the 2D mirror of ``run_specialized_fast``."""
+    nodes = plan.nodes
+    head_node = nodes[sg.spec.node_indices[0]]
+    dst = head_node.dst
+    head = head_node.src if head_node.src is not None else dst
+    dtype = sg.dtype
+    acc = get(head)
+    # run_group_fast always copies the head so lane operands aliasing
+    # dst still read pre-group values; in 2D the copy is only needed
+    # when head != dst (head must survive) or such an alias exists
+    owned = head == dst and not any(
+        st.kind in ("vv", "cmp_vv") and nodes[st.node_index].operand == dst
+        for st in sg.steps
+    )
+    for st in sg.steps:
+        kind = st.kind
+        if kind == "vx" or kind == "vv":
+            if kind == "vx":
+                x = st.const if st.const is not None \
+                    else resolve_scalar(nodes[st.node_index].scalar)
+                operand = _wrap(x, dtype)
+            else:
+                operand = get(nodes[st.node_index].operand)
+            if not owned:
+                acc = acc.copy()
+                owned = True
+            st.fn(acc, operand, out=acc)
+        elif kind == "cmp_vx":
+            x = resolve_scalar(nodes[st.node_index].scalar)
+            acc = st.fn(acc, _wrap(x, dtype)).astype(dtype)
+            owned = True
+        else:  # cmp_vv
+            acc = st.fn(acc, get(nodes[st.node_index].operand)).astype(dtype)
+            owned = True
+    if sg.scan_ufunc is not None:
+        if not owned:
+            acc = acc.copy()
+        sg.scan_ufunc.accumulate(acc, axis=1, out=acc)
+    mats[dst] = acc
+
+
+def _node_2d(plan: Plan, node, mats, get) -> None:
+    """One eager (non-fused, non-opaque) node on a [b1, n] matrix."""
+    kind = node.kind
+    if kind is Kind.EW_VX:
+        view = get(node.dst)
+        _UFUNC_VX[node.op](
+            view, _wrap(resolve_scalar(node.scalar), view.dtype), out=view
+        )
+    elif kind is Kind.EW_VV:
+        view = get(node.dst)
+        _UFUNC_VX[node.op](view, get(node.operand), out=view)
+    elif kind is Kind.CMP_VX:
+        src = get(node.src)
+        out_dtype = plan.buffers[node.dst].dtype
+        mats[node.dst] = _NP_CMP[node.op](
+            src, _wrap(resolve_scalar(node.scalar), src.dtype)
+        ).astype(out_dtype)
+    elif kind is Kind.CMP_VV:
+        out_dtype = plan.buffers[node.dst].dtype
+        mats[node.dst] = _NP_CMP[node.op](
+            get(node.src), get(node.operand)
+        ).astype(out_dtype)
+    elif kind is Kind.GET_FLAGS:
+        src = get(node.src)
+        bit = src.dtype.type(resolve_scalar(node.scalar))
+        out_dtype = plan.buffers[node.dst].dtype
+        mats[node.dst] = ((src >> bit) & src.dtype.type(1)).astype(out_dtype)
+    elif kind is Kind.SCAN:
+        view = get(node.dst)
+        op = get_operator(node.op)
+        if node.inclusive:
+            op.ufunc.accumulate(view, axis=1, out=view)
+        else:
+            incl = op.ufunc.accumulate(view, axis=1)
+            view[:, 1:] = incl[:, :-1]
+            view[:, 0] = _wrap(op.identity(view.dtype), view.dtype)
+    elif kind is Kind.FREE:
+        mats.pop(node.dst, None)
+    else:  # pragma: no cover - _batchable() excludes OPAQUE
+        raise EngineError(f"cannot batch node kind {kind}")
+
+
+def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
+    """Fast path for one bucket: single-input semantics for row 0 (the
+    counter oracle), one 2D NumPy evaluation for the rest, counters
+    scaled by the remaining rows."""
+    m = svm.machine
+    n = rows[0].size
+    b1 = len(rows) - 1
+
+    input_bid = next(
+        bid for bid, buf in plan.buffers.items()
+        if buf.array.ptr.addr == data.ptr.addr
+    )
+    out_bid = next(
+        bid for bid, buf in plan.buffers.items()
+        if buf.array.ptr.addr == out.ptr.addr
+    )
+    # pre-execution contents of every buffer: temporaries replay from
+    # these in rows 1+, exactly as fresh allocations would per loop
+    # iteration (captured before row 0 mutates anything)
+    init = {
+        bid: buf.array.to_numpy()
+        for bid, buf in plan.buffers.items()
+        if bid != input_bid
+    }
+
+    # row 0: the ordinary engine — its counter delta is the per-row
+    # closed-form profile of this plan
+    before = m.counters.snapshot()
+    execute(svm, plan, fused)
+    delta = m.counters.snapshot() - before
+    outputs = [out.to_numpy()]
+
+    if b1:
+        mats, get = _mat_getter(plan, init, b1)
+        mats[input_bid] = np.stack(rows[1:], axis=0)
+        for unit in fused.units:
+            if isinstance(unit, GroupSpec):
+                sg = fused.specialized.get(unit) if fused.specialized else None
+                if sg is not None:
+                    _group_2d(plan, sg, mats, get)
+                else:  # fused but unspecialized: derive steps via group
+                    from ..engine.specialize import specialize_group
+                    _group_2d(plan, specialize_group(plan, unit, m), mats, get)
+            else:
+                _node_2d(plan, plan.nodes[unit], mats, get)
+        out_mat = get(out_bid)
+        outputs.extend(out_mat[i] for i in range(b1))
+        for cat, count in delta.by_category.items():
+            if count:
+                m.count(cat, count * b1)
+
+    _release(svm, plan, data.ptr.addr)
+    return outputs
+
+
+def _run_bucket_loop(svm, pipe, rows) -> list[np.ndarray]:
+    """Fallback: literally the loop of single-input calls (the
+    definitional semantics) — used for opaque plans and strict mode."""
+    outputs = []
+    for row in rows:
+        plan, data, out = _capture(svm, pipe, row)
+        svm.engine.run(plan)
+        outputs.append(out.to_numpy())
+        _release(svm, plan, data.ptr.addr)
+    return outputs
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
+    """Run ``pipe`` over every input through one cached plan per
+    length bucket.
+
+    ``pipe(lz, data)`` receives a capture proxy and the input
+    :class:`~repro.svm.context.SVMArray` and must return its output
+    array (returning ``data`` for in-place pipelines is fine). Inputs
+    are bucketed by ``(length, dtype)`` — the vl strip sequence, and
+    with it the whole instruction profile, depends only on those — and
+    each bucket runs the 2D fast path when the captured plan is fully
+    closed-form and the fast path applies at its length, else the
+    per-row loop. Results and per-category counters are identical to
+    looping single calls either way.
+    """
+    arrays = [
+        x if isinstance(x, np.ndarray) else np.asarray(x, dtype=dtype)
+        for x in inputs
+    ]
+    result = BatchResult(outputs=[None] * len(arrays))
+    if not arrays:
+        return result
+
+    buckets: dict[tuple[int, object], list[int]] = {}
+    for i, arr in enumerate(arrays):
+        if arr.ndim != 1:
+            raise EngineError(f"batch inputs are 1-D, got shape {arr.shape}")
+        buckets.setdefault((arr.size, arr.dtype), []).append(i)
+
+    col = getattr(svm.machine, "collector", None)
+    for (n, dt), indices in buckets.items():
+        rows = [arrays[i] for i in indices]
+        plan, data, out = _capture(svm, pipe, rows[0])
+        fused = svm.engine.fused_for(plan)
+        use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan)
+        path = "2d" if use_2d else "loop"
+        ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
+            if col is not None else nullcontext()
+        with ctx:
+            if col is not None:
+                col.batch_event(len(rows), int(n), path)
+            if use_2d:
+                outputs = _run_bucket_2d(svm, plan, fused, data, out, rows)
+            else:
+                # release the probe capture's buffers and replay the
+                # definitional loop from scratch for every row
+                _release(svm, plan, data.ptr.addr, executed=False)
+                outputs = _run_bucket_loop(svm, pipe, rows)
+        for i, arr_out in zip(indices, outputs):
+            result.outputs[i] = arr_out
+        result.buckets.append(
+            BatchBucket(int(n), np.dtype(dt).name, len(rows), path,
+                        tuple(indices))
+        )
+    return result

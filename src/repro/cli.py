@@ -223,6 +223,22 @@ def _profile_workload_sort(svm, args, rng) -> int:
 def _profile_workload_filter(svm, args, rng) -> int:
     from .algorithms import filter_in_range
 
+    if args.batch:
+        # the pack node is opaque (data-dependent), so every bucket
+        # takes the loop fallback — visible as batch_bucket[path=loop]
+        def pipe(lz, data):
+            lt = lz.p_lt(data, 3 * 2 ** 14)
+            ge = lz.p_ge(data, 2 ** 14)
+            lz.p_mul(ge, lt)
+            out, _ = lz.pack(data, ge)
+            lz.free(ge)
+            lz.free(lt)
+            return out
+
+        rows = [rng.integers(0, 2 ** 16, args.n, dtype=np.uint32)
+                for _ in range(args.batch)]
+        svm.batch(pipe, rows)
+        return 0
     # two α-equivalent runs: the second one's plan comes from the cache,
     # so the profile shows both a plan_cache.miss and a plan_cache.hit
     for _ in range(2):
@@ -232,6 +248,16 @@ def _profile_workload_filter(svm, args, rng) -> int:
 
 
 def _profile_workload_scan(svm, args, rng) -> int:
+    if args.batch:
+        def pipe(lz, data):
+            lz.p_add(data, 1)
+            lz.plus_scan(data)
+            return data
+
+        rows = [rng.integers(0, 100, args.n, dtype=np.uint32)
+                for _ in range(args.batch)]
+        svm.batch(pipe, rows)
+        return 0
     data = svm.array(rng.integers(0, 100, args.n, dtype=np.uint32))
     svm.reset()
     svm.plus_scan(data)
@@ -256,6 +282,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     from .svm.context import SVM
 
+    if args.batch and args.algo == "sort":
+        print("--batch applies to the scan and filter workloads only",
+              file=sys.stderr)
+        return 2
     svm = SVM(vlen=args.vlen, codegen=args.codegen, mode=args.mode,
               profile="strips" if args.strips else True)
     rng = np.random.default_rng(args.seed)
@@ -276,6 +306,55 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} profile to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from .parallel import batch_cell, fusion_cell, run_grid
+    from .utils.formatting import fmt_count
+
+    t0 = time.perf_counter()
+    failures = 0
+
+    if args.suite in ("fusion", "all"):
+        params = [
+            {"n": args.n, "vlen": vlen, "lmul": lmul, "depth": 3,
+             "seed": args.seed}
+            for vlen in (128, 1024) for lmul in (1, 8)
+        ]
+        cells = run_grid(fusion_cell, params, jobs=args.jobs)
+        print(f"fusion suite ({len(cells)} cells, n={args.n}):")
+        print("  VLEN LMUL      eager      fused  saved  identical")
+        for c in cells:
+            failures += not c["identical"]
+            print(f"  {c['vlen']:>4} {c['lmul']:>4} {fmt_count(c['eager']):>10}"
+                  f" {fmt_count(c['fused']):>10} {c['saving_pct']:>5.1f}%"
+                  f"  {c['identical']}")
+
+    if args.suite in ("batch", "all"):
+        params = [
+            {"n": n, "vlen": vlen, "lmul": 1, "rows": rows, "depth": 3,
+             "seed": args.seed}
+            for vlen in (128, 512) for n, rows in ((256, 32), (2000, 16))
+        ]
+        cells = run_grid(batch_cell, params, jobs=args.jobs)
+        print(f"batch suite ({len(cells)} cells):")
+        print("  VLEN     n rows path       loop      batch  identical")
+        for c in cells:
+            ok = (c["identical_results"] and c["identical_counters"]
+                  and c["batch_instr"] == c["loop_instr"])
+            failures += not ok
+            print(f"  {c['vlen']:>4} {c['n']:>5} {c['rows']:>4} {c['path']:<4}"
+                  f" {fmt_count(c['loop_instr']):>10}"
+                  f" {fmt_count(c['batch_instr']):>10}  {ok}")
+
+    elapsed = time.perf_counter() - t0
+    print(f"done in {elapsed:.2f}s with jobs={args.jobs}")
+    if failures:
+        print(f"{failures} cell(s) failed identity checks", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -351,7 +430,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="clip the tree report below this depth")
     p.add_argument("--out", default=None, help="write to a file instead of stdout")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batch", type=int, default=0, metavar="N",
+                   help="run the workload as an N-row svm.batch() so the "
+                        "batch path shows up in the profile (scan/filter)")
     p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser(
+        "bench", help="run benchmark grids, optionally over worker processes"
+    )
+    p.add_argument("--suite", choices=["fusion", "batch", "all"], default="all")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan grid cells over this many processes "
+                        "(per-worker machines; results merge in input order)")
+    p.add_argument("--n", type=int, default=20000,
+                   help="element count for the fusion suite")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -20,7 +20,10 @@ primitive kernels:
   repo's strict-vs-fast bit-and-counter equality invariant);
 * :mod:`repro.engine.cache` — a plan cache keyed on (op signature, n,
   VLEN, SEW, LMUL, codegen preset) so repeated pipelines skip
-  re-planning.
+  re-planning;
+* :mod:`repro.engine.specialize` — compiles each fused group once at
+  cache-insert time (bound ufuncs, precomputed charge profile) so
+  cache hits replay with no per-execution resolution.
 
 See ``docs/engine.md`` for the IR, fusion legality rules, the cache
 key, and a worked before/after counter example.
@@ -31,6 +34,7 @@ from .capture import PlanBuilder
 from .executor import Engine, execute
 from .fuse import FusedGroup, FusedPlan, fuse
 from .ir import OpNode, Plan, ScalarFuture
+from .specialize import SpecializedGroup, specialize_plan
 
 __all__ = [
     "Engine",
@@ -44,4 +48,6 @@ __all__ = [
     "PlanCache",
     "CacheStats",
     "execute",
+    "SpecializedGroup",
+    "specialize_plan",
 ]

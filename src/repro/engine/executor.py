@@ -48,6 +48,11 @@ from .fuse import (
     materialize,
 )
 from .ir import Buf, EngineError, Kind, OpNode, Plan, resolve_scalar
+from .specialize import (
+    group_charge_items,
+    run_specialized_fast,
+    specialize_plan,
+)
 
 __all__ = ["Engine", "execute", "run_group_strict", "run_group_fast", "charge_group"]
 
@@ -165,46 +170,11 @@ _SCAN_EW = {
 
 def charge_group(m, group: FusedGroup) -> None:
     """Closed-form per-category counts of :func:`run_group_strict` —
-    depends only on the vl sequence, never on the data."""
-    sew = group.sew
-    lmul = group.lmul
-    scan = group.scan_op is not None
-    kernel = KERNEL_SCAN if scan else KERNEL_EW
-    cg = m.codegen
-    vlmax = m.vlmax(sew, lmul)
-    full, rem = strip_shape(group.n, vlmax)
-    n_strips = full + (1 if rem else 0)
-    alloc = plan_allocation(group_profile(group), lmul)
-
-    m.count(Cat.SCALAR, cg.prologue(kernel))
-    if alloc.has_spills:
-        spill = alloc.frame_setup
-        if scan:
-            spill += full * alloc.strip_cost(inner_scan_steps(vlmax))
-            if rem:
-                spill += alloc.strip_cost(inner_scan_steps(rem))
-        else:
-            spill += n_strips * alloc.strip_cost(0)
-        m.count(Cat.SPILL, spill)
-    # one-time constant setup
-    if scan or group.needs_zero:
-        m.count(Cat.VCONFIG, 1)
-        m.count(Cat.VPERM, ((1 if scan else 0) + (1 if group.needs_zero else 0)) * cg.op_cost())
-    # per strip
-    m.count(Cat.VCONFIG, n_strips)
-    m.count(Cat.VMEM, n_strips * (group.n_loads + 1))
-    if group.n_varith:
-        m.count(Cat.VARITH, n_strips * group.n_varith * cg.op_cost())
-    if group.n_mask:
-        m.count(Cat.VMASK, n_strips * group.n_mask * cg.op_cost())
-    if scan:
-        total_steps = full * inner_scan_steps(vlmax) + inner_scan_steps(rem)
-        m.count(Cat.VPERM, total_steps * cg.op_cost(dest_undisturbed=True))
-        m.count(Cat.VARITH, total_steps * cg.op_cost())
-        m.count(Cat.SCALAR, total_steps * cg.inner_overhead(kernel))
-        m.count(Cat.VARITH, n_strips * cg.op_cost())  # carry apply
-        m.count(Cat.SCALAR, n_strips * 2)  # carry reload
-    m.count(Cat.SCALAR, n_strips * cg.strip_overhead(kernel, group.n_arrays))
+    depends only on the vl sequence, never on the data. The arithmetic
+    lives in :func:`~repro.engine.specialize.group_charge_items` so
+    specialization can cache its result."""
+    for cat, k in group_charge_items(m, group):
+        m.count(cat, k)
 
 
 def run_group_fast(svm, plan: Plan, group: FusedGroup) -> None:
@@ -287,8 +257,20 @@ def execute(svm, plan: Plan, fused: FusedPlan) -> None:
     they show up under their primitive names as in eager mode.
     """
     col = getattr(svm.machine, "collector", None)
+    specials = fused.specialized
     for unit in fused.units:
         if isinstance(unit, GroupSpec):
+            sg = specials.get(unit) if specials is not None else None
+            if sg is not None and svm._fast(sg.n):
+                # pre-compiled fast path: no materialization, no lookups
+                if col is not None:
+                    ctx = col.span(sg.kernel, n=sg.n,
+                                   nodes=len(unit.node_indices), path="fast")
+                else:
+                    ctx = nullcontext()
+                with ctx:
+                    run_specialized_fast(svm, plan, sg)
+                continue
             group = materialize(plan, unit)
             fast = svm._fast(group.n)
             if col is not None:
@@ -327,6 +309,7 @@ class Engine:
         hit = fused is not None
         if not hit:
             fused = fuse_plan(plan)
+            specialize_plan(plan, fused, self.svm.machine)
             self.cache.put(key, fused)
         col = getattr(self.svm.machine, "collector", None)
         if col is not None:

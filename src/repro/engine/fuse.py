@@ -240,6 +240,11 @@ class FusedPlan:
 
     units: list[int | GroupSpec] = field(default_factory=list)
     removed: tuple[int, ...] = ()
+    #: ``{GroupSpec: SpecializedGroup}`` attached by
+    #: :func:`repro.engine.specialize.specialize_plan` at cache-insert
+    #: time; ``None`` until specialized (e.g. ``fuse=False`` replays).
+    #: Excluded from equality: a specialization is derived state.
+    specialized: dict | None = field(default=None, compare=False, repr=False)
 
     @property
     def n_groups(self) -> int:

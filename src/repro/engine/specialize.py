@@ -1,0 +1,238 @@
+"""Plan specialization: compile fused groups once, at cache-insert time.
+
+:func:`run_group_fast` re-derives everything on every execution — ufunc
+lookups per lane, the operator for the scan tail, strip shape, register
+allocation, and the whole closed-form charge profile. All of that is a
+function of the plan *signature* (node structure, n, dtype, LMUL) plus
+the machine configuration (VLEN, codegen preset) — exactly the plan
+cache key. So it can be resolved once when a :class:`FusedPlan` enters
+the cache and replayed from bound state afterwards.
+
+A :class:`SpecializedGroup` holds, per fused group:
+
+* a tuple of :class:`LaneStep` with the NumPy callable pre-bound and
+  the *node index* (never a buffer id) of the lane's source node —
+  buffer ids and scalar values are excluded from the plan signature,
+  so α-equivalent plans replaying the same cache entry resolve both
+  from their own nodes at execution time;
+* the pre-resolved scan-tail ufunc (or ``None``);
+* the complete closed-form charge profile as ``(category, count)``
+  pairs, precomputed from the same arithmetic as
+  :func:`group_charge_items` — charging becomes a handful of
+  ``machine.count`` calls with no per-execution math.
+
+Specialization only accelerates the fast path; the strict path always
+re-materializes the group and drives the machine intrinsic-by-
+intrinsic, keeping the dual-execution contract auditable.
+
+:mod:`repro.batch` reuses the same :class:`LaneStep` chain to evaluate
+a group over a 2D ``[batch, n]`` matrix — see
+:func:`repro.batch.runner.run_batch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rvv.allocation import plan_allocation
+from ..rvv.counters import Cat
+from ..svm.fastpath import _UFUNC_VX, _wrap, strip_shape
+from ..svm.fastpath_ext import _NP_CMP
+from ..svm.operators import get_operator
+from ..svm.scan import inner_scan_steps
+from .fuse import (
+    KERNEL_EW,
+    KERNEL_SCAN,
+    FusedGroup,
+    FusedPlan,
+    GroupSpec,
+    group_profile,
+    materialize,
+)
+from .ir import EngineError, Kind, Plan, resolve_scalar
+
+__all__ = [
+    "LaneStep",
+    "SpecializedGroup",
+    "group_charge_items",
+    "specialize_group",
+    "specialize_plan",
+    "run_specialized_fast",
+]
+
+
+@dataclass(frozen=True)
+class LaneStep:
+    """One pre-bound lane op of a specialized group.
+
+    ``fn`` is the NumPy callable (``_UFUNC_VX`` entry for vx/vv lanes,
+    ``_NP_CMP`` entry for compares). ``node_index`` locates the node
+    that supplies the runtime scalar (vx) or operand buffer (vv) in
+    whatever plan is executing. ``const`` overrides the node's scalar
+    for structural literals (get_flags' trailing ``& 1``).
+    """
+
+    kind: str  # "vx" | "vv" | "cmp_vx" | "cmp_vv"
+    fn: object
+    node_index: int
+    const: int | None = None
+
+
+@dataclass
+class SpecializedGroup:
+    """A fused group compiled to bound callables + precharged counts."""
+
+    spec: GroupSpec
+    steps: tuple[LaneStep, ...]
+    scan_ufunc: np.ufunc | None
+    n: int
+    dtype: np.dtype
+    kernel: str
+    charge: tuple[tuple[Cat, int], ...]
+
+
+def group_charge_items(m, group: FusedGroup) -> tuple[tuple[Cat, int], ...]:
+    """The closed-form per-category counts of ``run_group_strict`` as
+    ``(category, count)`` pairs — same arithmetic as the historical
+    ``charge_group`` body, but collected instead of charged so the
+    result can be cached and replayed.
+
+    Depends only on the vl sequence (n, VLEN, SEW, LMUL) and the
+    codegen preset, never on the data.
+    """
+    sew = group.sew
+    lmul = group.lmul
+    scan = group.scan_op is not None
+    kernel = KERNEL_SCAN if scan else KERNEL_EW
+    cg = m.codegen
+    vlmax = m.vlmax(sew, lmul)
+    full, rem = strip_shape(group.n, vlmax)
+    n_strips = full + (1 if rem else 0)
+    alloc = plan_allocation(group_profile(group), lmul)
+
+    items: dict[Cat, int] = {}
+
+    def add(cat: Cat, k: int) -> None:
+        if k:
+            items[cat] = items.get(cat, 0) + k
+
+    add(Cat.SCALAR, cg.prologue(kernel))
+    if alloc.has_spills:
+        spill = alloc.frame_setup
+        if scan:
+            spill += full * alloc.strip_cost(inner_scan_steps(vlmax))
+            if rem:
+                spill += alloc.strip_cost(inner_scan_steps(rem))
+        else:
+            spill += n_strips * alloc.strip_cost(0)
+        add(Cat.SPILL, spill)
+    # one-time constant setup
+    if scan or group.needs_zero:
+        add(Cat.VCONFIG, 1)
+        add(Cat.VPERM, ((1 if scan else 0) + (1 if group.needs_zero else 0)) * cg.op_cost())
+    # per strip
+    add(Cat.VCONFIG, n_strips)
+    add(Cat.VMEM, n_strips * (group.n_loads + 1))
+    if group.n_varith:
+        add(Cat.VARITH, n_strips * group.n_varith * cg.op_cost())
+    if group.n_mask:
+        add(Cat.VMASK, n_strips * group.n_mask * cg.op_cost())
+    if scan:
+        total_steps = full * inner_scan_steps(vlmax) + inner_scan_steps(rem)
+        add(Cat.VPERM, total_steps * cg.op_cost(dest_undisturbed=True))
+        add(Cat.VARITH, total_steps * cg.op_cost())
+        add(Cat.SCALAR, total_steps * cg.inner_overhead(kernel))
+        add(Cat.VARITH, n_strips * cg.op_cost())  # carry apply
+        add(Cat.SCALAR, n_strips * 2)  # carry reload
+    add(Cat.SCALAR, n_strips * cg.strip_overhead(kernel, group.n_arrays))
+    return tuple(items.items())
+
+
+def _node_steps(node, index: int) -> list[LaneStep]:
+    """Mirror of ``fuse._node_lanes`` with callables pre-bound."""
+    if node.kind is Kind.EW_VX:
+        return [LaneStep("vx", _UFUNC_VX[node.op], index)]
+    if node.kind is Kind.EW_VV:
+        return [LaneStep("vv", _UFUNC_VX[node.op], index)]
+    if node.kind is Kind.CMP_VX:
+        return [LaneStep("cmp_vx", _NP_CMP[node.op], index)]
+    if node.kind is Kind.CMP_VV:
+        return [LaneStep("cmp_vv", _NP_CMP[node.op], index)]
+    if node.kind is Kind.GET_FLAGS:
+        # (src >> bit) & 1 — the bit comes from the node at run time,
+        # the & 1 literal is structural
+        return [LaneStep("vx", _UFUNC_VX["p_srl"], index),
+                LaneStep("vx", _UFUNC_VX["p_and"], index, const=1)]
+    raise EngineError(f"no specialized lane recipe for {node.kind}")
+
+
+def specialize_group(plan: Plan, spec: GroupSpec, machine) -> SpecializedGroup:
+    """Compile one group spec against the machine configuration."""
+    group = materialize(plan, spec)
+    nodes = [plan.nodes[i] for i in spec.node_indices]
+    body = list(zip(nodes[:-1], spec.node_indices[:-1])) if spec.scan \
+        else list(zip(nodes, spec.node_indices))
+    steps: list[LaneStep] = []
+    for node, index in body:
+        steps.extend(_node_steps(node, index))
+    scan_ufunc = get_operator(group.scan_op).ufunc if group.scan_op is not None else None
+    return SpecializedGroup(
+        spec=spec,
+        steps=tuple(steps),
+        scan_ufunc=scan_ufunc,
+        n=int(group.n),
+        dtype=np.dtype(group.dtype),
+        kernel=KERNEL_SCAN if group.scan_op is not None else KERNEL_EW,
+        charge=group_charge_items(machine, group),
+    )
+
+
+def specialize_plan(plan: Plan, fused: FusedPlan, machine) -> None:
+    """Attach a ``{GroupSpec: SpecializedGroup}`` map to ``fused``.
+
+    Called once per cache insert; cache hits replay the bound state.
+    """
+    specials = {
+        unit: specialize_group(plan, unit, machine)
+        for unit in fused.units
+        if isinstance(unit, GroupSpec)
+    }
+    fused.specialized = specials or None
+
+
+def run_specialized_fast(svm, plan: Plan, sg: SpecializedGroup) -> None:
+    """Fast-path execution of one pre-compiled group: bit- and
+    counter-identical to ``run_group_fast`` on the materialized group,
+    minus every per-execution lookup."""
+    n = sg.n
+    nodes = plan.nodes
+    buffers = plan.buffers
+    head_node = nodes[sg.spec.node_indices[0]]
+    dst = head_node.dst
+    if n:
+        head = head_node.src if head_node.src is not None else dst
+        dtype = sg.dtype
+        acc = np.array(buffers[head].array.ptr.view(n), copy=True)
+        for st in sg.steps:
+            kind = st.kind
+            if kind == "vx":
+                x = st.const if st.const is not None \
+                    else resolve_scalar(nodes[st.node_index].scalar)
+                st.fn(acc, _wrap(x, dtype), out=acc)
+            elif kind == "vv":
+                operand = buffers[nodes[st.node_index].operand].array.ptr.view(n)
+                st.fn(acc, operand, out=acc)
+            elif kind == "cmp_vx":
+                x = resolve_scalar(nodes[st.node_index].scalar)
+                acc = st.fn(acc, _wrap(x, dtype)).astype(dtype)
+            else:  # cmp_vv
+                operand = buffers[nodes[st.node_index].operand].array.ptr.view(n)
+                acc = st.fn(acc, operand).astype(dtype)
+        if sg.scan_ufunc is not None:
+            sg.scan_ufunc.accumulate(acc, out=acc)
+        buffers[dst].array.ptr.view(n)[:] = acc
+    m = svm.machine
+    for cat, k in sg.charge:
+        m.count(cat, k)

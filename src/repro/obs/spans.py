@@ -287,6 +287,16 @@ class ProfileCollector:
         m.gauge("engine.plan_cache.evictions").set(cache.stats.evictions)
         m.gauge("engine.plan_cache.hit_rate").set(round(cache.stats.hit_rate, 4))
 
+    def batch_event(self, rows: int, n: int, path: str) -> None:
+        """Batch-runner hook: one length bucket dispatched (``path`` is
+        ``"2d"`` for the matrix fast path, ``"loop"`` for the per-row
+        fallback)."""
+        self.event("batch.bucket", rows=rows, n=n, path=path)
+        m = self.metrics
+        m.histogram("batch.size").observe(rows)
+        m.counter("batch.rows").inc(rows)
+        m.counter(f"batch.buckets.{path}").inc()
+
     # ------------------------------------------------------------------
     # finalization
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ counts land within 0.006% (N=10^6), 0.03% (10^5), 0.6% (10^4), 1%
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..errors import AllocationError
 from .regfile import NUM_REGS
@@ -128,12 +129,18 @@ def usable_groups(lmul: LMUL, mask_values: int = 1) -> int:
     return avail
 
 
+@lru_cache(maxsize=512)
 def plan_allocation(profile: RegisterProfile, lmul: LMUL) -> SpillPlan:
     """Allocate a kernel's values to register groups at ``lmul``.
 
     Keeps the values with the most inner-loop accesses (the compiler's
     own heuristic — spill cost is proportional to use frequency) and
     spills the rest.
+
+    Memoized: profiles are frozen value objects and only a handful of
+    (profile, lmul) pairs exist per workload, but the allocation is
+    recomputed inside every kernel charge, which made it the single
+    hottest call in the fast path.
     """
     lmul = LMUL(lmul)
     avail = usable_groups(lmul, profile.mask_values)

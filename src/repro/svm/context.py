@@ -197,6 +197,27 @@ class SVM:
         plan = lz.build()
         lz.fused = self.engine.run(plan, fuse=fuse)
 
+    def batch(self, pipe, inputs, *, dtype=np.uint32):
+        """Run one pipeline over many inputs through a single cached
+        plan per length bucket.
+
+        >>> svm = SVM(vlen=256)
+        >>> def pipe(lz, data):
+        ...     lz.p_add(data, 10)
+        ...     lz.plus_scan(data)
+        ...     return data
+        >>> res = svm.batch(pipe, [[1, 2], [3, 4, 5]])
+        >>> [o.tolist() for o in res]
+        [[11, 23], [13, 27, 42]]
+
+        ``pipe(lz, data)`` must return its output array. Results and
+        per-category counters are identical to looping single calls;
+        see :func:`repro.batch.run_batch` and ``docs/batching.md``.
+        """
+        from ..batch import run_batch  # local import: batch depends on svm
+
+        return run_batch(self, pipe, inputs, dtype=dtype)
+
     # ------------------------------------------------------------------
     # counters
     # ------------------------------------------------------------------

@@ -67,12 +67,18 @@ OPERATORS: dict[str, BinaryOp] = {
 
 
 def get_operator(op: str | BinaryOp) -> BinaryOp:
-    """Resolve an operator by name (or pass a BinaryOp through)."""
+    """Resolve an operator by name (or pass a BinaryOp through).
+
+    This sits on the hot path of every scan dispatch (strict strips,
+    fast path, and charge profiles), so the common case — a name that
+    is already registered — is a single dict probe with no exception
+    machinery.
+    """
+    resolved = OPERATORS.get(op) if op.__class__ is str else None
+    if resolved is not None:
+        return resolved
     if isinstance(op, BinaryOp):
         return op
-    try:
-        return OPERATORS[op]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown scan operator {op!r}; available: {sorted(OPERATORS)}"
-        ) from None
+    raise ConfigurationError(
+        f"unknown scan operator {op!r}; available: {sorted(OPERATORS)}"
+    )

@@ -16,6 +16,8 @@ refreshed by reading the last stored element (Listing 6's
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from ..rvv.allocation import PLUS_SCAN_PROFILE, plan_allocation
 from ..rvv.counters import Cat
 from ..rvv.intrinsics import arith, loadstore, move, permutation
@@ -45,10 +47,15 @@ _VX = {
 }
 
 
+@lru_cache(maxsize=None)
 def inner_scan_steps(vl: int) -> int:
     """Number of slideup-and-combine iterations the in-register scan
     needs for ``vl`` elements: offsets 1, 2, 4, ... < vl, i.e.
-    ``ceil(lg vl)`` (Figure 1 shows 3 steps for 8 elements)."""
+    ``ceil(lg vl)`` (Figure 1 shows 3 steps for 8 elements).
+
+    Memoized: the closed-form charge profiles call this for the same
+    handful of vl values on every plan execution.
+    """
     steps = 0
     offset = 1
     while offset < vl:

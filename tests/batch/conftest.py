@@ -1,0 +1,58 @@
+"""Shared helpers for the batch suite: the reference semantics of
+``svm.batch`` is *literally* the loop of single-input calls, so every
+equivalence test runs both spellings on twin contexts and compares
+outputs and per-category counters exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SVM
+
+
+def make_rows(lengths, seed=0, dtype=np.uint32):
+    rng = np.random.default_rng(seed)
+    high = min(2**16, np.iinfo(dtype).max + 1)
+    return [rng.integers(0, high, n, dtype=dtype) for n in lengths]
+
+
+def as_batch_pipe(pipe, lmul):
+    """Adapt an engine-suite pipeline (api, data, lmul) to the batch
+    convention (lz, data) -> out."""
+    return lambda lz, data: pipe(lz, data, lmul)
+
+
+def loop_reference(svm: SVM, pipe, rows):
+    """The definitional spelling: one capture + engine run per row."""
+    outs = []
+    for row in rows:
+        data = svm.array(row, dtype=row.dtype)
+        with svm.lazy() as lz:
+            out = pipe(lz, data)
+        outs.append(out.to_numpy())
+        svm.free(data)
+        if out.ptr.addr != data.ptr.addr:
+            svm.free(out)
+    return outs
+
+
+def run_both(pipe, rows, **svm_kwargs):
+    """(loop outputs, loop counters, batch result, batch counters) on
+    identically configured twin contexts."""
+    loop_svm = SVM(**svm_kwargs)
+    loop_outs = loop_reference(loop_svm, pipe, rows)
+    batch_svm = SVM(**svm_kwargs)
+    result = batch_svm.batch(pipe, rows)
+    return (loop_outs, loop_svm.counters.snapshot(),
+            result, batch_svm.counters.snapshot())
+
+
+def assert_equivalent(pipe, rows, **svm_kwargs):
+    loop_outs, loop_counts, result, batch_counts = run_both(
+        pipe, rows, **svm_kwargs
+    )
+    assert len(result) == len(rows)
+    for i, (want, got) in enumerate(zip(loop_outs, result)):
+        assert np.array_equal(want, got), f"row {i} diverged"
+    assert loop_counts.by_category == batch_counts.by_category
+    return result

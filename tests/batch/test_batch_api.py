@@ -1,0 +1,109 @@
+"""API-surface behavior of ``svm.batch``/``run_batch``: ordering,
+bucketing reports, cache sharing, observability, and edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.batch import run_batch
+from repro.engine.ir import EngineError
+
+from .conftest import make_rows
+
+
+def _pipe(lz, data):
+    lz.p_add(data, 1)
+    lz.plus_scan(data)
+    return data
+
+
+def test_empty_batch():
+    svm = SVM(vlen=128)
+    result = svm.batch(_pipe, [])
+    assert len(result) == 0 and result.buckets == []
+
+
+def test_single_row_matches_single_call():
+    row = make_rows((4096,), seed=1)[0]
+    single = SVM(vlen=128, mode="fast")
+    data = single.array(row)
+    with single.lazy() as lz:
+        _pipe(lz, data)
+    batched = SVM(vlen=128, mode="fast")
+    result = batched.batch(_pipe, [row])
+    assert np.array_equal(result[0], data.to_numpy())
+    assert single.counters.snapshot().by_category \
+        == batched.counters.snapshot().by_category
+
+
+def test_outputs_keep_input_order():
+    lengths = (64, 4096, 64, 300, 4096, 64)
+    rows = make_rows(lengths, seed=2)
+    svm = SVM(vlen=128, mode="fast")
+    result = svm.batch(_pipe, rows)
+    for row, out in zip(rows, result):
+        assert out.size == row.size
+        assert out[0] == row[0] + 1  # plus_scan keeps lane 0
+    covered = sorted(i for b in result.buckets for i in b.indices)
+    assert covered == list(range(len(rows)))
+
+
+def test_list_inputs_use_default_dtype():
+    svm = SVM(vlen=128)
+    result = svm.batch(_pipe, [[1, 2, 3], [4, 5, 6]])
+    assert result[0].dtype == np.uint32
+    assert result[1].tolist() == [5, 11, 18]
+
+
+def test_pipe_must_return_output():
+    svm = SVM(vlen=128)
+    with pytest.raises(EngineError, match="must return"):
+        run_batch(svm, lambda lz, data: None, [[1, 2, 3]])
+
+
+def test_non_1d_input_rejected():
+    svm = SVM(vlen=128)
+    with pytest.raises(EngineError, match="1-D"):
+        svm.batch(_pipe, [np.zeros((2, 2), dtype=np.uint32)])
+
+
+def test_batch_shares_plan_cache_with_single_calls():
+    svm = SVM(vlen=128, mode="fast")
+    rows = make_rows((4096,) * 3, seed=4)
+    data = svm.array(rows[0])
+    with svm.lazy() as lz:
+        _pipe(lz, data)
+    svm.free(data)
+    stats = svm.engine.cache.stats
+    misses_before = stats.misses
+    svm.batch(_pipe, rows)
+    assert stats.misses == misses_before  # same signature, pure hits
+    assert svm.engine.cache.size == 1
+
+
+def test_batch_observability():
+    svm = SVM(vlen=128, mode="fast", profile=True)
+    svm.batch(_pipe, make_rows((4096, 4096, 64), seed=6))
+    col = svm.profiler
+    col.finish()
+    spans = [s.name for s in col.root.walk()]
+    assert spans.count("batch_bucket") == 2
+    hist = col.metrics.histogram("batch.size")
+    assert hist.count == 2 and hist.total == 3
+    assert col.metrics.counter("batch.rows").value == 3
+    events = [e.name for e in col.events]
+    assert "batch.bucket" in events
+
+
+def test_sim_memory_is_reclaimed():
+    """A batch must not leak plan buffers into the simulated heap:
+    back-to-back batches at the same lengths reuse the same arena."""
+    svm = SVM(vlen=128, mode="fast")
+    rows = make_rows((4096, 300, 4096), seed=8)
+    svm.batch(_pipe, rows)
+    used_after_first = svm.machine.heap.live_bytes
+    for _ in range(3):
+        svm.batch(_pipe, rows)
+    assert svm.machine.heap.live_bytes == used_after_first

@@ -1,0 +1,135 @@
+"""Batch-vs-loop equivalence: results and per-category counters.
+
+``svm.batch`` promises to be bit- and counter-identical to looping the
+single-input path. These tests sweep that promise across VLEN, LMUL,
+codegen presets, dtypes, ragged lengths (mixing strict and fast
+buckets under auto mode), scan variants, and the opaque loop fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rvv.types import LMUL
+from repro.svm.context import AUTO_FAST_THRESHOLD
+
+from ..engine.conftest import PIPELINES
+from .conftest import as_batch_pipe, assert_equivalent, make_rows, run_both
+
+#: Mixes duplicate lengths (shared buckets), sub- and super-threshold
+#: lengths (strict and fast rows under auto mode), and a length-1 row.
+RAGGED = (300, 64, 300, AUTO_FAST_THRESHOLD, 64, 1)
+
+#: pack's destination lanes beyond the kept count are uninitialized
+#: memory (malloc semantics), so whole-array bit-comparison is only
+#: meaningful when both spellings allocate in the same order — the
+#: opaque pipeline gets defined-lane ragged coverage below instead.
+GRID_PIPELINES = sorted(set(PIPELINES) - {"pack_future"})
+
+
+@pytest.mark.parametrize("codegen", ["ideal", "paper"])
+@pytest.mark.parametrize("vlen", [128, 512])
+@pytest.mark.parametrize("lmul", [LMUL.M1, LMUL.M4, LMUL.M8])
+@pytest.mark.parametrize("name", GRID_PIPELINES)
+def test_grid(name, vlen, lmul, codegen):
+    rows = make_rows(RAGGED, seed=3)
+    assert_equivalent(as_batch_pipe(PIPELINES[name], lmul), rows,
+                      vlen=vlen, codegen=codegen)
+
+
+@pytest.mark.parametrize("dtype", [np.uint8, np.uint16, np.uint32, np.uint64])
+def test_dtypes(dtype):
+    rows = make_rows((257, 64, 257), seed=5, dtype=dtype)
+    assert_equivalent(as_batch_pipe(PIPELINES["chain_scan"], LMUL.M1), rows,
+                      vlen=128, mode="fast")
+
+
+@pytest.mark.parametrize("mode", ["strict", "fast", "auto"])
+def test_modes(mode):
+    # every length appears twice: single-row buckets always report the
+    # "loop" path, which would muddy the per-mode expectation below
+    rows = make_rows((129, 300, 129, 300), seed=7)
+    result = assert_equivalent(
+        as_batch_pipe(PIPELINES["chain_scan"], LMUL.M1), rows,
+        vlen=128, mode=mode,
+    )
+    # the 2D path only applies where the fast path applies
+    want = "2d" if mode == "fast" else "loop"
+    assert {b.path for b in result.buckets} == {want}
+
+
+def test_scan_variants():
+    def pipe(lz, data):
+        lz.p_add(data, 3)
+        lz.scan_exclusive(data)       # eager exclusive scan, 2D axis=1
+        lz.scan(data, "max")          # fused max-scan tail
+        lz.p_xor(data, 9)
+        lz.scan(data, "xor", inclusive=False)
+        return data
+
+    rows = make_rows((4096, 300, 4096), seed=11)
+    assert_equivalent(pipe, rows, vlen=512, mode="fast")
+
+
+def test_opaque_ragged_interleaved_buckets():
+    """Ragged batches reorder rows by bucket, so pack's undefined tail
+    lanes see different heap garbage than the input-order loop — the
+    defined lanes and the counters must still match exactly."""
+    rows = make_rows(RAGGED, seed=3)
+    pipe = as_batch_pipe(PIPELINES["pack_future"], LMUL.M1)
+    loop_outs, loop_counts, result, batch_counts = run_both(
+        pipe, rows, vlen=128, mode="auto"
+    )
+    for row, want, got in zip(rows, loop_outs, result):
+        kept = int((row < 2**15).sum())  # pipe packs on p_lt(data, 2**15)
+        assert np.array_equal(want[:kept], got[:kept])
+    assert loop_counts.by_category == batch_counts.by_category
+    assert {b.path for b in result.buckets} == {"loop"}
+
+
+def test_opaque_fallback_loops_per_row():
+    rows = make_rows((300, 300, 64), seed=13)
+    result = assert_equivalent(
+        as_batch_pipe(PIPELINES["pack_future"], LMUL.M1), rows,
+        vlen=128, mode="fast",
+    )
+    assert {b.path for b in result.buckets} == {"loop"}
+
+
+def test_mixed_dtype_rows_bucket_separately():
+    a = make_rows((300, 300), seed=17, dtype=np.uint32)
+    b = make_rows((300,), seed=19, dtype=np.uint16)
+    rows = [a[0], b[0], a[1]]
+
+    def pipe(lz, data):
+        lz.p_add(data, 2)
+        lz.plus_scan(data)
+        return data
+
+    result = assert_equivalent(pipe, rows, vlen=128, mode="fast")
+    assert len(result.buckets) == 2
+    by_dtype = {bkt.dtype: bkt for bkt in result.buckets}
+    assert by_dtype["uint32"].indices == (0, 2)
+    assert by_dtype["uint16"].indices == (1,)
+
+
+def test_large_fast_bucket_matches_scaled_single_run():
+    """B identical-length rows must charge exactly B x one row's
+    closed-form profile (data-obliviousness made scaling exact)."""
+    from repro import SVM
+
+    rows = make_rows((5000,) * 7, seed=23)
+    single = SVM(vlen=512, mode="fast")
+    pipe = as_batch_pipe(PIPELINES["chain_scan"], LMUL.M1)
+    data = single.array(rows[0])
+    with single.lazy() as lz:
+        pipe(lz, data)
+    one = single.counters.snapshot()
+
+    batched = SVM(vlen=512, mode="fast")
+    batched.batch(pipe, rows)
+    total = batched.counters.snapshot()
+    assert total.by_category == {
+        cat: count * len(rows) for cat, count in one.by_category.items()
+    }

@@ -1,0 +1,43 @@
+"""repro.parallel: deterministic merge order, inline/pool parity, and
+the grid-cell functions the benches and the CLI share."""
+
+from __future__ import annotations
+
+from repro.parallel import batch_cell, default_jobs, fusion_cell, run_grid
+
+FUSION_PARAMS = [
+    {"n": 600, "vlen": 128, "lmul": 1, "depth": 3, "seed": 0},
+    {"n": 600, "vlen": 512, "lmul": 8, "depth": 2, "seed": 0},
+    {"n": 300, "vlen": 128, "lmul": 4, "depth": 1, "seed": 1},
+]
+
+
+def test_inline_results_in_input_order():
+    results = run_grid(fusion_cell, FUSION_PARAMS, jobs=1)
+    assert [(r["vlen"], r["lmul"]) for r in results] \
+        == [(p["vlen"], p["lmul"]) for p in FUSION_PARAMS]
+    assert all(r["identical"] for r in results)
+    assert all(r["fused"] <= r["eager"] for r in results)
+
+
+def test_pool_matches_inline():
+    inline = run_grid(fusion_cell, FUSION_PARAMS, jobs=1)
+    pooled = run_grid(fusion_cell, FUSION_PARAMS, jobs=2)
+    assert pooled == inline
+
+
+def test_batch_cell_identity():
+    cell = batch_cell({"n": 3000, "vlen": 512, "lmul": 1, "rows": 4,
+                       "depth": 3, "seed": 0})
+    assert cell["identical_results"] and cell["identical_counters"]
+    assert cell["batch_instr"] == cell["loop_instr"]
+    assert cell["path"] == "2d"
+
+
+def test_default_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "4")
+    assert default_jobs() == 4
+    monkeypatch.setenv("REPRO_BENCH_JOBS", "bogus")
+    assert default_jobs() == 1

@@ -1,0 +1,109 @@
+"""Plan specialization: cache-insert compilation must change nothing
+observable — same results, same counters — while populating the bound
+state the fast path and the batch runner replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.engine.capture import PlanBuilder
+from repro.engine.executor import charge_group, execute
+from repro.engine.fuse import GroupSpec, fuse, materialize
+from repro.engine.specialize import (
+    SpecializedGroup,
+    group_charge_items,
+    specialize_plan,
+)
+from repro.rvv.types import LMUL
+
+from .conftest import PIPELINES, make_data
+
+
+def _capture(svm, pipe, n, lmul=LMUL.M1, seed=0):
+    data = make_data(svm, n, seed)
+    lz = PlanBuilder(svm)
+    pipe(lz, data, lmul)
+    return lz.build()
+
+
+def test_fused_for_attaches_specializations():
+    svm = SVM(vlen=128, mode="fast")
+    plan = _capture(svm, PIPELINES["chain_scan"], 4096)
+    fused = svm.engine.fused_for(plan)
+    assert fused.specialized is not None
+    specs = [u for u in fused.units if isinstance(u, GroupSpec)]
+    assert specs and set(fused.specialized) == set(specs)
+    for spec, sg in fused.specialized.items():
+        assert isinstance(sg, SpecializedGroup)
+        assert sg.n == 4096
+        assert sg.charge  # closed form is precomputed
+        assert (sg.scan_ufunc is not None) == spec.scan
+
+
+def test_charge_items_equal_charge_group():
+    svm = SVM(vlen=128)
+    for name in ("chain_scan", "cmp_chain", "flags", "vv_mix"):
+        plan = _capture(svm, PIPELINES[name], 1000)
+        fused = fuse(plan)
+        for unit in fused.units:
+            if not isinstance(unit, GroupSpec):
+                continue
+            group = materialize(plan, unit)
+            probe = SVM(vlen=128)
+            with probe.machine.region() as delta:
+                charge_group(probe.machine, group)
+            items = dict(group_charge_items(probe.machine, group))
+            observed = {c: k for c, k in delta.by_category.items() if k}
+            assert items == observed
+
+
+@pytest.mark.parametrize("name", sorted(PIPELINES))
+@pytest.mark.parametrize("mode", ["fast", "strict"])
+def test_specialized_execution_identical(name, mode):
+    def run(specialize: bool):
+        svm = SVM(vlen=128, mode=mode)
+        data = make_data(svm, 600, seed=9)
+        lz = PlanBuilder(svm)
+        out = PIPELINES[name](lz, data, LMUL.M1)
+        plan = lz.build()
+        fused = fuse(plan)
+        assert fused.specialized is None
+        if specialize:
+            specialize_plan(plan, fused, svm.machine)
+        execute(svm, plan, fused)
+        return out.to_numpy(), svm.counters.snapshot().by_category
+
+    base_out, base_counts = run(specialize=False)
+    spec_out, spec_counts = run(specialize=True)
+    assert np.array_equal(base_out, spec_out)
+    assert base_counts == spec_counts
+
+
+def test_specialization_replays_across_alpha_equivalent_plans():
+    """A cached specialization must resolve buffers from the executing
+    plan, not the inserting one: run two pipelines that share a
+    signature but bind different buffer objects and scalars."""
+    svm = SVM(vlen=128, mode="fast")
+
+    def run_once(values, x):
+        data = svm.array(values)
+        with svm.lazy() as lz:
+            lz.p_add(data, x)
+            lz.p_mul(data, 3)
+            lz.plus_scan(data)
+        got = data.to_numpy()
+        svm.free(data)
+        return got
+
+    vals = np.arange(4096, dtype=np.uint32)
+    first = run_once(vals, 10)
+    stats = svm.engine.cache.stats
+    hits_before = stats.hits
+    # same signature (scalar values are excluded), different buffers
+    second = run_once(vals, 20)
+    assert stats.hits == hits_before + 1
+    expected = np.add.accumulate((vals + 20) * 3, dtype=np.uint32)
+    assert np.array_equal(second, expected)
+    assert not np.array_equal(first, second)
