@@ -252,16 +252,22 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
 
     # row 0: the ordinary engine — its counter delta is the per-row
     # closed-form profile of this plan
+    backend = svm.engine.backend
     before = m.counters.snapshot()
-    execute(svm, plan, fused)
+    execute(svm, plan, fused, backend=backend)
     delta = m.counters.snapshot() - before
     outputs = [out.to_numpy()]
 
     if b1:
+        compiled = fused.compiled if backend == "codegen" else None
         mats, get = _mat_getter(plan, init, b1)
         mats[input_bid] = np.stack(rows[1:], axis=0)
         for unit in fused.units:
             if isinstance(unit, GroupSpec):
+                cg = compiled.groups.get(unit) if compiled is not None else None
+                if cg is not None:
+                    cg.fn2d(plan.nodes, plan.buffers, mats, get)
+                    continue
                 sg = fused.specialized.get(unit) if fused.specialized else None
                 if sg is not None:
                     _group_2d(plan, sg, mats, get)

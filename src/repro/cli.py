@@ -13,7 +13,8 @@ Commands
 ``sort --n N [--algo radix|quicksort] [--vlen V]``
     Sort random keys on the simulated machine and report the dynamic
     instruction count (and the qsort baseline for comparison).
-``fuse [--pipeline P] [--n N] [--vlen V] [--lmul L] [--codegen C]``
+``fuse [--pipeline P] [--n N] [--vlen V] [--lmul L] [--codegen C]
+[--backend B]``
     Capture a pipeline with the lazy engine, dump the plan before and
     after fusion, and report the measured per-category counter savings
     of fused vs eager execution (plus plan-cache statistics).
@@ -21,6 +22,11 @@ Commands
     Run a workload with profiling spans enabled and print (or write)
     the hierarchical profile: tree report with per-category breakdown,
     JSON, or a Chrome-trace file loadable in Perfetto / about:tracing.
+``bench [--suite fusion|batch|codegen|all] [--jobs N] [--out F]``
+    Run the deterministic benchmark grids (optionally over worker
+    processes) and, with ``--out``, write the merged grid as JSON.
+``cache stats|clear [--dir D]``
+    Inspect or clear the persistent plan cache (``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -160,7 +166,7 @@ def _cmd_fuse(args: argparse.Namespace) -> int:
     lmul = LMUL(args.lmul)
 
     def run(fuse: bool):
-        svm = SVM(vlen=args.vlen, codegen=args.codegen)
+        svm = SVM(vlen=args.vlen, codegen=args.codegen, backend=args.backend)
 
         def once():
             rng = np.random.default_rng(args.seed)
@@ -310,13 +316,18 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
     import time
 
-    from .parallel import batch_cell, fusion_cell, run_grid
+    from .parallel import batch_cell, codegen_cell, fusion_cell, run_grid
     from .utils.formatting import fmt_count
 
     t0 = time.perf_counter()
     failures = 0
+    grid: dict = {
+        "meta": {"suite": args.suite, "n": args.n, "seed": args.seed,
+                 "jobs": args.jobs},
+    }
 
     if args.suite in ("fusion", "all"):
         params = [
@@ -325,6 +336,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for vlen in (128, 1024) for lmul in (1, 8)
         ]
         cells = run_grid(fusion_cell, params, jobs=args.jobs)
+        grid["fusion"] = cells
         print(f"fusion suite ({len(cells)} cells, n={args.n}):")
         print("  VLEN LMUL      eager      fused  saved  identical")
         for c in cells:
@@ -340,6 +352,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             for vlen in (128, 512) for n, rows in ((256, 32), (2000, 16))
         ]
         cells = run_grid(batch_cell, params, jobs=args.jobs)
+        grid["batch"] = cells
         print(f"batch suite ({len(cells)} cells):")
         print("  VLEN     n rows path       loop      batch  identical")
         for c in cells:
@@ -350,11 +363,60 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f" {fmt_count(c['loop_instr']):>10}"
                   f" {fmt_count(c['batch_instr']):>10}  {ok}")
 
+    if args.suite in ("codegen", "all"):
+        params = [
+            {"n": n, "vlen": vlen, "lmul": lmul, "depth": 5,
+             "seed": args.seed}
+            for vlen in (128, 1024) for lmul in (1, 8) for n in (256, args.n)
+        ]
+        cells = run_grid(codegen_cell, params, jobs=args.jobs)
+        grid["codegen"] = cells
+        print(f"codegen suite ({len(cells)} cells):")
+        print("  VLEN LMUL      n     interp    codegen  identical")
+        for c in cells:
+            ok = (c["identical_results"] and c["identical_counters"]
+                  and c["codegen_instr"] == c["interp_instr"])
+            failures += not ok
+            print(f"  {c['vlen']:>4} {c['lmul']:>4} {c['n']:>6}"
+                  f" {fmt_count(c['interp_instr']):>10}"
+                  f" {fmt_count(c['codegen_instr']):>10}  {ok}")
+
+    # merged grid (all requested suites in one document), written at
+    # any --jobs count — the workers only compute cells, the parent
+    # always owns the merge
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(grid, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote merged grid to {args.out}")
+
     elapsed = time.perf_counter() - t0
     print(f"done in {elapsed:.2f}s with jobs={args.jobs}")
     if failures:
         print(f"{failures} cell(s) failed identity checks", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    import os
+
+    from .engine.cache import PlanStore, default_cache_dir
+
+    configured = bool(args.dir or os.environ.get("REPRO_CACHE_DIR"))
+    store = PlanStore(args.dir or default_cache_dir())
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached plan(s) from {store.root}")
+        return 0
+    s = store.stats_dict()
+    print(f"persistent plan cache at {s['dir']}")
+    print(f"  entries: {s['entries']}  bytes: {s['bytes']:,}")
+    print(f"  schema: v{s['schema']}  code: {s['code']}")
+    if not configured:
+        print("  note: persistence is disabled — the engine writes this "
+              "store only when REPRO_CACHE_DIR is set or "
+              "SVM(cache_dir=...) is passed")
     return 0
 
 
@@ -409,6 +471,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vlen", type=int, default=1024)
     p.add_argument("--lmul", type=int, choices=[1, 2, 4, 8], default=1)
     p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    p.add_argument("--backend", choices=["interp", "codegen"], default=None,
+                   help="fused-plan executor: generated NumPy kernels "
+                        "(codegen, the default) or the specialized "
+                        "interpreter (interp)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_fuse)
 
@@ -438,14 +504,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "bench", help="run benchmark grids, optionally over worker processes"
     )
-    p.add_argument("--suite", choices=["fusion", "batch", "all"], default="all")
+    p.add_argument("--suite", choices=["fusion", "batch", "codegen", "all"],
+                   default="all")
     p.add_argument("--jobs", type=int, default=1,
                    help="fan grid cells over this many processes "
                         "(per-worker machines; results merge in input order)")
     p.add_argument("--n", type=int, default=20000,
                    help="element count for the fusion suite")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="write the merged grid (every suite run, one "
+                        "JSON document) to this file; works at any "
+                        "--jobs count")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "cache", help="inspect or clear the persistent plan cache"
+    )
+    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("--dir", default=None,
+                   help="cache directory (default: REPRO_CACHE_DIR, "
+                        "else ~/.cache/repro)")
+    p.set_defaults(fn=_cmd_cache)
 
     return parser
 

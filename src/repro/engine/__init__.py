@@ -20,18 +20,26 @@ primitive kernels:
   repo's strict-vs-fast bit-and-counter equality invariant);
 * :mod:`repro.engine.cache` — a plan cache keyed on (op signature, n,
   VLEN, SEW, LMUL, codegen preset) so repeated pipelines skip
-  re-planning;
+  re-planning, plus an opt-in persistent on-disk store
+  (``REPRO_CACHE_DIR`` / ``SVM(cache_dir=...)``) that is versioned and
+  fingerprint-guarded so warm cold-starts skip compilation entirely;
 * :mod:`repro.engine.specialize` — compiles each fused group once at
   cache-insert time (bound ufuncs, precomputed charge profile) so
-  cache hits replay with no per-execution resolution.
+  cache hits replay with no per-execution resolution;
+* :mod:`repro.engine.codegen` — the generated-kernel backend: emits
+  one flat Python function per fused group (and a whole-plan kernel
+  when every unit fuses), selected with ``SVM(backend=...)`` and
+  bit- and counter-identical to the interpreted executor.
 
 See ``docs/engine.md`` for the IR, fusion legality rules, the cache
-key, and a worked before/after counter example.
+key, and a worked before/after counter example, and
+``docs/architecture.md`` for how the four execution tiers dispatch.
 """
 
-from .cache import CacheStats, PlanCache
+from .cache import CacheStats, PlanCache, PlanStore
 from .capture import PlanBuilder
-from .executor import Engine, execute
+from .codegen import CompiledPlan, compile_fused
+from .executor import BACKENDS, DEFAULT_BACKEND, Engine, execute, resolve_backend
 from .fuse import FusedGroup, FusedPlan, fuse
 from .ir import OpNode, Plan, ScalarFuture
 from .specialize import SpecializedGroup, specialize_plan
@@ -47,7 +55,13 @@ __all__ = [
     "FusedPlan",
     "PlanCache",
     "CacheStats",
+    "PlanStore",
     "execute",
     "SpecializedGroup",
     "specialize_plan",
+    "CompiledPlan",
+    "compile_fused",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "resolve_backend",
 ]

@@ -10,16 +10,180 @@ indices, so one cached entry replays against every α-equivalent plan
 Eviction is LRU with a bounded size: a serving process cycling through
 many distinct pipelines stays bounded in memory, and the hot pipelines
 stay resident.
+
+Persistence
+-----------
+:class:`PlanStore` extends the in-memory cache across processes: fully
+compiled entries (fused recipe + specialization + generated codegen
+source) are pickled to one file per plan signature under a cache
+directory, so ``repro.parallel`` workers and repeat CLI invocations
+skip capture/fuse/specialize/codegen entirely. The store is **opt-in**:
+it activates only when ``REPRO_CACHE_DIR`` is set (or an explicit
+``cache_dir=`` is passed to :class:`~repro.svm.context.SVM`); the
+conventional location is ``~/.cache/repro``.
+
+Safety over speed: every envelope carries a schema version and a code
+fingerprint (a hash over the engine's own source files), and the load
+path re-verifies the full key. *Any* mismatch, truncation, or unpickle
+failure is a silent miss that falls back to recompilation — a stale or
+corrupted cache can never produce wrong results.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 
-__all__ = ["PlanCache", "CacheStats", "DEFAULT_CAPACITY"]
+__all__ = [
+    "PlanCache",
+    "CacheStats",
+    "DEFAULT_CAPACITY",
+    "PlanStore",
+    "SCHEMA_VERSION",
+    "code_fingerprint",
+    "default_cache_dir",
+    "store_from_env",
+]
 
 DEFAULT_CAPACITY = 256
+
+#: Bumped whenever the pickled envelope layout changes.
+SCHEMA_VERSION = 1
+
+#: Engine modules whose source participates in the code fingerprint —
+#: any change to planning, specialization, or code generation must
+#: invalidate every persisted entry.
+_FINGERPRINT_MODULES = ("ir", "fuse", "specialize", "codegen", "executor", "cache")
+
+_fingerprint_cache: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the engine's own source files plus the package
+    version — the persisted-entry compatibility guard. Computed once
+    per process."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        from .. import __version__
+
+        h = hashlib.sha256(__version__.encode())
+        here = Path(__file__).resolve().parent
+        for mod in _FINGERPRINT_MODULES:
+            h.update(mod.encode())
+            h.update((here / f"{mod}.py").read_bytes())
+        _fingerprint_cache = h.hexdigest()
+    return _fingerprint_cache
+
+
+def default_cache_dir() -> Path:
+    """The conventional persistent-store location: ``REPRO_CACHE_DIR``
+    if set, else ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def store_from_env() -> "PlanStore | None":
+    """A :class:`PlanStore` when ``REPRO_CACHE_DIR`` is set, else None.
+    Persistence stays opt-in so library use never writes outside an
+    explicitly designated directory."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    return PlanStore(root) if root else None
+
+
+class PlanStore:
+    """Versioned one-file-per-plan on-disk store of compiled plans.
+
+    File name: the SHA-256 of the full plan signature (``.plan``
+    suffix). Envelope: ``{"schema", "code", "key", "fused"}`` —
+    :meth:`load` verifies all three guards and the exact key before
+    trusting the payload; every failure path returns None (a miss).
+    Writes are atomic (temp file + rename) and best-effort: an
+    unwritable directory degrades to no persistence, never to an error.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.write_errors = 0
+
+    def _path(self, key: tuple) -> Path:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.root / f"{digest}.plan"
+
+    def load(self, key: tuple):
+        """The stored fused plan for ``key``, or None. Corrupted,
+        truncated, version-mismatched or fingerprint-mismatched entries
+        are silent misses — the caller recompiles."""
+        try:
+            envelope = pickle.loads(self._path(key).read_bytes())
+            if (
+                envelope["schema"] != SCHEMA_VERSION
+                or envelope["code"] != code_fingerprint()
+                or envelope["key"] != key
+            ):
+                raise ValueError("stale or mismatched cache entry")
+            fused = envelope["fused"]
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return fused
+
+    def save(self, key: tuple, fused) -> None:
+        """Persist one compiled entry (atomic, best-effort)."""
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            blob = pickle.dumps({
+                "schema": SCHEMA_VERSION,
+                "code": code_fingerprint(),
+                "key": key,
+                "fused": fused,
+            })
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except Exception:
+            self.write_errors += 1
+
+    def entries(self) -> list[Path]:
+        """The resident entry files (empty for a missing directory)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.plan"))
+
+    def clear(self) -> int:
+        """Delete every entry file; returns how many were removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats_dict(self) -> dict:
+        entries = self.entries()
+        return {
+            "dir": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(p.stat().st_size for p in entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "write_errors": self.write_errors,
+            "schema": SCHEMA_VERSION,
+            "code": code_fingerprint()[:12],
+        }
 
 
 @dataclass

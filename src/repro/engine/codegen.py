@@ -1,0 +1,357 @@
+"""Lower specialized fused groups one more level: from data to code.
+
+:mod:`repro.engine.specialize` turns a fused group into *data* — a
+tuple of :class:`~repro.engine.specialize.LaneStep` records that
+:func:`~repro.engine.specialize.run_specialized_fast` interprets per
+execution. That interpreter loop (attribute loads, kind string
+compares, dict lookups, ``_wrap`` calls, the charge loop) is pure
+dispatch overhead, and at small ``n`` it dominates the NumPy work.
+
+This module emits Python *source* for each specialized plan instead:
+one flat kernel function per fused group with
+
+* every lane op unrolled in order, its ufunc prebound in the module
+  namespace (no per-step dispatch);
+* scalar wrapping inlined for unsigned dtypes (the dtype is part of
+  the plan signature, so the mask is a literal and the masked python
+  int feeds the ufunc directly — NEP 50 weak-scalar promotion keeps
+  the array dtype, so no np scalar is constructed per call);
+* destination/head views sliced straight off the backing byte array
+  (bounds and alignment were validated at buffer allocation);
+* the closed-form counter charge prebound as one ``(category, count)``
+  tuple and applied in a single ``counters.add_many`` call;
+* axis-aware scan tails (``axis=1`` in the batch variant);
+* copy elision where the *structure* proves it safe: aliasing between
+  a group's head, destination, and operands is α-stable (buffer slot
+  relations are part of :meth:`~repro.engine.ir.Plan.signature`), so
+  an in-place chain whose operands never re-read the destination can
+  run directly on the memory view — skipping the head copy and the
+  final writeback the interpreter always pays.
+
+Scalar *values* and raw buffer ids are **excluded** from the plan
+signature, so generated code never bakes them: it resolves both
+through node indices at call time (``nodes[i].scalar`` via
+``resolve_scalar``, ``nodes[i].operand``), exactly like the
+interpreter. The source is ``compile()``/``exec()``-ed once at
+plan-cache insert; cache hits call straight into the code objects.
+
+Results and per-category counters are bit-identical to the interpreted
+executor by construction — asserted across the full VLEN×LMUL grid in
+``tests/engine/test_codegen.py`` and locked in ``BENCH_codegen.json``.
+
+A :class:`CompiledPlan` also pickles (for the persistent plan store of
+:mod:`repro.engine.cache`): ``__reduce__`` ships the generated source
+plus the prebound-constant table and re-``exec``-s on load, so a
+process that loads a warm cache entry skips capture, fusion,
+specialization *and* code generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .fuse import FusedPlan, GroupSpec
+from .ir import Kind, Plan, resolve_scalar
+from ..svm.fastpath import _wrap
+
+__all__ = ["CompiledGroup", "CompiledPlan", "compile_fused"]
+
+#: Bumped when the shape of the generated source changes; folded into
+#: the persistent store's code fingerprint via this module's source.
+CODEGEN_VERSION = 2
+
+
+class CompiledGroup:
+    """The two generated entry points of one fused group.
+
+    ``fn(svm, nodes, buffers)`` is the single-call kernel (computes the
+    group and applies its precomputed charge); ``fn2d(nodes, buffers,
+    mats, get)`` is the batch kernel over ``[b1, n]`` matrices (no
+    charging — the batch runner scales row 0's counter delta).
+    """
+
+    __slots__ = ("fn", "fn2d", "name")
+
+    def __init__(self, fn, fn2d, name: str) -> None:
+        self.fn = fn
+        self.fn2d = fn2d
+        self.name = name
+
+
+class CompiledPlan:
+    """Generated source + bound code objects for one fused plan.
+
+    ``groups`` maps each :class:`GroupSpec` to its
+    :class:`CompiledGroup`; ``plan_fn(svm, plan)``, when not None, runs
+    the *entire* plan as one flat call (available when every execution
+    unit is a fused group or a FREE node). ``min_n`` is the smallest
+    group length — ``svm._fast(min_n)`` implies the fast path applies
+    to every group, which gates the whole-plan kernel.
+
+    Pickling re-emits nothing: the instance reduces to
+    ``(source, consts, group_names, plan_name, min_n)`` and re-binds by
+    ``exec``-ing the stored source on load.
+    """
+
+    def __init__(self, source: str, consts: dict, group_names: dict,
+                 plan_name: str | None, min_n: int) -> None:
+        self.source = source
+        self.consts = consts
+        self.group_names = group_names  # {GroupSpec: "_g0", ...}
+        self.plan_name = plan_name
+        self.min_n = int(min_n)
+        self._bind()
+
+    def _bind(self) -> None:
+        ns = dict(self.consts)
+        ns["_np"] = np
+        ns["_wrap"] = _wrap
+        ns["_rs"] = resolve_scalar
+        exec(compile(self.source, "<repro.engine.codegen>", "exec"), ns)
+        self.groups = {
+            spec: CompiledGroup(ns[name], ns[name + "_2d"], name)
+            for spec, name in self.group_names.items()
+        }
+        self.plan_fn = ns[self.plan_name] if self.plan_name else None
+
+    def __reduce__(self):
+        return (CompiledPlan, (self.source, self.consts, self.group_names,
+                               self.plan_name, self.min_n))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CompiledPlan({len(self.group_names)} groups, "
+                f"plan_fn={'yes' if self.plan_name else 'no'})")
+
+
+# ---------------------------------------------------------------------------
+# source emission
+# ---------------------------------------------------------------------------
+
+class _Emitter:
+    """Accumulates source lines + the prebound-constant table."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.consts: dict[str, object] = {}
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append(line)
+
+    def bind(self, name: str, value) -> str:
+        self.consts[name] = value
+        return name
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _scalar_expr(e: _Emitter, g: str, si: int, step, dtype: np.dtype,
+                 dt_name: str) -> str:
+    """The wrapped scalar operand of a vx/cmp_vx step.
+
+    Structural constants (get_flags' ``& 1``) are wrapped at codegen
+    time and prebound; node scalars resolve at call time, with the
+    ``_wrap`` masking inlined for unsigned dtypes (the mask is a
+    signature-stable literal)."""
+    if step.const is not None:
+        return e.bind(f"_k{g}_{si}", _wrap(step.const, dtype))
+    if dtype.kind == "u":
+        # a masked python int is a NEP-50 weak scalar: the ufunc keeps
+        # the array dtype, bit-identical to an np-scalar operand but
+        # without constructing one per call; plain-int scalars (the
+        # common case) skip the resolve_scalar call entirely
+        mask = (1 << (dtype.itemsize * 8)) - 1
+        e.emit(f"    _x = nodes[{step.node_index}].scalar")
+        return f"((_x if _x.__class__ is int else int(_rs(_x))) & {mask})"
+    return f"_wrap(_rs(nodes[{step.node_index}].scalar), {dt_name})"
+
+
+def _operand_expr(step, view: str) -> str:
+    """Runtime view of a vv/cmp_vv step's operand buffer."""
+    return (f"buffers[nodes[{step.node_index}].operand]"
+            f".array.ptr.view({view})")
+
+
+def _emit_group(e: _Emitter, plan: Plan, spec: GroupSpec, sg, gi: int) -> str:
+    """Emit ``_g{gi}`` (single-call) and ``_g{gi}_2d`` (batch) for one
+    specialized group; returns the single-call function name."""
+    g = str(gi)
+    name = f"_g{gi}"
+    n = sg.n
+    dtype = sg.dtype
+    head_index = spec.node_indices[0]
+    head_node = plan.nodes[head_index]
+    dst_bid = head_node.dst
+    head_is_dst = head_node.src is None or head_node.src == dst_bid
+    # α-stable: buffer-slot relations are part of the plan signature
+    alias_dst = any(
+        st.kind in ("vv", "cmp_vv")
+        and plan.nodes[st.node_index].operand == dst_bid
+        for st in sg.steps
+    )
+    dt = e.bind(f"_dt{g}", dtype)
+    sc = e.bind(f"_sc{g}", sg.scan_ufunc) if sg.scan_ufunc is not None else None
+    fns = [e.bind(f"_f{g}_{si}", st.fn) for si, st in enumerate(sg.steps)]
+
+    def step_rhs(si: int, st, acc_src: str, view: str) -> str:
+        if st.kind in ("vx", "cmp_vx"):
+            x = _scalar_expr(e, g, si, st, dtype, dt)
+        else:
+            x = _operand_expr(st, view)
+        return f"{fns[si]}({acc_src}, {x})"
+
+    # ---- single-call kernel ------------------------------------------
+    # views are sliced straight off the backing byte array: bounds and
+    # alignment were validated when the buffers were allocated at
+    # capture time, so the generated tier skips Memory.view's re-checks
+    nbytes = n * dtype.itemsize
+    e.emit(f"def {name}(svm, nodes, buffers):")
+    if n:
+        e.emit(f"    _p = buffers[nodes[{head_index}].dst].array.ptr")
+        e.emit(f"    dv = _p.mem._bytes[_p.addr:_p.addr + {nbytes}]"
+               f".view({dt})")
+        steps = list(sg.steps)
+        if head_is_dst and not alias_dst:
+            # in-place: operate directly on the destination view; a
+            # compare rebinds acc to a fresh array and forces the
+            # final writeback the view path skips
+            e.emit("    acc = dv")
+            acc_is_view = True
+            for si, st in enumerate(steps):
+                if st.kind in ("vx", "vv"):
+                    e.emit(f"    {step_rhs(si, st, 'acc', n)[:-1]}, out=acc)")
+                else:
+                    e.emit(f"    acc = {step_rhs(si, st, 'acc', n)}"
+                           f".astype({dt})")
+                    acc_is_view = False
+        elif head_is_dst:
+            # an operand re-reads dst: keep the interpreter's
+            # copy-then-write-back discipline so it sees pre-group memory
+            e.emit("    acc = _np.array(dv, copy=True)")
+            acc_is_view = False
+            for si, st in enumerate(steps):
+                if st.kind in ("vx", "vv"):
+                    e.emit(f"    {step_rhs(si, st, 'acc', n)[:-1]}, out=acc)")
+                else:
+                    e.emit(f"    acc = {step_rhs(si, st, 'acc', n)}"
+                           f".astype({dt})")
+        else:
+            # out-of-place head (compare/get_flags reading src): the
+            # first step lands straight into a fresh array, no head copy
+            e.emit(f"    _q = buffers[nodes[{head_index}].src].array.ptr")
+            e.emit(f"    hv = _q.mem._bytes[_q.addr:_q.addr + {nbytes}]"
+                   f".view({dt})")
+            acc_is_view = False
+            first, rest = steps[0], list(enumerate(steps))[1:]
+            if first.kind in ("vx", "vv"):
+                e.emit(f"    acc = _np.empty({n}, {dt})")
+                e.emit(f"    {step_rhs(0, first, 'hv', n)[:-1]}, out=acc)")
+            else:
+                e.emit(f"    acc = {step_rhs(0, first, 'hv', n)}"
+                       f".astype({dt})")
+            for si, st in rest:
+                if st.kind in ("vx", "vv"):
+                    e.emit(f"    {step_rhs(si, st, 'acc', n)[:-1]}, out=acc)")
+                else:
+                    e.emit(f"    acc = {step_rhs(si, st, 'acc', n)}"
+                           f".astype({dt})")
+        if sc is not None:
+            e.emit(f"    {sc}.accumulate(acc, out=acc)")
+        if not acc_is_view:
+            e.emit("    dv[:] = acc")
+    # closed-form charge: the whole (category, count) profile is a
+    # function of the cache key, so it is prebound as one tuple and
+    # applied in a single batched call
+    if sg.charge:
+        chg = e.bind(f"_chg{g}", tuple((cat, int(k)) for cat, k in sg.charge))
+        e.emit(f"    svm.machine.counters.add_many({chg})")
+    elif not n:
+        e.emit("    pass")
+    e.emit()
+
+    # ---- batch (2D) kernel -------------------------------------------
+    # mirror of repro.batch.runner._group_2d with the `owned` copy
+    # logic resolved statically (it depends only on aliasing structure)
+    e.emit(f"def {name}_2d(nodes, buffers, mats, get):")
+    e.emit(f"    _h = nodes[{head_index}]")
+    if head_is_dst:
+        e.emit("    acc = get(_h.dst)")
+    else:
+        e.emit("    acc = get(_h.src)")
+    owned = head_is_dst and not alias_dst
+    emitted_any = False
+    for si, st in enumerate(sg.steps):
+        if st.kind in ("vx", "vv"):
+            if not owned:
+                e.emit("    acc = acc.copy()")
+                owned = True
+            if st.kind == "vx":
+                x = _scalar_expr(e, g, si, st, dtype, dt)
+            else:
+                x = f"get(nodes[{st.node_index}].operand)"
+            e.emit(f"    {fns[si]}(acc, {x}, out=acc)")
+        else:
+            if st.kind == "cmp_vx":
+                x = _scalar_expr(e, g, si, st, dtype, dt)
+            else:
+                x = f"get(nodes[{st.node_index}].operand)"
+            e.emit(f"    acc = {fns[si]}(acc, {x}).astype({dt})")
+            owned = True
+        emitted_any = True
+    if sc is not None:
+        if not owned:
+            e.emit("    acc = acc.copy()")
+            owned = True
+        e.emit(f"    {sc}.accumulate(acc, axis=1, out=acc)")
+        emitted_any = True
+    if not emitted_any:
+        e.emit("    pass")
+    e.emit("    mats[_h.dst] = acc")
+    e.emit()
+    return name
+
+
+def compile_fused(plan: Plan, fused: FusedPlan) -> CompiledPlan | None:
+    """Generate, compile and bind the kernels for every specialized
+    group of ``fused``; returns None when there is nothing to compile
+    (no fused groups — e.g. fully opaque plans).
+
+    Call once at plan-cache insert, after
+    :func:`~repro.engine.specialize.specialize_plan`; attach the result
+    as ``fused.compiled``.
+    """
+    specials = fused.specialized
+    if not specials:
+        return None
+    e = _Emitter()
+    group_names: dict[GroupSpec, str] = {}
+    order = [u for u in fused.units if isinstance(u, GroupSpec)]
+    for gi, spec in enumerate(order):
+        sg = specials.get(spec)
+        if sg is None:  # pragma: no cover - specialize_plan covers all
+            continue
+        group_names[spec] = _emit_group(e, plan, spec, sg, gi)
+
+    # whole-plan kernel: eligible when every unit is a compiled group
+    # or a FREE replay (no opaque nodes, no demoted eager ops)
+    plan_name = None
+    flat_ok = all(
+        (isinstance(u, GroupSpec) and u in group_names)
+        or (not isinstance(u, GroupSpec)
+            and plan.nodes[u].kind is Kind.FREE)
+        for u in fused.units
+    )
+    if flat_ok and group_names:
+        plan_name = "_plan_kernel"
+        e.emit(f"def {plan_name}(svm, plan):")
+        e.emit("    nodes = plan.nodes")
+        e.emit("    buffers = plan.buffers")
+        for u in fused.units:
+            if isinstance(u, GroupSpec):
+                e.emit(f"    {group_names[u]}(svm, nodes, buffers)")
+            else:
+                e.emit(f"    svm.free(buffers[nodes[{u}].dst].array)")
+        e.emit()
+
+    min_n = min(specials[spec].n for spec in group_names)
+    return CompiledPlan(e.source(), e.consts, group_names, plan_name, min_n)

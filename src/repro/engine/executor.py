@@ -22,6 +22,8 @@ it), so results and per-category counts agree exactly — the invariant
 
 from __future__ import annotations
 
+import os
+import time
 from contextlib import nullcontext
 
 import numpy as np
@@ -36,7 +38,8 @@ from ..svm.fastpath import _UFUNC_VX, _wrap, strip_shape
 from ..svm.fastpath_ext import _NP_CMP
 from ..svm.operators import get_operator
 from ..svm.scan import inner_scan_steps
-from .cache import PlanCache
+from .cache import PlanCache, store_from_env
+from .codegen import compile_fused
 from .fuse import (
     KERNEL_EW,
     KERNEL_SCAN,
@@ -54,7 +57,16 @@ from .specialize import (
     specialize_plan,
 )
 
-__all__ = ["Engine", "execute", "run_group_strict", "run_group_fast", "charge_group"]
+__all__ = [
+    "Engine",
+    "execute",
+    "run_group_strict",
+    "run_group_fast",
+    "charge_group",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "resolve_backend",
+]
 
 from ..rvv.allocation import plan_allocation
 
@@ -248,28 +260,56 @@ def _run_node_eager(svm, plan: Plan, node: OpNode) -> None:
 # plan execution + the Engine facade
 # ---------------------------------------------------------------------------
 
-def execute(svm, plan: Plan, fused: FusedPlan) -> None:
+def execute(svm, plan: Plan, fused: FusedPlan, backend: str = "interp") -> None:
     """Run a fused plan's units in program order against ``svm``.
 
+    ``backend`` selects how specialized fused groups run on the fast
+    path: ``"interp"`` replays the :class:`LaneStep` chain through
+    :func:`run_specialized_fast`; ``"codegen"`` calls the generated
+    kernels of ``fused.compiled`` (bit- and counter-identical — see
+    :mod:`repro.engine.codegen`). Everything else is backend-blind:
+    strict mode, opaque/eager units, and unspecialized plans always
+    take the interpreter paths, so ``backend="codegen"`` degrades
+    automatically instead of failing.
+
     With a profiler installed each fused group gets its own span
-    (``fused_scan``/``fused_ew`` with {n, nodes, path} metadata);
-    non-fused units replay through the instrumented SVM methods, so
-    they show up under their primitive names as in eager mode.
+    (``fused_scan``/``fused_ew`` with {n, nodes, path, backend}
+    metadata); non-fused units replay through the instrumented SVM
+    methods, so they show up under their primitive names as in eager
+    mode.
     """
     col = getattr(svm.machine, "collector", None)
     specials = fused.specialized
+    compiled = fused.compiled if backend == "codegen" else None
+    if (
+        compiled is not None
+        and col is None
+        and compiled.plan_fn is not None
+        and svm._fast(compiled.min_n)
+    ):
+        # whole-plan flat kernel: every unit is a generated group (or a
+        # FREE), and the fast path applies to all of them — skip the
+        # unit loop entirely (profiled runs keep per-group spans)
+        compiled.plan_fn(svm, plan)
+        return
     for unit in fused.units:
         if isinstance(unit, GroupSpec):
             sg = specials.get(unit) if specials is not None else None
             if sg is not None and svm._fast(sg.n):
                 # pre-compiled fast path: no materialization, no lookups
+                cg = compiled.groups.get(unit) if compiled is not None else None
                 if col is not None:
                     ctx = col.span(sg.kernel, n=sg.n,
-                                   nodes=len(unit.node_indices), path="fast")
+                                   nodes=len(unit.node_indices), path="fast",
+                                   backend="codegen" if cg is not None
+                                   else "interp")
                 else:
                     ctx = nullcontext()
                 with ctx:
-                    run_specialized_fast(svm, plan, sg)
+                    if cg is not None:
+                        cg.fn(svm, plan.nodes, plan.buffers)
+                    else:
+                        run_specialized_fast(svm, plan, sg)
                 continue
             group = materialize(plan, unit)
             fast = svm._fast(group.n)
@@ -288,12 +328,42 @@ def execute(svm, plan: Plan, fused: FusedPlan) -> None:
             _run_node_eager(svm, plan, plan.nodes[unit])
 
 
-class Engine:
-    """Owns the plan cache and runs captured plans for one SVM context."""
+#: Fast-path backends :func:`execute` understands.
+BACKENDS = ("interp", "codegen")
 
-    def __init__(self, svm, cache: PlanCache | None = None) -> None:
+#: Engine default; override per context with ``SVM(backend=...)`` or
+#: globally with the ``REPRO_BACKEND`` environment variable.
+DEFAULT_BACKEND = "codegen"
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Validate an explicit backend or derive the default from the
+    environment (``REPRO_BACKEND``) falling back to codegen."""
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+    if backend not in BACKENDS:
+        raise EngineError(
+            f"backend must be one of {BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+class Engine:
+    """Owns the plan cache and runs captured plans for one SVM context.
+
+    ``backend`` picks the fast-path execution strategy for fused groups
+    (see :func:`execute`); ``store`` is the optional persistent
+    :class:`~repro.engine.cache.PlanStore` consulted between the
+    in-memory cache and a full compile (default: enabled iff
+    ``REPRO_CACHE_DIR`` is set).
+    """
+
+    def __init__(self, svm, cache: PlanCache | None = None, *,
+                 backend: str | None = None, store=None) -> None:
         self.svm = svm
         self.cache = cache if cache is not None else PlanCache()
+        self.backend = resolve_backend(backend)
+        self.store = store if store is not None else store_from_env()
         #: Most recent (plan, fused plan) pair — used by ``repro fuse``.
         self.last_plan: Plan | None = None
         self.last_fused: FusedPlan | None = None
@@ -302,18 +372,47 @@ class Engine:
         m = self.svm.machine
         return plan.signature(m.vlen, m.codegen.name)
 
+    def compile_plan(self, plan: Plan) -> FusedPlan:
+        """Fuse + specialize + generate code for ``plan`` (a cache
+        miss's work), with one ``plan.compile`` span when profiling."""
+        col = getattr(self.svm.machine, "collector", None)
+        t0 = time.perf_counter()
+        ctx = col.span("plan.compile", nodes=len(plan.nodes)) \
+            if col is not None else nullcontext()
+        with ctx:
+            fused = fuse_plan(plan)
+            specialize_plan(plan, fused, self.svm.machine)
+            fused.compiled = compile_fused(plan, fused)
+        if col is not None:
+            groups = len(fused.compiled.group_names) if fused.compiled else 0
+            col.codegen_event(groups, time.perf_counter() - t0)
+        return fused
+
     def fused_for(self, plan: Plan) -> FusedPlan:
-        """The fusion recipe for ``plan``, through the cache."""
+        """The fusion recipe for ``plan``, through the cache hierarchy:
+        in-memory LRU, then the persistent store (when enabled), then a
+        full compile (whose result feeds both)."""
         key = self.plan_key(plan)
         fused = self.cache.get(key)
         hit = fused is not None
+        source = "memory"
+        if not hit and self.store is not None:
+            fused = self.store.load(key)
+            if fused is not None:
+                # warm disk entry: skip capture-side work entirely and
+                # promote into the in-memory cache
+                hit = True
+                source = "disk"
+                self.cache.put(key, fused)
         if not hit:
-            fused = fuse_plan(plan)
-            specialize_plan(plan, fused, self.svm.machine)
+            fused = self.compile_plan(plan)
             self.cache.put(key, fused)
+            if self.store is not None:
+                self.store.save(key, fused)
         col = getattr(self.svm.machine, "collector", None)
         if col is not None:
-            col.plan_cache_event(hit, self.cache)
+            col.plan_cache_event(hit, self.cache,
+                                 source=source if hit else "none")
         return fused
 
     def run(self, plan: Plan, fuse: bool = True) -> FusedPlan:
@@ -323,7 +422,7 @@ class Engine:
             fused = self.fused_for(plan)
         else:
             fused = FusedPlan(units=list(range(len(plan.nodes))))
-        execute(self.svm, plan, fused)
+        execute(self.svm, plan, fused, backend=self.backend)
         self.last_plan = plan
         self.last_fused = fused
         return fused

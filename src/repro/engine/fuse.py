@@ -245,6 +245,11 @@ class FusedPlan:
     #: time; ``None`` until specialized (e.g. ``fuse=False`` replays).
     #: Excluded from equality: a specialization is derived state.
     specialized: dict | None = field(default=None, compare=False, repr=False)
+    #: :class:`~repro.engine.codegen.CompiledPlan` attached by
+    #: :func:`repro.engine.codegen.compile_fused` at cache-insert time;
+    #: ``None`` until compiled (or when there is nothing to compile).
+    #: Derived state, like ``specialized``.
+    compiled: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def n_groups(self) -> int:

@@ -276,16 +276,33 @@ class ProfileCollector:
         """Record an instant event at the current timestamp."""
         self.events.append(SpanEvent(name, self.clock() - self._origin, meta))
 
-    def plan_cache_event(self, hit: bool, cache) -> None:
-        """Engine hook: one plan-cache lookup resolved (hit or miss)."""
+    def plan_cache_event(self, hit: bool, cache, source: str = "memory") -> None:
+        """Engine hook: one plan-cache lookup resolved (hit or miss).
+        ``source`` says where a hit came from (``"memory"`` for the
+        in-process LRU, ``"disk"`` for the persistent store; misses
+        report ``"none"``)."""
         self.event("plan_cache.hit" if hit else "plan_cache.miss",
-                   size=len(cache))
+                   size=len(cache), source=source)
         m = self.metrics
         m.counter("engine.plan_cache.hits" if hit
                   else "engine.plan_cache.misses").inc()
+        if hit and source == "disk":
+            m.counter("engine.plan_cache.disk_hits").inc()
         m.gauge("engine.plan_cache.size").set(len(cache))
         m.gauge("engine.plan_cache.evictions").set(cache.stats.evictions)
         m.gauge("engine.plan_cache.hit_rate").set(round(cache.stats.hit_rate, 4))
+
+    def codegen_event(self, groups: int, seconds: float) -> None:
+        """Engine hook: one plan compiled (fuse + specialize + codegen)
+        on a cache miss; ``groups`` is how many fused groups got
+        generated kernels."""
+        ms = seconds * 1e3
+        self.event("codegen.compile", groups=groups, ms=round(ms, 3))
+        m = self.metrics
+        m.counter("engine.codegen.plans_compiled").inc()
+        if groups:
+            m.counter("engine.codegen.groups_compiled").inc(groups)
+        m.histogram("engine.codegen.compile_ms").observe(ms)
 
     def batch_event(self, rows: int, n: int, path: str) -> None:
         """Batch-runner hook: one length bucket dispatched (``path`` is

@@ -9,12 +9,18 @@ completion order, and ``jobs <= 1`` runs inline (no pool, no pickling)
 so single-process runs and tests stay byte-identical.
 
 The module-level cell functions (:func:`fusion_cell`,
-:func:`batch_cell`) exist because pool workers must import their task
-by qualified name: each constructs its own :class:`~repro.svm.SVM`
-(hence its own machine and counters) from the parameter dict and
-returns a plain dict, which the parent merges. They are shared by
-``benchmarks/bench_fusion.py``, ``benchmarks/bench_batch.py``, and the
-``repro bench --jobs N`` CLI.
+:func:`batch_cell`, :func:`codegen_cell`) exist because pool workers
+must import their task by qualified name: each constructs its own
+:class:`~repro.svm.SVM` (hence its own machine and counters) from the
+parameter dict and returns a plain dict, which the parent merges. They
+are shared by ``benchmarks/bench_fusion.py``,
+``benchmarks/bench_batch.py``, ``benchmarks/bench_codegen.py``, and
+the ``repro bench --jobs N`` CLI.
+
+Workers started with ``REPRO_CACHE_DIR`` set additionally share the
+persistent plan store (:class:`~repro.engine.cache.PlanStore`), so
+each worker process skips capture/fuse/specialize/codegen for plans
+any earlier process already compiled.
 """
 
 from __future__ import annotations
@@ -24,7 +30,10 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-__all__ = ["run_grid", "default_jobs", "fusion_cell", "batch_cell", "CHAIN"]
+__all__ = [
+    "run_grid", "default_jobs", "fusion_cell", "batch_cell",
+    "codegen_cell", "CHAIN",
+]
 
 
 def default_jobs() -> int:
@@ -104,6 +113,47 @@ def fusion_cell(params: dict) -> dict:
         "fused": fused,
         "saving_pct": round(saving, 2),
         "identical": bool(np.array_equal(ref, got)),
+    }
+
+
+def codegen_cell(params: dict) -> dict:
+    """One generated-kernel-vs-interpreted-executor measurement.
+
+    ``params``: n, vlen, lmul, depth, seed. Runs the chain+scan
+    pipeline once per backend on a private machine and reports both
+    dynamic instruction counts plus result/counter identity — the
+    invariants ``BENCH_codegen.json`` locks under the tolerance-0 CI
+    gate. Wall-clock speedup is timing-dependent and therefore
+    measured out-of-band by ``benchmarks/bench_codegen.py``, exactly
+    like the batch suite.
+    """
+    from repro import SVM
+    from repro.rvv.types import LMUL
+
+    n, vlen = params["n"], params["vlen"]
+    lmul, depth = LMUL(params["lmul"]), params["depth"]
+    values = np.random.default_rng(params.get("seed", 0)).integers(
+        0, 2**16, n, dtype=np.uint32
+    )
+
+    def one(backend: str):
+        svm = SVM(vlen=vlen, codegen="paper", mode="fast", backend=backend)
+        data = svm.array(values)
+        svm.reset()
+        with svm.lazy() as lz:
+            _chain_pipeline(lz, data, lmul, depth)
+        return svm.counters.snapshot(), data.to_numpy()
+
+    interp, ref = one("interp")
+    codegen, got = one("codegen")
+    return {
+        "vlen": vlen,
+        "lmul": int(lmul),
+        "n": n,
+        "interp_instr": interp.total,
+        "codegen_instr": codegen.total,
+        "identical_results": bool(np.array_equal(ref, got)),
+        "identical_counters": bool(interp.by_category == codegen.by_category),
     }
 
 

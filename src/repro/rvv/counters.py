@@ -22,6 +22,13 @@ __all__ = ["Cat", "Counters", "CounterSnapshot"]
 class Cat(enum.Enum):
     """Dynamic-instruction categories."""
 
+    # Enum.__hash__ is a Python-level function (hash of the member
+    # name); counters are dicts keyed by Cat and incremented on every
+    # modeled instruction group, so use the C-level identity hash.
+    # Members are singletons and enum equality is already identity,
+    # so dict semantics are unchanged.
+    __hash__ = object.__hash__
+
     #: vsetvl / vsetvli configuration-setting instructions.
     VCONFIG = "vconfig"
     #: Vector unit-stride loads and stores (vle / vse).
@@ -96,6 +103,18 @@ class Counters:
     def add(self, category: Cat, n: int = 1) -> None:
         """Record ``n`` dynamic instructions of ``category``."""
         self._counts[category] += n
+
+    def add_many(self, items) -> None:
+        """Record a batch of ``(category, n)`` charges in one call.
+
+        Generated kernels (:mod:`repro.engine.codegen`) charge a whole
+        fused group's closed-form profile at once; batching keeps the
+        per-group call cost constant instead of one :meth:`add` call
+        per category.
+        """
+        counts = self._counts
+        for category, n in items:
+            counts[category] += n
 
     def reset(self) -> None:
         """Zero every counter."""

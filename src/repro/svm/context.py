@@ -100,6 +100,8 @@ class SVM:
         lmul: LMUL = LMUL.M1,
         malloc_model=None,
         profile: bool | str = False,
+        backend: str | None = None,
+        cache_dir: str | None = None,
     ) -> None:
         if machine is None:
             machine = RVVMachine(vlen=vlen, codegen=codegen, malloc_model=malloc_model)
@@ -111,6 +113,13 @@ class SVM:
         self.mode = mode
         self.fast_threshold = int(fast_threshold)
         self.lmul = LMUL(lmul)
+        #: Fast-path backend for the lazy engine: "codegen" (default)
+        #: runs generated kernels, "interp" the LaneStep interpreter;
+        #: None defers to REPRO_BACKEND / the engine default.
+        self.backend = backend
+        #: Persistent plan-store directory; None means the store is
+        #: enabled only when REPRO_CACHE_DIR is set (see engine.cache).
+        self.cache_dir = cache_dir
         self._engine = None  # lazily-created repro.engine.Engine
         if profile not in (False, True, "strips"):
             raise ConfigurationError(
@@ -162,8 +171,10 @@ class SVM:
         first use; owns the plan cache)."""
         if self._engine is None:
             from ..engine import Engine  # local import: engine depends on svm
+            from ..engine.cache import PlanStore
 
-            self._engine = Engine(self)
+            store = PlanStore(self.cache_dir) if self.cache_dir else None
+            self._engine = Engine(self, backend=self.backend, store=store)
         return self._engine
 
     @contextmanager

@@ -19,6 +19,8 @@ and codegen presets — the fast path is not an approximation.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..rvv.allocation import (
@@ -71,10 +73,15 @@ _UFUNC_VX = {
 }
 
 
+@lru_cache(maxsize=4096)
 def strip_shape(n: int, vlmax: int) -> tuple[int, int]:
     """(number of full strips, remainder strip length) for ``n``
     elements at ``vlmax`` — the vl sequence is ``vlmax`` repeated
-    ``full`` times followed by ``rem`` if nonzero."""
+    ``full`` times followed by ``rem`` if nonzero.
+
+    Cached: benchmark grids and batch runs recompute the same few
+    (n, vlmax) points thousands of times, and both arguments are plain
+    ints (machine objects never enter the key)."""
     n = int(n)
     return n // vlmax, n % vlmax
 

@@ -4,6 +4,8 @@ kernels in :mod:`repro.svm.elementwise_ext`)."""
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..rvv.allocation import ELEMENTWISE_PROFILE, plan_allocation
@@ -25,10 +27,16 @@ _NP_CMP = {
 }
 
 
-def _strips(m: RVVMachine, n: int, lmul: LMUL, dtype=np.uint32) -> int:
-    vlmax = m.vlmax(sew=sew_for_dtype(dtype), lmul=lmul)
+@lru_cache(maxsize=4096)
+def _strip_count(n: int, vlmax: int) -> int:
     full, rem = strip_shape(n, vlmax)
     return full + (1 if rem else 0)
+
+
+def _strips(m: RVVMachine, n: int, lmul: LMUL, dtype=np.uint32) -> int:
+    # cache on the (n, vlmax) ints only — machine objects never enter
+    # the key
+    return _strip_count(int(n), m.vlmax(sew=sew_for_dtype(dtype), lmul=lmul))
 
 
 def _spill(m: RVVMachine, n_strips: int, lmul: LMUL) -> None:

@@ -63,3 +63,39 @@ class TestCommands:
                      "--vlen", "128", "--codegen", "ideal"]) == 0
         out = capsys.readouterr().out
         assert "[opaque]" in out and "keep" in out
+
+    def test_fuse_backend_flag(self, capsys):
+        for backend in ("interp", "codegen"):
+            assert main(["fuse", "--n", "200", "--vlen", "128",
+                         "--backend", backend]) == 0
+            assert "bit-identical" in capsys.readouterr().out
+
+    def test_bench_out_merged_grid_jobs1(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "grid.json"
+        assert main(["bench", "--suite", "all", "--n", "2000",
+                     "--jobs", "1", "--out", str(out_file)]) == 0
+        assert f"wrote merged grid to {out_file}" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        # the merged document carries every suite that ran
+        assert set(doc) == {"meta", "fusion", "batch", "codegen"}
+        assert doc["meta"]["jobs"] == 1
+        assert len(doc["fusion"]) == 4
+        assert all(c["identical"] for c in doc["fusion"])
+        assert all(c["identical_results"] and c["identical_counters"]
+                   for c in doc["batch"])
+        assert all(c["codegen_instr"] == c["interp_instr"]
+                   for c in doc["codegen"])
+
+    def test_bench_out_matches_across_jobs(self, tmp_path):
+        # the merged grid is computed by the parent at any --jobs count,
+        # and worker fan-out must not change a single byte of it
+        docs = []
+        for jobs, name in ((1, "j1.json"), (2, "j2.json")):
+            out_file = tmp_path / name
+            assert main(["bench", "--suite", "fusion", "--n", "2000",
+                         "--jobs", str(jobs), "--out", str(out_file)]) == 0
+            docs.append(out_file.read_text().replace(
+                f'"jobs": {jobs}', '"jobs": X'))
+        assert docs[0] == docs[1]

@@ -1,0 +1,161 @@
+"""Generated-kernel backend (``repro.engine.codegen``) equivalence.
+
+The codegen backend must be bit-identical and per-category
+counter-identical to the interpreted specialized executor across the
+full VLEN × LMUL grid — for single-call and batched execution — and
+must fall back to the interpreter wherever generated kernels don't
+apply (opaque plans, strict mode). CompiledPlan must survive a pickle
+round-trip (the persistent store's transport).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.engine.executor import DEFAULT_BACKEND, resolve_backend
+from repro.engine.ir import EngineError
+from repro.rvv.types import LMUL
+
+from .conftest import PIPELINES, make_data
+
+VLENS = (128, 256, 512, 1024)
+LMULS = (1, 2, 4, 8)
+#: odd on purpose: every VLEN×LMUL point gets a remainder strip
+N = 777
+
+
+def _run(pipe, *, vlen, lmul, backend, n=N, mode="fast", seed=0):
+    svm = SVM(vlen=vlen, codegen="paper", mode=mode, backend=backend)
+    data = make_data(svm, n, seed)
+    svm.reset()
+    with svm.lazy() as lz:
+        out = pipe(lz, data, lmul)
+    return svm.machine.counters.snapshot(), out.to_numpy(), svm
+
+
+@pytest.mark.parametrize("vlen", VLENS)
+@pytest.mark.parametrize("lmul", LMULS)
+def test_backend_equivalence_grid(pipeline, vlen, lmul):
+    lm = LMUL(lmul)
+    interp, ref, _ = _run(pipeline, vlen=vlen, lmul=lm, backend="interp")
+    codegen, got, _ = _run(pipeline, vlen=vlen, lmul=lm, backend="codegen")
+    assert np.array_equal(ref, got)
+    assert interp.by_category == codegen.by_category
+
+
+@pytest.mark.parametrize("vlen", VLENS)
+@pytest.mark.parametrize("lmul", LMULS)
+def test_backend_equivalence_batch(vlen, lmul):
+    lm = LMUL(lmul)
+    g = np.random.default_rng(0)
+    rows = [g.integers(0, 2**16, 300, dtype=np.uint32) for _ in range(8)]
+
+    def pipe(lz, data):
+        return PIPELINES["chain_scan"](lz, data, lm)
+
+    outs, snaps = {}, {}
+    for backend in ("interp", "codegen"):
+        svm = SVM(vlen=vlen, codegen="paper", mode="fast", backend=backend)
+        res = svm.batch(pipe, rows)
+        outs[backend] = [np.array(r) for r in res]
+        snaps[backend] = svm.machine.counters.snapshot()
+    assert all(
+        np.array_equal(a, b) for a, b in zip(outs["interp"], outs["codegen"])
+    )
+    assert snaps["interp"].by_category == snaps["codegen"].by_category
+
+
+def test_whole_plan_kernel_and_copy_elision():
+    _, _, svm = _run(PIPELINES["chain_scan"], vlen=512, lmul=LMUL.M1,
+                     backend="codegen", n=1000)
+    cp = svm.engine.last_fused.compiled
+    assert cp is not None
+    # every unit fused -> the whole plan runs as one generated call
+    assert cp.plan_fn is not None
+    assert cp.min_n == 1000
+    # head == dst and no operand re-reads dst: the kernel operates
+    # in-place on the destination view (no head copy, no writeback)
+    assert "copy=True" not in cp.source
+    assert ".accumulate(" in cp.source
+
+
+def test_alias_keeps_copy_discipline():
+    # p_add(data, data): the head's vector operand aliases dst, so the
+    # generated kernel must keep the interpreter's copy-then-writeback
+    interp, ref, _ = _run(PIPELINES["alias"], vlen=256, lmul=LMUL.M1,
+                          backend="interp")
+    codegen, got, svm = _run(PIPELINES["alias"], vlen=256, lmul=LMUL.M1,
+                             backend="codegen")
+    assert np.array_equal(ref, got)
+    assert interp.by_category == codegen.by_category
+    assert "copy=True" in svm.engine.last_fused.compiled.source
+
+
+def test_fully_opaque_plan_has_no_compiled_kernels():
+    # seg_scan captures as an opaque node: nothing fuses, compile_fused
+    # returns None, and the codegen backend falls back to the
+    # interpreter's replay with identical behavior
+    def pipe(lz, data, lmul):
+        flags = lz.get_flags(data, 0, lmul=lmul)
+        lz.seg_plus_scan(data, flags, lmul=lmul)
+        lz.free(flags)
+        return data
+
+    interp, ref, _ = _run(pipe, vlen=256, lmul=LMUL.M1, backend="interp")
+    codegen, got, svm = _run(pipe, vlen=256, lmul=LMUL.M1, backend="codegen")
+    assert np.array_equal(ref, got)
+    assert interp.by_category == codegen.by_category
+    fused = svm.engine.last_fused
+    # the opaque seg_scan forbids the whole-plan kernel
+    assert fused.compiled is None or fused.compiled.plan_fn is None
+
+
+def test_strict_mode_is_backend_independent(pipeline):
+    interp, ref, _ = _run(pipeline, vlen=128, lmul=LMUL.M1,
+                          backend="interp", mode="strict")
+    codegen, got, _ = _run(pipeline, vlen=128, lmul=LMUL.M1,
+                           backend="codegen", mode="strict")
+    assert np.array_equal(ref, got)
+    assert interp.by_category == codegen.by_category
+
+
+def test_empty_input_both_backends():
+    interp, ref, _ = _run(PIPELINES["chain_scan"], vlen=256, lmul=LMUL.M1,
+                          backend="interp", n=0)
+    codegen, got, _ = _run(PIPELINES["chain_scan"], vlen=256, lmul=LMUL.M1,
+                           backend="codegen", n=0)
+    assert np.array_equal(ref, got)
+    assert interp.by_category == codegen.by_category
+
+
+def test_compiled_plan_pickle_roundtrip():
+    svm = SVM(vlen=512, codegen="paper", mode="fast", backend="codegen")
+    data = make_data(svm, 500)
+    with svm.lazy() as lz:
+        PIPELINES["chain_scan"](lz, data, LMUL.M1)
+    ref = data.to_numpy()
+    fused = svm.engine.last_fused
+    clone = pickle.loads(pickle.dumps(fused.compiled))
+    assert clone.source == fused.compiled.source
+    assert clone.plan_fn is not None
+    assert clone.min_n == fused.compiled.min_n
+    # replay the cached plan through the unpickled kernels
+    fused.compiled = clone
+    data2 = make_data(svm, 500)
+    with svm.lazy() as lz:
+        PIPELINES["chain_scan"](lz, data2, LMUL.M1)
+    assert np.array_equal(data2.to_numpy(), ref)
+
+
+def test_resolve_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolve_backend(None) == DEFAULT_BACKEND
+    assert resolve_backend("interp") == "interp"
+    monkeypatch.setenv("REPRO_BACKEND", "interp")
+    assert resolve_backend(None) == "interp"
+    with pytest.raises(EngineError):
+        resolve_backend("jit")
