@@ -5,7 +5,7 @@ Two claims, two kinds of evidence:
 * **Identity** (deterministic, CI-gated): a batch run's outputs and
   per-category instruction counters equal the looped single-input
   path exactly — across VLEN, LMUL, ragged length buckets, and the
-  opaque-node loop fallback. These land in ``BENCH_batch.json``,
+  data-dependent (pack) loop fallback. These land in ``BENCH_batch.json``,
   which the perf job regenerates and diffs at tolerance 0; only
   deterministic values (counts, booleans, bucket structure) are
   written, never wall-clock.
@@ -112,7 +112,7 @@ def test_batch_identity_grid(benchmark):
     }
     assert ragged["identical_results"] and ragged["identical_counters"]
 
-    # opaque nodes (pack is data-dependent) must take the loop fallback
+    # pack's data-dependent charge must take the loop fallback
     def pack_pipe(lz, data):
         flags = lz.p_lt(data, 2**15)
         out, _ = lz.pack(data, flags)
@@ -131,7 +131,7 @@ def test_batch_identity_grid(benchmark):
         loop_svm.free(out)
     batch_svm = SVM(vlen=512, codegen="paper", mode="fast")
     res = batch_svm.batch(pack_pipe, pack_rows)
-    opaque = {
+    pack_cell = {
         "path": res.buckets[0].path,
         "identical_results": bool(all(
             np.array_equal(a, b) for a, b in zip(loop_outs, res)
@@ -141,8 +141,8 @@ def test_batch_identity_grid(benchmark):
             == batch_svm.counters.snapshot().by_category
         ),
     }
-    assert opaque["path"] == "loop"
-    assert opaque["identical_results"] and opaque["identical_counters"]
+    assert pack_cell["path"] == "loop"
+    assert pack_cell["identical_results"] and pack_cell["identical_counters"]
 
     out = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
     out.write_text(json.dumps({
@@ -151,7 +151,7 @@ def test_batch_identity_grid(benchmark):
         "mode": "fast",
         "grid": cells,
         "ragged": ragged,
-        "opaque_fallback": opaque,
+        "pack_fallback": pack_cell,
     }, indent=2) + "\n")
 
     benchmark(batch_cell,

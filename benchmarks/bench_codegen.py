@@ -59,6 +59,24 @@ def _pipe(lz, data):
     return data
 
 
+def _split_pipe(lz, data):
+    flags = lz.get_flags(data, 0)
+    out, _ = lz.split(data, flags)
+    return out
+
+
+def _radix_pipe(lz, data):
+    a = data
+    for bit in range(3):
+        flags = lz.get_flags(a, bit)
+        a, _ = lz.split(a, flags)
+    lz.copy(a, out=data)
+    return data
+
+
+PIPELINES = (("split", _split_pipe), ("radix3", _radix_pipe))
+
+
 def test_codegen_identity_grid(benchmark):
     params = [
         {"n": n, "vlen": vlen, "lmul": lmul, "depth": DEPTH, "seed": SEED}
@@ -119,6 +137,82 @@ def test_codegen_identity_grid(benchmark):
         assert cell["identical_results"], cell
         assert cell["identical_counters"], cell
 
+    # data-dependent pipelines through the OpSpec registry: split and a
+    # 3-round radix pass must capture with zero OPAQUE nodes and batch
+    # on the 2D path (no loop fallback), bit- and counter-identical to
+    # looping the captured single-row runs
+    from repro.engine.ir import Kind
+
+    pipelines = []
+    pipe_rows = []
+    for name, pipe in PIPELINES:
+        g = rng(SEED)
+        raw = [g.integers(0, 2**16, 256, dtype=np.uint32)
+               for _ in range(8)]
+        svm = SVM(vlen=512, codegen="paper", mode="fast",
+                  backend="codegen")
+        res = svm.batch(pipe, raw)
+        batched = [np.asarray(r) for r in res]
+        batch_snap = svm.counters.snapshot()
+        paths = [b.path for b in res.buckets]
+
+        # svm.batch drives buckets directly, so probe the captured plan
+        # shape with one single-row run on a fresh context
+        probe = SVM(vlen=512, codegen="paper", mode="fast",
+                    backend="codegen")
+        with probe.lazy() as lz:
+            pipe(lz, probe.array(raw[0]))
+        plan, fused = probe.engine.last_plan, probe.engine.last_fused
+        opaque = sum(1 for nd in plan.nodes if nd.kind is Kind.OPAQUE)
+        compiled = fused.compiled
+
+        ref_svm = SVM(vlen=512, codegen="paper", mode="fast",
+                      backend="codegen")
+        looped = []
+        for row in raw:
+            data = ref_svm.array(row)
+            with ref_svm.lazy() as lz:
+                out_arr = pipe(lz, data)
+            looped.append(out_arr.to_numpy())
+        loop_snap = ref_svm.counters.snapshot()
+
+        cell = {
+            "pipeline": name,
+            "n": 256,
+            "rows": len(raw),
+            "nodes": len(plan.nodes),
+            "opaque_nodes": opaque,
+            "whole_plan_kernel": bool(
+                compiled is not None and compiled.plan_fn is not None),
+            "batch_paths": paths,
+            "loop_fallback_buckets": paths.count("loop"),
+            "instr": batch_snap.total,
+            "identical_results": bool(all(
+                np.array_equal(a, b) for a, b in zip(batched, looped))),
+            "identical_counters": bool(
+                batch_snap.by_category == loop_snap.by_category),
+        }
+        assert cell["opaque_nodes"] == 0, cell
+        assert cell["loop_fallback_buckets"] == 0, cell
+        assert cell["identical_results"], cell
+        assert cell["identical_counters"], cell
+        pipelines.append(cell)
+        pipe_rows.append([name, str(cell["nodes"]),
+                          str(cell["opaque_nodes"]),
+                          str(cell["loop_fallback_buckets"]),
+                          fmt_count(cell["instr"])])
+    record(ExperimentResult(
+        "Registry pipelines",
+        "split / radix pipelines: structured capture, no opaque nodes, "
+        "2D batch path (VLEN=512, 8 rows of n=256)",
+        ["pipeline", "nodes", "opaque", "loop buckets", "instr"],
+        pipe_rows,
+        notes=["permute/enumerate/pack/seg_scan capture as structured"
+               " kinds via the OpSpec registry, so these data-dependent"
+               " pipelines fuse, batch, and stay counter-identical to"
+               " the per-row loop."],
+    ))
+
     out = Path(__file__).resolve().parent.parent / "BENCH_codegen.json"
     out.write_text(json.dumps({
         "pipeline": f"elementwise chain (depth {DEPTH}) + plus_scan, uint32",
@@ -126,6 +220,7 @@ def test_codegen_identity_grid(benchmark):
         "mode": "fast",
         "grid": cells,
         "batch": batch,
+        "pipelines": pipelines,
     }, indent=2) + "\n")
 
     benchmark(codegen_cell,

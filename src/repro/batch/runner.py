@@ -19,10 +19,14 @@ path, which stays the definitional semantics:
 
 * ragged batches are split into length buckets first (the vl sequence
   depends only on n, so only same-(n, dtype) rows may share a plan);
-* buckets whose plan contains an opaque node (pack, permute,
-  enumerate, segmented ops, ... — anything data-dependent or with a
-  :class:`~repro.engine.ir.ScalarFuture`) fall back to literally
-  looping the single-input path, as does strict mode;
+* every structured node kind batches — permute, enumerate, segmented
+  scans, select, reduce and friends all have ``axis=1`` evaluations,
+  and :class:`~repro.engine.ir.ScalarFuture` values produced inside
+  the plan (enumerate counts, reductions) thread through as per-row
+  vectors. Only ``pack`` (its *charge* is data-dependent, so rows
+  cannot share one closed-form profile), out-of-registry opaque calls,
+  and strict mode fall back to literally looping the single-input
+  path;
 * the 2D fast path replays the pre-compiled
   :class:`~repro.engine.specialize.SpecializedGroup` lane chains with
   ``axis=1`` scan tails.
@@ -40,9 +44,9 @@ import numpy as np
 from ..engine.capture import PlanBuilder
 from ..engine.executor import execute
 from ..engine.fuse import GroupSpec, materialize
-from ..engine.ir import EngineError, Kind, Plan, resolve_scalar
-from ..svm.fastpath import _UFUNC_VX, _wrap
-from ..svm.fastpath_ext import _NP_CMP
+from ..engine.ir import EngineError, Kind, Plan, ScalarFuture, resolve_scalar
+from ..scalar.kernels import segmented_cumsum, segmented_reduce_numpy
+from ..svm.fastpath import _NP_CMP, _UFUNC_VX, _wrap
 from ..svm.operators import get_operator
 
 __all__ = ["BatchBucket", "BatchResult", "run_batch"]
@@ -113,11 +117,41 @@ def _capture(svm, pipe, row: np.ndarray):
     return lz.build(), data, out
 
 
-def _batchable(plan: Plan) -> bool:
-    """A plan batches as a 2D evaluation iff every node is closed-form:
-    opaque nodes are data-dependent (pack) or resolve ScalarFutures,
-    so their rows cannot share one vectorized evaluation."""
-    return all(node.kind is not Kind.OPAQUE for node in plan.nodes)
+def _batchable(plan: Plan, fused) -> bool:
+    """Whether a plan batches as one 2D evaluation.
+
+    Rejected outright: out-of-registry OPAQUE calls (nothing structured
+    to vectorize) and PACK (its instruction *charge* depends on where
+    the survivors fall, so rows cannot share row 0's counter delta).
+    Everything else is closed-form.
+
+    ScalarFuture operands (enumerate counts, reductions feeding later
+    nodes, as in the captured split pipeline) are fine when the future
+    is produced by an earlier node of the same plan — it becomes a
+    per-row vector — and the consumer is an eager EW_VX / CMP_VX node
+    whose ufunc broadcasts a column of per-row scalars. Consumers
+    inside fused groups (whose kernels resolve the scalar once) and
+    the shift ops (whose wrappers coerce the scalar to a plain int)
+    fall back to the loop."""
+    group_nodes: set[int] = set()
+    for u in fused.units:
+        if isinstance(u, GroupSpec):
+            group_nodes.update(u.node_indices)
+    produced: set[ScalarFuture] = set()
+    for i, node in enumerate(plan.nodes):
+        kind = node.kind
+        if kind is Kind.OPAQUE or kind is Kind.PACK:
+            return False
+        if isinstance(node.scalar, ScalarFuture):
+            if node.scalar not in produced or i in group_nodes:
+                return False
+            if kind not in (Kind.EW_VX, Kind.CMP_VX):
+                return False
+            if kind is Kind.EW_VX and node.op in ("p_srl", "p_sll"):
+                return False
+        if node.future is not None:
+            produced.add(node.future)
+    return True
 
 
 # ---------------------------------------------------------------------------
@@ -183,14 +217,24 @@ def _group_2d(plan: Plan, sg, mats, get) -> None:
     mats[dst] = acc
 
 
-def _node_2d(plan: Plan, node, mats, get) -> None:
-    """One eager (non-fused, non-opaque) node on a [b1, n] matrix."""
+def _scalar_2d(node, dtype, fvals):
+    """A node's scalar operand for the 2D evaluation: a plain wrapped
+    scalar, or — when it is a future produced earlier in the plan — a
+    ``[b1, 1]`` column of per-row values that broadcasts per row."""
+    if isinstance(node.scalar, ScalarFuture):
+        return fvals[node.scalar].astype(dtype)[:, None]
+    return _wrap(resolve_scalar(node.scalar), dtype)
+
+
+def _node_2d(plan: Plan, node, mats, get, fvals) -> None:
+    """One eager (non-fused, non-opaque) node on a [b1, n] matrix.
+
+    ``fvals`` maps each :class:`ScalarFuture` produced by the plan
+    (enumerate counts, reductions) to its per-row int64 vector."""
     kind = node.kind
     if kind is Kind.EW_VX:
         view = get(node.dst)
-        _UFUNC_VX[node.op](
-            view, _wrap(resolve_scalar(node.scalar), view.dtype), out=view
-        )
+        _UFUNC_VX[node.op](view, _scalar_2d(node, view.dtype, fvals), out=view)
     elif kind is Kind.EW_VV:
         view = get(node.dst)
         _UFUNC_VX[node.op](view, get(node.operand), out=view)
@@ -198,7 +242,7 @@ def _node_2d(plan: Plan, node, mats, get) -> None:
         src = get(node.src)
         out_dtype = plan.buffers[node.dst].dtype
         mats[node.dst] = _NP_CMP[node.op](
-            src, _wrap(resolve_scalar(node.scalar), src.dtype)
+            src, _scalar_2d(node, src.dtype, fvals)
         ).astype(out_dtype)
     elif kind is Kind.CMP_VV:
         out_dtype = plan.buffers[node.dst].dtype
@@ -219,9 +263,67 @@ def _node_2d(plan: Plan, node, mats, get) -> None:
             incl = op.ufunc.accumulate(view, axis=1)
             view[:, 1:] = incl[:, :-1]
             view[:, 0] = _wrap(op.identity(view.dtype), view.dtype)
+    elif kind is Kind.SELECT:
+        view = get(node.dst)
+        np.copyto(view, get(node.src), where=get(node.operand).astype(bool))
+    elif kind is Kind.SEG_SCAN:
+        # flatten trick: forcing a segment head at every row start makes
+        # one 1D segmented pass over the flattened matrix exact — no
+        # carry crosses a row boundary (mirror of fast_seg_scan[_exclusive])
+        view = get(node.dst)
+        op = get_operator(node.op)
+        flags = get(node.operand).copy()
+        flags[:, 0] = 1
+        flat = view.reshape(-1)
+        flags_flat = flags.reshape(-1)
+        if op.name == "plus":
+            incl = segmented_cumsum(flat, flags_flat)
+        else:
+            incl = segmented_reduce_numpy(flat, flags_flat, op.ufunc)
+        if node.inclusive:
+            flat[:] = incl
+        else:
+            heads = flags_flat.astype(bool)
+            flat[1:] = incl[:-1]
+            flat[heads] = _wrap(op.identity(view.dtype), view.dtype)
+    elif kind is Kind.ENUMERATE:
+        flags = get(node.src)
+        match = flags == flags.dtype.type(1 if node.scalar else 0)
+        excl = np.zeros(match.shape, dtype=np.int64)
+        if match.shape[1] > 1:
+            np.cumsum(match[:, :-1], axis=1, out=excl[:, 1:])
+        mats[node.dst] = excl.astype(plan.buffers[node.dst].dtype)
+        fvals[node.future] = match.sum(axis=1, dtype=np.int64)
+    elif kind is Kind.REDUCE:
+        view = get(node.src)
+        op = get_operator(node.op)
+        init = _wrap(op.identity(view.dtype), view.dtype)
+        fvals[node.future] = op.ufunc.reduce(
+            view, axis=1, initial=init, dtype=view.dtype
+        ).astype(np.int64)
+    elif kind is Kind.PERMUTE:
+        np.put_along_axis(get(node.dst), get(node.operand).astype(np.int64),
+                          get(node.src), axis=1)
+    elif kind is Kind.BACK_PERMUTE:
+        view = get(node.dst)
+        view[:] = np.take_along_axis(
+            get(node.src), get(node.operand).astype(np.int64), axis=1
+        )
+    elif kind is Kind.SHIFT1UP:
+        src = get(node.src)
+        view = get(node.dst)
+        tail = src[:, :-1].copy()  # src and dst may share a matrix
+        view[:, 1:] = tail
+        view[:, 0] = _wrap(resolve_scalar(node.scalar), view.dtype)
+    elif kind is Kind.COPY:
+        view = get(node.dst)
+        view[:] = get(node.src)
+    elif kind is Kind.INDEX:
+        view = get(node.dst)
+        view[:] = np.arange(view.shape[1], dtype=np.uint64).astype(view.dtype)
     elif kind is Kind.FREE:
         mats.pop(node.dst, None)
-    else:  # pragma: no cover - _batchable() excludes OPAQUE
+    else:  # pragma: no cover - _batchable() excludes OPAQUE and PACK
         raise EngineError(f"cannot batch node kind {kind}")
 
 
@@ -262,6 +364,7 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
         compiled = fused.compiled if backend == "codegen" else None
         mats, get = _mat_getter(plan, init, b1)
         mats[input_bid] = np.stack(rows[1:], axis=0)
+        fvals: dict = {}  # ScalarFuture -> per-row int64 values
         for unit in fused.units:
             if isinstance(unit, GroupSpec):
                 cg = compiled.groups.get(unit) if compiled is not None else None
@@ -275,7 +378,7 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
                     from ..engine.specialize import specialize_group
                     _group_2d(plan, specialize_group(plan, unit, m), mats, get)
             else:
-                _node_2d(plan, plan.nodes[unit], mats, get)
+                _node_2d(plan, plan.nodes[unit], mats, get, fvals)
         out_mat = get(out_bid)
         outputs.extend(out_mat[i] for i in range(b1))
         for cat, count in delta.by_category.items():
@@ -288,7 +391,8 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
 
 def _run_bucket_loop(svm, pipe, rows) -> list[np.ndarray]:
     """Fallback: literally the loop of single-input calls (the
-    definitional semantics) — used for opaque plans and strict mode."""
+    definitional semantics) — used for pack/opaque plans and strict
+    mode."""
     outputs = []
     for row in rows:
         plan, data, out = _capture(svm, pipe, row)
@@ -335,7 +439,7 @@ def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
         rows = [arrays[i] for i in indices]
         plan, data, out = _capture(svm, pipe, rows[0])
         fused = svm.engine.fused_for(plan)
-        use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan)
+        use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
         path = "2d" if use_2d else "loop"
         ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
             if col is not None else nullcontext()

@@ -25,6 +25,9 @@ Commands
 ``bench [--suite fusion|batch|codegen|all] [--jobs N] [--out F]``
     Run the deterministic benchmark grids (optionally over worker
     processes) and, with ``--out``, write the merged grid as JSON.
+``ops``
+    Print the unified OpSpec registry as a per-primitive tier-support
+    matrix (strict / fast / fusion / codegen / batch-2D).
 ``cache stats|clear [--dir D]``
     Inspect or clear the persistent plan cache (``REPRO_CACHE_DIR``).
 """
@@ -230,8 +233,9 @@ def _profile_workload_filter(svm, args, rng) -> int:
     from .algorithms import filter_in_range
 
     if args.batch:
-        # the pack node is opaque (data-dependent), so every bucket
-        # takes the loop fallback — visible as batch_bucket[path=loop]
+        # pack captures as a structured node, but its instruction charge
+        # is data-dependent, so every bucket takes the loop fallback —
+        # visible as batch_bucket[path=loop]
         def pipe(lz, data):
             lt = lz.p_lt(data, 3 * 2 ** 14)
             ge = lz.p_ge(data, 2 ** 14)
@@ -398,6 +402,41 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    from .svm import opspec
+    from .utils.formatting import render_table
+
+    def yn(flag: bool) -> str:
+        return "yes" if flag else "-"
+
+    rows = []
+    for spec in opspec.iter_specs():
+        if spec.composite:
+            # composites never execute themselves: eager bodies call
+            # other primitives, capture lowers them into the plan
+            rows.append([spec.name, spec.category, "-", "-", "lowered",
+                         "-", "-", ", ".join(spec.aliases)])
+            continue
+        fuse = spec.fuse_role if spec.fuse_role else "-"
+        rows.append([
+            spec.name, spec.category, yn(bool(spec.strict)),
+            yn(bool(spec.fast)), fuse, yn(spec.codegen), yn(spec.batch2d),
+            ", ".join(spec.aliases),
+        ])
+    print(render_table(
+        ["op", "category", "strict", "fast", "fuse", "codegen", "batch-2D",
+         "aliases"],
+        rows,
+        title=f"OpSpec registry: {len(rows)} primitives "
+              "(one descriptor drives eager, capture, fusion, codegen, batch)",
+    ))
+    print("fuse: lane ops merge into strip loops, tail ops close a fused "
+          "group, lowered composites expand at capture")
+    print("batch-2D '-': the op's charge or scalar flow is data-dependent, "
+          "so batched buckets replay the per-row loop")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     import os
 
@@ -517,6 +556,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "JSON document) to this file; works at any "
                         "--jobs count")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "ops", help="print the OpSpec registry as a tier-support matrix"
+    )
+    p.set_defaults(fn=_cmd_ops)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent plan cache"

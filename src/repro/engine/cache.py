@@ -57,7 +57,8 @@ SCHEMA_VERSION = 1
 #: Engine modules whose source participates in the code fingerprint —
 #: any change to planning, specialization, or code generation must
 #: invalidate every persisted entry.
-_FINGERPRINT_MODULES = ("ir", "fuse", "specialize", "codegen", "executor", "cache")
+_FINGERPRINT_MODULES = ("ir", "fuse", "specialize", "codegen", "nodes",
+                        "executor", "cache")
 
 _fingerprint_cache: str | None = None
 

@@ -1,12 +1,17 @@
 """Deferred recording of SVM pipelines into a :class:`Plan`.
 
 :class:`PlanBuilder` mirrors the :class:`~repro.svm.context.SVM`
-surface. Methods the fuser understands (in-place elementwise, flag
-compares, ``get_flags``, scans) record structured nodes; everything
-else (``pack``, ``enumerate``, ``permute``, ``p_select``, ``reduce``,
-...) records an opaque node that replays the SVM call verbatim at
-execution — so *any* pipeline can run through the engine, and the
-fuser simply works around the parts it cannot merge.
+surface. Every primitive in the :mod:`repro.svm.opspec` registry
+records a *structured* node — the fusable kinds (in-place elementwise,
+flag compares, ``get_flags``, scans) plus the typed replay kinds
+(``permute``, ``pack``, ``enumerate``, ``seg_scan``, ``p_select``,
+``reduce``, ``shift1up``, ``copy``, ``index_array``). Structured nodes
+expose their operands as buffer slots, so whole-plan codegen and the
+batch runner's 2D path see through them; only a call outside the
+registry would fall back to an :data:`~repro.engine.ir.Kind.OPAQUE`
+verbatim replay. The composites ``split`` and ``reverse`` lower to
+their constituent primitives at capture time, so a captured radix-sort
+round contains no opaque nodes at all.
 
 Allocation is eager (``empty``/``zeros``/``array`` hand back live
 SVMArrays immediately, marked as plan temporaries); only *execution*
@@ -29,7 +34,7 @@ import numpy as np
 from ..rvv.types import LMUL
 from ..svm.context import SVMArray
 from ..svm.operators import PLUS, BinaryOp, get_operator
-from .ir import Buf, Buffer, Kind, OpNode, Plan, ScalarFuture
+from .ir import Buffer, Kind, OpNode, Plan, ScalarFuture
 
 __all__ = ["PlanBuilder"]
 
@@ -205,42 +210,37 @@ class PlanBuilder:
         self.scan(a, op, inclusive=False, lmul=lmul)
 
     # ------------------------------------------------------------------
-    # opaque records (verbatim SVM replay)
+    # structured replay records (typed operands, never strip-fused)
     # ------------------------------------------------------------------
-    def _opaque(self, method: str, args: tuple, kwargs: dict,
-                future: ScalarFuture | None = None,
-                future_index: int | None = None) -> None:
-        wrap = lambda v: Buf(self._bid(v)) if isinstance(v, SVMArray) else v
-        self._record(OpNode(
-            Kind.OPAQUE, method=method,
-            args=tuple(wrap(a) for a in args),
-            kwargs={k: wrap(v) for k, v in kwargs.items()},
-            future=future, future_index=future_index,
-            lmul=self.svm._lmul(kwargs.get("lmul")),
-        ))
-
     def p_select(self, flags, a, b, lmul=None) -> None:
         self.svm._check_equal_len(flags, a, b)
-        self._opaque("p_select", (flags, a, b), {"lmul": lmul})
+        self._record(OpNode(Kind.SELECT, dst=self._bid(b), src=self._bid(a),
+                            operand=self._bid(flags),
+                            lmul=self.svm._lmul(lmul)))
 
     def permute(self, src, index, out=None, lmul=None) -> SVMArray:
         dst = self.empty(src.n, src.dtype) if out is None else out
         self.svm._check_equal_len(src, index, dst)
-        self._opaque("permute", (src, index), {"out": dst, "lmul": lmul})
+        self._record(OpNode(Kind.PERMUTE, dst=self._bid(dst),
+                            src=self._bid(src), operand=self._bid(index),
+                            lmul=self.svm._lmul(lmul)))
         return dst
 
     def back_permute(self, src, index, out=None, lmul=None) -> SVMArray:
         dst = self.empty(src.n, src.dtype) if out is None else out
         self.svm._check_equal_len(src, index, dst)
-        self._opaque("back_permute", (src, index), {"out": dst, "lmul": lmul})
+        self._record(OpNode(Kind.BACK_PERMUTE, dst=self._bid(dst),
+                            src=self._bid(src), operand=self._bid(index),
+                            lmul=self.svm._lmul(lmul)))
         return dst
 
     def pack(self, src, flags, out=None, lmul=None) -> tuple[SVMArray, ScalarFuture]:
         dst = self.empty(src.n, src.dtype) if out is None else out
         self.svm._check_equal_len(src, flags, dst)
         kept = ScalarFuture("pack.kept")
-        self._opaque("pack", (src, flags), {"out": dst, "lmul": lmul},
-                     future=kept, future_index=1)
+        self._record(OpNode(Kind.PACK, dst=self._bid(dst), src=self._bid(src),
+                            operand=self._bid(flags), future=kept,
+                            future_index=1, lmul=self.svm._lmul(lmul)))
         return dst, kept
 
     def enumerate(self, flags, set_bit: bool = True, out=None,
@@ -248,21 +248,25 @@ class PlanBuilder:
         dst = self.empty(flags.n, np.uint32) if out is None else out
         self.svm._check_equal_len(flags, dst)
         count = ScalarFuture("enumerate.count")
-        self._opaque("enumerate", (flags, set_bit), {"out": dst, "lmul": lmul},
-                     future=count, future_index=1)
+        self._record(OpNode(Kind.ENUMERATE, dst=self._bid(dst),
+                            src=self._bid(flags), scalar=bool(set_bit),
+                            future=count, future_index=1,
+                            lmul=self.svm._lmul(lmul)))
         return dst, count
 
     def reduce(self, a, op: str | BinaryOp = PLUS, lmul=None) -> ScalarFuture:
         result = ScalarFuture("reduce")
-        self._opaque("reduce", (a, get_operator(op).name), {"lmul": lmul},
-                     future=result, future_index=None)
+        self._record(OpNode(Kind.REDUCE, op=get_operator(op).name,
+                            src=self._bid(a), future=result,
+                            future_index=None, lmul=self.svm._lmul(lmul)))
         return result
 
     def seg_scan(self, a, head_flags, op: str | BinaryOp = PLUS, *,
                  inclusive: bool = True, lmul=None) -> None:
         self.svm._check_equal_len(a, head_flags)
-        self._opaque("seg_scan", (a, head_flags, get_operator(op).name),
-                     {"inclusive": inclusive, "lmul": lmul})
+        self._record(OpNode(Kind.SEG_SCAN, op=get_operator(op).name,
+                            dst=self._bid(a), operand=self._bid(head_flags),
+                            inclusive=inclusive, lmul=self.svm._lmul(lmul)))
 
     def seg_plus_scan(self, a, head_flags, lmul=None) -> None:
         self.seg_scan(a, head_flags, PLUS, inclusive=True, lmul=lmul)
@@ -270,16 +274,55 @@ class PlanBuilder:
     def shift1up(self, src, fill: int, out=None, lmul=None) -> SVMArray:
         dst = self.empty(src.n, src.dtype) if out is None else out
         self.svm._check_equal_len(src, dst)
-        self._opaque("shift1up", (src, fill), {"out": dst, "lmul": lmul})
+        self._record(OpNode(Kind.SHIFT1UP, dst=self._bid(dst),
+                            src=self._bid(src), scalar=fill,
+                            lmul=self.svm._lmul(lmul)))
         return dst
 
     def copy(self, src, out=None, lmul=None) -> SVMArray:
         dst = self.empty(src.n, src.dtype) if out is None else out
         self.svm._check_equal_len(src, dst)
-        self._opaque("copy", (src,), {"out": dst, "lmul": lmul})
+        self._record(OpNode(Kind.COPY, dst=self._bid(dst),
+                            src=self._bid(src), lmul=self.svm._lmul(lmul)))
         return dst
 
     def index_array(self, n: int, out=None, lmul=None) -> SVMArray:
         dst = self.empty(int(n), np.uint32) if out is None else out
-        self._opaque("index_array", (int(n),), {"out": dst, "lmul": lmul})
+        self._record(OpNode(Kind.INDEX, dst=self._bid(dst),
+                            lmul=self.svm._lmul(lmul)))
         return dst
+
+    # ------------------------------------------------------------------
+    # composites: lowered to registered primitives at capture time
+    # ------------------------------------------------------------------
+    def reverse(self, src, out=None, lmul=None) -> SVMArray:
+        """Reverse via index_array + p_rsub + back_permute — same
+        lowering as the eager :meth:`~repro.svm.context.SVM.reverse`."""
+        idx = self.index_array(src.n, lmul=lmul)
+        self.p_rsub(idx, src.n - 1, lmul=lmul)
+        result = self.back_permute(src, idx, out=out, lmul=lmul)
+        self.free(idx)
+        return result
+
+    def split(self, src, flags, out=None, lmul=None) -> tuple[SVMArray, ScalarFuture]:
+        """Split (Listing 7) lowered to registered primitives, so the
+        whole radix-sort inner loop captures without opaque nodes.
+
+        The scratch index vectors are plan temporaries (uncharged, like
+        every capture-time allocation) rather than the charged
+        ``malloc``s of the eager kernel, so a captured split's counters
+        match the batch runner's 2D replay exactly; the eager path is
+        unchanged.
+        """
+        dst = self.empty(src.n, src.dtype) if out is None else out
+        self.svm._check_equal_len(src, flags, dst)
+        i_up = self.empty(src.n, np.uint32)
+        i_down = self.empty(src.n, np.uint32)
+        _, count = self.enumerate(flags, set_bit=False, out=i_up, lmul=lmul)
+        self.enumerate(flags, set_bit=True, out=i_down, lmul=lmul)
+        self.p_add(i_down, count, lmul=lmul)
+        self.p_select(flags, i_down, i_up, lmul=lmul)
+        self.permute(src, i_up, out=dst, lmul=lmul)
+        self.free(i_up)
+        self.free(i_down)
+        return dst, count

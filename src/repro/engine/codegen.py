@@ -52,13 +52,14 @@ import numpy as np
 
 from .fuse import FusedPlan, GroupSpec
 from .ir import Kind, Plan, resolve_scalar
+from .nodes import run_node_eager
 from ..svm.fastpath import _wrap
 
 __all__ = ["CompiledGroup", "CompiledPlan", "compile_fused"]
 
 #: Bumped when the shape of the generated source changes; folded into
 #: the persistent store's code fingerprint via this module's source.
-CODEGEN_VERSION = 2
+CODEGEN_VERSION = 3
 
 
 class CompiledGroup:
@@ -84,9 +85,12 @@ class CompiledPlan:
     ``groups`` maps each :class:`GroupSpec` to its
     :class:`CompiledGroup`; ``plan_fn(svm, plan)``, when not None, runs
     the *entire* plan as one flat call (available when every execution
-    unit is a fused group or a FREE node). ``min_n`` is the smallest
-    group length — ``svm._fast(min_n)`` implies the fast path applies
-    to every group, which gates the whole-plan kernel.
+    unit is a fused group, a FREE node, or a structured replay node —
+    anything but an out-of-registry OPAQUE call). ``min_n`` is the
+    smallest group length — ``svm._fast(min_n)`` implies the fast path
+    applies to every group, which gates the whole-plan kernel;
+    structured replay units inside it dispatch per their own length
+    through the SVM surface, exactly like the unit loop.
 
     Pickling re-emits nothing: the instance reduces to
     ``(source, consts, group_names, plan_name, min_n)`` and re-binds by
@@ -332,13 +336,14 @@ def compile_fused(plan: Plan, fused: FusedPlan) -> CompiledPlan | None:
             continue
         group_names[spec] = _emit_group(e, plan, spec, sg, gi)
 
-    # whole-plan kernel: eligible when every unit is a compiled group
-    # or a FREE replay (no opaque nodes, no demoted eager ops)
+    # whole-plan kernel: eligible when every unit is a compiled group,
+    # a FREE, or a structured replay node — only out-of-registry OPAQUE
+    # calls force the generic unit loop
     plan_name = None
     flat_ok = all(
         (isinstance(u, GroupSpec) and u in group_names)
         or (not isinstance(u, GroupSpec)
-            and plan.nodes[u].kind is Kind.FREE)
+            and plan.nodes[u].kind is not Kind.OPAQUE)
         for u in fused.units
     )
     if flat_ok and group_names:
@@ -349,8 +354,13 @@ def compile_fused(plan: Plan, fused: FusedPlan) -> CompiledPlan | None:
         for u in fused.units:
             if isinstance(u, GroupSpec):
                 e.emit(f"    {group_names[u]}(svm, nodes, buffers)")
-            else:
+            elif plan.nodes[u].kind is Kind.FREE:
                 e.emit(f"    svm.free(buffers[nodes[{u}].dst].array)")
+            else:
+                # structured replay (permute/pack/seg_scan/...) through
+                # the SVM surface; _rn is run_node_eager, prebound
+                e.bind("_rn", run_node_eager)
+                e.emit(f"    _rn(svm, plan, nodes[{u}])")
         e.emit()
 
     min_n = min(specials[spec].n for spec in group_names)

@@ -33,9 +33,7 @@ from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, p
 from ..rvv.types import LMUL
 from ..rvv.value import VReg
 from ..svm import elementwise as ew
-from ..svm import elementwise_ext as ewx
-from ..svm.fastpath import _UFUNC_VX, _wrap, strip_shape
-from ..svm.fastpath_ext import _NP_CMP
+from ..svm.fastpath import _NP_CMP, _UFUNC_VX, _wrap, strip_shape
 from ..svm.operators import get_operator
 from ..svm.scan import inner_scan_steps
 from .cache import PlanCache, store_from_env
@@ -50,7 +48,8 @@ from .fuse import (
     group_profile,
     materialize,
 )
-from .ir import Buf, EngineError, Kind, OpNode, Plan, resolve_scalar
+from .ir import EngineError, Plan, resolve_scalar
+from .nodes import run_node_eager
 from .specialize import (
     group_charge_items,
     run_specialized_fast,
@@ -70,8 +69,8 @@ __all__ = [
 
 from ..rvv.allocation import plan_allocation
 
-_CMP_VX_INTRIN = ewx._CMP_VX  # no "ge": that relation uses vmsltu + vmnot
-_CMP_VV_INTRIN = ewx._CMP_VV
+_CMP_VX_INTRIN = ew._CMP_VX  # no "ge": that relation uses vmsltu + vmnot
+_CMP_VV_INTRIN = ew._CMP_VV
 
 
 def _trim(v: VReg, vl: int) -> VReg:
@@ -217,46 +216,6 @@ def run_group_fast(svm, plan: Plan, group: FusedGroup) -> None:
 
 
 # ---------------------------------------------------------------------------
-# eager unit execution (verbatim SVM replay)
-# ---------------------------------------------------------------------------
-
-def _run_node_eager(svm, plan: Plan, node: OpNode) -> None:
-    arr = lambda bid: plan.buffers[bid].array
-
-    if node.kind is Kind.EW_VX:
-        getattr(svm, node.op)(arr(node.dst), resolve_scalar(node.scalar), lmul=node.lmul)
-    elif node.kind is Kind.EW_VV:
-        getattr(svm, node.op)(arr(node.dst), arr(node.operand), lmul=node.lmul)
-    elif node.kind is Kind.CMP_VX:
-        getattr(svm, f"p_{node.op}")(
-            arr(node.src), resolve_scalar(node.scalar), out=arr(node.dst), lmul=node.lmul
-        )
-    elif node.kind is Kind.CMP_VV:
-        getattr(svm, f"p_{node.op}")(
-            arr(node.src), arr(node.operand), out=arr(node.dst), lmul=node.lmul
-        )
-    elif node.kind is Kind.GET_FLAGS:
-        svm.get_flags(arr(node.src), resolve_scalar(node.scalar),
-                      out=arr(node.dst), lmul=node.lmul)
-    elif node.kind is Kind.SCAN:
-        svm.scan(arr(node.dst), node.op, inclusive=node.inclusive, lmul=node.lmul)
-    elif node.kind is Kind.FREE:
-        svm.free(arr(node.dst))
-    elif node.kind is Kind.OPAQUE:
-        bind = lambda a: arr(a.bid) if isinstance(a, Buf) else (
-            resolve_scalar(a) if hasattr(a, "resolve") else a
-        )
-        args = tuple(bind(a) for a in node.args)
-        kwargs = {k: bind(v) for k, v in node.kwargs.items()}
-        ret = getattr(svm, node.method)(*args, **kwargs)
-        if node.future is not None:
-            value = ret if node.future_index is None else ret[node.future_index]
-            node.future.resolve(value)
-    else:  # pragma: no cover - exhaustive over Kind
-        raise EngineError(f"cannot execute node kind {node.kind}")
-
-
-# ---------------------------------------------------------------------------
 # plan execution + the Engine facade
 # ---------------------------------------------------------------------------
 
@@ -325,7 +284,7 @@ def execute(svm, plan: Plan, fused: FusedPlan, backend: str = "interp") -> None:
                 else:
                     run_group_strict(svm, plan, group)
         else:
-            _run_node_eager(svm, plan, plan.nodes[unit])
+            run_node_eager(svm, plan, plan.nodes[unit])
 
 
 #: Fast-path backends :func:`execute` understands.

@@ -53,6 +53,7 @@ from ..rvv.allocation import (
     plan_allocation,
 )
 from ..rvv.types import LMUL, sew_for_dtype
+from ..svm.opspec import LANE_RECIPES
 from .ir import Buf, Kind, OpNode, Plan, PURE_KINDS
 
 __all__ = [
@@ -72,10 +73,9 @@ __all__ = [
 KERNEL_EW = "fused_ew"
 KERNEL_SCAN = "fused_scan"
 
-#: Kinds that may open or extend a fused group.
-FUSABLE_KINDS = frozenset(
-    {Kind.EW_VX, Kind.EW_VV, Kind.CMP_VX, Kind.CMP_VV, Kind.GET_FLAGS}
-)
+#: Kinds that may open or extend a fused group — exactly the kinds the
+#: :mod:`repro.svm.opspec` registry publishes a lane recipe for.
+FUSABLE_KINDS = frozenset(Kind(k) for k in LANE_RECIPES)
 
 
 @dataclass(frozen=True)
@@ -115,20 +115,22 @@ class LaneOp:
 
 
 def _node_lanes(node: OpNode) -> list[LaneOp]:
-    """The lane-op recipe a node contributes to a fused loop."""
-    if node.kind is Kind.EW_VX:
-        return [LaneOp("vx", node.op, scalar=node.scalar)]
-    if node.kind is Kind.EW_VV:
-        return [LaneOp("vv", node.op, operand=node.operand)]
-    if node.kind is Kind.CMP_VX:
-        return [LaneOp("cmp_vx", node.op, scalar=node.scalar)]
-    if node.kind is Kind.CMP_VV:
-        return [LaneOp("cmp_vv", node.op, operand=node.operand)]
-    if node.kind is Kind.GET_FLAGS:
-        # (src >> bit) & 1 — two register ops once the value is loaded
-        return [LaneOp("vx", "p_srl", scalar=node.scalar),
-                LaneOp("vx", "p_and", scalar=1)]
-    raise AssertionError(f"no lane recipe for {node.kind}")
+    """The lane-op recipe a node contributes to a fused loop, derived
+    from the registry's :data:`~repro.svm.opspec.LANE_RECIPES` (e.g.
+    get_flags expands to ``(src >> bit) & 1`` — two register ops once
+    the value is loaded)."""
+    recipe = LANE_RECIPES.get(node.kind.value)
+    if recipe is None:
+        raise AssertionError(f"no lane recipe for {node.kind}")
+    lanes: list[LaneOp] = []
+    for lane_kind, op_override, const in recipe:
+        op = op_override if op_override is not None else node.op
+        if lane_kind in ("vv", "cmp_vv"):
+            lanes.append(LaneOp(lane_kind, op, operand=node.operand))
+        else:
+            scalar = const if const is not None else node.scalar
+            lanes.append(LaneOp(lane_kind, op, scalar=scalar))
+    return lanes
 
 
 @dataclass
@@ -447,7 +449,8 @@ def fuse(plan: Plan) -> FusedPlan:
                 close()
                 units.append(i)  # eager scan: counters match baseline
             continue
-        # opaque / free / exclusive scan — never fused
+        # structured replay (permute/pack/seg_scan/select/...), opaque,
+        # free, exclusive scan — never merged into a strip loop
         close()
         units.append(i)
     close()

@@ -6,16 +6,23 @@ a table of :class:`Buffer` handles. Buffers wrap live
 *execution*, not allocation, so capture is cheap and plans always bind
 to concrete simulated memory.
 
-Node kinds split into two classes:
+Node kinds split into three classes:
 
 * **fusable** kinds (:data:`Kind.EW_VX`, :data:`Kind.EW_VV`,
   :data:`Kind.CMP_VX`, :data:`Kind.CMP_VV`, :data:`Kind.GET_FLAGS`,
   :data:`Kind.SCAN`) carry enough structure for
   :mod:`repro.engine.fuse` to merge them into single strip loops;
-* **opaque** kinds (:data:`Kind.OPAQUE`, :data:`Kind.FREE`) replay a
-  recorded :class:`~repro.svm.context.SVM` method call verbatim, so any
-  primitive the fuser does not understand still executes exactly as it
-  would eagerly.
+* **structured replay** kinds (:data:`Kind.SELECT`,
+  :data:`Kind.PERMUTE`, :data:`Kind.BACK_PERMUTE`, :data:`Kind.PACK`,
+  :data:`Kind.ENUMERATE`, :data:`Kind.SEG_SCAN`, :data:`Kind.REDUCE`,
+  :data:`Kind.SHIFT1UP`, :data:`Kind.COPY`, :data:`Kind.INDEX`) are
+  never merged into a strip loop, but their operands are typed buffer
+  slots, so dataflow analysis, whole-plan codegen and the batch
+  runner's 2D path all see through them — every primitive in the
+  :mod:`repro.svm.opspec` registry captures as one of these;
+* :data:`Kind.OPAQUE` / :data:`Kind.FREE` replay a recorded
+  :class:`~repro.svm.context.SVM` method call verbatim — the escape
+  hatch for anything outside the registry.
 
 Data-dependent scalar results (the count returned by ``enumerate`` or
 ``pack``, the value of ``reduce``) become :class:`ScalarFuture`
@@ -102,6 +109,29 @@ class Kind(enum.Enum):
     GET_FLAGS = "get_flags"
     #: In-place inclusive/exclusive ⊕-scan of ``dst``.
     SCAN = "scan"
+    #: Flag merge into ``dst``: ``dst[i] = src[i] where operand[i]``.
+    SELECT = "select"
+    #: Scatter: ``dst[operand[i]] = src[i]``.
+    PERMUTE = "permute"
+    #: Gather: ``dst[i] = src[operand[i]]``.
+    BACK_PERMUTE = "back_permute"
+    #: Stream compaction of ``src`` under flags ``operand`` into
+    #: ``dst``; resolves ``future`` with the survivor count.
+    PACK = "pack"
+    #: Rank positions of ``src`` whose flag equals ``scalar``;
+    #: resolves ``future`` with the total count.
+    ENUMERATE = "enumerate"
+    #: In-place segmented ⊕-scan of ``dst`` under head flags
+    #: ``operand``.
+    SEG_SCAN = "seg_scan"
+    #: Full ⊕-reduction of ``src``; resolves ``future``.
+    REDUCE = "reduce"
+    #: Whole-array shift: ``dst[0] = scalar``, ``dst[i] = src[i-1]``.
+    SHIFT1UP = "shift1up"
+    #: Vector memcpy ``dst[:] = src``.
+    COPY = "copy"
+    #: Index vector: ``dst[i] = i``.
+    INDEX = "index"
     #: A recorded SVM method call replayed verbatim at execution.
     OPAQUE = "opaque"
     #: Release a buffer's simulated memory.
@@ -145,18 +175,28 @@ class OpNode:
 
     Field usage by kind:
 
-    ========== ===== ===== ======= ====== =====================
-    kind       dst   src   operand scalar extras
-    ========== ===== ===== ======= ====== =====================
-    EW_VX      ✓     —     —       x      op
-    EW_VV      ✓     —     ✓       —      op
-    CMP_VX     ✓     ✓     —       x      op = which
-    CMP_VV     ✓     ✓     ✓       —      op = which
-    GET_FLAGS  ✓     ✓     —       bit    —
-    SCAN       ✓     —     —       —      op = ⊕ name, inclusive
-    OPAQUE     —     —     —       —      method/args/kwargs/future
-    FREE       ✓     —     —       —      —
-    ========== ===== ===== ======= ====== =====================
+    ============ ===== ===== ======= ======= =====================
+    kind         dst   src   operand scalar  extras
+    ============ ===== ===== ======= ======= =====================
+    EW_VX        ✓     —     —       x       op
+    EW_VV        ✓     —     ✓       —       op
+    CMP_VX       ✓     ✓     —       x       op = which
+    CMP_VV       ✓     ✓     ✓       —       op = which
+    GET_FLAGS    ✓     ✓     —       bit     —
+    SCAN         ✓     —     —       —       op = ⊕ name, inclusive
+    SELECT       ✓(rw) ✓     flags   —       —
+    PERMUTE      ✓     ✓     index   —       —
+    BACK_PERMUTE ✓     ✓     index   —       —
+    PACK         ✓     ✓     flags   —       future = kept
+    ENUMERATE    ✓     flags —       set_bit future = count
+    SEG_SCAN     ✓(rw) —     flags   —       op = ⊕ name, inclusive
+    REDUCE       —     ✓     —       —       op, future = value
+    SHIFT1UP     ✓     ✓     —       fill    —
+    COPY         ✓     ✓     —       —       —
+    INDEX        ✓     —     —       —       —
+    OPAQUE       —     —     —       —       method/args/kwargs/future
+    FREE         ✓     —     —       —       —
+    ============ ===== ===== ======= ======= =====================
     """
 
     kind: Kind
@@ -185,7 +225,8 @@ class OpNode:
         stricter notion (see :mod:`repro.engine.fuse`).
         """
         reads: set[int] = set()
-        if self.kind in (Kind.EW_VX, Kind.EW_VV, Kind.SCAN):
+        if self.kind in (Kind.EW_VX, Kind.EW_VV, Kind.SCAN, Kind.SELECT,
+                         Kind.SEG_SCAN):
             reads.add(self.dst)
         if self.src is not None:
             reads.add(self.src)
@@ -304,6 +345,34 @@ def _describe_node(plan: Plan, node: OpNode) -> str:
     if node.kind is Kind.SCAN:
         word = "scan" if node.inclusive else "scan_excl"
         return f"{word}({node.op})  {_bname(plan, node.dst)} in place{lm}"
+    if node.kind is Kind.SELECT:
+        return (f"p_select   {_bname(plan, node.dst)} = {_bname(plan, node.src)}"
+                f" where {_bname(plan, node.operand)}{lm}")
+    if node.kind is Kind.PERMUTE:
+        return (f"permute    {_bname(plan, node.dst)}[{_bname(plan, node.operand)}]"
+                f" = {_bname(plan, node.src)}{lm}")
+    if node.kind is Kind.BACK_PERMUTE:
+        return (f"back_permute {_bname(plan, node.dst)} = "
+                f"{_bname(plan, node.src)}[{_bname(plan, node.operand)}]{lm}")
+    if node.kind is Kind.PACK:
+        return (f"pack       {_bname(plan, node.dst)}, kept = "
+                f"pack({_bname(plan, node.src)}, {_bname(plan, node.operand)}){lm}")
+    if node.kind is Kind.ENUMERATE:
+        return (f"enumerate  {_bname(plan, node.dst)}, count = "
+                f"enumerate({_bname(plan, node.src)}, set={node.scalar!r}){lm}")
+    if node.kind is Kind.SEG_SCAN:
+        word = "seg_scan" if node.inclusive else "seg_scan_excl"
+        return (f"{word}({node.op})  {_bname(plan, node.dst)} by "
+                f"{_bname(plan, node.operand)} in place{lm}")
+    if node.kind is Kind.REDUCE:
+        return f"reduce({node.op})  {_bname(plan, node.src)} → scalar{lm}"
+    if node.kind is Kind.SHIFT1UP:
+        return (f"shift1up   {_bname(plan, node.dst)} = [{node.scalar!r}] + "
+                f"{_bname(plan, node.src)}[:-1]{lm}")
+    if node.kind is Kind.COPY:
+        return f"copy       {_bname(plan, node.dst)} = {_bname(plan, node.src)}{lm}"
+    if node.kind is Kind.INDEX:
+        return f"index      {_bname(plan, node.dst)} = [0..n){lm}"
     if node.kind is Kind.FREE:
         return f"free       {_bname(plan, node.dst)}"
     argbits = ", ".join(

@@ -38,8 +38,8 @@ import numpy as np
 
 from ..rvv.allocation import plan_allocation
 from ..rvv.counters import Cat
-from ..svm.fastpath import _UFUNC_VX, _wrap, strip_shape
-from ..svm.fastpath_ext import _NP_CMP
+from ..svm.fastpath import _wrap, strip_shape
+from ..svm.opspec import LANE_RECIPES, lane_ufunc
 from ..svm.operators import get_operator
 from ..svm.scan import inner_scan_steps
 from .fuse import (
@@ -151,21 +151,20 @@ def group_charge_items(m, group: FusedGroup) -> tuple[tuple[Cat, int], ...]:
 
 
 def _node_steps(node, index: int) -> list[LaneStep]:
-    """Mirror of ``fuse._node_lanes`` with callables pre-bound."""
-    if node.kind is Kind.EW_VX:
-        return [LaneStep("vx", _UFUNC_VX[node.op], index)]
-    if node.kind is Kind.EW_VV:
-        return [LaneStep("vv", _UFUNC_VX[node.op], index)]
-    if node.kind is Kind.CMP_VX:
-        return [LaneStep("cmp_vx", _NP_CMP[node.op], index)]
-    if node.kind is Kind.CMP_VV:
-        return [LaneStep("cmp_vv", _NP_CMP[node.op], index)]
-    if node.kind is Kind.GET_FLAGS:
-        # (src >> bit) & 1 — the bit comes from the node at run time,
-        # the & 1 literal is structural
-        return [LaneStep("vx", _UFUNC_VX["p_srl"], index),
-                LaneStep("vx", _UFUNC_VX["p_and"], index, const=1)]
-    raise EngineError(f"no specialized lane recipe for {node.kind}")
+    """Mirror of ``fuse._node_lanes`` with callables pre-bound — both
+    derive from the registry's lane recipes, so a node's strip lanes
+    and their NumPy kernels come from one declaration. A ``const`` in
+    the recipe is structural (get_flags' trailing ``& 1``); a ``None``
+    const defers to the node's scalar at run time (the shift bit)."""
+    recipe = LANE_RECIPES.get(node.kind.value)
+    if recipe is None:
+        raise EngineError(f"no specialized lane recipe for {node.kind}")
+    return [
+        LaneStep(lane_kind,
+                 lane_ufunc(lane_kind, op if op is not None else node.op),
+                 index, const=const)
+        for lane_kind, op, const in recipe
+    ]
 
 
 def specialize_group(plan: Plan, spec: GroupSpec, machine) -> SpecializedGroup:

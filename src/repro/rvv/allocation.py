@@ -46,6 +46,7 @@ __all__ = [
     "SEG_SCAN_PROFILE",
     "ENUMERATE_PROFILE",
     "PERMUTE_PROFILE",
+    "PROFILES",
 ]
 
 #: Instructions per access to a spilled value: one stack-address
@@ -225,3 +226,14 @@ PERMUTE_PROFILE = RegisterProfile(
         ValueUse("vindex", outer_accesses=3),
     ),
 )
+
+#: Name → profile map so tables (the :mod:`repro.svm.opspec` registry)
+#: can reference a charge profile by a stable string instead of
+#: importing the value objects.
+PROFILES = {
+    "elementwise": ELEMENTWISE_PROFILE,
+    "plus_scan": PLUS_SCAN_PROFILE,
+    "seg_scan": SEG_SCAN_PROFILE,
+    "enumerate": ENUMERATE_PROFILE,
+    "permute": PERMUTE_PROFILE,
+}

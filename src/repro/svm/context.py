@@ -8,6 +8,13 @@ Algorithms written against this interface never touch RVV details —
 the paper's stated goal ("parallel algorithms can be developed upon
 those primitives without knowing the details of RVV").
 
+Every primitive method is a thin dispatch through the unified
+:mod:`repro.svm.opspec` registry: the :class:`~repro.svm.opspec.OpSpec`
+declared once per primitive names both the strict per-strip kernel and
+the closed-form NumPy fast path, and :meth:`SVM._fast` picks between
+them per call. This module therefore imports **no kernel modules** —
+``tools/check_opspec.py`` enforces that in CI.
+
 Example
 -------
 >>> import numpy as np
@@ -41,14 +48,7 @@ from ..rvv.codegen import CodegenModel
 from ..rvv.machine import RVVMachine
 from ..rvv.memory import Pointer
 from ..rvv.types import LMUL
-from . import elementwise as ew
-from . import elementwise_ext as ewx
-from . import enumerate_op as en
-from . import fastpath as fp
-from . import fastpath_ext as fpx
-from . import permute_ops as pm
-from . import scan as sc
-from . import segmented as sg
+from . import opspec
 from .operators import PLUS, BinaryOp
 
 __all__ = ["SVM", "SVMArray"]
@@ -265,6 +265,12 @@ class SVM:
     def _lmul(self, lmul: LMUL | None) -> LMUL:
         return self.lmul if lmul is None else LMUL(lmul)
 
+    def _impl(self, name: str, variant: str, n: int):
+        """The registry kernel for ``name``'s ``variant`` on the tier
+        :meth:`_fast` selects for a length-``n`` call."""
+        spec = opspec.OPSPECS[name]
+        return (spec.fast if self._fast(n) else spec.strict)[variant]
+
     @staticmethod
     def _check_equal_len(*arrays: SVMArray) -> int:
         n = arrays[0].n
@@ -276,107 +282,24 @@ class SVM:
         return n
 
     # ------------------------------------------------------------------
-    # elementwise primitives (§4.1)
+    # elementwise primitives (§4.1) — p_add ... p_sll, p_rsub and the
+    # flag compares are generated from the registry below the class
+    # body: one OpSpec drives both the method and its capture node.
     # ------------------------------------------------------------------
-    def _elementwise_vx(self, kernel: str, a: SVMArray, x: int, lmul) -> None:
-        lmul = self._lmul(lmul)
-        if self._fast(a.n):
-            fp.fast_elementwise_vx(self.machine, kernel, a.n, a.ptr, x, lmul)
-        else:
-            getattr(ew, kernel)(self.machine, a.n, a.ptr, x, lmul)
-
-    def _elementwise_vv(self, kernel: str, a: SVMArray, b: SVMArray, lmul) -> None:
-        self._check_equal_len(a, b)
-        lmul = self._lmul(lmul)
-        if self._fast(a.n):
-            fp.fast_elementwise_vv(self.machine, kernel, a.n, a.ptr, b.ptr, lmul)
-        else:
-            getattr(ew, f"{kernel}_vv")(self.machine, a.n, a.ptr, b.ptr, lmul)
-
-    def p_add(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-add: ``a += x`` (scalar broadcast or elementwise vector)."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_add", a, x, lmul)
-        else:
-            self._elementwise_vx("p_add", a, x, lmul)
-
-    def p_sub(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-sub: ``a -= x``."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_sub", a, x, lmul)
-        else:
-            self._elementwise_vx("p_sub", a, x, lmul)
-
-    def p_mul(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-mul: ``a *= x`` (low product)."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_mul", a, x, lmul)
-        else:
-            self._elementwise_vx("p_mul", a, x, lmul)
-
-    def p_and(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-and: ``a &= x``."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_and", a, x, lmul)
-        else:
-            self._elementwise_vx("p_and", a, x, lmul)
-
-    def p_or(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-or: ``a |= x``."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_or", a, x, lmul)
-        else:
-            self._elementwise_vx("p_or", a, x, lmul)
-
-    def p_xor(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-xor: ``a ^= x``."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_xor", a, x, lmul)
-        else:
-            self._elementwise_vx("p_xor", a, x, lmul)
-
-    def p_max(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-max: ``a = max(a, x)`` (unsigned)."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_max", a, x, lmul)
-        else:
-            self._elementwise_vx("p_max", a, x, lmul)
-
-    def p_min(self, a: SVMArray, x: int | SVMArray, lmul: LMUL | None = None) -> None:
-        """p-min: ``a = min(a, x)`` (unsigned)."""
-        if isinstance(x, SVMArray):
-            self._elementwise_vv("p_min", a, x, lmul)
-        else:
-            self._elementwise_vx("p_min", a, x, lmul)
-
-    def p_srl(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
-        """p-srl: ``a >>= x`` (logical; scalar shift only)."""
-        self._elementwise_vx("p_srl", a, x, lmul)
-
-    def p_sll(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
-        """p-sll: ``a <<= x`` (scalar shift only)."""
-        self._elementwise_vx("p_sll", a, x, lmul)
-
     def p_select(self, flags: SVMArray, a: SVMArray, b: SVMArray,
                  lmul: LMUL | None = None) -> None:
         """p-select: ``b[i] = a[i] where flags[i] else b[i]``."""
         n = self._check_equal_len(flags, a, b)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            fp.fast_p_select(self.machine, n, flags.ptr, a.ptr, b.ptr, lmul)
-        else:
-            ew.p_select(self.machine, n, flags.ptr, a.ptr, b.ptr, lmul)
+        self._impl("p_select", "", n)(
+            self.machine, n, flags.ptr, a.ptr, b.ptr, self._lmul(lmul))
 
     def get_flags(self, src: SVMArray, bit: int, out: SVMArray | None = None,
                   lmul: LMUL | None = None) -> SVMArray:
         """Extract bit ``bit`` of each element into a 0/1 flag vector."""
         flags = self.empty(src.n, src.dtype) if out is None else out
         self._check_equal_len(src, flags)
-        lmul = self._lmul(lmul)
-        if self._fast(src.n):
-            fp.fast_get_flags(self.machine, src.n, src.ptr, flags.ptr, bit, lmul)
-        else:
-            ew.get_flags(self.machine, src.n, src.ptr, flags.ptr, bit, lmul)
+        self._impl("get_flags", "", src.n)(
+            self.machine, src.n, src.ptr, flags.ptr, bit, self._lmul(lmul))
         return flags
 
     # ------------------------------------------------------------------
@@ -385,12 +308,8 @@ class SVM:
     def scan(self, a: SVMArray, op: str | BinaryOp = PLUS, *,
              inclusive: bool = True, lmul: LMUL | None = None) -> None:
         """⊕-scan of ``a`` in place (inclusive by default)."""
-        lmul = self._lmul(lmul)
-        if self._fast(a.n):
-            fn = fp.fast_scan if inclusive else fp.fast_scan_exclusive
-        else:
-            fn = sc.scan if inclusive else sc.scan_exclusive
-        fn(self.machine, a.n, a.ptr, op, lmul)
+        fn = self._impl("scan", "incl" if inclusive else "excl", a.n)
+        fn(self.machine, a.n, a.ptr, op, self._lmul(lmul))
 
     def plus_scan(self, a: SVMArray, lmul: LMUL | None = None) -> None:
         """The paper's plus-scan (Listing 6): inclusive prefix sums."""
@@ -406,12 +325,8 @@ class SVM:
                  lmul: LMUL | None = None) -> None:
         """Segmented ⊕-scan of ``a`` under ``head_flags``, in place."""
         n = self._check_equal_len(a, head_flags)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            fn = fp.fast_seg_scan if inclusive else fp.fast_seg_scan_exclusive
-        else:
-            fn = sg.seg_scan if inclusive else sg.seg_scan_exclusive
-        fn(self.machine, n, a.ptr, head_flags.ptr, op, lmul)
+        fn = self._impl("seg_scan", "incl" if inclusive else "excl", n)
+        fn(self.machine, n, a.ptr, head_flags.ptr, op, self._lmul(lmul))
 
     def seg_plus_scan(self, a: SVMArray, head_flags: SVMArray,
                       lmul: LMUL | None = None) -> None:
@@ -426,11 +341,8 @@ class SVM:
         """Out-of-place permute: ``out[index[i]] = src[i]`` (Listing 5)."""
         dst = self.empty(src.n, src.dtype) if out is None else out
         n = self._check_equal_len(src, index, dst)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            fp.fast_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
-        else:
-            pm.permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        self._impl("permute", "", n)(
+            self.machine, n, src.ptr, dst.ptr, index.ptr, self._lmul(lmul))
         return dst
 
     def back_permute(self, src: SVMArray, index: SVMArray,
@@ -438,11 +350,8 @@ class SVM:
         """Gather: ``out[i] = src[index[i]]``."""
         dst = self.empty(src.n, src.dtype) if out is None else out
         n = self._check_equal_len(src, index, dst)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            fp.fast_back_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
-        else:
-            pm.back_permute(self.machine, n, src.ptr, dst.ptr, index.ptr, lmul)
+        self._impl("back_permute", "", n)(
+            self.machine, n, src.ptr, dst.ptr, index.ptr, self._lmul(lmul))
         return dst
 
     def pack(self, src: SVMArray, flags: SVMArray, out: SVMArray | None = None,
@@ -451,11 +360,8 @@ class SVM:
         Returns (destination array, number kept)."""
         dst = self.empty(src.n, src.dtype) if out is None else out
         n = self._check_equal_len(src, flags, dst)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            kept = fp.fast_pack(self.machine, n, src.ptr, dst.ptr, flags.ptr, lmul)
-        else:
-            kept = pm.pack(self.machine, n, src.ptr, dst.ptr, flags.ptr, lmul)
+        kept = self._impl("pack", "", n)(
+            self.machine, n, src.ptr, dst.ptr, flags.ptr, self._lmul(lmul))
         return dst, kept
 
     def enumerate(self, flags: SVMArray, set_bit: bool = True,
@@ -465,89 +371,26 @@ class SVM:
         flag equals ``set_bit``. Returns (ranks array, total count)."""
         dst = self.empty(flags.n, np.uint32) if out is None else out
         n = self._check_equal_len(flags, dst)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            count = fp.fast_enumerate(self.machine, n, flags.ptr, dst.ptr, set_bit, lmul)
-        else:
-            count = en.enumerate_op(self.machine, n, flags.ptr, dst.ptr, set_bit, lmul)
+        count = self._impl("enumerate", "", n)(
+            self.machine, n, flags.ptr, dst.ptr, set_bit, self._lmul(lmul))
         return dst, count
 
     # ------------------------------------------------------------------
     # extended primitives (Blelloch's full elementwise class)
     # ------------------------------------------------------------------
-    def _cmp(self, which: str, a: SVMArray, b, out: SVMArray | None, lmul) -> SVMArray:
-        dst = self.empty(a.n, np.uint32) if out is None else out
-        lmul = self._lmul(lmul)
-        if isinstance(b, SVMArray):
-            self._check_equal_len(a, b, dst)
-            if self._fast(a.n):
-                fpx.fast_cmp_vv(self.machine, which, a.n, a.ptr, b.ptr, dst.ptr, lmul)
-            else:
-                getattr(ewx, f"p_{which}")(self.machine, a.n, a.ptr, b.ptr, dst.ptr, lmul)
-        else:
-            self._check_equal_len(a, dst)
-            if self._fast(a.n):
-                fpx.fast_cmp_vx(self.machine, which, a.n, a.ptr, b, dst.ptr, lmul)
-            else:
-                getattr(ewx, f"p_{which}_vx")(self.machine, a.n, a.ptr, b, dst.ptr, lmul)
-        return dst
-
-    def p_lt(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``out[i] = (a[i] < b[i or scalar])`` (unsigned)."""
-        return self._cmp("lt", a, b, out, lmul)
-
-    def p_le(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``a <= b``."""
-        return self._cmp("le", a, b, out, lmul)
-
-    def p_gt(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``a > b``."""
-        return self._cmp("gt", a, b, out, lmul)
-
-    def p_ge(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``a >= b``."""
-        return self._cmp("ge", a, b, out, lmul)
-
-    def p_eq(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``a == b``."""
-        return self._cmp("eq", a, b, out, lmul)
-
-    def p_ne(self, a: SVMArray, b, out: SVMArray | None = None,
-             lmul: LMUL | None = None) -> SVMArray:
-        """Flag compare: ``a != b``."""
-        return self._cmp("ne", a, b, out, lmul)
-
     def index_array(self, n: int, out: SVMArray | None = None,
                     lmul: LMUL | None = None) -> SVMArray:
         """Blelloch's index primitive: the vector ``[0, 1, ..., n-1]``."""
         dst = self.empty(int(n), np.uint32) if out is None else out
-        lmul = self._lmul(lmul)
-        if self._fast(dst.n):
-            fpx.fast_index(self.machine, dst.n, dst.ptr, lmul)
-        else:
-            ewx.p_index(self.machine, dst.n, dst.ptr, lmul)
+        self._impl("index_array", "", dst.n)(
+            self.machine, dst.n, dst.ptr, self._lmul(lmul))
         return dst
-
-    def p_rsub(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
-        """Reverse subtract in place: ``a[i] = x - a[i]``."""
-        lmul = self._lmul(lmul)
-        if self._fast(a.n):
-            fpx.fast_rsub(self.machine, a.n, a.ptr, x, lmul)
-        else:
-            ewx.p_rsub(self.machine, a.n, a.ptr, x, lmul)
 
     def reduce(self, a: SVMArray, op: str | BinaryOp = PLUS,
                lmul: LMUL | None = None) -> int:
         """Full ⊕-reduction of ``a`` to a scalar."""
-        lmul = self._lmul(lmul)
-        if self._fast(a.n):
-            return fpx.fast_reduce(self.machine, a.n, a.ptr, op, lmul)
-        return ewx.reduce(self.machine, a.n, a.ptr, op, lmul)
+        return self._impl("reduce", "", a.n)(
+            self.machine, a.n, a.ptr, op, self._lmul(lmul))
 
     def shift1up(self, src: SVMArray, fill: int, out: SVMArray | None = None,
                  lmul: LMUL | None = None) -> SVMArray:
@@ -555,47 +398,18 @@ class SVM:
         ``out[i] = src[i-1]`` (in place when ``out is src``)."""
         dst = self.empty(src.n, src.dtype) if out is None else out
         n = self._check_equal_len(src, dst)
-        lmul = self._lmul(lmul)
-        if self._fast(n):
-            fpx.fast_shift1up(self.machine, n, src.ptr, dst.ptr, fill, lmul)
-        else:
-            ewx.shift1up(self.machine, n, src.ptr, dst.ptr, fill, lmul)
+        self._impl("shift1up", "", n)(
+            self.machine, n, src.ptr, dst.ptr, fill, self._lmul(lmul))
         return dst
 
     def copy(self, src: SVMArray, out: SVMArray | None = None,
              lmul: LMUL | None = None) -> SVMArray:
         """Vector memcpy: a strip-mined vle/vse loop (charged like a
         two-array elementwise pass without the compute op)."""
-        from ..rvv.counters import Cat
-        from ..rvv.intrinsics import loadstore
-        from ..rvv.types import sew_for_dtype
-        from .fastpath import strip_shape
-
         dst = self.empty(src.n, src.dtype) if out is None else out
         n = self._check_equal_len(src, dst)
-        lmul = self._lmul(lmul)
-        m = self.machine
-        sew = sew_for_dtype(src.dtype)
-        m.prologue("p_add")
-        if self._fast(n):
-            if n:
-                dst.view()[:] = src.view()
-            vlmax = m.vlmax(sew, lmul)
-            full, rem = strip_shape(n, vlmax)
-            n_strips = full + (1 if rem else 0)
-            m.count(Cat.VCONFIG, n_strips)
-            m.count(Cat.VMEM, n_strips * 2)
-            m.count(Cat.SCALAR, n_strips * m.codegen.strip_overhead("p_add", 2))
-        else:
-            remaining, s, d = n, src.ptr, dst.ptr
-            while remaining > 0:
-                vl = m.vsetvl(remaining, sew, lmul)
-                v = loadstore.vle(m, s, vl)
-                loadstore.vse(m, d, v, vl)
-                s += vl
-                d += vl
-                remaining -= vl
-                m.strip_overhead("p_add", n_arrays=2)
+        self._impl("copy", "", n)(
+            self.machine, n, src.ptr, dst.ptr, self._lmul(lmul))
         return dst
 
     def reverse(self, src: SVMArray, out: SVMArray | None = None,
@@ -622,6 +436,64 @@ class SVM:
 
 
 # ----------------------------------------------------------------------
+# registry-generated primitive methods
+# ----------------------------------------------------------------------
+# The in-place elementwise family and the flag compares share two
+# method shapes; the registry fills them in. Each generated method is
+# indistinguishable from a hand-written one (name, docstring, spans).
+
+def _make_elementwise(spec: opspec.OpSpec):
+    name = spec.name
+    if "vv" in spec.node_kinds:
+        def method(self, a: SVMArray, x, lmul: LMUL | None = None) -> None:
+            if isinstance(x, SVMArray):
+                self._check_equal_len(a, x)
+                self._impl(name, "vv", a.n)(
+                    self.machine, a.n, a.ptr, x.ptr, self._lmul(lmul))
+            else:
+                self._impl(name, "vx", a.n)(
+                    self.machine, a.n, a.ptr, x, self._lmul(lmul))
+    else:  # scalar-operand only (shifts, reverse subtract)
+        def method(self, a: SVMArray, x: int, lmul: LMUL | None = None) -> None:
+            self._impl(name, "vx", a.n)(
+                self.machine, a.n, a.ptr, x, self._lmul(lmul))
+    method.__name__ = name
+    method.__qualname__ = f"SVM.{name}"
+    method.__doc__ = spec.doc
+    return method
+
+
+def _make_compare(spec: opspec.OpSpec):
+    name = spec.name
+
+    def method(self, a: SVMArray, b, out: SVMArray | None = None,
+               lmul: LMUL | None = None) -> SVMArray:
+        dst = self.empty(a.n, np.uint32) if out is None else out
+        if isinstance(b, SVMArray):
+            self._check_equal_len(a, b, dst)
+            self._impl(name, "vv", a.n)(
+                self.machine, a.n, a.ptr, b.ptr, dst.ptr, self._lmul(lmul))
+        else:
+            self._check_equal_len(a, dst)
+            self._impl(name, "vx", a.n)(
+                self.machine, a.n, a.ptr, b, dst.ptr, self._lmul(lmul))
+        return dst
+
+    method.__name__ = name
+    method.__qualname__ = f"SVM.{name}"
+    method.__doc__ = spec.doc
+    return method
+
+
+for _spec in opspec.iter_specs():
+    if "cmp_vx" in _spec.node_kinds.values():
+        setattr(SVM, _spec.name, _make_compare(_spec))
+    elif "ew_vx" in _spec.node_kinds.values():
+        setattr(SVM, _spec.name, _make_elementwise(_spec))
+del _spec
+
+
+# ----------------------------------------------------------------------
 # profiling instrumentation
 # ----------------------------------------------------------------------
 # Each primitive is wrapped so that, when a collector is installed on
@@ -631,17 +503,11 @@ class SVM:
 # that delegate to an instrumented method (plus_scan/scan_exclusive →
 # scan, seg_plus_scan → seg_scan, split → split_op.split, reverse →
 # index/rsub/back_permute) are left unwrapped so each call produces
-# exactly one primitive span.
+# exactly one primitive span. The profiled set is the registry's: every
+# non-composite spec gets exactly one span name.
 from ..obs.spans import instrument_method as _instrument  # noqa: E402
 
-_PROFILED = (
-    "p_add", "p_sub", "p_mul", "p_and", "p_or", "p_xor", "p_max",
-    "p_min", "p_srl", "p_sll", "p_select", "get_flags",
-    "p_lt", "p_le", "p_gt", "p_ge", "p_eq", "p_ne",
-    "scan", "seg_scan",
-    "permute", "back_permute", "pack", "enumerate",
-    "index_array", "p_rsub", "reduce", "shift1up", "copy",
-)
+_PROFILED = tuple(s.name for s in opspec.iter_specs() if s.profiled)
 for _name in _PROFILED:
     setattr(SVM, _name, _instrument(getattr(SVM, _name)))
 del _name

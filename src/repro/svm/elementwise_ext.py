@@ -1,305 +1,45 @@
-"""Extended elementwise/utility primitives beyond the paper's listings.
+"""DEPRECATED import shim — kernels folded into :mod:`repro.svm.elementwise`.
 
-Blelloch's elementwise class includes comparisons (producing flag
-vectors), the index vector, and reductions; the paper implements only
-the subset its radix-sort example needs. These round out the model so
-the larger applications (flat quicksort, RLE, SpMV, line-of-sight) can
-be written *purely* against primitives:
+The strict/extended split (``elementwise`` vs ``elementwise_ext``)
+disappeared when the unified :mod:`repro.svm.opspec` registry became
+the single source of truth per primitive: every strict kernel now
+lives in :mod:`repro.svm.elementwise`, next to its registry entry.
 
-* flag-producing compares ``p_lt``/``p_le``/``p_gt``/``p_ge``/``p_eq``/
-  ``p_ne`` (vector-vector and vector-scalar),
-* ``p_index`` — the index vector 0..n-1 (Blelloch's *index*),
-* ``p_rsub`` — reverse subtract, ``a[i] = x - a[i]`` (for building
-  reversal index vectors),
-* ``reduce`` — a full ⊕-reduction to a scalar,
-* ``shift1up`` — whole-array shift by one with a fill-in scalar
-  (the array-level analogue of ``vslide1up``, carrying the boundary
-  element across strips).
-
-Each has a strict strip-mined kernel here and a closed-form fast path
-in :mod:`repro.svm.fastpath_ext`.
+This module re-exports the old names so external callers keep
+working; new code should import from ``repro.svm.elementwise`` (or go
+through :class:`repro.svm.context.SVM`, which dispatches via the
+registry). It will be removed in a future release.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..rvv.allocation import ELEMENTWISE_PROFILE, plan_allocation
-from ..rvv.counters import Cat
-from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, permutation, reduction
-from ..rvv.machine import RVVMachine
-from ..rvv.memory import Pointer
-from ..rvv.types import LMUL, sew_for_dtype
-from ..rvv.value import VReg
-from .operators import PLUS, BinaryOp, get_operator
+from .elementwise import (  # noqa: F401
+    _CMP_VV,
+    _CMP_VX,
+    _RED,
+    _cmp_vv,
+    _cmp_vx,
+    _trim,
+    p_eq,
+    p_eq_vx,
+    p_ge,
+    p_ge_vx,
+    p_gt,
+    p_gt_vx,
+    p_index,
+    p_le,
+    p_le_vx,
+    p_lt,
+    p_lt_vx,
+    p_ne,
+    p_ne_vx,
+    p_rsub,
+    reduce,
+    shift1up,
+)
 
 __all__ = [
     "p_lt", "p_le", "p_gt", "p_ge", "p_eq", "p_ne",
     "p_lt_vx", "p_le_vx", "p_gt_vx", "p_ge_vx", "p_eq_vx", "p_ne_vx",
     "p_index", "p_rsub", "reduce", "shift1up",
 ]
-
-_CMP_VV = {
-    "lt": compare.vmsltu_vv,
-    "le": compare.vmsleu_vv,
-    "gt": compare.vmsgtu_vv,
-    "ge": compare.vmsgeu_vv,
-    "eq": compare.vmseq_vv,
-    "ne": compare.vmsne_vv,
-}
-_CMP_VX = {
-    "lt": compare.vmsltu_vx,
-    "le": compare.vmsleu_vx,
-    "gt": compare.vmsgtu_vx,
-    "eq": compare.vmseq_vx,
-    "ne": compare.vmsne_vx,
-}
-
-_RED = {
-    "plus": reduction.vredsum_vs,
-    "max": reduction.vredmaxu_vs,
-    "min": reduction.vredminu_vs,
-    "or": reduction.vredor_vs,
-    "and": reduction.vredand_vs,
-    "xor": reduction.vredxor_vs,
-}
-
-
-def _trim(v: VReg, vl: int) -> VReg:
-    return v if v.vl == vl else VReg(v.data[:vl])
-
-
-def _cmp_vv(which: str, m: RVVMachine, n: int, a: Pointer, b: Pointer,
-            out: Pointer, lmul: LMUL) -> None:
-    """Shared body of the flag-producing vector compares: a mask
-    compare plus a merge of 1 over a zero vector."""
-    fn = _CMP_VV[which]
-    sew = sew_for_dtype(a.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_cmp")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    vlmax = m.vsetvlmax(sew, lmul)
-    vec_zero = move.vmv_v_x(m, 0, vlmax, dtype=out.dtype)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        va = loadstore.vle(m, a, vl)
-        vb = loadstore.vle(m, b, vl)
-        mask = fn(m, va, vb, vl)
-        flags = arith.vmerge_vxm(m, mask, _trim(vec_zero, vl), 1, vl)
-        loadstore.vse(m, out, flags, vl)
-        a += vl
-        b += vl
-        out += vl
-        n -= vl
-        m.strip_overhead("p_cmp", n_arrays=3)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-
-
-def _cmp_vx(which: str, m: RVVMachine, n: int, a: Pointer, x: int,
-            out: Pointer, lmul: LMUL) -> None:
-    fn = _CMP_VX[which]
-    sew = sew_for_dtype(a.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_cmp")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    vlmax = m.vsetvlmax(sew, lmul)
-    vec_zero = move.vmv_v_x(m, 0, vlmax, dtype=out.dtype)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        va = loadstore.vle(m, a, vl)
-        mask = fn(m, va, x, vl)
-        flags = arith.vmerge_vxm(m, mask, _trim(vec_zero, vl), 1, vl)
-        loadstore.vse(m, out, flags, vl)
-        a += vl
-        out += vl
-        n -= vl
-        m.strip_overhead("p_cmp", n_arrays=2)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-
-
-def p_lt(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] < b[i] else 0`` (unsigned)."""
-    _cmp_vv("lt", m, n, a, b, out, lmul)
-
-
-def p_le(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] <= b[i] else 0``."""
-    _cmp_vv("le", m, n, a, b, out, lmul)
-
-
-def p_gt(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] > b[i] else 0``."""
-    _cmp_vv("gt", m, n, a, b, out, lmul)
-
-
-def p_ge(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] >= b[i] else 0``."""
-    _cmp_vv("ge", m, n, a, b, out, lmul)
-
-
-def p_eq(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] == b[i] else 0``."""
-    _cmp_vv("eq", m, n, a, b, out, lmul)
-
-
-def p_ne(m, n, a, b, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] != b[i] else 0``."""
-    _cmp_vv("ne", m, n, a, b, out, lmul)
-
-
-def p_lt_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] < x else 0``."""
-    _cmp_vx("lt", m, n, a, x, out, lmul)
-
-
-def p_le_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] <= x else 0``."""
-    _cmp_vx("le", m, n, a, x, out, lmul)
-
-
-def p_gt_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] > x else 0``."""
-    _cmp_vx("gt", m, n, a, x, out, lmul)
-
-
-def p_eq_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] == x else 0``."""
-    _cmp_vx("eq", m, n, a, x, out, lmul)
-
-
-def p_ne_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] != x else 0``."""
-    _cmp_vx("ne", m, n, a, x, out, lmul)
-
-
-def p_ge_vx(m, n, a, x, out, lmul=LMUL.M1):
-    """``out[i] = 1 if a[i] >= x else 0`` (via NOT(a < x))."""
-    # vmsgeu.vx does not exist in RVV; the idiom is vmsltu + mask-not.
-    sew = sew_for_dtype(a.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_cmp")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    vlmax = m.vsetvlmax(sew, lmul)
-    vec_zero = move.vmv_v_x(m, 0, vlmax, dtype=out.dtype)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        va = loadstore.vle(m, a, vl)
-        mask = compare.vmsltu_vx(m, va, x, vl)
-        mask = maskops.vmnot_m(m, mask, vl)
-        flags = arith.vmerge_vxm(m, mask, _trim(vec_zero, vl), 1, vl)
-        loadstore.vse(m, out, flags, vl)
-        a += vl
-        out += vl
-        n -= vl
-        m.strip_overhead("p_cmp", n_arrays=2)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-
-
-def p_index(m: RVVMachine, n: int, out: Pointer, lmul: LMUL = LMUL.M1) -> None:
-    """Blelloch's *index* primitive: ``out[i] = i`` (``vid.v`` plus the
-    running strip offset)."""
-    sew = sew_for_dtype(out.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_index")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    offset = 0
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        v = maskops.vid_v(m, vl, dtype=out.dtype)
-        v = arith.vadd_vx(m, v, offset, vl)
-        loadstore.vse(m, out, v, vl)
-        offset += vl
-        out += vl
-        n -= vl
-        m.scalar(1)  # offset accumulate
-        m.strip_overhead("p_index", n_arrays=1)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-
-
-def p_rsub(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
-    """Reverse subtract: ``a[i] = x - a[i]`` (``vrsub.vx``). With
-    ``x = n - 1`` over an index vector this builds the reversal
-    permutation."""
-    sew = sew_for_dtype(a.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_add")  # same loop shape/cost as p_add
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        va = loadstore.vle(m, a, vl)
-        va = arith.vrsub_vx(m, va, x, vl)
-        loadstore.vse(m, a, va, vl)
-        a += vl
-        n -= vl
-        m.strip_overhead("p_add", n_arrays=1)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-
-
-def reduce(m: RVVMachine, n: int, a: Pointer, op: str | BinaryOp = PLUS,
-           lmul: LMUL = LMUL.M1) -> int:
-    """Full ⊕-reduction of ``a`` to a scalar via ``vred*`` per strip,
-    threading the accumulator through the reduction's scalar operand."""
-    op = get_operator(op)
-    red = _RED[op.name]
-    sew = sew_for_dtype(a.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_reduce")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    acc = op.identity(a.dtype)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        v = loadstore.vle(m, a, vl)
-        acc = red(m, v, acc, vl)
-        a += vl
-        n -= vl
-        m.strip_overhead("p_reduce", n_arrays=1)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))
-    return acc
-
-
-def shift1up(m: RVVMachine, n: int, src: Pointer, dst: Pointer, fill: int,
-             lmul: LMUL = LMUL.M1) -> None:
-    """Whole-array shift by one: ``dst[0] = fill``, ``dst[i] =
-    src[i-1]`` — the building block for run-boundary detection (RLE)
-    and exclusive-style post-processing. The element crossing each
-    strip boundary rides in a scalar, exactly like the scan carry."""
-    sew = sew_for_dtype(src.dtype)
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    m.prologue("p_add")
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup)
-    carry = int(fill)
-    n = int(n)
-    while n > 0:
-        vl = m.vsetvl(n, sew, lmul)
-        v = loadstore.vle(m, src, vl)
-        out = permutation.vslide1up_vx(m, v, carry, vl)
-        # read the boundary element *before* the store: src and dst may
-        # alias (in-place shift), and the store would clobber it
-        carry = src[vl - 1]
-        loadstore.vse(m, dst, out, vl)
-        m.scalar(2)  # boundary element reload
-        src += vl
-        dst += vl
-        n -= vl
-        m.strip_overhead("p_add", n_arrays=2)
-        if plan.has_spills:
-            m.count(Cat.SPILL, plan.strip_cost(0))

@@ -1,148 +1,31 @@
-"""Fast paths for the extended primitives (see fastpath.py for the
-contract: identical results and per-category counts to the strict
-kernels in :mod:`repro.svm.elementwise_ext`)."""
+"""DEPRECATED import shim — kernels folded into :mod:`repro.svm.fastpath`.
+
+The fast-path split (``fastpath`` vs ``fastpath_ext``) disappeared
+when the unified :mod:`repro.svm.opspec` registry became the single
+source of truth per primitive: every closed-form fast kernel now
+lives in :mod:`repro.svm.fastpath`, next to its registry entry.
+
+This module re-exports the old names so external callers keep
+working; new code should import from ``repro.svm.fastpath``. It will
+be removed in a future release.
+"""
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-import numpy as np
-
-from ..rvv.allocation import ELEMENTWISE_PROFILE, plan_allocation
-from ..rvv.counters import Cat
-from ..rvv.machine import RVVMachine
-from ..rvv.memory import Pointer
-from ..rvv.types import LMUL, sew_for_dtype
-from .fastpath import strip_shape, _wrap
-from .operators import PLUS, BinaryOp, get_operator
+from .fastpath import (  # noqa: F401
+    _NP_CMP,
+    _spill,
+    _strip_count,
+    _strips,
+    fast_cmp_vv,
+    fast_cmp_vx,
+    fast_index,
+    fast_reduce,
+    fast_rsub,
+    fast_shift1up,
+)
 
 __all__ = [
     "fast_cmp_vv", "fast_cmp_vx", "fast_index", "fast_rsub",
     "fast_reduce", "fast_shift1up",
 ]
-
-_NP_CMP = {
-    "lt": np.less, "le": np.less_equal, "gt": np.greater,
-    "ge": np.greater_equal, "eq": np.equal, "ne": np.not_equal,
-}
-
-
-@lru_cache(maxsize=4096)
-def _strip_count(n: int, vlmax: int) -> int:
-    full, rem = strip_shape(n, vlmax)
-    return full + (1 if rem else 0)
-
-
-def _strips(m: RVVMachine, n: int, lmul: LMUL, dtype=np.uint32) -> int:
-    # cache on the (n, vlmax) ints only — machine objects never enter
-    # the key
-    return _strip_count(int(n), m.vlmax(sew=sew_for_dtype(dtype), lmul=lmul))
-
-
-def _spill(m: RVVMachine, n_strips: int, lmul: LMUL) -> None:
-    plan = plan_allocation(ELEMENTWISE_PROFILE, lmul)
-    if plan.has_spills:
-        m.count(Cat.SPILL, plan.frame_setup + n_strips * plan.strip_cost(0))
-
-
-def fast_cmp_vv(m: RVVMachine, which: str, n: int, a: Pointer, b: Pointer,
-                out: Pointer, lmul: LMUL = LMUL.M1) -> None:
-    """Fast path of the vector-vector flag compares."""
-    n = int(n)
-    if n:
-        out.view(n)[:] = _NP_CMP[which](a.view(n), b.view(n)).astype(out.dtype)
-    s = _strips(m, n, lmul, a.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_cmp"))
-    m.count(Cat.VCONFIG, 1 + s)  # vsetvlmax + per strip
-    m.count(Cat.VPERM, m.codegen.op_cost())  # zero broadcast
-    m.count(Cat.VMEM, s * 3)
-    m.count(Cat.VMASK, s)
-    m.count(Cat.VARITH, s)  # vmerge
-    m.count(Cat.SCALAR, s * m.codegen.strip_overhead("p_cmp", 3))
-
-
-def fast_cmp_vx(m: RVVMachine, which: str, n: int, a: Pointer, x: int,
-                out: Pointer, lmul: LMUL = LMUL.M1) -> None:
-    """Fast path of the vector-scalar flag compares (``ge`` uses the
-    vmsltu+vmnot idiom and costs one extra mask op per strip)."""
-    n = int(n)
-    if n:
-        out.view(n)[:] = _NP_CMP[which](a.view(n), _wrap(x, a.dtype)).astype(out.dtype)
-    s = _strips(m, n, lmul, a.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_cmp"))
-    m.count(Cat.VCONFIG, 1 + s)
-    m.count(Cat.VPERM, m.codegen.op_cost())
-    m.count(Cat.VMEM, s * 2)
-    m.count(Cat.VMASK, s * (2 if which == "ge" else 1))
-    m.count(Cat.VARITH, s)
-    m.count(Cat.SCALAR, s * m.codegen.strip_overhead("p_cmp", 2))
-
-
-def fast_index(m: RVVMachine, n: int, out: Pointer, lmul: LMUL = LMUL.M1) -> None:
-    """Fast path of p_index."""
-    n = int(n)
-    if n:
-        out.view(n)[:] = np.arange(n, dtype=np.uint64).astype(out.dtype)
-    s = _strips(m, n, lmul, out.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_index"))
-    m.count(Cat.VCONFIG, s)
-    m.count(Cat.VMASK, s)  # vid
-    m.count(Cat.VARITH, s)
-    m.count(Cat.VMEM, s)
-    m.count(Cat.SCALAR, s * (1 + m.codegen.strip_overhead("p_index", 1)))
-
-
-def fast_rsub(m: RVVMachine, n: int, a: Pointer, x: int, lmul: LMUL = LMUL.M1) -> None:
-    """Fast path of p_rsub."""
-    n = int(n)
-    if n:
-        view = a.view(n)
-        np.subtract(_wrap(x, a.dtype), view, out=view)
-    s = _strips(m, n, lmul, a.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_add"))
-    m.count(Cat.VCONFIG, s)
-    m.count(Cat.VMEM, s * 2)
-    m.count(Cat.VARITH, s)
-    m.count(Cat.SCALAR, s * m.codegen.strip_overhead("p_add", 1))
-
-
-def fast_reduce(m: RVVMachine, n: int, a: Pointer, op: str | BinaryOp = PLUS,
-                lmul: LMUL = LMUL.M1) -> int:
-    """Fast path of reduce."""
-    op = get_operator(op)
-    n = int(n)
-    acc = op.identity(a.dtype)
-    if n:
-        acc = int(op.ufunc.reduce(a.view(n), initial=_wrap(acc, a.dtype), dtype=a.dtype))
-    s = _strips(m, n, lmul, a.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_reduce"))
-    m.count(Cat.VCONFIG, s)
-    m.count(Cat.VMEM, s)
-    m.count(Cat.VREDUCE, s)
-    m.count(Cat.SCALAR, s * m.codegen.strip_overhead("p_reduce", 1))
-    return acc
-
-
-def fast_shift1up(m: RVVMachine, n: int, src: Pointer, dst: Pointer, fill: int,
-                  lmul: LMUL = LMUL.M1) -> None:
-    """Fast path of shift1up."""
-    n = int(n)
-    if n:
-        s_view = src.view(n)
-        d_view = dst.view(n)
-        # src and dst may alias; copy the source tail first
-        tail = s_view[:-1].copy()
-        d_view[1:] = tail
-        d_view[0] = _wrap(fill, dst.dtype)
-    s = _strips(m, n, lmul, src.dtype)
-    _spill(m, s, lmul)
-    m.count(Cat.SCALAR, m.codegen.prologue("p_add"))
-    m.count(Cat.VCONFIG, s)
-    m.count(Cat.VMEM, s * 2)
-    m.count(Cat.VPERM, s)
-    m.count(Cat.SCALAR, s * (2 + m.codegen.strip_overhead("p_add", 2)))

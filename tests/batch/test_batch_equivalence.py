@@ -3,7 +3,7 @@
 ``svm.batch`` promises to be bit- and counter-identical to looping the
 single-input path. These tests sweep that promise across VLEN, LMUL,
 codegen presets, dtypes, ragged lengths (mixing strict and fast
-buckets under auto mode), scan variants, and the opaque loop fallback.
+buckets under auto mode), scan variants, and pack's data-dependent loop fallback.
 """
 
 from __future__ import annotations
@@ -24,7 +24,7 @@ RAGGED = (300, 64, 300, AUTO_FAST_THRESHOLD, 64, 1)
 #: pack's destination lanes beyond the kept count are uninitialized
 #: memory (malloc semantics), so whole-array bit-comparison is only
 #: meaningful when both spellings allocate in the same order — the
-#: opaque pipeline gets defined-lane ragged coverage below instead.
+#: pack pipeline gets defined-lane ragged coverage below instead.
 GRID_PIPELINES = sorted(set(PIPELINES) - {"pack_future"})
 
 
@@ -72,7 +72,7 @@ def test_scan_variants():
     assert_equivalent(pipe, rows, vlen=512, mode="fast")
 
 
-def test_opaque_ragged_interleaved_buckets():
+def test_pack_ragged_interleaved_buckets():
     """Ragged batches reorder rows by bucket, so pack's undefined tail
     lanes see different heap garbage than the input-order loop — the
     defined lanes and the counters must still match exactly."""
@@ -88,7 +88,7 @@ def test_opaque_ragged_interleaved_buckets():
     assert {b.path for b in result.buckets} == {"loop"}
 
 
-def test_opaque_fallback_loops_per_row():
+def test_pack_fallback_loops_per_row():
     rows = make_rows((300, 300, 64), seed=13)
     result = assert_equivalent(
         as_batch_pipe(PIPELINES["pack_future"], LMUL.M1), rows,

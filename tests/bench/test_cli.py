@@ -62,7 +62,7 @@ class TestCommands:
         assert main(["fuse", "--pipeline", "filter", "--n", "200",
                      "--vlen", "128", "--codegen", "ideal"]) == 0
         out = capsys.readouterr().out
-        assert "[opaque]" in out and "keep" in out
+        assert "pack" in out and "keep" in out
 
     def test_fuse_backend_flag(self, capsys):
         for backend in ("interp", "codegen"):

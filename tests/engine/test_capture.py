@@ -34,7 +34,7 @@ class TestRecording:
         assert np.array_equal(data.to_numpy(), before)
         assert svm.machine.counters.vector_total == 0
         assert [n.kind for n in plan.nodes] == [
-            Kind.EW_VX, Kind.SCAN, Kind.CMP_VX, Kind.OPAQUE,
+            Kind.EW_VX, Kind.SCAN, Kind.CMP_VX, Kind.PACK,
         ]
 
     def test_temp_flag_tracks_recorder_allocations(self, svm):

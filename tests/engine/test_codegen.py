@@ -4,7 +4,7 @@ The codegen backend must be bit-identical and per-category
 counter-identical to the interpreted specialized executor across the
 full VLEN × LMUL grid — for single-call and batched execution — and
 must fall back to the interpreter wherever generated kernels don't
-apply (opaque plans, strict mode). CompiledPlan must survive a pickle
+apply (plans with no fused groups, strict mode). CompiledPlan must survive a pickle
 round-trip (the persistent store's transport).
 """
 
@@ -95,10 +95,10 @@ def test_alias_keeps_copy_discipline():
     assert "copy=True" in svm.engine.last_fused.compiled.source
 
 
-def test_fully_opaque_plan_has_no_compiled_kernels():
-    # seg_scan captures as an opaque node: nothing fuses, compile_fused
-    # returns None, and the codegen backend falls back to the
-    # interpreter's replay with identical behavior
+def test_unfused_plan_has_no_compiled_kernels():
+    # seg_scan captures as a structured node but never fuses; with no
+    # fused groups compile_fused returns None and the codegen backend
+    # falls back to the interpreter's replay with identical behavior
     def pipe(lz, data, lmul):
         flags = lz.get_flags(data, 0, lmul=lmul)
         lz.seg_plus_scan(data, flags, lmul=lmul)
@@ -110,7 +110,7 @@ def test_fully_opaque_plan_has_no_compiled_kernels():
     assert np.array_equal(ref, got)
     assert interp.by_category == codegen.by_category
     fused = svm.engine.last_fused
-    # the opaque seg_scan forbids the whole-plan kernel
+    # no groups compiled, so there is no whole-plan kernel
     assert fused.compiled is None or fused.compiled.plan_fn is None
 
 

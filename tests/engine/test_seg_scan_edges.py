@@ -1,7 +1,7 @@
 """Segmented-scan edge cases through the engine path.
 
-``seg_scan`` captures as an *opaque* node, so the engine replays the
-real kernel rather than fusing it — but the replay must still be
+``seg_scan`` captures as a structured ``SEG_SCAN`` node that the
+engine replays eagerly rather than fusing — but the replay must still be
 bit-identical and counter-identical to the eager call at every edge:
 empty input, a single segment, every element its own segment, and a
 segment boundary that lands exactly on a strip boundary, across the

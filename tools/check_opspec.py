@@ -1,0 +1,152 @@
+#!/usr/bin/env python
+"""CI gate for the unified OpSpec registry.
+
+Fails (exit 1) when the "declared exactly once" invariant is violated:
+
+1. every public SVM primitive must map to exactly one registered
+   :class:`repro.svm.opspec.OpSpec` (by name or alias) — no primitive
+   may bypass the registry;
+2. every registered non-composite op must carry a strict kernel, a
+   fast kernel (same variant keys), and a counter-charge profile that
+   exists in ``repro.rvv.allocation.PROFILES``;
+3. ``repro/svm/context.py`` must not import any kernel module — the
+   registry is the only kernel supplier for the dispatch layer (AST
+   check, so a sneaky ``from . import elementwise`` fails even if
+   unused);
+4. registry self-consistency: fusable ops need a lane recipe, ops with
+   data-dependent charges must opt out of the 2D batch path, futures
+   only on the ops that produce scalars.
+
+Run as ``PYTHONPATH=src python tools/check_opspec.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.rvv.allocation import PROFILES  # noqa: E402
+from repro.svm import opspec  # noqa: E402
+from repro.svm.context import SVM  # noqa: E402
+
+#: Public SVM attributes that are infrastructure, not primitives.
+NON_PRIMITIVE = {
+    "array", "zeros", "empty", "free",          # array management
+    "lazy", "batch", "engine",                  # lazy/batched execution
+    "instructions", "counters", "profiler", "reset",  # counters
+}
+
+#: Kernel-supplying modules the dispatch layer must not import: the
+#: registry is the only path from SVM methods to kernels. (split_op is
+#: deliberately absent — it is a composition layer that calls back into
+#: SVM primitives, not a kernel supplier.)
+KERNEL_MODULES = {
+    "elementwise", "elementwise_ext", "fastpath", "fastpath_ext",
+    "scan", "segmented", "enumerate_op", "permute_ops",
+}
+
+
+def fail(errors: list[str]) -> None:
+    for e in errors:
+        print(f"check_opspec: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+
+
+def check_public_surface() -> list[str]:
+    errors = []
+    registered = set(opspec.OPSPECS) | set(opspec.ALIASES)
+    for name in dir(SVM):
+        if name.startswith("_") or name in NON_PRIMITIVE:
+            continue
+        if name not in registered:
+            errors.append(
+                f"public SVM primitive {name!r} bypasses the OpSpec registry"
+            )
+    for name in opspec.OPSPECS:
+        if not hasattr(SVM, name):
+            errors.append(f"registered op {name!r} has no SVM method")
+    return errors
+
+
+def check_specs() -> list[str]:
+    errors = []
+    for spec in opspec.iter_specs():
+        if spec.composite:
+            if spec.strict or spec.fast:
+                errors.append(
+                    f"composite {spec.name!r} must not carry kernels "
+                    "(it lowers to other primitives)"
+                )
+            continue
+        if not spec.strict:
+            errors.append(f"op {spec.name!r} lacks a strict kernel")
+        if not spec.fast:
+            errors.append(f"op {spec.name!r} lacks a fast kernel")
+        if set(spec.strict) != set(spec.fast):
+            errors.append(
+                f"op {spec.name!r}: strict variants {sorted(spec.strict)} "
+                f"!= fast variants {sorted(spec.fast)}"
+            )
+        if not spec.profile:
+            errors.append(f"op {spec.name!r} lacks a counter-charge profile")
+        elif spec.profile not in PROFILES:
+            errors.append(
+                f"op {spec.name!r}: profile {spec.profile!r} not in "
+                f"rvv.allocation.PROFILES {sorted(PROFILES)}"
+            )
+        if spec.fuse_role == "lane":
+            for kind in spec.node_kinds.values():
+                if kind not in opspec.LANE_RECIPES:
+                    errors.append(
+                        f"lane op {spec.name!r}: node kind {kind!r} has no "
+                        "entry in LANE_RECIPES"
+                    )
+        if spec.data_dependent and spec.batch2d:
+            errors.append(
+                f"op {spec.name!r} has a data-dependent charge but claims "
+                "the 2D batch path"
+            )
+    return errors
+
+
+def check_context_imports() -> list[str]:
+    errors = []
+    path = SRC / "repro" / "svm" / "context.py"
+    tree = ast.parse(path.read_text(), filename=str(path))
+    for node in ast.walk(tree):
+        names: list[str] = []
+        if isinstance(node, ast.Import):
+            names = [a.name for a in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            names = [f"{mod}.{a.name}" if mod else a.name for a in node.names]
+            names.append(mod)
+        for name in names:
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in KERNEL_MODULES:
+                errors.append(
+                    f"context.py imports kernel module {name!r} at line "
+                    f"{node.lineno} — primitives must dispatch through the "
+                    "registry"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = (check_public_surface() + check_specs()
+              + check_context_imports())
+    if errors:
+        fail(errors)
+    n = sum(1 for s in opspec.iter_specs())
+    print(f"check_opspec: OK — {n} registered ops, public surface covered, "
+          "context.py imports no kernel modules")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
