@@ -1,0 +1,190 @@
+"""The serving daemon: coalescing ratio, identity, and throughput
+under concurrency.
+
+Two kinds of evidence, same split as ``bench_batch.py``:
+
+* **Deterministic (CI-gated)**: per-concurrency coalescing structure —
+  flush counts, rows, ratio, dispatch path — plus result/counter
+  identity against the sequential oracle and total dynamic
+  instruction counts. These land in ``BENCH_serve.json`` and must
+  reproduce bit-for-bit (the perf job diffs at tolerance 0). Flushes
+  are triggered by ``max_rows`` fill, never the timer, so the
+  coalescing ratio equals the client count exactly on every run.
+
+* **Wall-clock (asserted here, reported in the summary table, never
+  written to JSON)**: requests/s served vs the sequential loop, and
+  the p50/p99 request latency from the daemon's own Summary metric.
+  At 32 concurrent clients one coalesced 2D flush amortizes capture,
+  cache lookup, dispatch, and charging across the whole window, so
+  the daemon must beat the sequential loop's throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import SVM
+from repro.bench.harness import ExperimentResult
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.protocol import PIPELINES
+from repro.utils.formatting import fmt_count
+
+from conftest import record, rng
+
+SEED = 31
+N = 3000
+CONCURRENCY = (1, 8, 32)
+MIXED = ("chain_scan", "scan", "reverse", "filter")
+MIXED_ROWS = 4
+
+
+def _sequential(requests, cfg):
+    """The oracle: every request as one direct SVM capture-and-run on
+    a fresh context (the definitional tier)."""
+    svm = SVM(vlen=cfg.vlen, codegen=cfg.codegen, mode=cfg.mode)
+    outputs = []
+    for r in requests:
+        arr = np.asarray(r["data"], dtype=np.uint32)
+        data = svm.array(arr)
+        with svm.lazy() as lz:
+            out = PIPELINES[r["pipeline"]](lz, data)
+        outputs.append(out.to_numpy())
+        svm.free(out)
+        if out is not data:
+            svm.free(data)
+    counters = {c.value: int(n) for c, n
+                in svm.machine.counters.snapshot().by_category.items()}
+    return outputs, counters
+
+
+def _serve_round(requests, *, max_rows, workers=1):
+    cfg = ServeConfig(max_rows=max_rows, flush_ms=10_000.0, workers=workers)
+    with ServerThread(cfg) as st:
+        t0 = time.perf_counter()
+        served = st.submit_many(requests)
+        wall = time.perf_counter() - t0
+        stats = st.stats()
+    failures = [r for r in served if isinstance(r, BaseException)]
+    assert not failures, failures
+    return served, stats, wall, cfg
+
+
+def test_serve_coalescing_and_identity(benchmark):
+    g = rng(SEED)
+    cells = []
+    table_rows = []
+    for clients in CONCURRENCY:
+        requests = [
+            {"pipeline": "chain_scan",
+             "data": g.integers(0, 2**16, N, dtype=np.uint32)}
+            for _ in range(clients)
+        ]
+        served, stats, serve_wall, cfg = _serve_round(
+            requests, max_rows=clients)
+
+        t0 = time.perf_counter()
+        seq_outputs, seq_counters = _sequential(requests, cfg)
+        seq_wall = time.perf_counter() - t0
+
+        co = stats["coalescing"]
+        cell = {
+            "clients": clients,
+            "flushes": co["flushes"],
+            "rows": co["rows"],
+            "ratio": co["ratio"],
+            "paths": co["paths"],
+            "identical_results": bool(all(
+                np.array_equal(r.output, w)
+                for r, w in zip(served, seq_outputs))),
+            "identical_counters":
+                stats["counters"] == dict(sorted(seq_counters.items())),
+            "instructions": stats["instructions"],
+        }
+        assert cell["identical_results"], clients
+        assert cell["identical_counters"], clients
+        assert cell["flushes"] == 1 and cell["ratio"] == float(clients)
+        cells.append(cell)
+
+        p99 = stats["latency_ms"]["p99"]
+        table_rows.append([
+            str(clients), str(cell["flushes"]), f"{cell['ratio']:.0f}",
+            "2d" if co["paths"]["2d"] else "loop",
+            fmt_count(cell["instructions"]),
+            f"{clients / serve_wall:,.0f}", f"{clients / seq_wall:,.0f}",
+            f"{p99:.2f}",
+        ])
+
+    # the acceptance bar: real coalescing at 8+ concurrent clients
+    assert all(c["ratio"] > 1.0 for c in cells if c["clients"] >= 8)
+
+    # throughput: the coalesced 2D flush must beat the sequential loop
+    # once the window is wide (generous floor — CI machines are noisy)
+    g2 = rng(SEED + 1)
+    wide = [{"pipeline": "chain_scan",
+             "data": g2.integers(0, 2**16, N, dtype=np.uint32)}
+            for _ in range(32)]
+    _, _, serve_wall, cfg = _serve_round(wide, max_rows=32)
+    t0 = time.perf_counter()
+    _sequential(wide, cfg)
+    seq_wall = time.perf_counter() - t0
+    assert serve_wall < seq_wall, (
+        f"32-way coalesced serving ({serve_wall:.3f}s) should beat the "
+        f"sequential loop ({seq_wall:.3f}s)")
+
+    # mixed pipelines: every dispatch regime in one window, still
+    # deterministic (each bucket fill-flushes at MIXED_ROWS)
+    requests = [
+        {"pipeline": pipe,
+         "data": g.integers(0, 2**16, N, dtype=np.uint32)}
+        for pipe in MIXED for _ in range(MIXED_ROWS)
+    ]
+    served, stats, _, cfg = _serve_round(requests, max_rows=MIXED_ROWS)
+    seq_outputs, seq_counters = _sequential(requests, cfg)
+    mixed = {
+        "pipelines": list(MIXED),
+        "rows_per_pipeline": MIXED_ROWS,
+        "flushes": stats["coalescing"]["flushes"],
+        "ratio": stats["coalescing"]["ratio"],
+        "paths": stats["coalescing"]["paths"],
+        "identical_results": bool(all(
+            np.array_equal(r.output, w)
+            for r, w in zip(served, seq_outputs))),
+        "identical_counters":
+            stats["counters"] == dict(sorted(seq_counters.items())),
+        "instructions": stats["instructions"],
+    }
+    assert mixed["identical_results"] and mixed["identical_counters"]
+    assert mixed["flushes"] == len(MIXED)
+    assert mixed["paths"]["loop"] >= 1  # filter's pack fallback
+
+    record(ExperimentResult(
+        "Serving coalescing grid",
+        f"chain_scan n={N}: coalesced daemon vs sequential loop",
+        ["clients", "flushes", "ratio", "path", "instr",
+         "serve req/s", "seq req/s", "p99 ms"],
+        table_rows,
+        notes=["ratio = rows/flushes; flushes trigger on max_rows fill, so"
+               " the ratio equals the client count deterministically.",
+               "req/s and p99 are wall-clock — reported here, asserted"
+               " against the sequential loop, never written to the gated"
+               " JSON."],
+    ))
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    out.write_text(json.dumps({
+        "pipeline": "chain_scan (add/mul/xor chain + plus_scan), uint32",
+        "n": N,
+        "codegen": "paper",
+        "mode": "auto",
+        "concurrency": cells,
+        "mixed_workload": mixed,
+    }, indent=2) + "\n")
+
+    benchmark(_serve_round,
+              [{"pipeline": "chain_scan",
+                "data": rng(SEED).integers(0, 2**16, N, dtype=np.uint32)}
+               for _ in range(8)], max_rows=8)

@@ -9,6 +9,6 @@ row 0's delta scaled by the batch size — bit- and counter-identical to
 looping the single-input path. See ``docs/batching.md``.
 """
 
-from .runner import BatchBucket, BatchResult, run_batch
+from .runner import BatchBucket, BatchResult, run_batch, run_bucket
 
-__all__ = ["BatchBucket", "BatchResult", "run_batch"]
+__all__ = ["BatchBucket", "BatchResult", "run_batch", "run_bucket"]

@@ -49,7 +49,7 @@ from ..scalar.kernels import segmented_cumsum, segmented_reduce_numpy
 from ..svm.fastpath import _NP_CMP, _UFUNC_VX, _wrap
 from ..svm.operators import get_operator
 
-__all__ = ["BatchBucket", "BatchResult", "run_batch"]
+__all__ = ["BatchBucket", "BatchResult", "run_batch", "run_bucket"]
 
 
 @dataclass(frozen=True)
@@ -403,8 +403,68 @@ def _run_bucket_loop(svm, pipe, rows) -> list[np.ndarray]:
 
 
 # ---------------------------------------------------------------------------
-# entry point
+# entry points
 # ---------------------------------------------------------------------------
+
+def _dispatch_bucket(svm, pipe, rows) -> tuple[list[np.ndarray], str]:
+    """Run one pre-grouped bucket (all rows share (length, dtype));
+    returns (outputs in row order, dispatch path). The shared body of
+    :func:`run_batch` and :func:`run_bucket`."""
+    n = rows[0].size
+    plan, data, out = _capture(svm, pipe, rows[0])
+    fused = svm.engine.fused_for(plan)
+    use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
+    path = "2d" if use_2d else "loop"
+    col = getattr(svm.machine, "collector", None)
+    ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
+        if col is not None else nullcontext()
+    with ctx:
+        if col is not None:
+            col.batch_event(len(rows), int(n), path)
+        if use_2d:
+            outputs = _run_bucket_2d(svm, plan, fused, data, out, rows)
+        else:
+            # release the probe capture's buffers and replay the
+            # definitional loop from scratch for every row
+            _release(svm, plan, data.ptr.addr, executed=False)
+            outputs = _run_bucket_loop(svm, pipe, rows)
+    return outputs, path
+
+
+def run_bucket(svm, pipe, rows, *, dtype=np.uint32) -> BatchResult:
+    """Run ``pipe`` over rows that are *already grouped*: every row
+    must share one (length, dtype) pair, so no bucketing pass runs.
+
+    This is the serving daemon's entry point: its coalescer groups
+    concurrent requests by (pipeline, n, dtype) up front, so each
+    flush maps to exactly one bucket dispatch. Semantics are those of
+    :func:`run_batch` restricted to a single bucket — results and
+    per-category counters identical to looping single calls.
+    """
+    arrays = [
+        x if isinstance(x, np.ndarray) else np.asarray(x, dtype=dtype)
+        for x in rows
+    ]
+    result = BatchResult()
+    if not arrays:
+        return result
+    n, dt = arrays[0].size, arrays[0].dtype
+    for arr in arrays:
+        if arr.ndim != 1:
+            raise EngineError(f"batch inputs are 1-D, got shape {arr.shape}")
+        if arr.size != n or arr.dtype != dt:
+            raise EngineError(
+                "run_bucket rows must share one (length, dtype): "
+                f"expected ({n}, {dt}), got ({arr.size}, {arr.dtype})"
+            )
+    outputs, path = _dispatch_bucket(svm, pipe, arrays)
+    result.outputs = outputs
+    result.buckets.append(
+        BatchBucket(int(n), np.dtype(dt).name, len(arrays), path,
+                    tuple(range(len(arrays))))
+    )
+    return result
+
 
 def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
     """Run ``pipe`` over every input through one cached plan per
@@ -434,25 +494,9 @@ def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
             raise EngineError(f"batch inputs are 1-D, got shape {arr.shape}")
         buckets.setdefault((arr.size, arr.dtype), []).append(i)
 
-    col = getattr(svm.machine, "collector", None)
     for (n, dt), indices in buckets.items():
         rows = [arrays[i] for i in indices]
-        plan, data, out = _capture(svm, pipe, rows[0])
-        fused = svm.engine.fused_for(plan)
-        use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
-        path = "2d" if use_2d else "loop"
-        ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
-            if col is not None else nullcontext()
-        with ctx:
-            if col is not None:
-                col.batch_event(len(rows), int(n), path)
-            if use_2d:
-                outputs = _run_bucket_2d(svm, plan, fused, data, out, rows)
-            else:
-                # release the probe capture's buffers and replay the
-                # definitional loop from scratch for every row
-                _release(svm, plan, data.ptr.addr, executed=False)
-                outputs = _run_bucket_loop(svm, pipe, rows)
+        outputs, path = _dispatch_bucket(svm, pipe, rows)
         for i, arr_out in zip(indices, outputs):
             result.outputs[i] = arr_out
         result.buckets.append(

@@ -25,11 +25,17 @@ Commands
 ``bench [--suite fusion|batch|codegen|all] [--jobs N] [--out F]``
     Run the deterministic benchmark grids (optionally over worker
     processes) and, with ``--out``, write the merged grid as JSON.
-``ops``
+``ops [--json]``
     Print the unified OpSpec registry as a per-primitive tier-support
-    matrix (strict / fast / fusion / codegen / batch-2D).
+    matrix (strict / fast / fusion / codegen / batch-2D); ``--json``
+    emits the machine-readable form for tooling.
 ``cache stats|clear [--dir D]``
     Inspect or clear the persistent plan cache (``REPRO_CACHE_DIR``).
+``serve [--port P | --unix PATH] [--flush-ms F] [--max-rows M] ...``
+    Run the plan-serving daemon: coalesce concurrent NDJSON requests
+    into 2D batch evaluations on a deadline window (see
+    ``docs/serving.md``). ``--stats-json PATH`` writes the final
+    serving statistics on shutdown.
 """
 
 from __future__ import annotations
@@ -403,8 +409,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_ops(args: argparse.Namespace) -> int:
+    import json
+
     from .svm import opspec
     from .utils.formatting import render_table
+
+    if args.json:
+        print(json.dumps(opspec.support_matrix(), indent=2))
+        return 0
 
     def yn(flag: bool) -> str:
         return "yes" if flag else "-"
@@ -456,6 +468,59 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("  note: persistence is disabled — the engine writes this "
               "store only when REPRO_CACHE_DIR is set or "
               "SVM(cache_dir=...) is passed")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import contextlib
+    import json
+    import signal
+
+    from .serve import ServeConfig, Server
+
+    if args.port is None and args.unix is None:
+        args.port = 8377  # default listener: TCP on localhost
+    config = ServeConfig(
+        host=args.host, port=args.port, unix_path=args.unix,
+        flush_ms=args.flush_ms, max_rows=args.max_rows,
+        queue_limit=args.queue_limit, workers=args.workers,
+        vlen=args.vlen, codegen=args.codegen, mode=args.mode,
+        backend=args.backend, cache_dir=args.cache_dir,
+        profile=args.profile, max_requests=args.max_requests,
+    )
+
+    async def _main() -> dict:
+        server = Server(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    sig, lambda: loop.create_task(server.shutdown()))
+        addr = server.address
+        if addr is not None:
+            # parseable announce line: tools/ci_serve_smoke.py reads it
+            print(f"REPRO_SERVE listening addr={addr[0]}:{addr[1]} "
+                  f"flush_ms={config.flush_ms} max_rows={config.max_rows} "
+                  f"workers={config.workers}", flush=True)
+        if config.unix_path:
+            print(f"REPRO_SERVE listening unix={config.unix_path}",
+                  flush=True)
+        await server.wait_closed()
+        return server.stats()
+
+    stats = asyncio.run(_main())
+    if args.stats_json:
+        with open(args.stats_json, "w") as f:
+            json.dump(stats, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote serving stats to {args.stats_json}")
+    req = stats["requests"]
+    co = stats["coalescing"]
+    print(f"served {req['ok']}/{req['total']} requests "
+          f"(rejected {req['rejected']}, errors {req['errors']}) in "
+          f"{co['flushes']} flushes, coalescing ratio {co['ratio']}")
     return 0
 
 
@@ -560,7 +625,49 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "ops", help="print the OpSpec registry as a tier-support matrix"
     )
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable matrix "
+                        "(the serve daemon's 'ops' request body)")
     p.set_defaults(fn=_cmd_ops)
+
+    p = sub.add_parser(
+        "serve", help="run the plan-serving daemon (request coalescing "
+                      "into 2D batch evaluations)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (0 = ephemeral; default 8377 when no "
+                        "--unix is given)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="serve on a unix socket instead of TCP")
+    p.add_argument("--flush-ms", type=float, default=2.0,
+                   help="coalescing window deadline in milliseconds")
+    p.add_argument("--max-rows", type=int, default=64,
+                   help="flush a bucket as soon as it holds this many rows")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="max in-flight requests before rejection "
+                        "(backpressure)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker pool size (SVM contexts sharing one warm "
+                        "plan cache)")
+    p.add_argument("--vlen", type=int, default=1024)
+    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    p.add_argument("--mode", choices=["auto", "strict", "fast"],
+                   default="auto")
+    p.add_argument("--backend", choices=["interp", "codegen"], default=None)
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent plan-store directory shared by the "
+                        "worker pool (default: REPRO_CACHE_DIR if set)")
+    p.add_argument("--profile", action="store_true",
+                   help="install per-worker obs collectors (serve.flush "
+                        "spans and metrics)")
+    p.add_argument("--max-requests", type=int, default=None, metavar="N",
+                   help="gracefully exit after N execute requests "
+                        "(smoke tests)")
+    p.add_argument("--stats-json", default=None, metavar="PATH",
+                   help="write the final serving statistics JSON on "
+                        "shutdown")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent plan cache"

@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -205,34 +206,45 @@ class CacheStats:
 
 
 class PlanCache:
-    """A bounded LRU map from plan signatures to fused plans."""
+    """A bounded LRU map from plan signatures to fused plans.
+
+    Thread-safe: the serving daemon shares one warm cache across its
+    worker pool (each worker owns a machine, but compiled plans are
+    immutable once inserted), so ``get``/``put`` take a lock around the
+    LRU reordering — cheap next to a plan compile, and it keeps the
+    hit/miss/eviction statistics exact under concurrency.
+    """
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self._entries: OrderedDict[tuple, object] = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def get(self, key: tuple):
         """The cached fused plan for ``key``, or None (counted as a miss)."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
 
     def put(self, key: tuple, fused) -> None:
-        self._entries[key] = fused
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = fused
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def size(self) -> int:

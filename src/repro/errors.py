@@ -65,3 +65,32 @@ class CalibrationError(ReproError):
 class AllocationError(ReproError):
     """The register-allocation model was given an impossible profile
     (e.g. more simultaneously-live mask registers than exist)."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` daemon."""
+
+
+class ServeOverloadedError(ServeError):
+    """The serving daemon's bounded request queue is full.
+
+    Backpressure signal: the request was rejected *before* any work was
+    done; the client should retry later or shed load. Carries the
+    configured limit so operators can distinguish "queue too small"
+    from "traffic spike"."""
+
+    def __init__(self, limit: int) -> None:
+        super().__init__(
+            f"serve queue full: {limit} requests already in flight"
+        )
+        self.limit = limit
+
+
+class ServeProtocolError(ServeError):
+    """A malformed or unsupported request reached the serving daemon
+    (bad JSON, unknown op or pipeline, non-1-D data, oversized frame).
+    """
+
+
+class ServeClosedError(ServeError):
+    """A request arrived while the daemon is draining for shutdown."""

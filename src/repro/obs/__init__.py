@@ -22,7 +22,7 @@ and the ``repro profile`` CLI subcommand. See ``docs/observability.md``.
 """
 
 from .export import render_tree, to_chrome_trace, to_json
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Summary
 from .spans import (
     NULL_SPAN,
     ProfileCollector,
@@ -46,6 +46,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Summary",
     "render_tree",
     "to_json",
     "to_chrome_trace",

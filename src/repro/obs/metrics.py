@@ -17,7 +17,7 @@ for per-strip observation, queryable as a dict
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "Summary", "MetricsRegistry"]
 
 
 class Counter:
@@ -104,6 +104,74 @@ class Histogram:
                 f" max={self.max}, mean={self.mean:.2f})")
 
 
+class Summary:
+    """A distribution of continuous values with exact percentiles.
+
+    :class:`Histogram` fits the discrete domains (per-strip vl, rows
+    per flush); latency-style observations are continuous, so p50/p99
+    need ranked samples. The buffer is bounded deterministically: when
+    it fills, every other sample is dropped and the sampling stride
+    doubles — no randomness, so two identical runs report identical
+    percentiles. count/sum/min/max always cover *every* observation.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_samples", "_stride", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 4096) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._samples: list = []
+        self._stride = 1
+        self.max_samples = max_samples
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if (self.count - 1) % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float | None:
+        """The p-th percentile (0 < p <= 100) over the retained
+        samples, nearest-rank; None before any observation."""
+        if not self._samples:
+            return None
+        ranked = sorted(self._samples)
+        k = max(0, min(len(ranked) - 1,
+                       -(-int(p * len(ranked)) // 100) - 1))
+        return ranked[k]
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": round(self.total, 6),
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 6),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Summary({self.name}: count={self.count}, "
+                f"p50={self.percentile(50)}, p99={self.percentile(99)})")
+
+
 class MetricsRegistry:
     """Get-or-create registry of named metrics.
 
@@ -134,6 +202,9 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
 
+    def summary(self, name: str) -> Summary:
+        return self._get(name, Summary)
+
     def __contains__(self, name: str) -> bool:
         return name in self._metrics
 
@@ -146,7 +217,7 @@ class MetricsRegistry:
         out: dict = {}
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            if isinstance(metric, Histogram):
+            if isinstance(metric, (Histogram, Summary)):
                 out[name] = metric.as_dict()
             else:
                 out[name] = metric.value
@@ -160,7 +231,10 @@ class MetricsRegistry:
         width = max(len(n) for n in self._metrics)
         for name in sorted(self._metrics):
             metric = self._metrics[name]
-            if isinstance(metric, Histogram):
+            if isinstance(metric, Summary):
+                value = (f"count={metric.count}  p50={metric.percentile(50)}"
+                         f"  p99={metric.percentile(99)}  max={metric.max}")
+            elif isinstance(metric, Histogram):
                 value = (f"count={metric.count}  min={metric.min}  "
                          f"max={metric.max}  mean={metric.mean:.2f}")
             elif isinstance(metric.value, float):

@@ -1,0 +1,165 @@
+"""Clients for the serving daemon.
+
+:class:`ServeClient` is the blocking socket client (TCP or unix) used
+by tools, the CI smoke test, and external callers. It speaks the
+NDJSON protocol and supports **pipelining**: :meth:`execute_many`
+writes every request before reading any response, so a single
+connection can offer real concurrency to the coalescer. Responses are
+correlated by ``id`` (they complete per-flush, not per-send).
+
+In-process async callers use :meth:`repro.serve.server.Server.submit`
+directly; sync tests use :class:`repro.serve.server.ServerThread`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+import numpy as np
+
+from ..errors import (
+    ServeClosedError,
+    ServeError,
+    ServeOverloadedError,
+    ServeProtocolError,
+)
+from . import protocol
+
+__all__ = ["ServeClient"]
+
+_CODE_ERRORS = {
+    "overloaded": ServeOverloadedError,
+    "protocol": ServeProtocolError,
+    "closed": ServeClosedError,
+}
+
+
+def _raise_for(resp: dict) -> None:
+    code = resp.get("code", "internal")
+    msg = resp.get("error", "unknown server error")
+    if code == "overloaded":
+        # reconstructs with the server's limit text intact
+        err = ServeOverloadedError(0)
+        err.args = (msg,)
+        raise err
+    raise _CODE_ERRORS.get(code, ServeError)(msg)
+
+
+class ServeClient:
+    """Blocking NDJSON client for one daemon connection.
+
+    >>> with ServeClient(port=8377) as c:          # doctest: +SKIP
+    ...     out = c.execute("chain_scan", [1, 2, 3, 4])
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int | None = None,
+                 unix_path: str | None = None, timeout: float = 120.0) -> None:
+        if (port is None) == (unix_path is None):
+            raise ValueError("pass exactly one of port= or unix_path=")
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection((host, port),
+                                                  timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+        self._responses: dict = {}  # id -> response received early
+
+    # -- plumbing -------------------------------------------------------
+    def _send(self, obj: dict) -> None:
+        self._file.write(protocol.encode(obj))
+        self._file.flush()
+
+    def _read(self) -> dict:
+        line = self._file.readline(protocol.MAX_FRAME + 2)
+        if not line:
+            raise ServeError("connection closed by server")
+        return protocol.decode(line)
+
+    def _recv(self, req_id) -> dict:
+        """The response for ``req_id``, buffering any that arrive for
+        other in-flight ids (flush completion order ≠ send order)."""
+        if req_id in self._responses:
+            return self._responses.pop(req_id)
+        while True:
+            resp = self._read()
+            if resp.get("id") == req_id:
+                return resp
+            self._responses[resp.get("id")] = resp
+
+    def request(self, obj: dict) -> dict:
+        """One round trip; raises the typed ServeError for failures."""
+        req_id = next(self._ids)
+        self._send({"id": req_id, **obj})
+        resp = self._recv(req_id)
+        if not resp.get("ok"):
+            _raise_for(resp)
+        return resp
+
+    # -- the protocol surface ------------------------------------------
+    def execute(self, pipeline: str, data, *, dtype: str = "uint32",
+                mode: str | None = None) -> np.ndarray:
+        resp = self.request({"op": "execute", "pipeline": pipeline,
+                             "data": np.asarray(data).tolist(),
+                             "dtype": dtype, "mode": mode})
+        return np.asarray(resp["result"], dtype=protocol.DTYPES[dtype])
+
+    def execute_many(self, requests: list[dict]) -> list:
+        """Pipelined batch: write every execute request, then collect
+        responses by id. Returns, in request order, either the result
+        ndarray or the typed exception — callers inspect rejects
+        without losing the successes. Each entry: ``{"pipeline", "data"
+        [, "dtype", "mode"]}``."""
+        ids = []
+        for r in requests:
+            req_id = next(self._ids)
+            ids.append((req_id, r.get("dtype", "uint32")))
+            self._send({"id": req_id, "op": "execute",
+                        "pipeline": r["pipeline"],
+                        "data": np.asarray(r["data"]).tolist(),
+                        "dtype": r.get("dtype", "uint32"),
+                        "mode": r.get("mode")})
+        out = []
+        for req_id, dtype in ids:
+            resp = self._recv(req_id)
+            if resp.get("ok"):
+                out.append(np.asarray(resp["result"],
+                                      dtype=protocol.DTYPES[dtype]))
+            else:
+                try:
+                    _raise_for(resp)
+                except ServeError as exc:
+                    out.append(exc)
+        return out
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def ops(self) -> list[dict]:
+        """The OpSpec tier-support matrix (``repro ops --json``
+        served over the wire)."""
+        return self.request({"op": "ops"})["ops"]
+
+    def shutdown(self) -> bool:
+        """Ask the daemon to drain and exit."""
+        return bool(self.request({"op": "shutdown"}).get("draining"))
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,141 @@
+"""Request coalescing: group concurrent same-plan requests per bucket.
+
+The serving daemon's core move is the one the batch runner already
+made sound (``docs/batching.md``): requests that share a
+``(pipeline, length, dtype, mode)`` key would capture α-equivalent
+plans, so they may execute as **one** length-bucketed 2D evaluation
+with bit- and counter-identical results. The coalescer implements the
+grouping side of that bargain on a deadline window:
+
+* a bucket *fills* — when it reaches ``max_rows`` pending requests it
+  flushes immediately (the caller executes it), or
+* a bucket *expires* — ``flush_ms`` after its **first** request
+  arrived it flushes with whatever it holds (bounded latency for the
+  oldest waiter; later arrivals never extend the deadline).
+
+This module is deliberately event-loop-free: it manages pure state
+(buckets, deadlines, pending counts) against an injected clock, so the
+window semantics are unit-testable without timers. The asyncio server
+drives it: :meth:`Coalescer.add` may hand back a full flush,
+:meth:`Coalescer.deadline` tells the server when to wake, and
+:meth:`Coalescer.expired` / :meth:`Coalescer.drain` pop expired /
+remaining buckets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+__all__ = ["BucketKey", "PendingRequest", "Flush", "Coalescer"]
+
+
+class BucketKey(NamedTuple):
+    """The coalescing identity: requests sharing all four fields may
+    execute as one bucket (the vl strip sequence — and with it the
+    whole per-row instruction profile — depends only on these)."""
+
+    pipeline: str
+    n: int
+    dtype: str
+    mode: str
+
+
+@dataclass
+class PendingRequest:
+    """One queued request: its input row, arrival time, and the
+    completion handle the server resolves after the flush executes
+    (an ``asyncio.Future`` in the daemon; anything with
+    ``set_result``/``set_exception`` in tests)."""
+
+    data: object
+    enqueued_at: float
+    future: object
+
+
+class Flush(NamedTuple):
+    """One executable unit: a bucket's worth of same-key requests plus
+    why it left the window (``"rows"``, ``"deadline"``, ``"drain"``)."""
+
+    key: BucketKey
+    requests: list
+    reason: str
+
+    @property
+    def rows(self) -> int:
+        return len(self.requests)
+
+
+@dataclass
+class _Bucket:
+    requests: list = field(default_factory=list)
+    deadline: float = 0.0
+
+
+class Coalescer:
+    """Pure coalescing state: per-key buckets with deadlines.
+
+    ``flush_ms`` is the deadline window; ``max_rows`` the fill
+    trigger. The injected ``clock`` (seconds, monotonic) makes window
+    semantics deterministic under test.
+    """
+
+    def __init__(self, *, flush_ms: float = 2.0, max_rows: int = 64,
+                 clock=time.monotonic) -> None:
+        if flush_ms <= 0:
+            raise ValueError(f"flush_ms must be > 0, got {flush_ms}")
+        if max_rows < 1:
+            raise ValueError(f"max_rows must be >= 1, got {max_rows}")
+        self.flush_ms = float(flush_ms)
+        self.max_rows = int(max_rows)
+        self.clock = clock
+        self._buckets: dict[BucketKey, _Bucket] = {}
+
+    # ------------------------------------------------------------------
+    # state queries
+    # ------------------------------------------------------------------
+    @property
+    def pending_rows(self) -> int:
+        """Requests sitting in the window (not yet flushed)."""
+        return sum(len(b.requests) for b in self._buckets.values())
+
+    def deadline(self) -> float | None:
+        """The earliest bucket deadline (absolute clock time), or None
+        when the window is empty — the server's next wake-up."""
+        if not self._buckets:
+            return None
+        return min(b.deadline for b in self._buckets.values())
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def add(self, key: BucketKey, req: PendingRequest) -> Flush | None:
+        """Queue one request; returns the bucket as a :class:`Flush`
+        the moment it fills to ``max_rows`` (the caller must execute
+        it), else None (it waits for the deadline)."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = _Bucket(
+                deadline=self.clock() + self.flush_ms / 1e3
+            )
+        bucket.requests.append(req)
+        if len(bucket.requests) >= self.max_rows:
+            del self._buckets[key]
+            return Flush(key, bucket.requests, "rows")
+        return None
+
+    def expired(self, now: float | None = None) -> list[Flush]:
+        """Pop every bucket whose deadline has passed."""
+        now = self.clock() if now is None else now
+        due = [k for k, b in self._buckets.items() if b.deadline <= now]
+        return [Flush(k, self._buckets.pop(k).requests, "deadline")
+                for k in due]
+
+    def drain(self) -> list[Flush]:
+        """Pop everything (graceful shutdown: residual buckets still
+        execute, they just stop waiting for the window)."""
+        flushes = [Flush(k, b.requests, "drain")
+                   for k, b in self._buckets.items()]
+        self._buckets.clear()
+        return flushes

@@ -102,6 +102,7 @@ class SVM:
         profile: bool | str = False,
         backend: str | None = None,
         cache_dir: str | None = None,
+        plan_cache=None,
     ) -> None:
         if machine is None:
             machine = RVVMachine(vlen=vlen, codegen=codegen, malloc_model=malloc_model)
@@ -120,6 +121,11 @@ class SVM:
         #: Persistent plan-store directory; None means the store is
         #: enabled only when REPRO_CACHE_DIR is set (see engine.cache).
         self.cache_dir = cache_dir
+        #: Optional externally-owned :class:`~repro.engine.cache.PlanCache`
+        #: shared with other contexts (the serving daemon's worker pool
+        #: hands every worker the same warm cache); None gives the
+        #: engine a private cache.
+        self.plan_cache = plan_cache
         self._engine = None  # lazily-created repro.engine.Engine
         if profile not in (False, True, "strips"):
             raise ConfigurationError(
@@ -174,7 +180,8 @@ class SVM:
             from ..engine.cache import PlanStore
 
             store = PlanStore(self.cache_dir) if self.cache_dir else None
-            self._engine = Engine(self, backend=self.backend, store=store)
+            self._engine = Engine(self, self.plan_cache,
+                                  backend=self.backend, store=store)
         return self._engine
 
     @contextmanager

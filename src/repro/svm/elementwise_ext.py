@@ -13,7 +13,17 @@ registry). It will be removed in a future release.
 
 from __future__ import annotations
 
-from .elementwise import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.svm.elementwise_ext is deprecated and will be removed in a "
+    "future release; import from repro.svm.elementwise (or dispatch "
+    "through repro.svm.context.SVM) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .elementwise import (  # noqa: F401,E402
     _CMP_VV,
     _CMP_VX,
     _RED,

@@ -12,7 +12,16 @@ be removed in a future release.
 
 from __future__ import annotations
 
-from .fastpath import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.svm.fastpath_ext is deprecated and will be removed in a "
+    "future release; import from repro.svm.fastpath instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .fastpath import (  # noqa: F401,E402
     _NP_CMP,
     _spill,
     _strip_count,

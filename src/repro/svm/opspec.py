@@ -66,6 +66,7 @@ __all__ = [
     "get_spec",
     "iter_specs",
     "lane_ufunc",
+    "support_matrix",
 ]
 
 
@@ -133,6 +134,32 @@ def get_spec(name: str) -> OpSpec:
 def iter_specs():
     """All specs in declaration order."""
     return iter(OPSPECS.values())
+
+
+def support_matrix() -> list[dict]:
+    """The tier-support matrix as JSON-ready dicts, one per primitive
+    in declaration order — the machine-readable form of ``repro ops``
+    (``repro ops --json``) and the serving daemon's ``ops`` request.
+
+    ``fuse`` is the spec's role (``"lane"``/``"tail"``), ``"lowered"``
+    for composites (they expand into other primitives at capture), or
+    None for ops replayed eagerly between fused groups.
+    """
+    rows = []
+    for spec in iter_specs():
+        rows.append({
+            "op": spec.name,
+            "category": spec.category,
+            "composite": spec.composite,
+            "strict": bool(spec.strict),
+            "fast": bool(spec.fast),
+            "fuse": "lowered" if spec.composite else (spec.fuse_role or None),
+            "codegen": bool(spec.codegen) and not spec.composite,
+            "batch2d": bool(spec.batch2d) and not spec.composite,
+            "data_dependent": spec.data_dependent,
+            "aliases": list(spec.aliases),
+        })
+    return rows
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,68 @@
+"""The Summary metric: deterministic percentiles on a bounded buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, Summary
+
+
+class TestSummary:
+    def test_empty(self):
+        s = Summary("lat")
+        assert s.count == 0 and s.mean == 0.0
+        assert s.percentile(50) is None
+        assert s.as_dict()["p99"] is None
+
+    def test_exact_percentiles_small(self):
+        s = Summary("lat")
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            s.observe(v)
+        assert s.count == 5 and s.min == 1.0 and s.max == 5.0
+        assert s.mean == 3.0
+        assert s.percentile(50) == 3.0
+        assert s.percentile(100) == 5.0
+        assert s.percentile(1) == 1.0
+
+    def test_nearest_rank_convention(self):
+        s = Summary("lat")
+        for v in range(1, 101):          # 1..100
+            s.observe(float(v))
+        assert s.percentile(50) == 50.0
+        assert s.percentile(90) == 90.0
+        assert s.percentile(99) == 99.0
+
+    def test_bounded_buffer_keeps_percentiles_sane(self):
+        s = Summary("lat", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            s.observe(float(v))
+        assert s.count == n and s.max == float(n - 1)
+        assert len(s._samples) <= 64
+        # stride-decimated percentiles stay within a decimation step
+        assert abs(s.percentile(50) - n / 2) <= n / 32
+        assert s.percentile(99) >= s.percentile(50)
+
+    def test_determinism_identical_runs(self):
+        def run():
+            s = Summary("lat", max_samples=32)
+            for v in range(5000):
+                s.observe(float((v * 7919) % 1000))
+            return s.as_dict()
+
+        assert run() == run()
+
+    def test_registry_integration(self):
+        r = MetricsRegistry()
+        s = r.summary("serve.latency_ms")
+        assert r.summary("serve.latency_ms") is s
+        s.observe(2.5)
+        d = r.as_dict()
+        assert d["serve.latency_ms"]["count"] == 1
+        assert "serve.latency_ms" in r.render()
+
+    def test_registry_type_conflict(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(TypeError):
+            r.summary("x")

@@ -1,0 +1,75 @@
+"""CLI surface: ``repro ops --json`` and the ``repro serve`` daemon
+run as a real subprocess (announce line, client round trip, graceful
+exit, stats JSON)."""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+import numpy as np
+
+from repro.cli import main
+from repro.serve import ServeClient
+
+
+def test_ops_json_is_machine_readable(capsys):
+    assert main(["ops", "--json"]) == 0
+    matrix = json.loads(capsys.readouterr().out)
+    assert isinstance(matrix, list) and len(matrix) >= 20
+    by_op = {row["op"]: row for row in matrix}
+    assert by_op["p_add"]["batch2d"] is True
+    assert by_op["pack"]["data_dependent"] is True
+    assert by_op["pack"]["batch2d"] is False
+    for row in matrix:
+        assert {"op", "category", "composite", "strict", "fast", "fuse",
+                "codegen", "batch2d", "data_dependent", "aliases"} \
+            <= set(row)
+
+
+def test_ops_table_still_renders(capsys):
+    assert main(["ops"]) == 0
+    out = capsys.readouterr().out
+    assert "OpSpec registry" in out
+
+
+def test_serve_cli_subprocess_round_trip(tmp_path):
+    stats_path = tmp_path / "stats.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath("src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--flush-ms", "5", "--max-requests", "3",
+         "--stats-json", str(stats_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env)
+    try:
+        announce = proc.stdout.readline()
+        m = re.match(r"REPRO_SERVE listening addr=([\d.]+):(\d+)", announce)
+        assert m, announce
+        host, port = m.group(1), int(m.group(2))
+        with ServeClient(host=host, port=port) as c:
+            assert c.ping()
+            outs = c.execute_many([
+                {"pipeline": "scan", "data": [1, 2, 3]},
+                {"pipeline": "elementwise", "data": [1, 2]},
+                {"pipeline": "chain_scan", "data": [5, 5]},
+            ])
+        assert [o.tolist() for o in outs] == [
+            [1, 3, 6], [5, 7], [40, 80]]  # ((5+10)*3)^5 = 40, scanned
+        # --max-requests 3 reached: the daemon drains and exits cleanly
+        stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 0, stderr
+        assert "served 3/3 requests" in stdout
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    stats = json.loads(stats_path.read_text())
+    assert stats["requests"]["ok"] == 3
+    assert stats["coalescing"]["flushes"] >= 1
+    assert stats["instructions"] > 0

@@ -1,0 +1,118 @@
+"""Window semantics of the coalescer, driven by a fake clock.
+
+The coalescer is event-loop-free state, so every transition — fill
+flush, deadline flush, drain — is deterministic under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BucketKey, Coalescer, PendingRequest
+
+
+class FakeClock:
+    def __init__(self, t: float = 100.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+
+KEY = BucketKey("chain_scan", 64, "uint32", "auto")
+OTHER = BucketKey("scan", 64, "uint32", "auto")
+
+
+def req(i: int = 0) -> PendingRequest:
+    return PendingRequest(data=i, enqueued_at=0.0, future=None)
+
+
+def test_fill_flush_at_max_rows():
+    clock = FakeClock()
+    co = Coalescer(flush_ms=5.0, max_rows=3, clock=clock)
+    assert co.add(KEY, req(0)) is None
+    assert co.add(KEY, req(1)) is None
+    assert co.pending_rows == 2
+    flush = co.add(KEY, req(2))
+    assert flush is not None and flush.reason == "rows"
+    assert flush.key == KEY and flush.rows == 3
+    assert [r.data for r in flush.requests] == [0, 1, 2]
+    # the bucket left the window entirely
+    assert co.pending_rows == 0 and co.deadline() is None
+
+
+def test_deadline_set_by_first_arrival_never_extended():
+    clock = FakeClock(t=10.0)
+    co = Coalescer(flush_ms=2.0, max_rows=100, clock=clock)
+    co.add(KEY, req())
+    deadline = co.deadline()
+    assert deadline == pytest.approx(10.0 + 0.002)
+    clock.t = 10.001  # later arrival must NOT push the deadline out
+    co.add(KEY, req())
+    assert co.deadline() == deadline
+
+
+def test_expired_pops_only_due_buckets():
+    clock = FakeClock(t=0.0)
+    co = Coalescer(flush_ms=2.0, max_rows=100, clock=clock)
+    co.add(KEY, req(0))
+    clock.t = 0.001
+    co.add(OTHER, req(1))
+    assert co.expired() == []           # nothing due yet
+    clock.t = 0.002                      # KEY due, OTHER not
+    flushes = co.expired()
+    assert [f.key for f in flushes] == [KEY]
+    assert flushes[0].reason == "deadline" and flushes[0].rows == 1
+    assert co.pending_rows == 1          # OTHER still waiting
+    clock.t = 0.003
+    assert [f.key for f in co.expired()] == [OTHER]
+    assert co.deadline() is None
+
+
+def test_separate_keys_separate_buckets():
+    co = Coalescer(flush_ms=5.0, max_rows=2, clock=FakeClock())
+    keys = [
+        BucketKey("chain_scan", 64, "uint32", "auto"),
+        BucketKey("chain_scan", 65, "uint32", "auto"),     # length differs
+        BucketKey("chain_scan", 64, "uint64", "auto"),     # dtype differs
+        BucketKey("chain_scan", 64, "uint32", "strict"),   # mode differs
+        BucketKey("scan", 64, "uint32", "auto"),           # pipeline differs
+    ]
+    for k in keys:
+        assert co.add(k, req()) is None
+    assert co.pending_rows == len(keys)
+    # a second row only fills its own bucket
+    flush = co.add(keys[0], req())
+    assert flush is not None and flush.key == keys[0]
+    assert co.pending_rows == len(keys) - 1
+
+
+def test_drain_pops_everything():
+    clock = FakeClock()
+    co = Coalescer(flush_ms=1000.0, max_rows=100, clock=clock)
+    co.add(KEY, req(0))
+    co.add(KEY, req(1))
+    co.add(OTHER, req(2))
+    flushes = co.drain()
+    assert sorted(f.key for f in flushes) == sorted([KEY, OTHER])
+    assert all(f.reason == "drain" for f in flushes)
+    assert sum(f.rows for f in flushes) == 3
+    assert co.pending_rows == 0 and co.drain() == []
+
+
+def test_refilled_bucket_gets_fresh_deadline():
+    clock = FakeClock(t=0.0)
+    co = Coalescer(flush_ms=2.0, max_rows=2, clock=clock)
+    co.add(KEY, req())
+    co.add(KEY, req())                   # fills -> flushes
+    clock.t = 5.0
+    co.add(KEY, req())                   # new bucket, new deadline
+    assert co.deadline() == pytest.approx(5.002)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"flush_ms": 0}, {"flush_ms": -1.0}, {"max_rows": 0},
+])
+def test_invalid_window_config_rejected(kwargs):
+    with pytest.raises(ValueError):
+        Coalescer(**kwargs)

@@ -1,0 +1,125 @@
+"""The serving identity gate (ISSUE 6 acceptance criterion).
+
+A coalesced multi-client workload — mixed pipelines, mixed lengths,
+mixed dtypes, including pack (``filter``) and strict-mode requests
+that force the per-row loop fallback — must return results AND
+per-category dynamic-instruction counters bit-identical to executing
+the same requests sequentially through direct SVM calls.
+
+The sequential oracle below is the definitional tier: one plain
+``svm.lazy()`` capture-and-run per request, nothing shared, no
+batching. The daemon (coalescing window + 2D bucket execution +
+worker pool with a shared warm plan cache) must be indistinguishable
+from it, instruction counter by instruction counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeConfig, ServerThread
+from repro.serve.protocol import DTYPES, PIPELINES
+from repro.svm import SVM
+
+SEED = 77
+
+
+def mixed_workload() -> list[dict]:
+    """Requests spanning every dispatch regime the daemon serves."""
+    rng = np.random.default_rng(SEED)
+
+    def mk(n, dtype=np.uint32):
+        return rng.integers(0, 2**16, n, dtype=dtype)
+
+    reqs: list[dict] = []
+    # fused chain + scan, large: the 2D coalesced fast path
+    reqs += [{"pipeline": "chain_scan", "data": mk(4096)} for _ in range(8)]
+    # same pipeline, small: below the fast threshold -> loop
+    reqs += [{"pipeline": "chain_scan", "data": mk(192)} for _ in range(4)]
+    # pure elementwise and bare scan buckets
+    reqs += [{"pipeline": "elementwise", "data": mk(3000)} for _ in range(5)]
+    reqs += [{"pipeline": "scan", "data": mk(2500)} for _ in range(5)]
+    # permutation plan (index + rsub + back_permute) on the 2D path
+    reqs += [{"pipeline": "reverse", "data": mk(2048)} for _ in range(4)]
+    # pack: data-dependent charge -> per-row loop fallback
+    reqs += [{"pipeline": "filter", "data": mk(3000)} for _ in range(5)]
+    # strict-mode requests: loop fallback by decree
+    reqs += [{"pipeline": "chain_scan", "data": mk(4096), "mode": "strict"}
+             for _ in range(3)]
+    # a second dtype: its own buckets end to end
+    reqs += [{"pipeline": "chain_scan", "data": mk(2048, np.uint64),
+              "dtype": "uint64"} for _ in range(3)]
+    return reqs
+
+
+def run_sequential(requests: list[dict], cfg: ServeConfig):
+    """The oracle: each request as one direct SVM capture-and-run."""
+    svm = SVM(vlen=cfg.vlen, codegen=cfg.codegen, mode=cfg.mode)
+    outputs = []
+    for r in requests:
+        svm.mode = r.get("mode") or cfg.mode
+        arr = np.asarray(r["data"], dtype=DTYPES[r.get("dtype", "uint32")])
+        data = svm.array(arr, dtype=arr.dtype)
+        with svm.lazy() as lz:
+            out = PIPELINES[r["pipeline"]](lz, data)
+        outputs.append(out.to_numpy())
+        svm.free(out)
+        if out is not data:
+            svm.free(data)
+    counters = {c.value: int(n) for c, n
+                in svm.machine.counters.snapshot().by_category.items()}
+    return outputs, counters
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_coalesced_serving_is_bit_identical_to_sequential(workers):
+    requests = mixed_workload()
+    cfg = ServeConfig(max_rows=8, flush_ms=25.0, workers=workers)
+    with ServerThread(cfg) as st:
+        served = st.submit_many(requests)
+        stats = st.stats()
+
+    failures = [r for r in served if isinstance(r, BaseException)]
+    assert not failures, failures
+
+    expected_outputs, expected_counters = run_sequential(requests, cfg)
+
+    # results: bit-identical, request by request
+    for i, (got, want) in enumerate(zip(served, expected_outputs)):
+        assert got.output.dtype == want.dtype, requests[i]["pipeline"]
+        assert np.array_equal(got.output, want), requests[i]["pipeline"]
+
+    # counters: the summed per-category dynamic-instruction counts
+    # across the worker pool equal the sequential totals exactly
+    assert stats["counters"] == dict(sorted(expected_counters.items()))
+    assert stats["instructions"] == sum(expected_counters.values())
+
+    # and the workload genuinely exercised both dispatch paths
+    paths = stats["coalescing"]["paths"]
+    assert paths["2d"] >= 1 and paths["loop"] >= 1
+    assert stats["coalescing"]["ratio"] > 1.0
+
+
+def test_identity_holds_under_forced_modes():
+    """strict vs fast mode give the same results (counters differ by
+    design across modes — each mode's serve counters must match that
+    mode's sequential counters)."""
+    rng = np.random.default_rng(SEED + 1)
+    data = [rng.integers(0, 2**16, 2048, dtype=np.uint32)
+            for _ in range(4)]
+    outputs = {}
+    for mode in ("strict", "fast"):
+        requests = [{"pipeline": "chain_scan", "data": d, "mode": mode}
+                    for d in data]
+        cfg = ServeConfig(max_rows=4, flush_ms=10_000.0)
+        with ServerThread(cfg) as st:
+            served = st.submit_many(requests)
+            stats = st.stats()
+        seq_out, seq_counters = run_sequential(requests, cfg)
+        for got, want in zip(served, seq_out):
+            assert np.array_equal(got.output, want)
+        assert stats["counters"] == dict(sorted(seq_counters.items()))
+        outputs[mode] = [r.output for r in served]
+    for a, b in zip(outputs["strict"], outputs["fast"]):
+        assert np.array_equal(a, b)

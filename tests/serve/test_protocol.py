@@ -1,0 +1,103 @@
+"""NDJSON framing, execute validation, and error-code mapping."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.ir import EngineError
+from repro.errors import (
+    ServeClosedError,
+    ServeOverloadedError,
+    ServeProtocolError,
+)
+from repro.serve import protocol
+
+
+def test_encode_decode_round_trip():
+    obj = {"id": 7, "op": "execute", "pipeline": "scan", "data": [1, 2, 3]}
+    frame = protocol.encode(obj)
+    assert frame.endswith(b"\n") and frame.count(b"\n") == 1
+    assert protocol.decode(frame) == obj
+
+
+def test_encode_is_compact():
+    assert b" " not in protocol.encode({"a": 1, "b": [2, 3]})
+
+
+@pytest.mark.parametrize("frame", [
+    b"not json\n",
+    b"{truncated\n",
+    b"[1, 2, 3]\n",      # array, not object
+    b'"string"\n',
+    b"\xff\xfe\n",
+])
+def test_decode_rejects_malformed(frame):
+    with pytest.raises(ServeProtocolError):
+        protocol.decode(frame)
+
+
+def test_decode_rejects_oversized_frame():
+    frame = b'{"pad": "' + b"x" * protocol.MAX_FRAME + b'"}\n'
+    with pytest.raises(ServeProtocolError, match="exceeds"):
+        protocol.decode(frame)
+
+
+def test_validate_execute_happy_path():
+    pipeline, arr, dtype, mode = protocol.validate_execute(
+        {"pipeline": "chain_scan", "data": [1, 2, 3]})
+    assert pipeline == "chain_scan"
+    assert arr.dtype == np.uint32 and arr.tolist() == [1, 2, 3]
+    assert dtype == "uint32" and mode is None
+
+
+def test_validate_execute_uint64_and_mode():
+    _, arr, dtype, mode = protocol.validate_execute(
+        {"pipeline": "scan", "data": [2**40], "dtype": "uint64",
+         "mode": "strict"})
+    assert arr.dtype == np.uint64 and dtype == "uint64" and mode == "strict"
+
+
+@pytest.mark.parametrize("req,match", [
+    ({"pipeline": "nope", "data": [1]}, "unknown pipeline"),
+    ({"data": [1]}, "unknown pipeline"),
+    ({"pipeline": "scan", "data": [1], "dtype": "float32"},
+     "unsupported dtype"),
+    ({"pipeline": "scan", "data": [1], "mode": "turbo"}, "unsupported mode"),
+    ({"pipeline": "scan", "data": []}, "non-empty"),
+    ({"pipeline": "scan", "data": "1,2,3"}, "non-empty"),
+    ({"pipeline": "scan"}, "non-empty"),
+    ({"pipeline": "scan", "data": [[1, 2], [3, 4]]}, "1-D|bad 'data'"),
+    ({"pipeline": "scan", "data": ["x"]}, "bad 'data'"),
+])
+def test_validate_execute_rejects(req, match):
+    with pytest.raises(ServeProtocolError, match=match):
+        protocol.validate_execute(req)
+
+
+def test_error_response_codes():
+    cases = [
+        (ServeOverloadedError(4), "overloaded"),
+        (ServeProtocolError("bad"), "protocol"),
+        (ServeClosedError("draining"), "closed"),
+        (EngineError("boom"), "internal"),
+        (RuntimeError("boom"), "internal"),
+    ]
+    for exc, code in cases:
+        resp = protocol.error_response(3, exc)
+        assert resp["id"] == 3 and resp["ok"] is False
+        assert resp["code"] == code and resp["error"] == str(exc)
+        json.dumps(resp)  # must be wire-serializable
+
+
+def test_register_pipeline_rejects_duplicate():
+    with pytest.raises(ValueError, match="already registered"):
+        protocol.register_pipeline("scan", lambda lz, data: data)
+
+
+def test_default_pipelines_cover_dispatch_regimes():
+    # fused chain, pure elementwise, bare scan, permutation, pack
+    assert set(protocol.PIPELINES) >= {
+        "chain_scan", "elementwise", "scan", "reverse", "filter"}

@@ -1,0 +1,298 @@
+"""Daemon behavior: coalescing, backpressure, shutdown, stats, sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ServeClosedError,
+    ServeOverloadedError,
+    ServeProtocolError,
+)
+from repro.serve import (
+    ServeClient,
+    ServeConfig,
+    Server,
+    ServerThread,
+)
+
+RNG = np.random.default_rng(2024)
+
+
+def rows(count: int, n: int, dtype=np.uint32) -> list[np.ndarray]:
+    return [RNG.integers(0, 2**16, n, dtype=dtype) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# coalescing through the in-process API
+# ---------------------------------------------------------------------------
+
+def test_fill_flush_coalesces_all_rows():
+    data = rows(8, 4096)
+    with ServerThread(ServeConfig(max_rows=8, flush_ms=10_000.0)) as st:
+        res = st.submit_many(
+            [{"pipeline": "chain_scan", "data": r} for r in data])
+        stats = st.stats()
+    assert all(r.flush_rows == 8 for r in res)
+    assert all(r.path == "2d" for r in res)
+    assert stats["coalescing"]["flushes"] == 1
+    assert stats["coalescing"]["rows"] == 8
+    assert stats["coalescing"]["ratio"] == 8.0
+    assert stats["requests"] == {
+        "total": 8, "ok": 8, "rejected": 0, "errors": 0, "inflight": 0}
+
+
+def test_deadline_flush_bounds_latency():
+    data = rows(3, 1024)
+    with ServerThread(ServeConfig(max_rows=64, flush_ms=5.0)) as st:
+        res = st.submit_many(
+            [{"pipeline": "scan", "data": r} for r in data])
+    # fewer rows than the fill trigger: the window deadline flushed them
+    assert all(r.flush_rows == 3 for r in res)
+
+
+def test_buckets_split_by_key():
+    with ServerThread(ServeConfig(max_rows=64, flush_ms=5.0)) as st:
+        res = st.submit_many([
+            {"pipeline": "scan", "data": rows(1, 256)[0]},
+            {"pipeline": "scan", "data": rows(1, 256)[0]},
+            {"pipeline": "scan", "data": rows(1, 512)[0]},
+            {"pipeline": "chain_scan", "data": rows(1, 256)[0]},
+            {"pipeline": "scan", "data": rows(1, 256)[0], "mode": "strict"},
+        ])
+        stats = st.stats()
+    assert [r.flush_rows for r in res] == [2, 2, 1, 1, 1]
+    assert stats["coalescing"]["flushes"] == 4
+
+
+def test_below_threshold_and_strict_take_loop_path():
+    with ServerThread(ServeConfig(max_rows=4, flush_ms=10_000.0)) as st:
+        small = st.submit_many(
+            [{"pipeline": "chain_scan", "data": r} for r in rows(4, 128)])
+        strict = st.submit_many(
+            [{"pipeline": "chain_scan", "data": r, "mode": "strict"}
+             for r in rows(4, 4096)])
+        packy = st.submit_many(
+            [{"pipeline": "filter", "data": r} for r in rows(4, 4096)])
+    assert {r.path for r in small} == {"loop"}    # n below fast threshold
+    assert {r.path for r in strict} == {"loop"}   # strict forbids 2D
+    assert {r.path for r in packy} == {"loop"}    # pack is data-dependent
+
+
+def test_submit_validation_errors():
+    with ServerThread(ServeConfig()) as st:
+        res = st.submit_many([
+            {"pipeline": "nope", "data": [1, 2]},
+            {"pipeline": "scan", "data": [1, 2], "dtype": "float32"},
+            {"pipeline": "scan", "data": [1, 2], "mode": "turbo"},
+            {"pipeline": "scan", "data": []},
+            {"pipeline": "scan", "data": [[1], [2]]},
+        ])
+    assert all(isinstance(r, ServeProtocolError) for r in res)
+
+
+def test_worker_pool_shares_one_plan_cache():
+    data = rows(8, 4096)
+    with ServerThread(ServeConfig(workers=3, max_rows=2,
+                                  flush_ms=10_000.0)) as st:
+        st.submit_many([{"pipeline": "chain_scan", "data": r} for r in data])
+        stats = st.stats()
+        assert all(svm.engine.cache is st.server.plan_cache
+                   for svm in st.server._worker_svms)
+    cache = stats["plan_cache"]
+    # four flushes of one shape: at most one miss can compile the plan;
+    # every later flush must hit the shared warm cache
+    assert cache["hits"] >= 3
+
+
+# ---------------------------------------------------------------------------
+# backpressure and shutdown
+# ---------------------------------------------------------------------------
+
+def test_backpressure_rejects_past_queue_limit():
+    data = rows(6, 1024)
+    with ServerThread(ServeConfig(queue_limit=2, max_rows=64,
+                                  flush_ms=20.0)) as st:
+        res = st.submit_many(
+            [{"pipeline": "scan", "data": r} for r in data])
+        stats = st.stats()
+    rejected = [r for r in res if isinstance(r, ServeOverloadedError)]
+    accepted = [r for r in res if not isinstance(r, BaseException)]
+    assert len(rejected) == 4 and len(accepted) == 2
+    assert "2" in str(rejected[0])
+    assert stats["requests"]["rejected"] == 4
+    assert stats["requests"]["ok"] == 2
+
+
+def test_graceful_shutdown_drains_pending_window():
+    data = rows(5, 2048)
+    st = ServerThread(ServeConfig(max_rows=64, flush_ms=60_000.0)).start()
+    results: list = []
+    try:
+        t = threading.Thread(target=lambda: results.extend(st.submit_many(
+            [{"pipeline": "chain_scan", "data": r} for r in data])))
+        t.start()
+        # wait until all five sit in the (minute-long) window
+        for _ in range(2000):
+            if st.server._coalescer.pending_rows == 5:
+                break
+            time.sleep(0.005)
+        assert st.server._coalescer.pending_rows == 5
+    finally:
+        st.stop()                      # drain must execute them, not drop
+    t.join(timeout=60)
+    assert len(results) == 5
+    assert all(not isinstance(r, BaseException) for r in results)
+    assert all(r.flush_rows == 5 for r in results)
+
+
+def test_submit_after_shutdown_raises_closed():
+    async def main():
+        server = Server(ServeConfig())
+        await server.start()
+        await server.shutdown()
+        with pytest.raises(ServeClosedError):
+            await server.submit("scan", [1, 2, 3])
+
+    asyncio.run(main())
+
+
+def test_shutdown_idempotent():
+    async def main():
+        server = Server(ServeConfig())
+        await server.start()
+        await asyncio.gather(server.shutdown(), server.shutdown())
+        await server.shutdown()
+
+    asyncio.run(main())
+
+
+def test_max_requests_triggers_autoshutdown():
+    st = ServerThread(ServeConfig(max_requests=2, flush_ms=5.0)).start()
+    try:
+        res = st.submit_many([
+            {"pipeline": "scan", "data": [1, 2, 3]},
+            {"pipeline": "scan", "data": [4, 5, 6]},
+        ])
+        assert all(not isinstance(r, BaseException) for r in res)
+        st._thread.join(timeout=60)    # server exits on its own
+        assert not st._thread.is_alive()
+    finally:
+        st.stop()
+
+
+# ---------------------------------------------------------------------------
+# stats document
+# ---------------------------------------------------------------------------
+
+def test_stats_document_shape():
+    with ServerThread(ServeConfig(max_rows=4, flush_ms=10_000.0)) as st:
+        st.submit_many(
+            [{"pipeline": "chain_scan", "data": r} for r in rows(4, 4096)])
+        stats = st.stats()
+    assert stats["config"]["max_rows"] == 4
+    assert stats["requests"]["ok"] == 4
+    lat = stats["latency_ms"]
+    assert lat["count"] == 4
+    assert 0 <= lat["p50"] <= lat["p99"] <= lat["max"]
+    co = stats["coalescing"]
+    assert co["paths"]["2d"] == 1 and co["paths"]["loop"] == 0
+    assert co["flush_wait_ms"]["count"] == 1
+    assert stats["instructions"] == sum(stats["counters"].values())
+    assert stats["instructions"] > 0
+    assert stats["plan_cache"]["size"] >= 1
+
+
+# ---------------------------------------------------------------------------
+# the socket layer
+# ---------------------------------------------------------------------------
+
+def test_tcp_round_trip_and_introspection():
+    with ServerThread(ServeConfig(port=0, max_rows=4,
+                                  flush_ms=10.0)) as st:
+        host, port = st.address
+        with ServeClient(host=host, port=port) as c:
+            assert c.ping()
+            out = c.execute("scan", [1, 2, 3, 4])
+            assert out.tolist() == [1, 3, 6, 10]
+            ops = c.ops()
+            assert any(o["op"] == "scan" for o in ops)
+            assert {"op", "strict", "fast", "codegen", "batch2d"} \
+                <= set(ops[0])
+            stats = c.stats()
+            assert stats["requests"]["ok"] >= 1
+
+
+def test_tcp_pipelined_execute_many_coalesces():
+    data = rows(6, 4096)
+    with ServerThread(ServeConfig(port=0, max_rows=6,
+                                  flush_ms=10_000.0)) as st:
+        host, port = st.address
+        with ServeClient(host=host, port=port) as c:
+            outs = c.execute_many(
+                [{"pipeline": "chain_scan", "data": r.tolist()}
+                 for r in data])
+            stats = c.stats()
+    assert all(isinstance(o, np.ndarray) for o in outs)
+    assert stats["coalescing"]["ratio"] == 6.0
+
+
+def test_tcp_error_frames():
+    with ServerThread(ServeConfig(port=0, flush_ms=5.0)) as st:
+        host, port = st.address
+        with ServeClient(host=host, port=port) as c:
+            with pytest.raises(ServeProtocolError, match="unknown pipeline"):
+                c.execute("nope", [1])
+            with pytest.raises(ServeProtocolError, match="unknown op"):
+                c.request({"op": "frobnicate"})
+            # raw garbage frame: the server answers instead of dying
+            c._file.write(b"this is not json\n")
+            c._file.flush()
+            resp = c._read()
+            assert resp["ok"] is False and resp["code"] == "protocol"
+            assert c.ping()            # connection still healthy
+
+
+def test_tcp_mixed_errors_in_execute_many():
+    with ServerThread(ServeConfig(port=0, flush_ms=5.0)) as st:
+        host, port = st.address
+        with ServeClient(host=host, port=port) as c:
+            outs = c.execute_many([
+                {"pipeline": "scan", "data": [1, 2, 3]},
+                {"pipeline": "nope", "data": [1]},
+                {"pipeline": "scan", "data": [4, 5, 6]},
+            ])
+    assert outs[0].tolist() == [1, 3, 6]
+    assert isinstance(outs[1], ServeProtocolError)
+    assert outs[2].tolist() == [4, 9, 15]
+
+
+def test_unix_socket_round_trip(tmp_path):
+    path = str(tmp_path / "repro-serve.sock")
+    with ServerThread(ServeConfig(unix_path=path, flush_ms=5.0)) as st:
+        assert st.server is not None
+        with ServeClient(unix_path=path) as c:
+            assert c.ping()
+            assert c.execute("elementwise", [1, 2]).tolist() == [5, 7]
+
+
+def test_shutdown_request_drains_and_exits():
+    with ServerThread(ServeConfig(port=0, flush_ms=5.0)) as st:
+        host, port = st.address
+        with ServeClient(host=host, port=port) as c:
+            assert c.execute("scan", [1, 1, 1]).tolist() == [1, 2, 3]
+            assert c.shutdown() is True
+        st._thread.join(timeout=60)
+        assert not st._thread.is_alive()
+
+
+def test_client_requires_exactly_one_endpoint():
+    with pytest.raises(ValueError):
+        ServeClient()
+    with pytest.raises(ValueError):
+        ServeClient(port=1, unix_path="/tmp/x")

@@ -1,0 +1,54 @@
+"""The legacy ``*_ext`` kernel modules must warn once on import and
+re-export the exact objects now living in the merged modules."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import pytest
+
+SHIMS = {
+    "repro.svm.elementwise_ext": "repro.svm.elementwise",
+    "repro.svm.fastpath_ext": "repro.svm.fastpath",
+}
+
+
+def _fresh_import(name: str):
+    """Import ``name`` as if for the first time (module-level warnings
+    fire on first import only)."""
+    sys.modules.pop(name, None)
+    try:
+        return importlib.import_module(name)
+    finally:
+        sys.modules.pop(name, None)
+
+
+@pytest.mark.parametrize("shim,target", sorted(SHIMS.items()))
+def test_shim_import_emits_deprecation_warning(shim, target):
+    with pytest.warns(DeprecationWarning, match=f"{shim} is deprecated"):
+        _fresh_import(shim)
+
+
+@pytest.mark.parametrize("shim,target", sorted(SHIMS.items()))
+def test_shim_reexports_are_identical_objects(shim, target):
+    with pytest.warns(DeprecationWarning):
+        mod = _fresh_import(shim)
+    real = importlib.import_module(target)
+    assert mod.__all__, shim
+    for name in mod.__all__:
+        assert getattr(mod, name) is getattr(real, name), name
+
+
+def test_library_itself_never_imports_the_shims():
+    """Importing the package (and the serve daemon on top of it) must
+    not trigger the deprecation warnings — only legacy callers do."""
+    import subprocess
+
+    code = (
+        "import warnings, sys\n"
+        "warnings.simplefilter('error', DeprecationWarning)\n"
+        "import repro, repro.batch, repro.serve, repro.bench\n"
+        + "".join(f"assert {name!r} not in sys.modules\n" for name in SHIMS)
+    )
+    subprocess.run([sys.executable, "-c", code], check=True)

@@ -1,0 +1,142 @@
+"""CI probe: drive the serving daemon end to end as a real subprocess.
+
+Starts ``python -m repro serve`` on an ephemeral port, parses the
+``REPRO_SERVE listening addr=...`` announce line, runs a mixed
+workload (every default pipeline, mixed lengths, a strict-mode batch)
+over one pipelined client connection, and asserts:
+
+* every response is bit-identical to executing the same request
+  sequentially through a direct :class:`repro.SVM` call (the serving
+  identity invariant, checked over the wire this time);
+* the ``stats`` request reports a sane document (requests all ok,
+  at least one coalesced flush, nonzero instruction counters);
+* a ``shutdown`` request drains the daemon, it exits 0, and the
+  ``--stats-json`` file it leaves behind agrees with the wire stats.
+
+    PYTHONPATH=src python tools/ci_serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.serve import ServeClient
+from repro.serve.protocol import PIPELINES
+from repro.svm import SVM
+
+SEED = 513
+
+
+def build_workload() -> list[dict]:
+    g = np.random.default_rng(SEED)
+    reqs: list[dict] = []
+    reqs += [{"pipeline": "chain_scan",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(6)]
+    reqs += [{"pipeline": "elementwise",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(4)]
+    reqs += [{"pipeline": "scan",
+              "data": g.integers(0, 2**16, 900, dtype=np.uint32).tolist()}
+             for _ in range(3)]
+    reqs += [{"pipeline": "reverse",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(3)]
+    reqs += [{"pipeline": "filter",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(3)]
+    reqs += [{"pipeline": "chain_scan", "mode": "strict",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(2)]
+    return reqs
+
+
+def sequential_reference(requests: list[dict]) -> list[np.ndarray]:
+    svm = SVM(vlen=1024, codegen="paper")
+    outs = []
+    for r in requests:
+        svm.mode = r.get("mode") or "auto"
+        data = svm.array(np.asarray(r["data"], dtype=np.uint32))
+        with svm.lazy() as lz:
+            out = PIPELINES[r["pipeline"]](lz, data)
+        outs.append(out.to_numpy())
+        svm.free(out)
+        if out is not data:
+            svm.free(data)
+    return outs
+
+
+def main() -> int:
+    stats_path = os.path.join(tempfile.mkdtemp(prefix="repro-serve-"),
+                              "stats.json")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--flush-ms", "5", "--max-rows", "8",
+         "--stats-json", stats_path],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        announce = proc.stdout.readline()
+        m = re.match(r"REPRO_SERVE listening addr=([\d.]+):(\d+)", announce)
+        if not m:
+            proc.kill()
+            _, stderr = proc.communicate()
+            print(f"FAIL: bad announce line {announce!r}\n{stderr}")
+            return 1
+        host, port = m.group(1), int(m.group(2))
+        print(f"daemon up at {host}:{port}")
+
+        requests = build_workload()
+        with ServeClient(host=host, port=port) as client:
+            assert client.ping(), "ping failed"
+            served = client.execute_many(requests)
+            wire_stats = client.stats()
+            assert client.shutdown(), "shutdown not acknowledged"
+
+        failures = [r for r in served if not isinstance(r, np.ndarray)]
+        assert not failures, f"request failures: {failures}"
+
+        reference = sequential_reference(requests)
+        for i, (got, want) in enumerate(zip(served, reference)):
+            assert np.array_equal(got, want), (
+                f"request {i} ({requests[i]['pipeline']}) diverged from "
+                f"the sequential reference")
+        print(f"identity: {len(served)} served results bit-identical "
+              "to sequential SVM calls")
+
+        req = wire_stats["requests"]
+        co = wire_stats["coalescing"]
+        assert req["ok"] == len(requests), req
+        assert req["errors"] == 0 and req["rejected"] == 0, req
+        assert co["flushes"] >= 1 and co["rows"] == len(requests), co
+        assert co["ratio"] > 1.0, f"no coalescing happened: {co}"
+        assert wire_stats["instructions"] > 0
+        print(f"stats: {co['rows']} rows in {co['flushes']} flushes "
+              f"(ratio {co['ratio']}), paths {co['paths']}")
+
+        stdout, stderr = proc.communicate(timeout=120)
+        assert proc.returncode == 0, f"daemon exit {proc.returncode}\n{stderr}"
+        assert "served" in stdout, stdout
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    with open(stats_path) as f:
+        final_stats = json.load(f)
+    assert final_stats["requests"]["ok"] == len(requests), final_stats
+    assert final_stats["counters"] == wire_stats["counters"], (
+        "stats-json counters drifted from the wire stats")
+    print("serve smoke: OK "
+          f"(final stats written to {stats_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
