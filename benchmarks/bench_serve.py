@@ -122,15 +122,19 @@ def test_serve_coalescing_and_identity(benchmark):
     assert all(c["ratio"] > 1.0 for c in cells if c["clients"] >= 8)
 
     # throughput: the coalesced 2D flush must beat the sequential loop
-    # once the window is wide (generous floor — CI machines are noisy)
+    # once the window is wide — best of 3 each, single-shot walls at
+    # this scale are a few ms and scheduler noise can flip them
     g2 = rng(SEED + 1)
     wide = [{"pipeline": "chain_scan",
              "data": g2.integers(0, 2**16, N, dtype=np.uint32)}
             for _ in range(32)]
-    _, _, serve_wall, cfg = _serve_round(wide, max_rows=32)
-    t0 = time.perf_counter()
-    _sequential(wide, cfg)
-    seq_wall = time.perf_counter() - t0
+    serve_wall = seq_wall = float("inf")
+    for _ in range(3):
+        _, _, wall, cfg = _serve_round(wide, max_rows=32)
+        serve_wall = min(serve_wall, wall)
+        t0 = time.perf_counter()
+        _sequential(wide, cfg)
+        seq_wall = min(seq_wall, time.perf_counter() - t0)
     assert serve_wall < seq_wall, (
         f"32-way coalesced serving ({serve_wall:.3f}s) should beat the "
         f"sequential loop ({seq_wall:.3f}s)")
@@ -188,3 +192,143 @@ def test_serve_coalescing_and_identity(benchmark):
               [{"pipeline": "chain_scan",
                 "data": rng(SEED).integers(0, 2**16, N, dtype=np.uint32)}
                for _ in range(8)], max_rows=8)
+
+
+# ---------------------------------------------------------------------------
+# telemetry overhead gate
+# ---------------------------------------------------------------------------
+
+TEL_CLIENTS = 32
+# the overhead phase runs a production-shaped workload: long rows so
+# per-request serving work dominates (the telemetry budget is per
+# *request*, and a 5% gate on a toy workload measures scheduler noise)
+TEL_N = 100_000
+TEL_TOTAL = 96
+TEL_ROWS = 32
+TEL_REPEATS = 7
+
+
+def _telemetry_round(requests, *, telemetry: bool):
+    cfg = ServeConfig(max_rows=len(requests), flush_ms=10_000.0,
+                      telemetry=telemetry)
+    with ServerThread(cfg) as st:
+        t0 = time.perf_counter()
+        served = st.submit_many(requests)
+        wall = time.perf_counter() - t0
+        stats = st.stats()
+        dump = st.flight_dump()
+    failures = [r for r in served if isinstance(r, BaseException)]
+    assert not failures, failures
+    return served, stats, dump, wall
+
+
+def test_serve_telemetry_overhead():
+    """Always-on telemetry must be free where it counts.
+
+    Two phases:
+
+    * **Determinism (CI-gated in ``BENCH_serve.json``)**: fresh
+      servers, telemetry on vs off — results and per-category counters
+      identical, complete admit→coalesce→flush→complete trace chains
+      for every request, and the exact flight-recorder event count the
+      workload implies (3 events per request + 2 per flush).
+
+    * **Overhead (asserted, never written to the gated JSON beyond a
+      boolean)**: one live server, ``telemetry.enabled`` toggled
+      between strictly alternating rounds of a production-shaped
+      workload (``TEL_TOTAL`` requests of n=``TEL_N``, coalesced
+      ``TEL_ROWS`` per flush). Pairing on/off rounds on the same warm
+      server cancels startup, plan-compile, and CPU-frequency noise
+      that dwarfs the effect when comparing separate processes.
+      Telemetry-on must land within 5% of telemetry-off,
+      best-of-``TEL_REPEATS``.
+    """
+    # -- phase 1: determinism on fresh servers -------------------------
+    g = rng(SEED + 7)
+    requests = [
+        {"pipeline": "chain_scan",
+         "data": g.integers(0, 2**16, N, dtype=np.uint32)}
+        for _ in range(TEL_CLIENTS)
+    ]
+    on_served, on_stats, on_dump, _ = _telemetry_round(
+        requests, telemetry=True)
+    off_served, off_stats, off_dump, _ = _telemetry_round(
+        requests, telemetry=False)
+
+    # identity: telemetry must not perturb results or counters
+    identical_results = bool(all(
+        np.array_equal(a.output, b.output)
+        for a, b in zip(on_served, off_served)))
+    identical_counters = on_stats["counters"] == off_stats["counters"]
+    assert identical_results and identical_counters
+
+    # trace chains: every request's ID spans admit -> complete, and the
+    # single max_rows-triggered flush lists all of them
+    chains_complete = True
+    for res in on_served:
+        chain = [e["kind"] for e in on_dump["events"]
+                 if e.get("trace") == res.trace_id
+                 or res.trace_id in (e.get("traces") or ())]
+        chains_complete &= chain == ["admit", "coalesce", "flush",
+                                     "complete"]
+    assert chains_complete
+    # 3 events per request (admit/coalesce/complete) + flush + cache
+    events_expected = 3 * TEL_CLIENTS + 2
+    assert on_dump["recorded"] == events_expected, on_dump["recorded"]
+    assert off_dump["recorded"] == 0
+
+    # -- phase 2: paired-round overhead on one live server -------------
+    g2 = rng(SEED + 8)
+    wide = [
+        {"pipeline": "chain_scan",
+         "data": g2.integers(0, 2**16, TEL_N, dtype=np.uint32)}
+        for _ in range(TEL_TOTAL)
+    ]
+    cfg = ServeConfig(max_rows=TEL_ROWS, flush_ms=10_000.0, telemetry=True)
+    walls: dict[bool, list] = {True: [], False: []}
+    with ServerThread(cfg) as st:
+
+        def one_round(enabled: bool) -> float:
+            st.server.telemetry.enabled = enabled
+            t0 = time.perf_counter()
+            served = st.submit_many(wide)
+            wall = time.perf_counter() - t0
+            assert not any(isinstance(r, BaseException) for r in served)
+            return wall
+
+        one_round(True)   # warm: plan compiled, pools spun up
+        one_round(False)
+        for _ in range(TEL_REPEATS):
+            walls[True].append(one_round(True))
+            walls[False].append(one_round(False))
+
+    on_wall, off_wall = min(walls[True]), min(walls[False])
+    overhead = on_wall / off_wall - 1.0
+    assert overhead <= 0.05, (
+        f"telemetry overhead {overhead:.2%} exceeds the 5% budget "
+        f"(on {on_wall:.4f}s vs off {off_wall:.4f}s)")
+
+    record(ExperimentResult(
+        "Serving telemetry overhead",
+        f"chain_scan n={TEL_N}, {TEL_TOTAL} requests coalesced "
+        f"{TEL_ROWS}/flush, paired rounds, best of {TEL_REPEATS}",
+        ["telemetry", "wall s", "req/s"],
+        [["on", f"{on_wall:.4f}", f"{TEL_TOTAL / on_wall:,.0f}"],
+         ["off", f"{off_wall:.4f}", f"{TEL_TOTAL / off_wall:,.0f}"]],
+        notes=[f"measured overhead {overhead:+.2%} (budget 5%); the gated"
+               " JSON records only the deterministic facts."],
+    ))
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    doc = json.loads(out.read_text())
+    doc["telemetry"] = {
+        "clients": TEL_CLIENTS,
+        "flushes": 1,
+        "events_recorded": events_expected,
+        "events_with_telemetry_off": 0,
+        "identical_results": identical_results,
+        "identical_counters": identical_counters,
+        "trace_chains_complete": chains_complete,
+        "overhead_within_5pct": bool(overhead <= 0.05),
+    }
+    out.write_text(json.dumps(doc, indent=2) + "\n")

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..engine.capture import PlanBuilder
+from ..obs.telemetry import note_batch_path
 from ..engine.executor import execute
 from ..engine.fuse import GroupSpec, materialize
 from ..engine.ir import EngineError, Kind, Plan, ScalarFuture, resolve_scalar
@@ -415,6 +416,7 @@ def _dispatch_bucket(svm, pipe, rows) -> tuple[list[np.ndarray], str]:
     fused = svm.engine.fused_for(plan)
     use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
     path = "2d" if use_2d else "loop"
+    note_batch_path(path)  # serve telemetry: flush-scoped trace context
     col = getattr(svm.machine, "collector", None)
     ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
         if col is not None else nullcontext()

@@ -476,6 +476,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import contextlib
     import json
     import signal
+    import sys as _sys
 
     from .serve import ServeConfig, Server
 
@@ -488,9 +489,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         vlen=args.vlen, codegen=args.codegen, mode=args.mode,
         backend=args.backend, cache_dir=args.cache_dir,
         profile=args.profile, max_requests=args.max_requests,
+        telemetry=not args.no_telemetry,
+        flight_capacity=args.flight_capacity,
+        flight_exemplars=args.flight_exemplars,
+        flight_dump=args.flight_dump,
     )
 
-    async def _main() -> dict:
+    async def _main() -> tuple[dict, str]:
         server = Server(config)
         await server.start()
         loop = asyncio.get_running_loop()
@@ -498,6 +503,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             with contextlib.suppress(NotImplementedError):
                 loop.add_signal_handler(
                     sig, lambda: loop.create_task(server.shutdown()))
+
+        def _flight_dump() -> None:
+            # SIGUSR1: dump the flight recorder without disturbing the
+            # daemon — to --flight-dump when set, else to stderr
+            text = server.telemetry.recorder.dump_ndjson()
+            if config.flight_dump:
+                with contextlib.suppress(OSError):
+                    with open(config.flight_dump, "w") as f:
+                        f.write(text)
+                print(f"REPRO_SERVE flight dump written to "
+                      f"{config.flight_dump}", flush=True)
+            else:
+                _sys.stderr.write(text)
+                _sys.stderr.flush()
+
+        if hasattr(signal, "SIGUSR1"):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(signal.SIGUSR1, _flight_dump)
         addr = server.address
         if addr is not None:
             # parseable announce line: tools/ci_serve_smoke.py reads it
@@ -508,20 +531,111 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"REPRO_SERVE listening unix={config.unix_path}",
                   flush=True)
         await server.wait_closed()
-        return server.stats()
+        return server.stats(), server.metrics_exposition()
 
-    stats = asyncio.run(_main())
+    stats, exposition = asyncio.run(_main())
     if args.stats_json:
         with open(args.stats_json, "w") as f:
             json.dump(stats, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"wrote serving stats to {args.stats_json}")
+    if args.metrics_file:
+        with open(args.metrics_file, "w") as f:
+            f.write(exposition)
+        print(f"wrote metrics exposition to {args.metrics_file}")
     req = stats["requests"]
     co = stats["coalescing"]
     print(f"served {req['ok']}/{req['total']} requests "
           f"(rejected {req['rejected']}, errors {req['errors']}) in "
           f"{co['flushes']} flushes, coalescing ratio {co['ratio']}")
     return 0
+
+
+def _render_top(stats: dict, rate: float | None) -> str:
+    """One ``repro top`` frame from a daemon's ``stats`` document."""
+    req = stats["requests"]
+    co = stats["coalescing"]
+    pc = stats["plan_cache"]
+    lat = stats.get("latency_ms") or {}
+    tel = stats.get("telemetry") or {}
+    flight = tel.get("flight") or {}
+    cfg = stats["config"]
+    lines = [
+        f"repro top — uptime {stats.get('uptime_s', 0.0):.1f}s  "
+        f"workers {cfg['workers']}  mode {cfg['mode']}  "
+        f"window {cfg['flush_ms']}ms/{cfg['max_rows']} rows",
+        f"requests    total {req['total']:,}  ok {req['ok']:,}  "
+        f"rejected {req['rejected']:,}  errors {req['errors']:,}  "
+        f"inflight {req['inflight']}",
+        f"throughput  "
+        + (f"{rate:.1f} req/s" if rate is not None else "(first poll)"),
+        f"coalescing  ratio {co['ratio']}  flushes {co['flushes']:,}  "
+        f"paths 2d={co['paths']['2d']:,} loop={co['paths']['loop']:,}",
+        f"latency_ms  p50 {lat.get('p50', '-')}  p90 {lat.get('p90', '-')}  "
+        f"p99 {lat.get('p99', '-')}  max {lat.get('max', '-')}",
+        f"plan cache  hit_rate {pc['hit_rate']:.3f}  "
+        f"memory {pc['sources']['memory']:,}  "
+        f"disk {pc['sources']['disk']:,}  "
+        f"compile {pc['sources']['compile']:,}"
+        if pc.get("sources") else
+        f"plan cache  hit_rate {pc['hit_rate']:.3f}",
+        f"flight      recorded {flight.get('recorded', 0):,}  "
+        f"dropped {flight.get('dropped', 0):,}  "
+        f"exemplars {flight.get('exemplars', 0)}",
+    ]
+    pipelines = stats.get("pipelines") or {}
+    if pipelines:
+        lines.append("pipelines:")
+        width = max(len(p) for p in pipelines)
+        for name in sorted(pipelines):
+            doc = pipelines[name]
+            plat = doc.get("latency_ms") or {}
+            lines.append(
+                f"  {name:<{width}}  requests {doc['requests']:,}"
+                f"  p50 {plat.get('p50', '-')}ms"
+                f"  p99 {plat.get('p99', '-')}ms")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from .serve import ServeClient
+
+    if args.port is None and args.unix is None:
+        args.port = 8377
+
+    def _connect() -> "ServeClient":
+        if args.unix is not None:
+            return ServeClient(unix_path=args.unix)
+        return ServeClient(host=args.host, port=args.port)
+
+    prev: tuple[int, float] | None = None
+    frames = 0
+    try:
+        with _connect() as client:
+            while True:
+                stats = client.stats()
+                now = _time.monotonic()
+                rate = None
+                if prev is not None and now > prev[1]:
+                    rate = max(0, stats["requests"]["total"] - prev[0]) \
+                        / (now - prev[1])
+                frame = _render_top(stats, rate)
+                if not args.once:
+                    # full-screen refresh: clear + home, like top(1)
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                prev = (stats["requests"]["total"], now)
+                frames += 1
+                if args.once or (args.frames and frames >= args.frames):
+                    return 0
+                _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"repro top: connection lost: {exc}")
+        return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -667,7 +781,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats-json", default=None, metavar="PATH",
                    help="write the final serving statistics JSON on "
                         "shutdown")
+    p.add_argument("--metrics-file", default=None, metavar="PATH",
+                   help="write the Prometheus text exposition of every "
+                        "metric family on shutdown")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable the always-on telemetry layer (request "
+                        "tracing, labeled metrics, flight recorder)")
+    p.add_argument("--flight-capacity", type=int, default=512,
+                   help="flight-recorder ring buffer size in events")
+    p.add_argument("--flight-exemplars", type=int, default=8,
+                   help="slowest-request span trees retained as exemplars")
+    p.add_argument("--flight-dump", default=None, metavar="PATH",
+                   help="write the flight recorder as NDJSON here on a "
+                        "request error or SIGUSR1 (default on SIGUSR1: "
+                        "stderr)")
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live view of a running serve daemon (polls its "
+                    "stats request)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="daemon TCP port (default 8377 when no --unix)")
+    p.add_argument("--unix", default=None, metavar="PATH",
+                   help="connect over a unix socket instead of TCP")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    p.add_argument("--frames", type=int, default=0, metavar="N",
+                   help="exit after N frames (0 = until interrupted)")
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent plan cache"

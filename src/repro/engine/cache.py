@@ -190,15 +190,28 @@ class PlanStore:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`PlanCache`."""
+    """Hit/miss counters of one :class:`PlanCache`.
+
+    ``hits`` counts in-memory hits only; ``disk_hits`` counts misses
+    that the persistent :class:`PlanStore` then satisfied (the engine
+    reports them via :meth:`PlanCache.note_disk_hit`), so
+    ``misses - disk_hits`` is the true compile count. Serving stats
+    surface all three tiers separately — a warm disk cache and a cold
+    everything look identical under plain hit/miss counts.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
         return self.hits + self.misses
+
+    @property
+    def compiles(self) -> int:
+        return self.misses - self.disk_hits
 
     @property
     def hit_rate(self) -> float:
@@ -242,6 +255,12 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def note_disk_hit(self) -> None:
+        """Record that the miss just counted by :meth:`get` was
+        satisfied from the persistent store rather than compiled."""
+        with self._lock:
+            self.stats.disk_hits += 1
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -258,6 +277,8 @@ class PlanCache:
             "hits": self.stats.hits,
             "misses": self.stats.misses,
             "evictions": self.stats.evictions,
+            "disk_hits": self.stats.disk_hits,
+            "compiles": self.stats.compiles,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": self.stats.hit_rate,

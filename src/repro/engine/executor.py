@@ -28,6 +28,7 @@ from contextlib import nullcontext
 
 import numpy as np
 
+from ..obs.telemetry import note_plan_cache
 from ..rvv.counters import Cat
 from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, permutation
 from ..rvv.types import LMUL
@@ -362,12 +363,14 @@ class Engine:
                 # promote into the in-memory cache
                 hit = True
                 source = "disk"
+                self.cache.note_disk_hit()
                 self.cache.put(key, fused)
         if not hit:
             fused = self.compile_plan(plan)
             self.cache.put(key, fused)
             if self.store is not None:
                 self.store.save(key, fused)
+        note_plan_cache(source if hit else "compile")
         col = getattr(self.svm.machine, "collector", None)
         if col is not None:
             col.plan_cache_event(hit, self.cache,

@@ -14,7 +14,13 @@ This package turns that from per-bench ad-hoc code into a layer:
   Chrome-trace (``chrome://tracing`` / Perfetto) export;
 * :mod:`repro.obs.tap` — a counter-event tap that fan-outs every
   ``Counters.add`` to subscribers (the mechanism under
-  :class:`~repro.rvv.trace.TraceRecorder`).
+  :class:`~repro.rvv.trace.TraceRecorder`);
+* :mod:`repro.obs.telemetry` — always-on *service* telemetry for the
+  daemon: request trace IDs and context propagation, plus a bounded
+  flight recorder of structured events with slowest-request
+  exemplars;
+* :mod:`repro.obs.exposition` — Prometheus text exposition of the
+  registry, with the strict parser CI validates scrapes against.
 
 Entry points: ``SVM(profile=True)`` + ``svm.profiler``, the
 :func:`~repro.obs.spans.profile` context manager for a bare machine,
@@ -22,6 +28,7 @@ and the ``repro profile`` CLI subcommand. See ``docs/observability.md``.
 """
 
 from .export import render_tree, to_chrome_trace, to_json
+from .exposition import ExpositionError, parse_exposition, render_exposition
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Summary
 from .spans import (
     NULL_SPAN,
@@ -33,6 +40,15 @@ from .spans import (
     span,
 )
 from .tap import CounterTap, install_tap, uninstall_tap_if_idle
+from .telemetry import (
+    FlightRecorder,
+    Telemetry,
+    TraceContext,
+    current_trace,
+    note_batch_path,
+    note_plan_cache,
+    trace_scope,
+)
 
 __all__ = [
     "ProfileCollector",
@@ -53,4 +69,14 @@ __all__ = [
     "CounterTap",
     "install_tap",
     "uninstall_tap_if_idle",
+    "Telemetry",
+    "FlightRecorder",
+    "TraceContext",
+    "current_trace",
+    "trace_scope",
+    "note_plan_cache",
+    "note_batch_path",
+    "render_exposition",
+    "parse_exposition",
+    "ExpositionError",
 ]

@@ -1,0 +1,268 @@
+"""Prometheus text exposition of the metrics registry.
+
+:func:`render_exposition` turns a
+:class:`~repro.obs.metrics.MetricsRegistry` into the Prometheus text
+format (version 0.0.4) so the daemon's ``metrics`` wire request and
+``repro serve --metrics-file`` are scrape-ready: dotted metric names
+become ``repro_``-prefixed underscore names, labeled families render
+one sample per label set, counters get the ``_total`` suffix,
+histograms render cumulative ``_bucket{le=...}`` series (the exact
+value map of :class:`~repro.obs.metrics.Histogram` maps directly onto
+cumulative buckets), and summaries render ``{quantile=...}`` samples
+from their deterministic bounded buffer.
+
+:func:`parse_exposition` is the *strict* inverse used by the CI smoke
+(:mod:`tools.ci_serve_smoke`) and the test suite: it rejects — rather
+than skips — malformed names, unquoted label values, samples without a
+preceding ``# TYPE`` line, duplicate samples, non-monotone histogram
+buckets, ``+Inf`` buckets that disagree with ``_count``, and summary
+quantiles outside [0, 1]. Rendering is deterministic (families and
+label sets in sorted order), so two scrapes of an idle daemon are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Summary
+
+__all__ = ["render_exposition", "parse_exposition", "ExpositionError"]
+
+_QUANTILES = ((0.5, 50), (0.9, 90), (0.99, 99))
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+
+
+class ExpositionError(ValueError):
+    """A violation of the text exposition format (strict parser)."""
+
+
+def sanitize_name(name: str) -> str:
+    """Dotted registry name → exposition metric name."""
+    flat = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not flat.startswith("repro_"):
+        flat = "repro_" + flat
+    return flat
+
+
+def _escape(value) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_labels(labels: dict, extra: tuple = ()) -> str:
+    pairs = [(k, v) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt_num(value) -> str:
+    if value is None:
+        return "NaN"
+    f = float(value)
+    if math.isinf(f):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: list[str] = []
+    for name, cls, samples in registry.families():
+        base = sanitize_name(name)
+        if cls is Counter:
+            full = base if base.endswith("_total") else base + "_total"
+            lines.append(f"# TYPE {full} counter")
+            for labels, m in samples:
+                lines.append(f"{full}{_fmt_labels(labels)} {_fmt_num(m.value)}")
+        elif cls is Gauge:
+            lines.append(f"# TYPE {base} gauge")
+            for labels, m in samples:
+                lines.append(f"{base}{_fmt_labels(labels)} {_fmt_num(m.value)}")
+        elif cls is Histogram:
+            lines.append(f"# TYPE {base} histogram")
+            for labels, m in samples:
+                cum = 0
+                for edge in sorted(m.by_value):
+                    cum += m.by_value[edge]
+                    le = _fmt_labels(labels, (("le", _fmt_num(edge)),))
+                    lines.append(f"{base}_bucket{le} {cum}")
+                inf = _fmt_labels(labels, (("le", "+Inf"),))
+                lines.append(f"{base}_bucket{inf} {m.count}")
+                lines.append(f"{base}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_num(m.total)}")
+                lines.append(f"{base}_count{_fmt_labels(labels)} {m.count}")
+        elif cls is Summary:
+            lines.append(f"# TYPE {base} summary")
+            for labels, m in samples:
+                if m.count:
+                    for q, p in _QUANTILES:
+                        ql = _fmt_labels(labels, (("quantile", _fmt_num(q)),))
+                        lines.append(
+                            f"{base}{ql} {_fmt_num(m.percentile(p))}")
+                lines.append(f"{base}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_num(m.total)}")
+                lines.append(f"{base}_count{_fmt_labels(labels)} {m.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# strict parser
+# ----------------------------------------------------------------------
+
+def _parse_value(raw: str, where: str) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExpositionError(f"{where}: bad sample value {raw!r}") from None
+
+
+def _parse_labels(raw: str, where: str) -> dict:
+    labels: dict = {}
+    pos = 0
+    while pos < len(raw):
+        m = _LABEL_RE.match(raw, pos)
+        if not m:
+            raise ExpositionError(f"{where}: malformed label at {raw[pos:]!r}")
+        name = m.group("name")
+        if name in labels:
+            raise ExpositionError(f"{where}: duplicate label {name!r}")
+        labels[name] = re.sub(
+            r"\\(.)", lambda e: {"n": "\n"}.get(e.group(1), e.group(1)),
+            m.group("value"))
+        pos = m.end()
+        if pos < len(raw):
+            if raw[pos] != ",":
+                raise ExpositionError(
+                    f"{where}: expected ',' between labels at {raw[pos:]!r}")
+            pos += 1
+    return labels
+
+
+def _family_of(sample_name: str, types: dict) -> tuple[str, str]:
+    """Resolve a sample name to its declared (family, role)."""
+    if sample_name in types:
+        return sample_name, "value"
+    for suffix, role in (("_bucket", "bucket"), ("_sum", "sum"),
+                         ("_count", "count")):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in types:
+                return base, role
+    raise ExpositionError(
+        f"sample {sample_name!r} has no preceding # TYPE declaration")
+
+
+def parse_exposition(text: str) -> dict:
+    """Strictly parse exposition text.
+
+    Returns ``{family: {"type": t, "samples": [(name, labels, value)]}}``
+    and raises :class:`ExpositionError` on any format violation.
+    """
+    types: dict[str, str] = {}
+    families: dict[str, dict] = {}
+    seen: set = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        where = f"line {lineno}"
+        if not line:
+            continue
+        if line != line.strip():
+            raise ExpositionError(f"{where}: stray whitespace {line!r}")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise ExpositionError(f"{where}: malformed comment {line!r}")
+            if parts[1] == "TYPE":
+                name, mtype = parts[2], parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.match(name):
+                    raise ExpositionError(f"{where}: bad metric name {name!r}")
+                if mtype not in ("counter", "gauge", "histogram", "summary",
+                                 "untyped"):
+                    raise ExpositionError(f"{where}: bad type {mtype!r}")
+                if name in types:
+                    raise ExpositionError(f"{where}: duplicate TYPE {name!r}")
+                types[name] = mtype
+                families[name] = {"type": mtype, "samples": []}
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            raise ExpositionError(f"{where}: malformed sample {line!r}")
+        name = m.group("name")
+        labels = _parse_labels(m.group("labels") or "", where)
+        for lname in labels:
+            if not _LABEL_NAME_RE.match(lname):
+                raise ExpositionError(f"{where}: bad label name {lname!r}")
+        value = _parse_value(m.group("value"), where)
+        family, role = _family_of(name, types)
+        mtype = types[family]
+        if role != "value" and mtype not in ("histogram", "summary"):
+            raise ExpositionError(
+                f"{where}: {name!r} suffix invalid for {mtype} {family!r}")
+        if role == "bucket":
+            if mtype != "histogram":
+                raise ExpositionError(
+                    f"{where}: _bucket sample for non-histogram {family!r}")
+            if "le" not in labels:
+                raise ExpositionError(f"{where}: bucket without le label")
+        if mtype == "summary" and role == "value" and "quantile" in labels:
+            q = float(labels["quantile"])
+            if not (0.0 <= q <= 1.0):
+                raise ExpositionError(
+                    f"{where}: quantile {q} outside [0, 1]")
+        if mtype == "counter" and value < 0:
+            raise ExpositionError(f"{where}: negative counter {name!r}")
+        ident = (name, tuple(sorted(labels.items())))
+        if ident in seen:
+            raise ExpositionError(f"{where}: duplicate sample {line!r}")
+        seen.add(ident)
+        families[family]["samples"].append((name, labels, value))
+
+    for family, doc in families.items():
+        if doc["type"] != "histogram":
+            continue
+        by_series: dict[tuple, list] = {}
+        counts: dict[tuple, float] = {}
+        for name, labels, value in doc["samples"]:
+            ident = tuple(sorted((k, v) for k, v in labels.items()
+                                 if k != "le"))
+            if name.endswith("_bucket"):
+                le = labels["le"]
+                edge = math.inf if le == "+Inf" else float(le)
+                by_series.setdefault(ident, []).append((edge, value))
+            elif name.endswith("_count"):
+                counts[ident] = value
+        for ident, buckets in by_series.items():
+            ordered = sorted(buckets)
+            values = [v for _, v in ordered]
+            if values != sorted(values):
+                raise ExpositionError(
+                    f"histogram {family!r}: non-monotone buckets {ordered}")
+            if not ordered or not math.isinf(ordered[-1][0]):
+                raise ExpositionError(
+                    f"histogram {family!r}: missing +Inf bucket")
+            if ident in counts and ordered[-1][1] != counts[ident]:
+                raise ExpositionError(
+                    f"histogram {family!r}: +Inf bucket "
+                    f"{ordered[-1][1]} != _count {counts[ident]}")
+    return families

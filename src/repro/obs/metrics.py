@@ -1,4 +1,4 @@
-"""Metrics registry — named counters, gauges, and histograms.
+"""Metrics registry — named counters, gauges, histograms, summaries.
 
 The span tree (:mod:`repro.obs.spans`) answers "where did the
 instructions go"; the registry answers the aggregate questions the
@@ -9,28 +9,68 @@ spill traffic (§6.3). Instrumentation sites reach the registry through
 the installed :class:`~repro.obs.spans.ProfileCollector`; nothing here
 touches the machine or its counters.
 
+Three properties the serving daemon leans on:
+
+* **Thread safety.** Every mutation (``inc``/``set``/``observe``) and
+  every read that touches compound state takes the metric's own lock.
+  The daemon's worker-pool threads update one shared registry
+  concurrently with the event loop; a lost ``+=`` would silently
+  undercount, so updates are exact under contention
+  (``tests/obs/test_metrics.py`` hammers this).
+* **Labels.** A metric family may be dimensioned by a frozen label
+  tuple — ``counter("serve.requests", pipeline="scan", mode="auto")``
+  — so service telemetry can attribute per (pipeline, n, dtype, mode)
+  the way the paper attributes per (primitive, category). One family
+  name maps to one metric type; asking for the same name with a
+  different type is an error.
+* **merge().** Cross-worker aggregation: every metric type merges a
+  peer of the same type into itself, and
+  :meth:`MetricsRegistry.merge` folds a whole registry in. Counter
+  and Histogram merges are exact; Summary merge keeps *all* retained
+  samples of both sides (bounded by #registries × ``max_samples``),
+  so merged percentiles are independent of merge order.
+
 All metrics are plain Python objects updated in place — cheap enough
 for per-strip observation, queryable as a dict
-(:meth:`MetricsRegistry.as_dict`), and renderable as a text report
-(:meth:`MetricsRegistry.render`).
+(:meth:`MetricsRegistry.as_dict`), renderable as a text report
+(:meth:`MetricsRegistry.render`), and exportable in Prometheus text
+exposition format (:func:`repro.obs.exposition.render_exposition`).
 """
 
 from __future__ import annotations
 
+import threading
+
 __all__ = ["Counter", "Gauge", "Histogram", "Summary", "MetricsRegistry"]
+
+#: The frozen, hashable form of a label set: sorted (key, value) pairs.
+LabelItems = tuple
+
+
+def freeze_labels(labels: dict) -> LabelItems:
+    """The canonical hashable identity of a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
 class Counter:
     """A monotonically increasing count (events, cache hits, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict | None = None) -> None:
         self.name = name
         self.value = 0
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
+
+    def merge(self, other: "Counter") -> None:
+        """Fold a peer counter in (cross-worker aggregation): exact."""
+        with self._lock:
+            self.value += other.value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Counter({self.name}={self.value})"
@@ -39,14 +79,23 @@ class Counter:
 class Gauge:
     """A point-in-time value (cache size, hit rate, spill share, ...)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels", "_lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict | None = None) -> None:
         self.name = name
         self.value = 0
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def merge(self, other: "Gauge") -> None:
+        """Gauges are point-in-time: the merged value is the incoming
+        one (merge a fresher snapshot over an older one)."""
+        with self._lock:
+            self.value = other.value
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Gauge({self.name}={self.value})"
@@ -62,9 +111,11 @@ class Histogram:
     values (`by_value` stops growing past ``max_distinct``).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "by_value", "max_distinct")
+    __slots__ = ("name", "count", "total", "min", "max", "by_value",
+                 "max_distinct", "labels", "_lock")
 
-    def __init__(self, name: str, max_distinct: int = 256) -> None:
+    def __init__(self, name: str, max_distinct: int = 256,
+                 labels: dict | None = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0
@@ -72,32 +123,54 @@ class Histogram:
         self.max = None
         self.by_value: dict = {}
         self.max_distinct = max_distinct
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
-        self.count += 1
-        self.total += value
+        with self._lock:
+            self._observe(value, 1)
+
+    def _observe(self, value, occurrences: int) -> None:
+        self.count += occurrences
+        self.total += value * occurrences
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
         if value in self.by_value:
-            self.by_value[value] += 1
+            self.by_value[value] += occurrences
         elif len(self.by_value) < self.max_distinct:
-            self.by_value[value] = 1
+            self.by_value[value] = occurrences
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold a peer histogram in. count/sum/min/max merge exactly;
+        the value map merges value by value (in sorted order, so two
+        merges of the same peers are identical) and respects this
+        histogram's ``max_distinct`` cap."""
+        with self._lock:
+            for value in sorted(other.by_value):
+                self._observe(value, other.by_value[value])
+            # observations the peer's capped map dropped still count
+            uncapped = other.count - sum(other.by_value.values())
+            if uncapped:
+                self.count += uncapped
+                self.total += other.total - sum(
+                    v * c for v, c in other.by_value.items())
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> dict:
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min,
-            "max": self.max,
-            "mean": round(self.mean, 4),
-            "by_value": {str(k): v for k, v in sorted(self.by_value.items())},
-        }
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min,
+                "max": self.max,
+                "mean": round(self.mean, 4),
+                "by_value": {str(k): v for k, v in sorted(self.by_value.items())},
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Histogram({self.name}: count={self.count}, min={self.min},"
@@ -113,12 +186,19 @@ class Summary:
     it fills, every other sample is dropped and the sampling stride
     doubles — no randomness, so two identical runs report identical
     percentiles. count/sum/min/max always cover *every* observation.
+
+    :meth:`merge` keeps the union of both sides' retained samples as a
+    sorted multiset (no re-decimation), so merging W worker summaries
+    holds at most ``W × max_samples`` samples and — because multiset
+    union is commutative and associative — the merged percentiles do
+    not depend on merge order (``tests/obs`` gates this).
     """
 
     __slots__ = ("name", "count", "total", "min", "max",
-                 "_samples", "_stride", "max_samples")
+                 "_samples", "_stride", "max_samples", "labels", "_lock")
 
-    def __init__(self, name: str, max_samples: int = 4096) -> None:
+    def __init__(self, name: str, max_samples: int = 4096,
+                 labels: dict | None = None) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -127,19 +207,37 @@ class Summary:
         self._samples: list = []
         self._stride = 1
         self.max_samples = max_samples
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if (self.count - 1) % self._stride == 0:
-            self._samples.append(value)
-            if len(self._samples) > self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if (self.count - 1) % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) > self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    def merge(self, other: "Summary") -> None:
+        """Fold a peer summary in: counts and extrema merge exactly;
+        retained samples become the sorted union of both sides."""
+        with self._lock:
+            self.count += other.count
+            self.total += other.total
+            if other.min is not None and (self.min is None
+                                          or other.min < self.min):
+                self.min = other.min
+            if other.max is not None and (self.max is None
+                                          or other.max > self.max):
+                self.max = other.max
+            self._samples = sorted(self._samples + other._samples)
+            self._stride = max(self._stride, other._stride)
 
     @property
     def mean(self) -> float:
@@ -148,12 +246,13 @@ class Summary:
     def percentile(self, p: float) -> float | None:
         """The p-th percentile (0 < p <= 100) over the retained
         samples, nearest-rank; None before any observation."""
-        if not self._samples:
-            return None
-        ranked = sorted(self._samples)
-        k = max(0, min(len(ranked) - 1,
-                       -(-int(p * len(ranked)) // 100) - 1))
-        return ranked[k]
+        with self._lock:
+            if not self._samples:
+                return None
+            ranked = sorted(self._samples)
+            k = max(0, min(len(ranked) - 1,
+                           -(-int(p * len(ranked)) // 100) - 1))
+            return ranked[k]
 
     def as_dict(self) -> dict:
         return {
@@ -172,65 +271,126 @@ class Summary:
                 f"p50={self.percentile(50)}, p99={self.percentile(99)})")
 
 
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{{{inner}}}"
+
+
 class MetricsRegistry:
-    """Get-or-create registry of named metrics.
+    """Get-or-create registry of named (optionally labeled) metrics.
 
     Names are dotted paths by convention (``engine.plan_cache.hits``,
-    ``svm.strip_vl``); asking for an existing name with a different
-    metric type is an error — a name means one thing.
+    ``serve.latency_ms``); asking for an existing name with a different
+    metric type is an error — a name means one thing, across every
+    label set of the family. Get-or-create is lock-protected, so two
+    threads racing to create the same metric observe one object.
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, object] = {}
+        #: (name, frozen label items) -> metric
+        self._metrics: dict[tuple, object] = {}
+        #: family name -> metric class (one type per family)
+        self._types: dict[str, type] = {}
+        self._lock = threading.Lock()
 
-    def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name)
-        elif type(metric) is not cls:
-            raise TypeError(
-                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
-            )
-        return metric
+    def _get(self, name: str, cls, labels: dict):
+        key = (name, freeze_labels(labels))
+        metric = self._metrics.get(key)
+        if metric is not None and type(metric) is cls:
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                family = self._types.get(name)
+                if family is not None and family is not cls:
+                    raise TypeError(
+                        f"metric {name!r} is a {family.__name__}, "
+                        f"not a {cls.__name__}"
+                    )
+                self._types[name] = cls
+                metric = self._metrics[key] = cls(name, labels=labels)
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(name, Histogram)
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(name, Histogram, labels)
 
-    def summary(self, name: str) -> Summary:
-        return self._get(name, Summary)
+    def summary(self, name: str, **labels) -> Summary:
+        return self._get(name, Summary, labels)
+
+    # ------------------------------------------------------------------
+    # family access and aggregation
+    # ------------------------------------------------------------------
+    def samples(self, name: str) -> list[tuple[dict, object]]:
+        """Every metric of family ``name`` as ``(labels, metric)``
+        pairs, sorted by label identity (deterministic exposition
+        order)."""
+        with self._lock:
+            items = [(k[1], m) for k, m in self._metrics.items()
+                     if k[0] == name]
+        return [(dict(li), m) for li, m in sorted(items, key=lambda x: x[0])]
+
+    def families(self) -> list[tuple[str, type, list[tuple[dict, object]]]]:
+        """Every family as ``(name, metric class, [(labels, metric)])``
+        sorted by name — the exposition renderer's iteration order."""
+        with self._lock:
+            names = sorted(self._types)
+            types = dict(self._types)
+        return [(n, types[n], self.samples(n)) for n in names]
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry
+        (cross-worker aggregation), creating families as needed."""
+        with other._lock:
+            items = list(other._metrics.items())
+        for (name, label_items), metric in sorted(items, key=lambda x: x[0]):
+            mine = self._get(name, type(metric), dict(label_items))
+            mine.merge(metric)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        return name in self._types
 
     def __len__(self) -> int:
         return len(self._metrics)
 
     def as_dict(self) -> dict:
-        """Every metric keyed by name: counters/gauges as their value,
-        histograms as their summary dict."""
+        """Every metric keyed by ``name`` (labeled families as
+        ``name{k=v,...}``): counters/gauges as their value,
+        histograms/summaries as their summary dict."""
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda x: x[0])
         out: dict = {}
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        for (name, label_items), metric in items:
+            key = name + _label_suffix(dict(label_items))
             if isinstance(metric, (Histogram, Summary)):
-                out[name] = metric.as_dict()
+                out[key] = metric.as_dict()
             else:
-                out[name] = metric.value
+                out[key] = metric.value
         return out
 
     def render(self) -> str:
         """Text report, one metric per line."""
-        if not self._metrics:
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda x: x[0])
+        if not items:
             return "metrics: (none recorded)"
+        labeled = [(name + _label_suffix(dict(li)), m)
+                   for (name, li), m in items]
         lines = ["metrics:"]
-        width = max(len(n) for n in self._metrics)
-        for name in sorted(self._metrics):
-            metric = self._metrics[name]
+        width = max(len(n) for n, _ in labeled)
+        for name, metric in labeled:
             if isinstance(metric, Summary):
                 value = (f"count={metric.count}  p50={metric.percentile(50)}"
                          f"  p99={metric.percentile(99)}  max={metric.max}")

@@ -107,6 +107,17 @@ class ServeClient:
                              "dtype": dtype, "mode": mode})
         return np.asarray(resp["result"], dtype=protocol.DTYPES[dtype])
 
+    def execute_traced(self, pipeline: str, data, *, dtype: str = "uint32",
+                       mode: str | None = None) -> dict:
+        """Like :meth:`execute` but returns the full response document
+        — including the telemetry fields ``trace`` (the request's
+        trace ID), ``timing`` (queue/coalesce/execute breakdown), and
+        ``cache`` (the flush's plan-cache outcome) when the daemon has
+        telemetry enabled."""
+        return self.request({"op": "execute", "pipeline": pipeline,
+                             "data": np.asarray(data).tolist(),
+                             "dtype": dtype, "mode": mode})
+
     def execute_many(self, requests: list[dict]) -> list:
         """Pipelined batch: write every execute request, then collect
         responses by id. Returns, in request order, either the result
@@ -140,6 +151,16 @@ class ServeClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format
+        (validate with :func:`repro.obs.exposition.parse_exposition`)."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def dump(self) -> dict:
+        """The daemon's flight-recorder contents: retained events,
+        slowest-request exemplars, recorded/dropped totals."""
+        return self.request({"op": "dump"})["dump"]
 
     def ops(self) -> list[dict]:
         """The OpSpec tier-support matrix (``repro ops --json``

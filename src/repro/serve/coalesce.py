@@ -52,6 +52,8 @@ class PendingRequest:
     data: object
     enqueued_at: float
     future: object
+    #: Telemetry trace ID (``"t<seq>"``); empty when telemetry is off.
+    trace_id: str = ""
 
 
 class Flush(NamedTuple):
@@ -61,6 +63,10 @@ class Flush(NamedTuple):
     key: BucketKey
     requests: list
     reason: str
+    #: Clock time the bucket left the window (stamped by the
+    #: coalescer) — the boundary between a request's *coalesce* wait
+    #: and its *queue* wait in the per-request timing breakdown.
+    at: float = 0.0
 
     @property
     def rows(self) -> int:
@@ -122,20 +128,21 @@ class Coalescer:
         bucket.requests.append(req)
         if len(bucket.requests) >= self.max_rows:
             del self._buckets[key]
-            return Flush(key, bucket.requests, "rows")
+            return Flush(key, bucket.requests, "rows", self.clock())
         return None
 
     def expired(self, now: float | None = None) -> list[Flush]:
         """Pop every bucket whose deadline has passed."""
         now = self.clock() if now is None else now
         due = [k for k, b in self._buckets.items() if b.deadline <= now]
-        return [Flush(k, self._buckets.pop(k).requests, "deadline")
+        return [Flush(k, self._buckets.pop(k).requests, "deadline", now)
                 for k in due]
 
     def drain(self) -> list[Flush]:
         """Pop everything (graceful shutdown: residual buckets still
         execute, they just stop waiting for the window)."""
-        flushes = [Flush(k, b.requests, "drain")
+        now = self.clock()
+        flushes = [Flush(k, b.requests, "drain", now)
                    for k, b in self._buckets.items()]
         self._buckets.clear()
         return flushes

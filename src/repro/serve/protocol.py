@@ -16,6 +16,13 @@ Requests
 ``{"op": "stats"}`` / ``{"op": "ops"}`` / ``{"op": "ping"}``
     Introspection: serving metrics, the OpSpec tier-support matrix
     (:func:`repro.svm.opspec.support_matrix`), liveness.
+``{"op": "metrics"}``
+    Every metric family in Prometheus text exposition format (see
+    :mod:`repro.obs.exposition`) — the scrape endpoint and what
+    ``repro top`` polls.
+``{"op": "dump"}``
+    The telemetry flight recorder: retained structured events plus
+    the slowest-request exemplars (see :mod:`repro.obs.telemetry`).
 ``{"op": "shutdown"}``
     Graceful drain: in-flight and already-queued requests complete,
     new ones are rejected with code ``"closed"``.
@@ -23,10 +30,16 @@ Requests
 Responses
 ---------
 ``{"id": I, "ok": true, "result": [...], "n": N, "path": "2d"|"loop",
-"flush_rows": R}`` for execute (``flush_rows`` is how many coalesced
-requests shared the flush — the client-visible coalescing evidence);
-``{"id": I, "ok": false, "error": MSG, "code": C}`` on failure with
-``code`` in ``{"overloaded", "protocol", "closed", "internal"}``.
+"flush_rows": R, "trace": T, "timing": {...}, "cache": S}`` for
+execute (``flush_rows`` is how many coalesced requests shared the
+flush — the client-visible coalescing evidence; ``trace`` is the
+request's telemetry trace ID, ``timing`` its coalesce/queue/execute
+breakdown in ms, and ``cache`` the flush's plan-cache outcome in
+``{"memory", "disk", "compile", "none"}`` — the telemetry trio is
+present whenever the daemon runs with telemetry enabled, the
+default); ``{"id": I, "ok": false, "error": MSG, "code": C}`` on
+failure with ``code`` in
+``{"overloaded", "protocol", "closed", "internal"}``.
 
 Pipelines are *named server-side*, never shipped as code: the registry
 below maps names to ``pipe(lz, data)`` capture functions (the exact

@@ -44,7 +44,9 @@ from ..errors import (
     ServeOverloadedError,
     ServeProtocolError,
 )
+from ..obs.exposition import render_exposition
 from ..obs.metrics import MetricsRegistry
+from ..obs.telemetry import Telemetry, TraceContext, trace_scope
 from ..svm.context import SVM
 from ..svm.opspec import support_matrix
 from . import protocol
@@ -73,6 +75,10 @@ class ServeConfig:
     cache_dir: str | None = None     #: shared persistent plan store
     profile: bool = False            #: per-worker obs collectors + flush spans
     max_requests: int | None = None  #: graceful exit after N execute requests
+    telemetry: bool = True           #: always-on tracing + flight recorder
+    flight_capacity: int = 512       #: flight-recorder ring size (events)
+    flight_exemplars: int = 8        #: slowest-request span trees retained
+    flight_dump: str | None = None   #: NDJSON dump path written on error
 
 
 @dataclass
@@ -84,6 +90,10 @@ class ExecuteResult:
     path: str          #: "2d" or "loop" — how the flush executed
     flush_rows: int    #: coalesced requests sharing the flush
     latency_ms: float
+    trace_id: str = ""                       #: telemetry trace ID
+    #: queue/coalesce/execute breakdown of ``latency_ms`` (all in ms)
+    timing: dict = field(default_factory=dict)
+    cache: str = "none"                      #: plan-cache outcome of the flush
 
 
 class Server:
@@ -110,7 +120,23 @@ class Server:
         #: The warm cache every worker shares.
         self.plan_cache = PlanCache()
         self.metrics = MetricsRegistry()
+        #: Always-on service telemetry: trace IDs + flight recorder.
+        self.telemetry = Telemetry(
+            enabled=self.config.telemetry,
+            flight_capacity=self.config.flight_capacity,
+            slowest=self.config.flight_exemplars)
         self._clock = monotonic
+        self._started_at = monotonic()
+        # hot-path metric objects resolved once — the per-request path
+        # must not pay a registry lookup (name + label freezing) per
+        # event, or always-on telemetry stops being free
+        m = self.metrics
+        self._m_requests = m.counter("serve.requests")
+        self._m_ok = m.counter("serve.ok")
+        self._m_rejected = m.counter("serve.rejected")
+        self._m_errors = m.counter("serve.errors")
+        self._m_latency = m.summary("serve.latency_ms")
+        self._pipe_metrics: dict[tuple[str, str], tuple] = {}
         self._coalescer = Coalescer(flush_ms=self.config.flush_ms,
                                     max_rows=self.config.max_rows,
                                     clock=self._clock)
@@ -140,7 +166,8 @@ class Server:
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.workers, thread_name_prefix="repro-serve")
         self._worker_tasks = [
-            asyncio.create_task(self._worker(svm), name=f"serve-worker-{i}")
+            asyncio.create_task(self._worker(svm, i),
+                                name=f"serve-worker-{i}")
             for i, svm in enumerate(self._worker_svms)
         ]
         self._window_task = asyncio.create_task(
@@ -224,23 +251,43 @@ class Server:
         if arr.ndim != 1 or arr.size == 0:
             raise ServeProtocolError(
                 f"data must be non-empty and 1-D, got shape {arr.shape}")
-        self.metrics.counter("serve.requests").inc()
+        tel = self.telemetry
+        self._m_requests.inc()
         if self._inflight >= self.config.queue_limit:
-            self.metrics.counter("serve.rejected").inc()
+            self._m_rejected.inc()
+            tel.rejected(reason="overloaded", inflight=self._inflight)
             raise ServeOverloadedError(self.config.queue_limit)
         self._inflight += 1
         t0 = self._clock()
+        trace_id = tel.new_trace_id() if tel.enabled else ""
         fut = asyncio.get_running_loop().create_future()
         key = BucketKey(pipeline, int(arr.size), dtype, mode)
-        full = self._coalescer.add(key, PendingRequest(arr, t0, fut))
+        pm = None
+        if tel.enabled:
+            tel.admitted(trace_id, pipeline=pipeline, n=int(arr.size),
+                         dtype=dtype, mode=mode)
+            pm = self._pipe_metrics.get((pipeline, mode))
+            if pm is None:
+                pm = (self.metrics.counter("serve.pipeline.requests",
+                                           pipeline=pipeline, mode=mode),
+                      self.metrics.summary("serve.pipeline.latency_ms",
+                                           pipeline=pipeline))
+                self._pipe_metrics[(pipeline, mode)] = pm
+            pm[0].inc()
+        full = self._coalescer.add(key,
+                                   PendingRequest(arr, t0, fut, trace_id))
+        if tel.enabled:
+            tel.coalesced(trace_id, key=key)
         if full is not None:
             self._flush_q.put_nowait(full)
         else:
             self._wakeup.set()
         try:
             output, meta = await fut
-        except BaseException:
-            self.metrics.counter("serve.errors").inc()
+        except BaseException as exc:
+            self._m_errors.inc()
+            tel.errored(trace_id or None, error=repr(exc))
+            self._dump_on_error()
             raise
         finally:
             self._inflight -= 1
@@ -250,11 +297,31 @@ class Server:
                     and not self._shutdown_started):
                 asyncio.get_running_loop().create_task(self.shutdown())
         latency_ms = (self._clock() - t0) * 1e3
-        self.metrics.counter("serve.ok").inc()
-        self.metrics.summary("serve.latency_ms").observe(round(latency_ms, 3))
+        self._m_ok.inc()
+        self._m_latency.observe(round(latency_ms, 3))
+        timing: dict = {}
+        if tel.enabled:
+            # the request's life split at the flush boundaries:
+            # window wait (admit -> flush pop), queue wait (pop ->
+            # worker starts), execute (run_bucket), total (admit ->
+            # result)
+            timing = {
+                "coalesce_ms": round(
+                    max(0.0, (meta["flush_at"] - t0) * 1e3), 3),
+                "queue_ms": round(
+                    max(0.0, (meta["exec_start"] - meta["flush_at"]) * 1e3),
+                    3),
+                "execute_ms": round(meta["execute_ms"], 3),
+                "total_ms": round(latency_ms, 3),
+            }
+            tel.completed(trace_id, flush_id=meta["flush_id"],
+                          timing=timing, cache=meta["cache"],
+                          path=meta["path"])
+            pm[1].observe(round(latency_ms, 3))
         return ExecuteResult(output=output, n=int(arr.size),
                              path=meta["path"], flush_rows=meta["rows"],
-                             latency_ms=latency_ms)
+                             latency_ms=latency_ms, trace_id=trace_id,
+                             timing=timing, cache=meta["cache"])
 
     # ------------------------------------------------------------------
     # window + workers
@@ -278,37 +345,52 @@ class Server:
             for flush in self._coalescer.expired():
                 self._flush_q.put_nowait(flush)
 
-    def _execute_flush(self, svm: SVM, flush: Flush):
+    def _execute_flush(self, svm: SVM, flush: Flush, flush_id: str):
         """Thread-pool body: one coalesced bucket through the batch
-        runner's pre-grouped entry point on this worker's machine."""
+        runner's pre-grouped entry point on this worker's machine,
+        inside a flush-scoped trace context (set in *this* thread, so
+        contexts never leak between concurrent flushes)."""
         from ..batch import run_bucket  # local: batch depends on svm
 
         key = flush.key
         svm.mode = key.mode
-        wait_ms = (self._clock()
+        exec_start = self._clock()
+        wait_ms = (exec_start
                    - min(r.enqueued_at for r in flush.requests)) * 1e3
-        res = run_bucket(svm, protocol.PIPELINES[key.pipeline],
-                         [r.data for r in flush.requests],
-                         dtype=protocol.DTYPES[key.dtype])
+        with trace_scope(TraceContext(flush_id)) as ctx:
+            res = run_bucket(svm, protocol.PIPELINES[key.pipeline],
+                             [r.data for r in flush.requests],
+                             dtype=protocol.DTYPES[key.dtype])
+        execute_ms = (self._clock() - exec_start) * 1e3
         path = res.buckets[0].path
         col = svm.machine.collector
         if col is not None:
             col.serve_flush_event(len(res.outputs), key.n, path, wait_ms)
-        return list(res.outputs), path, wait_ms
+        return list(res.outputs), path, wait_ms, ctx, exec_start, execute_ms
 
-    async def _worker(self, svm: SVM) -> None:
+    async def _worker(self, svm: SVM, idx: int = 0) -> None:
         loop = asyncio.get_running_loop()
+        tel = self.telemetry
         while True:
             flush = await self._flush_q.get()
             if flush is _STOP:
                 self._flush_q.task_done()
                 return
+            flush_id = tel.new_flush_id() if tel.enabled else ""
+            if tel.enabled:
+                tel.flushed(flush_id,
+                            traces=[r.trace_id for r in flush.requests],
+                            reason=flush.reason, rows=flush.rows,
+                            key=flush.key)
             try:
-                outputs, path, wait_ms = await loop.run_in_executor(
-                    self._pool, self._execute_flush, svm, flush)
+                (outputs, path, wait_ms, ctx, exec_start,
+                 execute_ms) = await loop.run_in_executor(
+                    self._pool, self._execute_flush, svm, flush, flush_id)
             except BaseException as exc:  # noqa: BLE001 - fan failure out
                 err = exc if isinstance(exc, ServeError) else ServeError(
                     f"flush execution failed: {exc!r}")
+                tel.errored(None, error=f"flush {flush_id}: {exc!r}")
+                self._dump_on_error()
                 for req in flush.requests:
                     if not req.future.done():
                         req.future.set_exception(err)
@@ -319,7 +401,19 @@ class Server:
                 m.counter(f"serve.flush.{path}").inc()
                 m.histogram("serve.rows_per_flush").observe(flush.rows)
                 m.summary("serve.flush_wait_ms").observe(round(wait_ms, 3))
-                meta = {"path": path, "rows": flush.rows}
+                cache = ctx.cache_outcome()
+                if tel.enabled:
+                    tel.cache_outcome(flush_id, sources=ctx.cache)
+                    m.counter("serve.flush.path", path=path,
+                              pipeline=flush.key.pipeline).inc()
+                    m.counter("serve.worker.flushes", worker=str(idx)).inc()
+                    for source, count in sorted(ctx.cache.items()):
+                        m.counter("serve.plan_cache.resolutions",
+                                  source=source).inc(count)
+                meta = {"path": path, "rows": flush.rows,
+                        "flush_id": flush_id, "cache": cache,
+                        "flush_at": flush.at, "exec_start": exec_start,
+                        "execute_ms": execute_ms}
                 for req, out in zip(flush.requests, outputs):
                     if not req.future.done():
                         req.future.set_result((out, meta))
@@ -327,8 +421,46 @@ class Server:
                 self._flush_q.task_done()
 
     # ------------------------------------------------------------------
-    # stats
+    # stats + telemetry documents
     # ------------------------------------------------------------------
+    def _dump_on_error(self) -> None:
+        """Write the flight recorder as NDJSON to the configured
+        ``flight_dump`` path (best-effort; each error overwrites, so
+        the file always holds the window around the *latest* one)."""
+        path = self.config.flight_dump
+        if not path or not self.telemetry.enabled:
+            return
+        with contextlib.suppress(OSError):
+            with open(path, "w") as f:
+                f.write(self.telemetry.recorder.dump_ndjson())
+
+    def metrics_exposition(self) -> str:
+        """Every metric the daemon holds, in Prometheus text format:
+        the server registry, the per-worker collector registries
+        (folded in via :meth:`MetricsRegistry.merge` — counters sum,
+        summaries pool samples), plus point-in-time gauges (inflight,
+        plan-cache tiers, per-category instruction counters)."""
+        merged = MetricsRegistry()
+        merged.merge(self.metrics)
+        for i, svm in enumerate(self._worker_svms):
+            col = getattr(svm.machine, "collector", None)
+            if col is not None and len(col.metrics):
+                merged.merge(col.metrics)
+        merged.gauge("serve.inflight").set(self._inflight)
+        merged.gauge("serve.uptime_seconds").set(
+            round(self._clock() - self._started_at, 3))
+        pc = self.plan_cache.stats_dict()
+        for source, value in (("memory", pc["hits"]),
+                              ("disk", pc["disk_hits"]),
+                              ("compile", pc["compiles"])):
+            merged.gauge("serve.plan_cache.lookups", source=source).set(value)
+        for cat, count in self.counters_snapshot().items():
+            merged.gauge("serve.instructions", category=cat).set(count)
+        flight = self.telemetry.recorder
+        merged.gauge("serve.flight.recorded").set(flight.recorded)
+        merged.gauge("serve.flight.dropped").set(flight.dropped)
+        return render_exposition(merged)
+
     def counters_snapshot(self) -> dict:
         """Per-category dynamic-instruction counters summed across the
         worker pool (counters are additive per request, so this equals
@@ -352,6 +484,25 @@ class Server:
             engine_store = self._worker_svms[0].engine.store
             if engine_store is not None:
                 store = engine_store.stats_dict()
+        plan_cache = self.plan_cache.stats_dict()
+        # hit *source* tiers, not just aggregate hits: memory (LRU),
+        # disk (persistent store satisfied the miss), compile
+        plan_cache["sources"] = {
+            "memory": plan_cache["hits"],
+            "disk": plan_cache["disk_hits"],
+            "compile": plan_cache["compiles"],
+        }
+        pipelines: dict = {}
+        for labels, counter in m.samples("serve.pipeline.requests"):
+            if not labels:
+                continue
+            doc = pipelines.setdefault(
+                labels["pipeline"], {"requests": 0, "by_mode": {}})
+            doc["requests"] += counter.value
+            doc["by_mode"][labels["mode"]] = counter.value
+        for labels, summ in m.samples("serve.pipeline.latency_ms"):
+            if labels and labels["pipeline"] in pipelines:
+                pipelines[labels["pipeline"]]["latency_ms"] = summ.as_dict()
         return {
             "config": {
                 "flush_ms": cfg.flush_ms, "max_rows": cfg.max_rows,
@@ -382,8 +533,11 @@ class Server:
             },
             "counters": counters,
             "instructions": sum(counters.values()),
-            "plan_cache": self.plan_cache.stats_dict(),
+            "plan_cache": plan_cache,
             "plan_store": store,
+            "pipelines": pipelines,
+            "telemetry": self.telemetry.stats_dict(),
+            "uptime_s": round(self._clock() - self._started_at, 3),
         }
 
     # ------------------------------------------------------------------
@@ -409,10 +563,20 @@ class Server:
                 resp = {"id": req_id, "ok": True,
                         "result": res.output.tolist(), "n": res.n,
                         "path": res.path, "flush_rows": res.flush_rows}
+                if res.trace_id:
+                    resp["trace"] = res.trace_id
+                    resp["timing"] = res.timing
+                    resp["cache"] = res.cache
             elif op == "ping":
                 resp = {"id": req_id, "ok": True, "pong": True}
             elif op == "stats":
                 resp = {"id": req_id, "ok": True, "stats": self.stats()}
+            elif op == "metrics":
+                resp = {"id": req_id, "ok": True,
+                        "metrics": self.metrics_exposition()}
+            elif op == "dump":
+                resp = {"id": req_id, "ok": True,
+                        "dump": self.telemetry.recorder.dump()}
             elif op == "ops":
                 resp = {"id": req_id, "ok": True, "ops": support_matrix()}
             elif op == "shutdown":
@@ -554,3 +718,17 @@ class ServerThread:
 
         return asyncio.run_coroutine_threadsafe(
             _stats(), self.loop).result(timeout=60)
+
+    def metrics_exposition(self) -> str:
+        async def _metrics():
+            return self.server.metrics_exposition()
+
+        return asyncio.run_coroutine_threadsafe(
+            _metrics(), self.loop).result(timeout=60)
+
+    def flight_dump(self) -> dict:
+        async def _dump():
+            return self.server.telemetry.recorder.dump()
+
+        return asyncio.run_coroutine_threadsafe(
+            _dump(), self.loop).result(timeout=60)

@@ -1,0 +1,195 @@
+"""Observability under threads.
+
+The serving daemon's worker pool mutates one shared
+:class:`~repro.obs.metrics.MetricsRegistry` from several threads and
+runs one :class:`~repro.obs.spans.ProfileCollector` per worker machine
+concurrently. These tests gate the two contracts that setup relies on:
+
+* **Exact metrics under contention.** ``Counter.inc`` /
+  ``Histogram.observe`` / ``Summary.observe`` are read-modify-write
+  sequences; without the per-metric lock a lost update silently
+  undercounts. The hammer tests below shrink the interpreter's thread
+  switch interval so an unlocked implementation has every opportunity
+  to expose the race (they fail against it whenever a race is
+  observable), and require *exact* totals against the locked one.
+
+* **Span attribution per collector.** Each collector is confined to
+  its own machine/thread, and its finished tree must keep the
+  ``(self)``-cost invariant — every span's delta minus its children's
+  deltas is non-negative in every category, and the exporters'
+  synthetic ``(self)`` child makes rendered children sum exactly —
+  even while sibling collectors run concurrently.
+"""
+
+import sys
+import threading
+
+import numpy as np
+
+from repro.obs.export import render_tree, to_chrome_trace, to_json
+from repro.obs.metrics import MetricsRegistry
+from repro.svm.context import SVM
+
+THREADS = 8
+ITERS = 2_000
+
+
+def _hammer(fn, threads=THREADS):
+    """Run ``fn(thread_index)`` on every thread at once, with a tiny
+    switch interval so interleavings actually happen mid-update."""
+    start = threading.Barrier(threads)
+
+    def body(i):
+        start.wait()
+        fn(i)
+
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    try:
+        ts = [threading.Thread(target=body, args=(i,)) for i in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+    finally:
+        sys.setswitchinterval(old)
+
+
+class TestContendedUpdates:
+    def test_counter_increments_are_exact(self):
+        r = MetricsRegistry()
+        _hammer(lambda i: [r.counter("c").inc() for _ in range(ITERS)])
+        assert r.counter("c").value == THREADS * ITERS
+
+    def test_labeled_counter_families_are_exact(self):
+        r = MetricsRegistry()
+
+        def body(i):
+            # two threads per label set, so label-mates contend
+            c = r.counter("c", worker=str(i % (THREADS // 2)))
+            for _ in range(ITERS):
+                c.inc()
+
+        _hammer(body)
+        for labels, c in r.samples("c"):
+            assert c.value == 2 * ITERS, labels
+
+    def test_histogram_observations_are_exact(self):
+        r = MetricsRegistry()
+        _hammer(lambda i: [r.histogram("h").observe(i + 1)
+                           for _ in range(ITERS)])
+        h = r.histogram("h")
+        assert h.count == THREADS * ITERS
+        assert h.total == ITERS * sum(range(1, THREADS + 1))
+        assert h.by_value == {i + 1: ITERS for i in range(THREADS)}
+
+    def test_summary_count_and_sum_are_exact(self):
+        r = MetricsRegistry()
+        _hammer(lambda i: [r.summary("s").observe(float(i))
+                           for _ in range(ITERS)])
+        s = r.summary("s")
+        assert s.count == THREADS * ITERS
+        assert s.total == ITERS * sum(range(THREADS))
+        assert (s.min, s.max) == (0.0, float(THREADS - 1))
+
+    def test_get_or_create_race_yields_one_object(self):
+        r = MetricsRegistry()
+        seen = [None] * THREADS
+
+        def body(i):
+            seen[i] = r.counter("one", k="v")
+            seen[i].inc()
+
+        _hammer(body)
+        assert len({id(c) for c in seen}) == 1
+        assert r.counter("one", k="v").value == THREADS
+        assert len(r) == 1
+
+
+def _self_invariant(span):
+    """Every category of every span's (self) cost is non-negative."""
+    for s in span.walk():
+        if s.delta is None:
+            continue
+        own = s.self_delta().by_category
+        for cat, n in own.items():
+            assert n >= 0, (s.name, cat, n)
+
+
+def _children_sum_exactly(doc):
+    """In the JSON export, children (incl. the synthetic ``(self)``
+    child) sum to the parent, category by category."""
+    kids = doc.get("children")
+    if not kids:
+        return
+    summed: dict = {}
+    for kid in kids:
+        for cat, n in kid["by_category"].items():
+            summed[cat] = summed.get(cat, 0) + n
+    assert summed == doc["by_category"], doc["name"]
+    for kid in kids:
+        _children_sum_exactly(kid)
+
+
+class TestMultiThreadedCollectors:
+    def test_self_cost_invariant_and_exporters(self):
+        results = [None] * 4
+        errors = []
+
+        def body(i):
+            try:
+                svm = SVM(vlen=256, profile=True)
+                data = svm.array(np.arange(1, 200 + 50 * i, dtype=np.uint32))
+                svm.plus_scan(data)
+                with svm.lazy() as lz:
+                    lz.p_add(data, 3)
+                    lz.scan(data)
+                svm.free(data)
+                results[i] = svm
+            except BaseException as exc:  # noqa: BLE001 - surface in main
+                errors.append(exc)
+
+        ts = [threading.Thread(target=body, args=(i,)) for i in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert not errors, errors
+
+        for svm in results:
+            col = svm.profiler
+            root = col.finish()
+            assert root.total > 0
+            _self_invariant(root)
+            # all three exporters work on a tree built in another
+            # thread, and the JSON view's (self) children close the sum
+            doc = to_json(col)
+            _children_sum_exactly(doc["profile"])
+            text = render_tree(col)
+            assert "dynamic instructions" in text
+            trace = to_chrome_trace(col)
+            spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+            assert len(spans) == sum(1 for _ in root.walk())
+
+    def test_collectors_do_not_cross_contaminate(self):
+        sizes = (100, 4000)
+        svms = [None, None]
+
+        def body(i):
+            svm = SVM(vlen=256, profile=True)
+            data = svm.array(np.arange(1, sizes[i] + 1, dtype=np.uint32))
+            svm.plus_scan(data)
+            svm.free(data)
+            svms[i] = svm
+
+        ts = [threading.Thread(target=body, args=(i,)) for i in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        totals = [svm.profiler.finish().total for svm in svms]
+        # span totals equal each machine's own counters: nothing leaked
+        # from the sibling collector running concurrently
+        for svm, total in zip(svms, totals):
+            assert total == svm.instructions
+        assert totals[0] < totals[1]

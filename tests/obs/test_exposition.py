@@ -1,0 +1,174 @@
+"""Prometheus text exposition: rendering, determinism, and the strict
+parser's rejection surface (the same parser the serve-smoke CI job
+validates live scrapes with)."""
+
+import math
+
+import pytest
+
+from repro.obs.exposition import (
+    ExpositionError,
+    parse_exposition,
+    render_exposition,
+    sanitize_name,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("serve.requests").inc(5)
+    r.counter("serve.pipeline.requests", pipeline="scan", mode="auto").inc(3)
+    r.counter("serve.pipeline.requests", pipeline="reverse", mode="auto").inc(2)
+    r.gauge("serve.inflight").set(1)
+    h = r.histogram("batch.size")
+    for v in (1, 2, 2, 8):
+        h.observe(v)
+    s = r.summary("serve.latency_ms")
+    for v in range(100):
+        s.observe(float(v))
+    return r
+
+
+class TestRender:
+    def test_roundtrip_through_strict_parser(self):
+        text = render_exposition(_registry())
+        doc = parse_exposition(text)
+        assert doc["repro_serve_requests_total"]["type"] == "counter"
+        assert doc["repro_serve_requests_total"]["samples"] \
+            == [("repro_serve_requests_total", {}, 5.0)]
+        labeled = doc["repro_serve_pipeline_requests_total"]["samples"]
+        assert {frozenset(labels.items()): v for _, labels, v in labeled} == {
+            frozenset({("pipeline", "scan"), ("mode", "auto")}): 3.0,
+            frozenset({("pipeline", "reverse"), ("mode", "auto")}): 2.0,
+        }
+        assert doc["repro_serve_inflight"]["type"] == "gauge"
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = render_exposition(_registry())
+        doc = parse_exposition(text)
+        buckets = {labels["le"]: v for name, labels, v
+                   in doc["repro_batch_size"]["samples"]
+                   if name.endswith("_bucket")}
+        assert buckets == {"1": 1.0, "2": 3.0, "8": 4.0, "+Inf": 4.0}
+        by_name = {name: v for name, labels, v
+                   in doc["repro_batch_size"]["samples"]
+                   if not labels}
+        assert by_name["repro_batch_size_sum"] == 13.0
+        assert by_name["repro_batch_size_count"] == 4.0
+
+    def test_summary_quantiles(self):
+        text = render_exposition(_registry())
+        doc = parse_exposition(text)
+        quantiles = {labels["quantile"]: v for name, labels, v
+                     in doc["repro_serve_latency_ms"]["samples"]
+                     if "quantile" in labels}
+        assert set(quantiles) == {"0.5", "0.9", "0.99"}
+        assert quantiles["0.5"] <= quantiles["0.9"] <= quantiles["0.99"]
+
+    def test_rendering_is_deterministic(self):
+        assert render_exposition(_registry()) \
+            == render_exposition(_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_exposition(MetricsRegistry()) == ""
+        assert parse_exposition("") == {}
+
+    def test_sanitize_name(self):
+        assert sanitize_name("serve.latency_ms") == "repro_serve_latency_ms"
+        assert sanitize_name("repro_x") == "repro_x"
+
+    def test_label_values_escaped(self):
+        r = MetricsRegistry()
+        r.counter("c", note='say "hi"\nok\\done').inc()
+        text = render_exposition(r)
+        doc = parse_exposition(text)
+        (_, labels, value), = doc["repro_c_total"]["samples"]
+        assert labels["note"] == 'say "hi"\nok\\done'
+        assert value == 1.0
+
+
+class TestStrictParser:
+    def _ok(self, text):
+        return parse_exposition(text)
+
+    def test_sample_without_type_rejected(self):
+        with pytest.raises(ExpositionError, match="no preceding # TYPE"):
+            self._ok("repro_x 1\n")
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ExpositionError, match="duplicate sample"):
+            self._ok("# TYPE repro_x_total counter\n"
+                     "repro_x_total 1\nrepro_x_total 2\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ExpositionError, match="duplicate TYPE"):
+            self._ok("# TYPE repro_x counter\n# TYPE repro_x gauge\n")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ExpositionError, match="bad type"):
+            self._ok("# TYPE repro_x countr\n")
+
+    def test_unquoted_label_value_rejected(self):
+        with pytest.raises(ExpositionError, match="malformed"):
+            self._ok("# TYPE repro_x gauge\nrepro_x{a=1} 2\n")
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(ExpositionError, match="duplicate label"):
+            self._ok('# TYPE repro_x gauge\nrepro_x{a="1",a="2"} 2\n')
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ExpositionError, match="bad sample value"):
+            self._ok("# TYPE repro_x gauge\nrepro_x one\n")
+
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ExpositionError, match="negative counter"):
+            self._ok("# TYPE repro_x counter\nrepro_x -1\n")
+
+    def test_stray_whitespace_rejected(self):
+        with pytest.raises(ExpositionError, match="stray whitespace"):
+            self._ok("# TYPE repro_x gauge\nrepro_x 1 \n")
+
+    def test_suffix_on_wrong_type_rejected(self):
+        with pytest.raises(ExpositionError, match="suffix invalid"):
+            self._ok("# TYPE repro_x counter\nrepro_x_sum 1\n")
+
+    def test_bucket_without_le_rejected(self):
+        with pytest.raises(ExpositionError, match="without le"):
+            self._ok("# TYPE repro_h histogram\nrepro_h_bucket 1\n")
+
+    def test_non_monotone_histogram_rejected(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="1"} 5\n'
+                'repro_h_bucket{le="2"} 3\n'
+                'repro_h_bucket{le="+Inf"} 5\n')
+        with pytest.raises(ExpositionError, match="non-monotone"):
+            self._ok(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="1"} 5\n')
+        with pytest.raises(ExpositionError, match="missing \\+Inf"):
+            self._ok(text)
+
+    def test_inf_bucket_count_mismatch_rejected(self):
+        text = ("# TYPE repro_h histogram\n"
+                'repro_h_bucket{le="+Inf"} 5\n'
+                "repro_h_count 6\n")
+        with pytest.raises(ExpositionError, match="!= _count"):
+            self._ok(text)
+
+    def test_quantile_out_of_range_rejected(self):
+        text = ("# TYPE repro_s summary\n"
+                'repro_s{quantile="1.5"} 2\n')
+        with pytest.raises(ExpositionError, match="outside"):
+            self._ok(text)
+
+    def test_inf_and_nan_values_parse(self):
+        doc = self._ok("# TYPE repro_g gauge\n"
+                       'repro_g{k="a"} +Inf\n'
+                       'repro_g{k="b"} -Inf\n'
+                       'repro_g{k="c"} NaN\n')
+        values = [v for _, _, v in doc["repro_g"]["samples"]]
+        assert values[0] == math.inf and values[1] == -math.inf
+        assert math.isnan(values[2])

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Summary,
+    freeze_labels,
+)
 
 
 class TestCounterGauge:
@@ -85,3 +92,155 @@ class TestRegistry:
         text = r.render()
         assert text.startswith("metrics:")
         assert "hits" in text and "3" in text
+
+
+class TestLabels:
+    def test_freeze_labels_is_order_independent(self):
+        assert freeze_labels({"a": 1, "b": "x"}) \
+            == freeze_labels({"b": "x", "a": 1}) \
+            == (("a", "1"), ("b", "x"))
+
+    def test_label_sets_are_distinct_metrics_of_one_family(self):
+        r = MetricsRegistry()
+        scan = r.counter("serve.requests", pipeline="scan")
+        rev = r.counter("serve.requests", pipeline="reverse")
+        assert scan is not rev
+        assert r.counter("serve.requests", pipeline="scan") is scan
+        scan.inc(3)
+        rev.inc()
+        assert {tuple(sorted(labels.items())): m.value
+                for labels, m in r.samples("serve.requests")} \
+            == {(("pipeline", "reverse"),): 1, (("pipeline", "scan"),): 3}
+
+    def test_one_type_per_family_across_label_sets(self):
+        r = MetricsRegistry()
+        r.counter("x", pipeline="scan")
+        with pytest.raises(TypeError, match="is a Counter"):
+            r.gauge("x", pipeline="reverse")
+        with pytest.raises(TypeError, match="is a Counter"):
+            r.histogram("x")
+
+    def test_as_dict_and_render_show_label_suffix(self):
+        r = MetricsRegistry()
+        r.counter("c", mode="auto", pipeline="scan").inc(2)
+        d = r.as_dict()
+        assert d == {"c{mode=auto,pipeline=scan}": 2}
+        assert "c{mode=auto,pipeline=scan}" in r.render()
+
+    def test_families_iteration_order_is_deterministic(self):
+        r = MetricsRegistry()
+        r.gauge("b")
+        r.counter("a", k="2")
+        r.counter("a", k="1")
+        fams = r.families()
+        assert [(name, cls.__name__) for name, cls, _ in fams] \
+            == [("a", "Counter"), ("b", "Gauge")]
+        assert [labels for labels, _ in fams[0][2]] \
+            == [{"k": "1"}, {"k": "2"}]
+
+
+class TestMerge:
+    def test_counter_and_gauge_merge(self):
+        a, b = Counter("c"), Counter("c")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+        g, h = Gauge("g"), Gauge("g")
+        g.set(1)
+        h.set(9)
+        g.merge(h)  # incoming snapshot wins
+        assert g.value == 9
+
+    def test_histogram_merge_is_exact(self):
+        a, b = Histogram("h"), Histogram("h")
+        for v in (1, 2, 2):
+            a.observe(v)
+        for v in (2, 5):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 5
+        assert a.total == 12
+        assert a.min == 1 and a.max == 5
+        assert a.by_value == {1: 1, 2: 3, 5: 1}
+
+    def test_histogram_merge_respects_cap_but_keeps_totals(self):
+        a = Histogram("h", max_distinct=2)
+        b = Histogram("h")
+        for v in range(6):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 6
+        assert a.total == 15
+        assert len(a.by_value) == 2
+
+    def test_histogram_merge_order_determinism(self):
+        def peers():
+            ps = []
+            for vals in ((3, 1, 4), (1, 5, 9), (2, 6, 5, 3)):
+                h = Histogram("h")
+                for v in vals:
+                    h.observe(v)
+                ps.append(h)
+            return ps
+
+        import itertools
+        dicts = []
+        for order in itertools.permutations(range(3)):
+            merged = Histogram("h")
+            ps = peers()
+            for i in order:
+                merged.merge(ps[i])
+            dicts.append(merged.as_dict())
+        assert all(d == dicts[0] for d in dicts)
+
+    def test_summary_merge_order_does_not_change_percentiles(self):
+        ranges = (range(0, 50), range(100, 150), range(200, 250))
+
+        def peers():
+            ps = []
+            for r in ranges:
+                s = Summary("s")
+                for v in r:
+                    s.observe(v)
+                ps.append(s)
+            return ps
+
+        import itertools
+        stats = []
+        for order in itertools.permutations(range(3)):
+            merged = Summary("s")
+            ps = peers()
+            for i in order:
+                merged.merge(ps[i])
+            stats.append((merged.count, merged.total, merged.min, merged.max,
+                          merged.percentile(50), merged.percentile(90),
+                          merged.percentile(99)))
+        assert all(s == stats[0] for s in stats), stats
+        count, total, mn, mx, p50, _, p99 = stats[0]
+        assert count == 150
+        assert total == sum(sum(r) for r in ranges)
+        assert (mn, mx) == (0, 249)
+        assert 100 <= p50 <= 150 and p99 >= 240
+
+    def test_summary_merge_pools_all_retained_samples(self):
+        a, b = Summary("s"), Summary("s")
+        for v in range(10):
+            a.observe(v)
+        for v in range(1000, 1010):
+            b.observe(v)
+        a.merge(b)
+        assert a.count == 20
+        assert a._samples == sorted(list(range(10)) + list(range(1000, 1010)))
+
+    def test_registry_merge_creates_missing_families(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("shared").inc(1)
+        b.counter("shared").inc(2)
+        b.counter("only.b", worker="1").inc(5)
+        b.histogram("lat").observe(7)
+        a.merge(b)
+        d = a.as_dict()
+        assert d["shared"] == 3
+        assert d["only.b{worker=1}"] == 5
+        assert d["lat"]["count"] == 1

@@ -150,6 +150,7 @@ class TestCacheStats:
         cache.put(("c",), "fc")  # evicts ("a",)
         s = cache.stats_dict()
         assert s == {"hits": 1, "misses": 1, "evictions": 1,
+                     "disk_hits": 0, "compiles": 1,
                      "size": 2, "capacity": 2, "hit_rate": 0.5}
         assert cache.size == 2
 

@@ -10,6 +10,16 @@ over one pipelined client connection, and asserts:
   identity invariant, checked over the wire this time);
 * the ``stats`` request reports a sane document (requests all ok,
   at least one coalesced flush, nonzero instruction counters);
+* always-on telemetry holds end to end: every execute response
+  carries a unique trace ID with a timing breakdown and plan-cache
+  outcome, the ``metrics`` request scrapes as *strictly valid*
+  Prometheus text exposition (validated with
+  :func:`repro.obs.exposition.parse_exposition`, which rejects rather
+  than skips malformed lines), the ``dump`` request returns a flight
+  recorder whose event chains match the response trace IDs, and
+  SIGUSR1 makes the daemon write the same recorder as NDJSON to
+  ``--flight-dump``;
+* ``repro top --once`` renders a live frame against the daemon;
 * a ``shutdown`` request drains the daemon, it exits 0, and the
   ``--stats-json`` file it leaves behind agrees with the wire stats.
 
@@ -21,12 +31,15 @@ from __future__ import annotations
 import json
 import os
 import re
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 import numpy as np
 
+from repro.obs.exposition import parse_exposition
 from repro.serve import ServeClient
 from repro.serve.protocol import PIPELINES
 from repro.svm import SVM
@@ -73,13 +86,83 @@ def sequential_reference(requests: list[dict]) -> list[np.ndarray]:
     return outs
 
 
+def check_exposition(text: str, n_requests: int) -> None:
+    """Strictly parse a live scrape and spot-check the families the
+    dashboard relies on."""
+    doc = parse_exposition(text)  # raises ExpositionError on violation
+    total = next(v for name, labels, v
+                 in doc["repro_serve_requests_total"]["samples"]
+                 if not labels)
+    assert total == n_requests, (total, n_requests)
+    by_pipeline: dict[str, float] = {}
+    for _, labels, v in doc["repro_serve_pipeline_requests_total"]["samples"]:
+        by_pipeline[labels["pipeline"]] = \
+            by_pipeline.get(labels["pipeline"], 0) + v
+    assert sum(by_pipeline.values()) == n_requests, by_pipeline
+    assert "repro_serve_latency_ms" in doc
+    assert "repro_serve_instructions" in doc
+    assert "repro_serve_plan_cache_lookups" in doc
+    print(f"metrics: strict exposition parse OK "
+          f"({len(doc)} families, per-pipeline {by_pipeline})")
+
+
+def check_flight_dump(dump: dict, traced: list[dict]) -> None:
+    """The recorder must hold, for every traced response, an event
+    chain admit -> coalesce -> flush -> complete whose flush lists the
+    trace ID."""
+    events = dump["events"]
+    for resp in traced:
+        trace = resp["trace"]
+        chain = [e["kind"] for e in events
+                 if e.get("trace") == trace
+                 or trace in (e.get("traces") or ())]
+        assert chain == ["admit", "coalesce", "flush", "complete"], (
+            f"trace {trace}: bad chain {chain}")
+    kinds = {e["kind"] for e in events}
+    assert kinds <= {"admit", "coalesce", "flush", "complete", "cache",
+                     "reject", "error"}, kinds
+    assert dump["recorded"] >= len(events) > 0
+    print(f"flight recorder: {len(events)} events retained, "
+          f"{len(traced)} trace chains verified, "
+          f"{len(dump['exemplars'])} slow exemplars")
+
+
+def check_ndjson_dump(path: str) -> None:
+    """The SIGUSR1 NDJSON file: a header line then one JSON doc per
+    retained event/exemplar."""
+    with open(path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln]
+    docs = [json.loads(ln) for ln in lines]
+    assert docs[0]["kind"] == "flight_recorder", docs[0]
+    assert docs[0]["recorded"] > 0
+    assert all("kind" in d for d in docs[1:])
+    print(f"SIGUSR1 dump: {len(docs)} NDJSON lines at {path}")
+
+
+def run_top(host: str, port: int) -> None:
+    """``repro top --once`` must render a frame against the live
+    daemon."""
+    out = subprocess.run(
+        [sys.executable, "-m", "repro", "top", "--host", host,
+         "--port", str(port), "--once"],
+        capture_output=True, text=True, timeout=60)
+    assert out.returncode == 0, out.stderr
+    frame = out.stdout
+    for needle in ("repro top", "requests", "coalescing", "plan cache",
+                   "flight"):
+        assert needle in frame, f"missing {needle!r} in top frame:\n{frame}"
+    print("repro top: live frame rendered "
+          f"({len(frame.splitlines())} lines)")
+
+
 def main() -> int:
-    stats_path = os.path.join(tempfile.mkdtemp(prefix="repro-serve-"),
-                              "stats.json")
+    tmpdir = tempfile.mkdtemp(prefix="repro-serve-")
+    stats_path = os.path.join(tmpdir, "stats.json")
+    flight_path = os.path.join(tmpdir, "flight.ndjson")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", "--port", "0",
          "--flush-ms", "5", "--max-rows", "8",
-         "--stats-json", stats_path],
+         "--stats-json", stats_path, "--flight-dump", flight_path],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
     try:
         announce = proc.stdout.readline()
@@ -96,6 +179,40 @@ def main() -> int:
         with ServeClient(host=host, port=port) as client:
             assert client.ping(), "ping failed"
             served = client.execute_many(requests)
+
+            # telemetry: traced responses, then the recorder they must
+            # appear in
+            g = np.random.default_rng(SEED + 1)
+            traced = [
+                client.execute_traced(
+                    "scan", g.integers(0, 2**16, 700, dtype=np.uint32)
+                    .tolist())
+                for _ in range(3)
+            ]
+            assert len({r["trace"] for r in traced}) == 3, traced
+            for resp in traced:
+                assert resp["trace"].startswith("t"), resp
+                t = resp["timing"]
+                assert t["total_ms"] >= t["execute_ms"] >= 0, t
+                assert resp["cache"] in ("memory", "disk", "compile",
+                                         "none"), resp
+            print(f"tracing: {len(traced)} traced responses with "
+                  "timing breakdowns")
+
+            check_exposition(client.metrics(), len(requests) + len(traced))
+            check_flight_dump(client.dump(), traced)
+            run_top(host, port)
+
+            # SIGUSR1 → NDJSON dump to --flight-dump, daemon untouched
+            if hasattr(signal, "SIGUSR1"):
+                os.kill(proc.pid, signal.SIGUSR1)
+                deadline = time.monotonic() + 30
+                while (not os.path.exists(flight_path)
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+                check_ndjson_dump(flight_path)
+                assert client.ping(), "daemon died on SIGUSR1"
+
             wire_stats = client.stats()
             assert client.shutdown(), "shutdown not acknowledged"
 
@@ -110,13 +227,16 @@ def main() -> int:
         print(f"identity: {len(served)} served results bit-identical "
               "to sequential SVM calls")
 
+        total_reqs = len(requests) + len(traced)
         req = wire_stats["requests"]
         co = wire_stats["coalescing"]
-        assert req["ok"] == len(requests), req
+        assert req["ok"] == total_reqs, req
         assert req["errors"] == 0 and req["rejected"] == 0, req
-        assert co["flushes"] >= 1 and co["rows"] == len(requests), co
+        assert co["flushes"] >= 1 and co["rows"] == total_reqs, co
         assert co["ratio"] > 1.0, f"no coalescing happened: {co}"
         assert wire_stats["instructions"] > 0
+        sources = wire_stats["plan_cache"]["sources"]
+        assert sources["compile"] >= 1 and sources["memory"] >= 1, sources
         print(f"stats: {co['rows']} rows in {co['flushes']} flushes "
               f"(ratio {co['ratio']}), paths {co['paths']}")
 
@@ -130,7 +250,7 @@ def main() -> int:
 
     with open(stats_path) as f:
         final_stats = json.load(f)
-    assert final_stats["requests"]["ok"] == len(requests), final_stats
+    assert final_stats["requests"]["ok"] == total_reqs, final_stats
     assert final_stats["counters"] == wire_stats["counters"], (
         "stats-json counters drifted from the wire stats")
     print("serve smoke: OK "
