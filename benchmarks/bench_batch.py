@@ -5,10 +5,12 @@ Two claims, two kinds of evidence:
 * **Identity** (deterministic, CI-gated): a batch run's outputs and
   per-category instruction counters equal the looped single-input
   path exactly — across VLEN, LMUL, ragged length buckets, and the
-  data-dependent (pack) loop fallback. These land in ``BENCH_batch.json``,
-  which the perf job regenerates and diffs at tolerance 0; only
-  deterministic values (counts, booleans, bucket structure) are
-  written, never wall-clock.
+  data-dependent pack pipeline, which now batches as one masked 2D
+  evaluation on the ``"ragged"`` path (zero loop-fallback buckets)
+  with per-row lengths and an exact per-row charge. These land in
+  ``BENCH_batch.json``, which the perf job regenerates and diffs at
+  tolerance 0; only deterministic values (counts, booleans, bucket
+  structure, dispatch ratios) are written, never wall-clock.
 
 * **Throughput** (asserted here, reported in the summary table): one
   2D evaluation amortizes capture, cache lookup, dispatch, and
@@ -35,6 +37,7 @@ import numpy as np
 
 from repro import SVM
 from repro.bench.harness import ExperimentResult
+from repro.engine.cache import PlanCache
 from repro.parallel import CHAIN, batch_cell, default_jobs, run_grid
 from repro.utils.formatting import fmt_count, fmt_ratio
 
@@ -49,6 +52,25 @@ def _pipe(lz, data):
         getattr(lz, op)(data, x)
     lz.plus_scan(data)
     return data
+
+
+def _pack_pipe(lz, data):
+    flags = lz.p_lt(data, 2**15)
+    out, _ = lz.pack(data, flags)
+    lz.free(flags)
+    return out
+
+
+def _pack_loop(svm, rows):
+    outs = []
+    for row in rows:
+        data = svm.array(row)
+        with svm.lazy() as lz:
+            out = _pack_pipe(lz, data)
+        outs.append(out.to_numpy())
+        svm.free(data)
+        svm.free(out)
+    return outs
 
 
 def _loop(svm, rows):
@@ -112,37 +134,55 @@ def test_batch_identity_grid(benchmark):
     }
     assert ragged["identical_results"] and ragged["identical_counters"]
 
-    # pack's data-dependent charge must take the loop fallback
-    def pack_pipe(lz, data):
-        flags = lz.p_lt(data, 2**15)
-        out, _ = lz.pack(data, flags)
-        lz.free(flags)
-        return out
+    # pack's data-dependent charge batches as one masked 2D evaluation
+    # on the ragged path: zero loop-fallback buckets, per-row lengths,
+    # survivor prefixes and counters exactly loop-identical, and the
+    # deterministic dispatch fact — one engine dispatch per bucket
+    # where the loop pays one per row (plan-cache lookups count them)
     pack_rows = [g.integers(0, 2**16, 3000, dtype=np.uint32)
-                 for _ in range(4)]
-    loop_svm = SVM(vlen=512, codegen="paper", mode="fast")
-    loop_outs = []
-    for row in pack_rows:
-        data = loop_svm.array(row)
-        with loop_svm.lazy() as lz:
-            out = pack_pipe(lz, data)
-        loop_outs.append(out.to_numpy())
-        loop_svm.free(data)
-        loop_svm.free(out)
-    batch_svm = SVM(vlen=512, codegen="paper", mode="fast")
-    res = batch_svm.batch(pack_pipe, pack_rows)
+                 for _ in range(8)]
+    kept = [int((r < 2**15).sum()) for r in pack_rows]
+    loop_cache = PlanCache()
+    loop_svm = SVM(vlen=512, codegen="paper", mode="fast",
+                   plan_cache=loop_cache)
+    loop_outs = _pack_loop(loop_svm, pack_rows)
+    batch_cache = PlanCache()
+    batch_svm = SVM(vlen=512, codegen="paper", mode="fast",
+                    plan_cache=batch_cache)
+    res = batch_svm.batch(_pack_pipe, pack_rows)
+
+    def lookups(cache):
+        s = cache.stats_dict()
+        return s["hits"] + s["disk_hits"] + s["compiles"]
+
     pack_cell = {
+        "rows": len(pack_rows),
+        "n": 3000,
         "path": res.buckets[0].path,
-        "identical_results": bool(all(
-            np.array_equal(a, b) for a, b in zip(loop_outs, res)
+        "loop_fallback_buckets": sum(
+            b.path == "loop" for b in res.buckets),
+        "lengths": list(res.lengths),
+        "lengths_match_predicate": res.lengths == kept,
+        "prefix_identical": bool(all(
+            np.array_equal(a[:k], b[:k])
+            for a, b, k in zip(loop_outs, res, kept)
         )),
         "identical_counters": bool(
             loop_svm.counters.snapshot().by_category
             == batch_svm.counters.snapshot().by_category
         ),
+        "loop_plan_dispatches": lookups(loop_cache),
+        "ragged_plan_dispatches": lookups(batch_cache),
     }
-    assert pack_cell["path"] == "loop"
-    assert pack_cell["identical_results"] and pack_cell["identical_counters"]
+    pack_cell["dispatch_speedup"] = (
+        pack_cell["loop_plan_dispatches"]
+        / pack_cell["ragged_plan_dispatches"])
+    assert pack_cell["path"] == "ragged"
+    assert pack_cell["loop_fallback_buckets"] == 0
+    assert pack_cell["lengths_match_predicate"]
+    assert pack_cell["prefix_identical"]
+    assert pack_cell["identical_counters"]
+    assert pack_cell["dispatch_speedup"] >= 2.0, pack_cell
 
     out = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
     out.write_text(json.dumps({
@@ -151,7 +191,7 @@ def test_batch_identity_grid(benchmark):
         "mode": "fast",
         "grid": cells,
         "ragged": ragged,
-        "pack_fallback": pack_cell,
+        "pack_ragged": pack_cell,
     }, indent=2) + "\n")
 
     benchmark(batch_cell,
@@ -185,10 +225,32 @@ def test_batch_wallclock_speedup():
             f"n={n} rows={batch_rows}: batch {t_batch * 1e3:.2f} ms vs "
             f"loop {t_loop * 1e3:.2f} ms = {speedup:.1f}x < floor {floor:g}x"
         )
+    # pack pipeline: the ragged path must beat its old loop fallback
+    # by >= 2x where per-row dispatch overhead dominates
+    g = rng(SEED)
+    pack_rows = [g.integers(0, 2**16, 256, dtype=np.uint32)
+                 for _ in range(64)]
+    svm = SVM(vlen=512, codegen="paper", mode="fast")
+    loop_outs = _pack_loop(svm, pack_rows)  # also warms the plan cache
+    res = svm.batch(_pack_pipe, pack_rows)
+    assert {b.path for b in res.buckets} == {"ragged"}
+    assert all(np.array_equal(a[:k], b[:k])
+               for a, b, k in zip(loop_outs, res, res.lengths))
+    t_loop = min(timeit.repeat(
+        lambda: _pack_loop(svm, pack_rows), number=1, repeat=9))
+    t_batch = min(timeit.repeat(
+        lambda: svm.batch(_pack_pipe, pack_rows), number=1, repeat=9))
+    speedup = t_loop / t_batch
+    table.append(["256 (pack)", "64", f"{t_loop * 1e3:.2f} ms",
+                  f"{t_batch * 1e3:.2f} ms", fmt_ratio(speedup), ">= 2x"])
+    assert speedup >= 2.0, (
+        f"pack ragged path {t_batch * 1e3:.2f} ms vs loop "
+        f"{t_loop * 1e3:.2f} ms = {speedup:.1f}x < floor 2x"
+    )
     record(ExperimentResult(
         "Batch wall-clock",
-        f"depth-{DEPTH} chain + plus_scan at VLEN=512, batch vs loop "
-        "(best of 9)",
+        f"depth-{DEPTH} chain + plus_scan (and the pack filter on the "
+        "ragged path) at VLEN=512, batch vs loop (best of 9)",
         ["n", "rows", "loop", "batch", "speedup x", "floor"], table,
         notes=["wall-clock is machine-dependent and intentionally kept out"
                " of BENCH_batch.json; the CI gate locks only the"

@@ -38,7 +38,7 @@ from conftest import record, rng
 SEED = 31
 N = 3000
 CONCURRENCY = (1, 8, 32)
-MIXED = ("chain_scan", "scan", "reverse", "filter")
+MIXED = ("chain_scan", "scan", "reverse", "filter", "radix_pack")
 MIXED_ROWS = 4
 
 
@@ -154,8 +154,12 @@ def test_serve_coalescing_and_identity(benchmark):
         "flushes": stats["coalescing"]["flushes"],
         "ratio": stats["coalescing"]["ratio"],
         "paths": stats["coalescing"]["paths"],
+        # pack pipelines serve only the defined survivor prefix (the
+        # response's ``valid`` lanes); the sequential oracle's tails
+        # past the kept count are undefined malloc residue
         "identical_results": bool(all(
-            np.array_equal(r.output, w)
+            np.array_equal(r.output,
+                           w if r.valid is None else w[:r.valid])
             for r, w in zip(served, seq_outputs))),
         "identical_counters":
             stats["counters"] == dict(sorted(seq_counters.items())),
@@ -163,7 +167,10 @@ def test_serve_coalescing_and_identity(benchmark):
     }
     assert mixed["identical_results"] and mixed["identical_counters"]
     assert mixed["flushes"] == len(MIXED)
-    assert mixed["paths"]["loop"] >= 1  # filter's pack fallback
+    # both pack pipelines flush as masked 2D on the ragged path —
+    # nothing in this window needs the per-row loop fallback
+    assert mixed["paths"]["ragged"] >= 2
+    assert mixed["paths"]["loop"] == 0
 
     record(ExperimentResult(
         "Serving coalescing grid",

@@ -6,9 +6,14 @@ batch: same-length inputs share one cached
 :class:`~repro.engine.fuse.FusedPlan`, data moves as a single 2D NumPy
 evaluation per execution unit, and counters are charged once from
 row 0's delta scaled by the batch size — bit- and counter-identical to
-looping the single-input path. See ``docs/batching.md``.
+looping the single-input path. Pipelines ending in ``pack`` run the
+same way on the ``"ragged"`` path: one masked 2D evaluation plus a
+per-row-lengths column (:class:`~repro.batch.ragged.RaggedBatch`) and
+an exact per-row charge correction. See ``docs/batching.md``.
 """
 
+from .ragged import RaggedBatch, pack2d
 from .runner import BatchBucket, BatchResult, run_batch, run_bucket
 
-__all__ = ["BatchBucket", "BatchResult", "run_batch", "run_bucket"]
+__all__ = ["BatchBucket", "BatchResult", "RaggedBatch", "pack2d",
+           "run_batch", "run_bucket"]

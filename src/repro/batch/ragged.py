@@ -1,0 +1,108 @@
+"""Ragged-batch representation: 2D values decoupled from per-row
+result lengths.
+
+``pack`` is the one primitive whose *output length* (and with it the
+data-dependent part of its charge) varies per row, so a batch of pack
+pipelines cannot be described by a plain ``[B, n]`` matrix alone. The
+fix mirrors how the paper's strip loop decouples logical vector length
+from VLEN: keep the physical batch shape rectangular and carry the
+logical per-row lengths as a first-class column.
+
+* :class:`RaggedBatch` is that pairing — one ``[B, n]`` value buffer
+  plus a ``[B]`` lengths vector, with a derived validity mask. Lanes
+  at or beyond a row's length are *undefined* (malloc residue under
+  the single-row semantics), never compared, never charged.
+* :func:`pack2d` is the masked ``axis=1`` kernel the batch runner uses
+  on the ``"ragged"`` path: one vectorized compaction over the whole
+  batch, writing each row's survivor prefix and returning the per-row
+  kept counts (the vectorized form of the ``pack.kept``
+  :class:`~repro.engine.ir.ScalarFuture`).
+
+The per-row *charge* correction lives next to the closed-form charge
+tuples in :func:`repro.engine.specialize.pack_variable_items`; the
+survivor-strip arithmetic it needs is
+:func:`repro.svm.fastpath.pack_strip_survivors`, shared with the eager
+fast path. See ``docs/batching.md`` (ragged representation) for the
+masking rule and the identity contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RaggedBatch", "pack2d"]
+
+
+@dataclass(frozen=True)
+class RaggedBatch:
+    """A 2D value buffer with a per-row-lengths column.
+
+    ``values[i, :lengths[i]]`` is row *i*'s defined prefix; lanes past
+    the length are undefined residue and excluded from every identity
+    comparison. ``lengths[i] == values.shape[1]`` marks a fully-defined
+    row, so non-ragged results embed losslessly.
+    """
+
+    values: np.ndarray   #: ``[B, n]`` row-major value buffer
+    lengths: np.ndarray  #: ``[B]`` int64 defined-prefix lengths
+
+    def __post_init__(self):
+        values = np.asarray(self.values)
+        lengths = np.asarray(self.lengths, dtype=np.int64)
+        if values.ndim != 2:
+            raise ValueError(f"values must be [B, n], got {values.shape}")
+        if lengths.shape != (values.shape[0],):
+            raise ValueError(
+                f"lengths must be [{values.shape[0]}], got {lengths.shape}"
+            )
+        if lengths.size and (lengths.min() < 0
+                             or lengths.max() > values.shape[1]):
+            raise ValueError(
+                f"lengths must lie in [0, {values.shape[1]}]"
+            )
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "lengths", lengths)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """``[B, n]`` boolean validity mask (True on defined lanes)."""
+        n = self.values.shape[1]
+        return np.arange(n)[None, :] < self.lengths[:, None]
+
+    def row(self, i: int) -> np.ndarray:
+        """Row *i*'s defined prefix (a view)."""
+        return self.values[i, : self.lengths[i]]
+
+    def __len__(self) -> int:
+        return self.values.shape[0]
+
+    def __iter__(self):
+        return (self.row(i) for i in range(len(self)))
+
+    def to_list(self) -> list[np.ndarray]:
+        """The defined prefixes as a plain list of 1-D arrays."""
+        return list(self)
+
+
+def pack2d(src: np.ndarray, flags: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Masked ``axis=1`` stream compaction: the batch-of-``pack``
+    kernel.
+
+    For every row, the flagged lanes of ``src`` are written in order
+    to the front of ``dst``; lanes past the row's survivor count keep
+    whatever ``dst`` held (the undefined-tail contract of the
+    single-row kernel). Returns the per-row kept counts as int64 —
+    exactly the vector the ``pack.kept`` future resolves to row by
+    row. In-place compaction (``dst is src``) is safe: the gather of
+    survivors completes before the scatter writes, and every
+    destination index is ≤ its source index.
+    """
+    keep = flags != 0
+    kept = keep.sum(axis=1, dtype=np.int64)
+    if kept.any():
+        pos = np.cumsum(keep, axis=1)
+        r, c = np.nonzero(keep)
+        dst[r, pos[r, c] - 1] = src[r, c]
+    return kept

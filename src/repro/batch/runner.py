@@ -17,21 +17,31 @@ inputs performs B identical instruction streams, so the batch can
 The result is bit- and counter-identical to looping the single-input
 path, which stays the definitional semantics:
 
-* ragged batches are split into length buckets first (the vl sequence
-  depends only on n, so only same-(n, dtype) rows may share a plan);
+* variable-length batches are split into length buckets first (the vl
+  sequence depends only on n, so only same-(n, dtype) rows may share a
+  plan);
 * every structured node kind batches — permute, enumerate, segmented
   scans, select, reduce and friends all have ``axis=1`` evaluations,
   and :class:`~repro.engine.ir.ScalarFuture` values produced inside
-  the plan (enumerate counts, reductions) thread through as per-row
-  vectors. Only ``pack`` (its *charge* is data-dependent, so rows
-  cannot share one closed-form profile), out-of-registry opaque calls,
-  and strict mode fall back to literally looping the single-input
-  path;
+  the plan (enumerate counts, reductions, pack's kept count) thread
+  through as per-row vectors;
+* plans containing ``pack`` — the one op whose charge and output
+  length are data-dependent — take the ``"ragged"`` path: still one
+  2D evaluation, with a masked compaction kernel
+  (:func:`repro.batch.ragged.pack2d`), a per-row-lengths column on the
+  result (:class:`~repro.batch.ragged.RaggedBatch`), and an exact
+  per-row counter charge via ``Counters.add_many`` that swaps row 0's
+  data-dependent pack items for each row's own
+  (:func:`repro.engine.specialize.pack_variable_items`);
+* only out-of-registry opaque calls, strict mode, and plans where a
+  packed buffer escapes into a non-prefix-local consumer fall back to
+  literally looping the single-input path;
 * the 2D fast path replays the pre-compiled
   :class:`~repro.engine.specialize.SpecializedGroup` lane chains with
   ``axis=1`` scan tails.
 
-See ``docs/batching.md`` for the API and the bucketing rule.
+See ``docs/batching.md`` for the API, the bucketing rule, and the
+ragged representation.
 """
 
 from __future__ import annotations
@@ -46,9 +56,13 @@ from ..obs.telemetry import note_batch_path
 from ..engine.executor import execute
 from ..engine.fuse import GroupSpec, materialize
 from ..engine.ir import EngineError, Kind, Plan, ScalarFuture, resolve_scalar
+from ..engine.specialize import pack_variable_items
+from ..rvv.types import sew_for_dtype
 from ..scalar.kernels import segmented_cumsum, segmented_reduce_numpy
-from ..svm.fastpath import _NP_CMP, _UFUNC_VX, _wrap
+from ..svm.fastpath import _NP_CMP, _UFUNC_VX, _wrap, pack_strip_survivors
+from ..svm.opspec import get_spec
 from ..svm.operators import get_operator
+from .ragged import RaggedBatch, pack2d
 
 __all__ = ["BatchBucket", "BatchResult", "run_batch", "run_bucket"]
 
@@ -60,18 +74,31 @@ class BatchBucket:
     n: int
     dtype: str
     rows: int
-    #: ``"2d"`` (matrix fast path) or ``"loop"`` (per-row fallback).
+    #: ``"2d"`` (matrix fast path), ``"ragged"`` (matrix fast path
+    #: with pack's masked kernel + per-row lengths), or ``"loop"``
+    #: (per-row fallback).
     path: str
     #: Positions of this bucket's rows in the original input order.
     indices: tuple[int, ...]
+    #: Per-row defined-prefix lengths of the outputs (bucket row
+    #: order) when the pipeline's output is ragged (its last writer is
+    #: a pack); None when every output lane is defined.
+    lengths: tuple[int, ...] | None = None
 
 
 @dataclass
 class BatchResult:
-    """Outputs in input order plus per-bucket dispatch reports."""
+    """Outputs in input order plus per-bucket dispatch reports.
+
+    ``lengths`` parallels ``outputs``: row *i*'s defined prefix is
+    ``outputs[i][:lengths[i]]`` when ``lengths[i]`` is an int (a
+    pack-tailed pipeline — lanes past the kept count are undefined
+    malloc residue), and the whole row when it is None.
+    """
 
     outputs: list[np.ndarray] = field(default_factory=list)
     buckets: list[BatchBucket] = field(default_factory=list)
+    lengths: list = field(default_factory=list)
 
     @property
     def rows(self) -> int:
@@ -85,6 +112,24 @@ class BatchResult:
 
     def __iter__(self):
         return iter(self.outputs)
+
+    def to_ragged(self) -> RaggedBatch:
+        """The result as one :class:`~repro.batch.ragged.RaggedBatch`.
+
+        Requires all outputs to share one length (one bucket — the
+        :func:`run_bucket` shape). Rows without a lengths entry are
+        fully defined."""
+        if not self.outputs:
+            return RaggedBatch(np.empty((0, 0)), np.empty(0, dtype=np.int64))
+        n = self.outputs[0].size
+        if any(o.size != n for o in self.outputs):
+            raise EngineError(
+                "to_ragged needs same-length outputs (a single bucket)"
+            )
+        lengths = [n if k is None else int(k)
+                   for k in (self.lengths or [None] * len(self.outputs))]
+        return RaggedBatch(np.stack(self.outputs, axis=0),
+                           np.asarray(lengths, dtype=np.int64))
 
 
 def _freed_bids(plan: Plan) -> set[int]:
@@ -119,21 +164,22 @@ def _capture(svm, pipe, row: np.ndarray):
 
 
 def _batchable(plan: Plan, fused) -> bool:
-    """Whether a plan batches as one 2D evaluation.
+    """Whether a plan batches as one 2D evaluation (the shared
+    precondition of the ``"2d"`` and ``"ragged"`` paths).
 
-    Rejected outright: out-of-registry OPAQUE calls (nothing structured
-    to vectorize) and PACK (its instruction *charge* depends on where
-    the survivors fall, so rows cannot share row 0's counter delta).
-    Everything else is closed-form.
+    Rejected outright: out-of-registry OPAQUE calls (nothing
+    structured to vectorize). PACK is *not* rejected here — plans
+    containing it are additionally screened by :func:`_ragged_tags`
+    and dispatch to the ``"ragged"`` path.
 
-    ScalarFuture operands (enumerate counts, reductions feeding later
-    nodes, as in the captured split pipeline) are fine when the future
-    is produced by an earlier node of the same plan — it becomes a
-    per-row vector — and the consumer is an eager EW_VX / CMP_VX node
-    whose ufunc broadcasts a column of per-row scalars. Consumers
-    inside fused groups (whose kernels resolve the scalar once) and
-    the shift ops (whose wrappers coerce the scalar to a plain int)
-    fall back to the loop."""
+    ScalarFuture operands (enumerate counts, reductions, pack's kept
+    count feeding later nodes) are fine when the future is produced by
+    an earlier node of the same plan — it becomes a per-row vector —
+    and the consumer is an eager EW_VX / CMP_VX node whose ufunc
+    broadcasts a column of per-row scalars. Consumers inside fused
+    groups (whose kernels resolve the scalar once) and the shift ops
+    (whose wrappers coerce the scalar to a plain int) fall back to the
+    loop."""
     group_nodes: set[int] = set()
     for u in fused.units:
         if isinstance(u, GroupSpec):
@@ -141,7 +187,7 @@ def _batchable(plan: Plan, fused) -> bool:
     produced: set[ScalarFuture] = set()
     for i, node in enumerate(plan.nodes):
         kind = node.kind
-        if kind is Kind.OPAQUE or kind is Kind.PACK:
+        if kind is Kind.OPAQUE:
             return False
         if isinstance(node.scalar, ScalarFuture):
             if node.scalar not in produced or i in group_nodes:
@@ -153,6 +199,94 @@ def _batchable(plan: Plan, fused) -> bool:
         if node.future is not None:
             produced.add(node.future)
     return True
+
+
+#: Kinds that may read a ragged buffer without corrupting its defined
+#: prefix: lane-local elementwise work plus the prefix-local scans
+#: (lane i of the result depends only on lanes <= i of the inputs), so
+#: the first ``kept`` lanes come out identical to the loop path no
+#: matter what the undefined tail holds.
+_PREFIX_LOCAL = frozenset((
+    Kind.EW_VX, Kind.EW_VV, Kind.CMP_VX, Kind.CMP_VV, Kind.GET_FLAGS,
+    Kind.SCAN, Kind.SEG_SCAN, Kind.SELECT, Kind.COPY,
+))
+
+#: Kinds that overwrite every lane of ``dst`` (from non-ragged inputs
+#: they produce a fully-defined buffer, clearing any stale tag).
+_FULL_WRITERS = frozenset((
+    Kind.CMP_VX, Kind.CMP_VV, Kind.GET_FLAGS, Kind.BACK_PERMUTE,
+    Kind.COPY, Kind.INDEX, Kind.ENUMERATE, Kind.SHIFT1UP,
+))
+
+
+def _node_reads(node) -> tuple:
+    """Buffer ids whose *contents* influence the node's result —
+    including ``dst`` for in-place and partial-write kinds (their
+    unwritten or read-modify-written lanes persist)."""
+    kind = node.kind
+    if kind is Kind.EW_VX or kind is Kind.SCAN:
+        return (node.dst,)
+    if kind is Kind.EW_VV or kind is Kind.SEG_SCAN:
+        return (node.dst, node.operand)
+    if kind is Kind.CMP_VX or kind is Kind.GET_FLAGS:
+        return (node.src,)
+    if kind is Kind.CMP_VV or kind is Kind.PACK:
+        return (node.src, node.operand)
+    if kind is Kind.SELECT:
+        return (node.dst, node.src, node.operand)
+    if kind is Kind.PERMUTE:
+        return (node.dst, node.src, node.operand)  # scatter: partial dst
+    if kind is Kind.BACK_PERMUTE:
+        return (node.src, node.operand)
+    if kind in (Kind.ENUMERATE, Kind.REDUCE, Kind.SHIFT1UP, Kind.COPY):
+        return (node.src,)
+    return ()
+
+
+def _ragged_tags(plan: Plan) -> tuple[bool, dict]:
+    """Propagate per-row-length tags through a plan.
+
+    A buffer written by PACK is tagged with the ``pack.kept`` future
+    that bounds its defined prefix; prefix-local consumers
+    (:data:`_PREFIX_LOCAL`) propagate the tag to their destination.
+    Returns ``(ok, tags)`` — ``ok`` is False when a tagged buffer
+    reaches a consumer that is not prefix-local (a permute could read
+    undefined tail lanes into the defined region; an enumerate or
+    reduce would fold undefined lanes into a scalar) or when two
+    different length columns meet, in which case only the per-row loop
+    is sound and ``tags`` is unreliable."""
+    tags: dict[int, ScalarFuture] = {}
+    for node in plan.nodes:
+        kind = node.kind
+        if kind is Kind.FREE:
+            tags.pop(node.dst, None)
+            continue
+        read_tags = {tags[b] for b in _node_reads(node) if b in tags}
+        if read_tags:
+            if kind not in _PREFIX_LOCAL or len(read_tags) > 1:
+                return False, {}
+            tags[node.dst] = next(iter(read_tags))
+        elif kind is Kind.PACK:
+            tags[node.dst] = node.future
+        elif kind in _FULL_WRITERS:
+            tags.pop(node.dst, None)
+    return True, tags
+
+
+def _bid_of(plan: Plan, array) -> int:
+    """The plan buffer id backed by ``array``'s heap address."""
+    return next(
+        bid for bid, buf in plan.buffers.items()
+        if buf.array.ptr.addr == array.ptr.addr
+    )
+
+
+def _out_lengths_future(plan: Plan, out_bid: int):
+    """The ``pack.kept`` future bounding the output's defined prefix,
+    or None when the output is fully defined (or the plan's ragged
+    flow is untrackable)."""
+    ok, tags = _ragged_tags(plan)
+    return tags.get(out_bid) if ok else None
 
 
 # ---------------------------------------------------------------------------
@@ -227,11 +361,14 @@ def _scalar_2d(node, dtype, fvals):
     return _wrap(resolve_scalar(node.scalar), dtype)
 
 
-def _node_2d(plan: Plan, node, mats, get, fvals) -> None:
-    """One eager (non-fused, non-opaque) node on a [b1, n] matrix.
+def _node_2d(plan: Plan, node, mats, get, fvals, m=None, pack_sws=None) -> None:
+    """One eager (non-fused, non-opaque) node on a [b, n] matrix.
 
     ``fvals`` maps each :class:`ScalarFuture` produced by the plan
-    (enumerate counts, reductions) to its per-row int64 vector."""
+    (enumerate counts, reductions, pack kept counts) to its per-row
+    int64 vector. ``m`` (the machine) and ``pack_sws`` (a list
+    collecting each pack node's per-row strips-with-survivors vector
+    for the charge correction) are only needed on the ragged path."""
     kind = node.kind
     if kind is Kind.EW_VX:
         view = get(node.dst)
@@ -322,28 +459,38 @@ def _node_2d(plan: Plan, node, mats, get, fvals) -> None:
     elif kind is Kind.INDEX:
         view = get(node.dst)
         view[:] = np.arange(view.shape[1], dtype=np.uint64).astype(view.dtype)
+    elif kind is Kind.PACK:
+        src = get(node.src)
+        keep = get(node.operand) != 0
+        fvals[node.future] = pack2d(src, keep, get(node.dst))
+        vlmax = m.vlmax(sew=sew_for_dtype(src.dtype), lmul=node.lmul)
+        pack_sws.append(pack_strip_survivors(keep, vlmax))
     elif kind is Kind.FREE:
         mats.pop(node.dst, None)
-    else:  # pragma: no cover - _batchable() excludes OPAQUE and PACK
+    else:  # pragma: no cover - _batchable() excludes OPAQUE
         raise EngineError(f"cannot batch node kind {kind}")
 
 
-def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
+def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows,
+                   ragged: bool = False, out_tag=None):
     """Fast path for one bucket: single-input semantics for row 0 (the
-    counter oracle), one 2D NumPy evaluation for the rest, counters
-    scaled by the remaining rows."""
-    m = svm.machine
-    n = rows[0].size
-    b1 = len(rows) - 1
+    counter oracle), one 2D NumPy evaluation for the rest.
 
-    input_bid = next(
-        bid for bid, buf in plan.buffers.items()
-        if buf.array.ptr.addr == data.ptr.addr
-    )
-    out_bid = next(
-        bid for bid, buf in plan.buffers.items()
-        if buf.array.ptr.addr == out.ptr.addr
-    )
+    Closed-form plans (``ragged=False``) evaluate rows 1+ only and
+    charge counters as row 0's delta scaled by the remaining rows. A
+    ragged plan (contains pack) evaluates the matrix over *all* rows —
+    the masked pack kernel then yields every row's kept count and
+    strips-with-survivors in the same pass — and charges rows 1+ as
+    the closed-form part of the delta scaled, plus each row's own
+    data-dependent pack items, in one ``Counters.add_many`` call.
+    Returns ``(outputs, lengths)`` with lengths None for fully-defined
+    outputs."""
+    m = svm.machine
+    b = len(rows)
+    b1 = b - 1
+
+    input_bid = _bid_of(plan, data)
+    out_bid = _bid_of(plan, out)
     # pre-execution contents of every buffer: temporaries replay from
     # these in rows 1+, exactly as fresh allocations would per loop
     # iteration (captured before row 0 mutates anything)
@@ -354,18 +501,22 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
     }
 
     # row 0: the ordinary engine — its counter delta is the per-row
-    # closed-form profile of this plan
+    # closed-form profile of this plan (plus, for ragged plans, row
+    # 0's own data-dependent pack items, subtracted again below)
     backend = svm.engine.backend
     before = m.counters.snapshot()
     execute(svm, plan, fused, backend=backend)
     delta = m.counters.snapshot() - before
     outputs = [out.to_numpy()]
+    lengths = None
 
     if b1:
         compiled = fused.compiled if backend == "codegen" else None
-        mats, get = _mat_getter(plan, init, b1)
-        mats[input_bid] = np.stack(rows[1:], axis=0)
+        b_mat = b if ragged else b1
+        mats, get = _mat_getter(plan, init, b_mat)
+        mats[input_bid] = np.stack(rows if ragged else rows[1:], axis=0)
         fvals: dict = {}  # ScalarFuture -> per-row int64 values
+        pack_sws: list[np.ndarray] = []  # per pack node: [b] survivor strips
         for unit in fused.units:
             if isinstance(unit, GroupSpec):
                 cg = compiled.groups.get(unit) if compiled is not None else None
@@ -379,43 +530,97 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows) -> list[np.ndarray]:
                     from ..engine.specialize import specialize_group
                     _group_2d(plan, specialize_group(plan, unit, m), mats, get)
             else:
-                _node_2d(plan, plan.nodes[unit], mats, get, fvals)
+                _node_2d(plan, plan.nodes[unit], mats, get, fvals,
+                         m=m, pack_sws=pack_sws)
         out_mat = get(out_bid)
-        outputs.extend(out_mat[i] for i in range(b1))
-        for cat, count in delta.by_category.items():
-            if count:
-                m.count(cat, count * b1)
+        # ragged matrices carry all b rows (row 0 feeds the charge
+        # correction); closed-form matrices carry only rows 1+
+        outputs.extend(out_mat[i] for i in
+                       (range(1, b) if ragged else range(b1)))
+        if not ragged:
+            for cat, count in delta.by_category.items():
+                if count:
+                    m.count(cat, count * b1)
+        else:
+            # exact per-row charge: rows 1+ each owe row 0's delta
+            # minus row 0's data-dependent pack items plus their own
+            row0_var: dict = {}
+            rest_var: dict = {}
+            for sws in pack_sws:
+                for cat, count in pack_variable_items(sws[0]):
+                    row0_var[cat] = row0_var.get(cat, 0) + count
+                for cat, count in pack_variable_items(np.sum(sws[1:])):
+                    rest_var[cat] = rest_var.get(cat, 0) + count
+            items = []
+            for cat, count in delta.by_category.items():
+                base = count - row0_var.get(cat, 0)
+                if base:
+                    items.append((cat, base * b1))
+            for cat, count in rest_var.items():
+                if count:
+                    items.append((cat, count))
+            m.counters.add_many(items)
+            if out_tag is not None:
+                kept = fvals[out_tag]
+                lengths = [int(out_tag.value)] + [int(v) for v in kept[1:]]
+    elif ragged and out_tag is not None:  # pragma: no cover - rows > 1
+        lengths = [int(out_tag.value)]
 
     _release(svm, plan, data.ptr.addr)
-    return outputs
+    return outputs, lengths
 
 
-def _run_bucket_loop(svm, pipe, rows) -> list[np.ndarray]:
+def _run_bucket_loop(svm, pipe, rows, want_lengths: bool = False):
     """Fallback: literally the loop of single-input calls (the
-    definitional semantics) — used for pack/opaque plans and strict
-    mode."""
+    definitional semantics) — used for opaque plans, strict mode, and
+    ragged flows no 2D evaluation can track. When ``want_lengths``,
+    each row's defined-prefix length is read off its plan's resolved
+    ``pack.kept`` future."""
     outputs = []
+    lengths: list | None = [] if want_lengths else None
     for row in rows:
         plan, data, out = _capture(svm, pipe, row)
         svm.engine.run(plan)
         outputs.append(out.to_numpy())
+        if want_lengths:
+            tag = _out_lengths_future(plan, _bid_of(plan, out))
+            lengths.append(int(tag.value) if tag is not None else None)
         _release(svm, plan, data.ptr.addr)
-    return outputs
+    if want_lengths and all(k is None for k in lengths):
+        lengths = None
+    return outputs, lengths
 
 
 # ---------------------------------------------------------------------------
 # entry points
 # ---------------------------------------------------------------------------
 
-def _dispatch_bucket(svm, pipe, rows) -> tuple[list[np.ndarray], str]:
+def _dispatch_bucket(svm, pipe, rows):
     """Run one pre-grouped bucket (all rows share (length, dtype));
-    returns (outputs in row order, dispatch path). The shared body of
-    :func:`run_batch` and :func:`run_bucket`."""
+    returns (outputs in row order, per-row lengths or None, dispatch
+    path). The shared body of :func:`run_batch` and
+    :func:`run_bucket`.
+
+    Path choice: plans without pack take ``"2d"``; plans with pack
+    take ``"ragged"`` when the registry declares the recipe
+    (``get_spec("pack").ragged2d``) and every packed buffer stays in
+    prefix-local flow; everything else — strict mode, single rows,
+    sub-threshold lengths, opaque nodes, untrackable ragged flow —
+    takes ``"loop"``."""
     n = rows[0].size
     plan, data, out = _capture(svm, pipe, rows[0])
     fused = svm.engine.fused_for(plan)
-    use_2d = len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
-    path = "2d" if use_2d else "loop"
+    out_bid = _bid_of(plan, out)
+    has_pack = any(node.kind is Kind.PACK for node in plan.nodes)
+    ragged_ok = False
+    out_tag = None
+    if has_pack:
+        ok, tags = _ragged_tags(plan)
+        ragged_ok = ok and get_spec("pack").ragged2d
+        out_tag = tags.get(out_bid) if ok else None
+    use_mat = (len(rows) > 1 and svm._fast(n) and _batchable(plan, fused)
+               and (not has_pack or ragged_ok))
+    path = ("ragged" if has_pack else "2d") if use_mat else "loop"
     note_batch_path(path)  # serve telemetry: flush-scoped trace context
     col = getattr(svm.machine, "collector", None)
     ctx = col.span("batch_bucket", rows=len(rows), n=int(n), path=path) \
@@ -423,14 +628,18 @@ def _dispatch_bucket(svm, pipe, rows) -> tuple[list[np.ndarray], str]:
     with ctx:
         if col is not None:
             col.batch_event(len(rows), int(n), path)
-        if use_2d:
-            outputs = _run_bucket_2d(svm, plan, fused, data, out, rows)
+        if use_mat:
+            outputs, lengths = _run_bucket_2d(
+                svm, plan, fused, data, out, rows,
+                ragged=has_pack, out_tag=out_tag,
+            )
         else:
             # release the probe capture's buffers and replay the
             # definitional loop from scratch for every row
             _release(svm, plan, data.ptr.addr, executed=False)
-            outputs = _run_bucket_loop(svm, pipe, rows)
-    return outputs, path
+            outputs, lengths = _run_bucket_loop(
+                svm, pipe, rows, want_lengths=has_pack)
+    return outputs, lengths, path
 
 
 def run_bucket(svm, pipe, rows, *, dtype=np.uint32) -> BatchResult:
@@ -459,11 +668,14 @@ def run_bucket(svm, pipe, rows, *, dtype=np.uint32) -> BatchResult:
                 "run_bucket rows must share one (length, dtype): "
                 f"expected ({n}, {dt}), got ({arr.size}, {arr.dtype})"
             )
-    outputs, path = _dispatch_bucket(svm, pipe, arrays)
+    outputs, lengths, path = _dispatch_bucket(svm, pipe, arrays)
     result.outputs = outputs
+    result.lengths = list(lengths) if lengths is not None \
+        else [None] * len(outputs)
     result.buckets.append(
         BatchBucket(int(n), np.dtype(dt).name, len(arrays), path,
-                    tuple(range(len(arrays))))
+                    tuple(range(len(arrays))),
+                    tuple(lengths) if lengths is not None else None)
     )
     return result
 
@@ -486,7 +698,8 @@ def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
         x if isinstance(x, np.ndarray) else np.asarray(x, dtype=dtype)
         for x in inputs
     ]
-    result = BatchResult(outputs=[None] * len(arrays))
+    result = BatchResult(outputs=[None] * len(arrays),
+                         lengths=[None] * len(arrays))
     if not arrays:
         return result
 
@@ -498,11 +711,14 @@ def run_batch(svm, pipe, inputs, *, dtype=np.uint32) -> BatchResult:
 
     for (n, dt), indices in buckets.items():
         rows = [arrays[i] for i in indices]
-        outputs, path = _dispatch_bucket(svm, pipe, rows)
-        for i, arr_out in zip(indices, outputs):
+        outputs, lengths, path = _dispatch_bucket(svm, pipe, rows)
+        for j, (i, arr_out) in enumerate(zip(indices, outputs)):
             result.outputs[i] = arr_out
+            if lengths is not None:
+                result.lengths[i] = lengths[j]
         result.buckets.append(
             BatchBucket(int(n), np.dtype(dt).name, len(rows), path,
-                        tuple(indices))
+                        tuple(indices),
+                        tuple(lengths) if lengths is not None else None)
         )
     return result

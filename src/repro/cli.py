@@ -427,25 +427,27 @@ def _cmd_ops(args: argparse.Namespace) -> int:
             # composites never execute themselves: eager bodies call
             # other primitives, capture lowers them into the plan
             rows.append([spec.name, spec.category, "-", "-", "lowered",
-                         "-", "-", ", ".join(spec.aliases)])
+                         "-", "-", "-", ", ".join(spec.aliases)])
             continue
         fuse = spec.fuse_role if spec.fuse_role else "-"
         rows.append([
             spec.name, spec.category, yn(bool(spec.strict)),
             yn(bool(spec.fast)), fuse, yn(spec.codegen), yn(spec.batch2d),
-            ", ".join(spec.aliases),
+            yn(spec.ragged2d), ", ".join(spec.aliases),
         ])
     print(render_table(
         ["op", "category", "strict", "fast", "fuse", "codegen", "batch-2D",
-         "aliases"],
+         "ragged-2D", "aliases"],
         rows,
         title=f"OpSpec registry: {len(rows)} primitives "
               "(one descriptor drives eager, capture, fusion, codegen, batch)",
     ))
     print("fuse: lane ops merge into strip loops, tail ops close a fused "
           "group, lowered composites expand at capture")
-    print("batch-2D '-': the op's charge or scalar flow is data-dependent, "
-          "so batched buckets replay the per-row loop")
+    print("batch-2D '-': the op's charge or scalar flow is data-dependent; "
+          "ragged-2D 'yes' means it still batches as one masked 2D "
+          "evaluation with a per-row charge, else buckets replay the "
+          "per-row loop")
     return 0
 
 
@@ -570,7 +572,9 @@ def _render_top(stats: dict, rate: float | None) -> str:
         f"throughput  "
         + (f"{rate:.1f} req/s" if rate is not None else "(first poll)"),
         f"coalescing  ratio {co['ratio']}  flushes {co['flushes']:,}  "
-        f"paths 2d={co['paths']['2d']:,} loop={co['paths']['loop']:,}",
+        f"paths 2d={co['paths']['2d']:,} "
+        f"ragged={co['paths'].get('ragged', 0):,} "
+        f"loop={co['paths']['loop']:,}",
         f"latency_ms  p50 {lat.get('p50', '-')}  p90 {lat.get('p90', '-')}  "
         f"p99 {lat.get('p99', '-')}  max {lat.get('max', '-')}",
         f"plan cache  hit_rate {pc['hit_rate']:.3f}  "

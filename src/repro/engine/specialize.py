@@ -38,7 +38,7 @@ import numpy as np
 
 from ..rvv.allocation import plan_allocation
 from ..rvv.counters import Cat
-from ..svm.fastpath import _wrap, strip_shape
+from ..svm.fastpath import PACK_VARIABLE, _wrap, strip_shape
 from ..svm.opspec import LANE_RECIPES, lane_ufunc
 from ..svm.operators import get_operator
 from ..svm.scan import inner_scan_steps
@@ -57,6 +57,7 @@ __all__ = [
     "LaneStep",
     "SpecializedGroup",
     "group_charge_items",
+    "pack_variable_items",
     "specialize_group",
     "specialize_plan",
     "run_specialized_fast",
@@ -148,6 +149,21 @@ def group_charge_items(m, group: FusedGroup) -> tuple[tuple[Cat, int], ...]:
         add(Cat.SCALAR, n_strips * 2)  # carry reload
     add(Cat.SCALAR, n_strips * cg.strip_overhead(kernel, group.n_arrays))
     return tuple(items.items())
+
+
+def pack_variable_items(sws: int) -> tuple[tuple[Cat, int], ...]:
+    """Pack's data-dependent charge for one row as ``(category, count)``
+    pairs, given that row's strips-with-survivors count.
+
+    The complement of :func:`group_charge_items`: every other term in
+    pack's profile is a function of (n, VLEN, SEW, LMUL) alone and is
+    already covered by the closed-form delta; only these items vary
+    between rows of a batch. The weights come from
+    :data:`repro.svm.fastpath.PACK_VARIABLE` — the same constant
+    :func:`~repro.svm.fastpath.fast_pack` charges with — so the eager
+    and ragged tiers cannot drift."""
+    sws = int(sws)
+    return tuple((cat, weight * sws) for cat, weight in PACK_VARIABLE)
 
 
 def _node_steps(node, index: int) -> list[LaneStep]:

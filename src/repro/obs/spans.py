@@ -306,8 +306,8 @@ class ProfileCollector:
 
     def batch_event(self, rows: int, n: int, path: str) -> None:
         """Batch-runner hook: one length bucket dispatched (``path`` is
-        ``"2d"`` for the matrix fast path, ``"loop"`` for the per-row
-        fallback)."""
+        ``"2d"`` for the matrix fast path, ``"ragged"`` for the masked
+        pack variant, ``"loop"`` for the per-row fallback)."""
         self.event("batch.bucket", rows=rows, n=n, path=path)
         m = self.metrics
         m.histogram("batch.size").observe(rows)

@@ -18,8 +18,8 @@ Three pieces:
   through the module-level :func:`note_plan_cache` /
   :func:`note_batch_path` helpers. That is how a response can say
   which plan-cache tier (memory / disk / compile) and dispatch path
-  ("2d" / "loop") served it without threading arguments through five
-  call layers.
+  ("2d" / "ragged" / "loop") served it without threading arguments
+  through five call layers.
 
 * **Flight recorder** — :class:`FlightRecorder`, a bounded ring
   buffer (``collections.deque(maxlen=...)``: appends are O(1), old
@@ -83,7 +83,7 @@ class TraceContext:
         #: plan-cache outcomes seen during the flush: source -> count
         #: (sources: "memory", "disk", "compile")
         self.cache: dict[str, int] = {}
-        #: batch dispatch path ("2d" or "loop")
+        #: batch dispatch path ("2d", "ragged", or "loop")
         self.path: str | None = None
 
     def note_cache(self, source: str) -> None:
@@ -124,7 +124,7 @@ def note_plan_cache(source: str) -> None:
 
 def note_batch_path(path: str) -> None:
     """Batch-runner hook: the bucket dispatched via ``path`` ("2d" /
-    "loop"). No-op outside a trace scope."""
+    "ragged" / "loop"). No-op outside a trace scope."""
     ctx = _TRACE.get()
     if ctx is not None:
         ctx.path = path

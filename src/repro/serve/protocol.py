@@ -29,23 +29,27 @@ Requests
 
 Responses
 ---------
-``{"id": I, "ok": true, "result": [...], "n": N, "path": "2d"|"loop",
-"flush_rows": R, "trace": T, "timing": {...}, "cache": S}`` for
-execute (``flush_rows`` is how many coalesced requests shared the
-flush — the client-visible coalescing evidence; ``trace`` is the
-request's telemetry trace ID, ``timing`` its coalesce/queue/execute
-breakdown in ms, and ``cache`` the flush's plan-cache outcome in
-``{"memory", "disk", "compile", "none"}`` — the telemetry trio is
-present whenever the daemon runs with telemetry enabled, the
-default); ``{"id": I, "ok": false, "error": MSG, "code": C}`` on
-failure with ``code`` in
+``{"id": I, "ok": true, "result": [...], "n": N,
+"path": "2d"|"ragged"|"loop", "flush_rows": R, "trace": T,
+"timing": {...}, "cache": S}`` for execute (``flush_rows`` is how many
+coalesced requests shared the flush — the client-visible coalescing
+evidence; ``trace`` is the request's telemetry trace ID, ``timing``
+its coalesce/queue/execute breakdown in ms, and ``cache`` the flush's
+plan-cache outcome in ``{"memory", "disk", "compile", "none"}`` — the
+telemetry trio is present whenever the daemon runs with telemetry
+enabled, the default). Pack pipelines additionally carry
+``"valid": K`` — the row's survivor count — and ``result`` holds only
+those ``K`` defined lanes (lanes past the kept count are undefined
+under the single-row semantics, so they never cross the wire, on any
+path). ``{"id": I, "ok": false, "error": MSG, "code": C}`` on failure
+with ``code`` in
 ``{"overloaded", "protocol", "closed", "internal"}``.
 
 Pipelines are *named server-side*, never shipped as code: the registry
 below maps names to ``pipe(lz, data)`` capture functions (the exact
 shape :func:`repro.batch.run_bucket` executes). The defaults cover
 every dispatch regime — fused 2D chains, structured permutation
-plans, and the data-dependent ``pack`` loop fallback.
+plans, and ``pack``-terminated pipelines on the masked ragged path.
 """
 
 from __future__ import annotations
@@ -112,8 +116,9 @@ def _pipe_reverse(lz, data):
 
 
 def _pipe_filter(lz, data):
-    """Range filter via pack — data-dependent charge, so every flush
-    takes the per-row loop fallback (the identity still holds)."""
+    """Range filter via pack — flushes execute as one masked 2D
+    evaluation on the ``"ragged"`` path, with pack's data-dependent
+    charge corrected per row (counters stay loop-identical)."""
     lt_hi = lz.p_lt(data, 3 * 2**14)
     ge_lo = lz.p_ge(data, 2**14)
     lz.p_mul(ge_lo, lt_hi)
@@ -123,12 +128,27 @@ def _pipe_filter(lz, data):
     return out
 
 
+def _pipe_radix_pack(lz, data):
+    """One radix pass (split by bit 0) feeding a range filter: the
+    split's enumerate-count future and pack's kept future both thread
+    through the ragged batch path."""
+    flags = lz.get_flags(data, 0)
+    part, _zeros = lz.split(data, flags)
+    keep = lz.p_lt(part, 2**15)
+    out, _kept = lz.pack(part, keep)
+    lz.free(keep)
+    lz.free(part)
+    lz.free(flags)
+    return out
+
+
 PIPELINES: dict = {
     "chain_scan": _pipe_chain_scan,
     "elementwise": _pipe_elementwise,
     "scan": _pipe_scan,
     "reverse": _pipe_reverse,
     "filter": _pipe_filter,
+    "radix_pack": _pipe_radix_pack,
 }
 
 

@@ -24,6 +24,10 @@ before the workers stop, so no accepted request is ever dropped.
 The repro invariant holds end-to-end: a coalesced flush's results and
 per-category counters are bit-identical to executing its requests
 sequentially through direct SVM calls (``tests/serve/`` gates this).
+Pack pipelines flush as one masked 2D evaluation on the batch runner's
+``"ragged"`` path; their responses carry only the defined survivor
+prefix (the ``valid`` field), on every path, since lanes past a row's
+kept count are undefined under the single-row semantics too.
 """
 
 from __future__ import annotations
@@ -87,9 +91,12 @@ class ExecuteResult:
 
     output: np.ndarray
     n: int
-    path: str          #: "2d" or "loop" — how the flush executed
+    path: str          #: "2d", "ragged", or "loop" — how the flush executed
     flush_rows: int    #: coalesced requests sharing the flush
     latency_ms: float
+    #: defined-prefix length for pack pipelines (``output`` is already
+    #: sliced to it); None when every lane of the result is defined
+    valid: int | None = None
     trace_id: str = ""                       #: telemetry trace ID
     #: queue/coalesce/execute breakdown of ``latency_ms`` (all in ms)
     timing: dict = field(default_factory=dict)
@@ -283,7 +290,7 @@ class Server:
         else:
             self._wakeup.set()
         try:
-            output, meta = await fut
+            output, meta, valid = await fut
         except BaseException as exc:
             self._m_errors.inc()
             tel.errored(trace_id or None, error=repr(exc))
@@ -321,7 +328,8 @@ class Server:
         return ExecuteResult(output=output, n=int(arr.size),
                              path=meta["path"], flush_rows=meta["rows"],
                              latency_ms=latency_ms, trace_id=trace_id,
-                             timing=timing, cache=meta["cache"])
+                             timing=timing, cache=meta["cache"],
+                             valid=valid)
 
     # ------------------------------------------------------------------
     # window + workers
@@ -363,10 +371,16 @@ class Server:
                              dtype=protocol.DTYPES[key.dtype])
         execute_ms = (self._clock() - exec_start) * 1e3
         path = res.buckets[0].path
+        # pack pipelines: only the first ``lengths[i]`` lanes of a row
+        # are defined, so the wire result is the valid prefix on every
+        # path (ragged and loop alike — uniform response semantics)
+        outputs = [out if k is None else out[:k]
+                   for out, k in zip(res.outputs, res.lengths)]
         col = svm.machine.collector
         if col is not None:
             col.serve_flush_event(len(res.outputs), key.n, path, wait_ms)
-        return list(res.outputs), path, wait_ms, ctx, exec_start, execute_ms
+        return (outputs, list(res.lengths), path, wait_ms, ctx, exec_start,
+                execute_ms)
 
     async def _worker(self, svm: SVM, idx: int = 0) -> None:
         loop = asyncio.get_running_loop()
@@ -383,7 +397,7 @@ class Server:
                             reason=flush.reason, rows=flush.rows,
                             key=flush.key)
             try:
-                (outputs, path, wait_ms, ctx, exec_start,
+                (outputs, lengths, path, wait_ms, ctx, exec_start,
                  execute_ms) = await loop.run_in_executor(
                     self._pool, self._execute_flush, svm, flush, flush_id)
             except BaseException as exc:  # noqa: BLE001 - fan failure out
@@ -414,9 +428,9 @@ class Server:
                         "flush_id": flush_id, "cache": cache,
                         "flush_at": flush.at, "exec_start": exec_start,
                         "execute_ms": execute_ms}
-                for req, out in zip(flush.requests, outputs):
+                for req, out, k in zip(flush.requests, outputs, lengths):
                     if not req.future.done():
-                        req.future.set_result((out, meta))
+                        req.future.set_result((out, meta, k))
             finally:
                 self._flush_q.task_done()
 
@@ -524,6 +538,7 @@ class Server:
                 "ratio": round(rows / flushes, 4) if flushes else 0.0,
                 "paths": {
                     "2d": m.counter("serve.flush.2d").value,
+                    "ragged": m.counter("serve.flush.ragged").value,
                     "loop": m.counter("serve.flush.loop").value,
                 },
                 "rows_per_flush":
@@ -563,6 +578,8 @@ class Server:
                 resp = {"id": req_id, "ok": True,
                         "result": res.output.tolist(), "n": res.n,
                         "path": res.path, "flush_rows": res.flush_rows}
+                if res.valid is not None:
+                    resp["valid"] = res.valid
                 if res.trace_id:
                     resp["trace"] = res.trace_id
                     resp["timing"] = res.timing

@@ -402,6 +402,33 @@ def fast_back_permute(m: RVVMachine, n: int, src: Pointer, dst: Pointer,
     _charge_permute(m, n, lmul, gather=True, sew=sew_for_dtype(src.dtype))
 
 
+#: Pack's data-dependent charge, per strip that holds at least one
+#: survivor: the strict kernel re-narrows vl to the survivor count and
+#: back (2 extra vsetvls) and issues the compacted store (1 extra
+#: vse). Everything else in pack's profile is closed-form. This is the
+#: single source for the variable term — shared by :func:`fast_pack`
+#: and the ragged 2D batch path (via
+#: :func:`repro.engine.specialize.pack_variable_items`).
+PACK_VARIABLE = ((Cat.VCONFIG, 2), (Cat.VMEM, 1))
+
+
+def pack_strip_survivors(keep: np.ndarray, vlmax: int) -> np.ndarray:
+    """Strips holding at least one survivor, per row.
+
+    ``keep`` is a boolean keep-mask over the trailing axis (1-D for a
+    single call, ``[B, n]`` for a ragged batch); the return has the
+    leading shape (a 0-d array for 1-D input). One ``reduceat`` per
+    call — the same arithmetic for the eager fast path and the batch
+    runner, so the data-dependent charge can never drift between
+    tiers."""
+    n = keep.shape[-1]
+    if n == 0:
+        return np.zeros(keep.shape[:-1], dtype=np.int64)
+    starts = np.arange(0, n, vlmax)
+    per_strip = np.add.reduceat(keep.astype(np.int64), starts, axis=-1)
+    return np.count_nonzero(per_strip, axis=-1)
+
+
 def fast_pack(m: RVVMachine, n: int, src: Pointer, dst: Pointer, flags: Pointer,
               lmul: LMUL = LMUL.M1) -> int:
     """Fast path of pack. The strict kernel's count is data-dependent
@@ -420,19 +447,19 @@ def fast_pack(m: RVVMachine, n: int, src: Pointer, dst: Pointer, flags: Pointer,
         kept = packed.size
         if kept:
             dst.view(kept)[:] = packed
-        starts = np.arange(0, n, vlmax)
-        per_strip = np.add.reduceat(keep.astype(np.int64), starts)
-        strips_with_survivors = int(np.count_nonzero(per_strip))
+        strips_with_survivors = int(pack_strip_survivors(keep, vlmax))
     plan = plan_allocation(PERMUTE_PROFILE, lmul)
     cg = m.codegen
     m.count(Cat.SCALAR, cg.prologue("permute"))
     if plan.has_spills:
         m.count(Cat.SPILL, plan.frame_setup + n_strips * plan.strip_cost(0))
-    m.count(Cat.VCONFIG, n_strips + 2 * strips_with_survivors)
-    m.count(Cat.VMEM, n_strips * 2 + strips_with_survivors)
+    m.count(Cat.VCONFIG, n_strips)
+    m.count(Cat.VMEM, n_strips * 2)
     m.count(Cat.VMASK, n_strips * 2)  # vmsne + vcpop
     m.count(Cat.VPERM, n_strips)  # vcompress
     m.count(Cat.SCALAR, n_strips * (1 + cg.strip_overhead("permute", 3)))
+    for cat, weight in PACK_VARIABLE:
+        m.count(cat, weight * strips_with_survivors)
     return kept
 
 

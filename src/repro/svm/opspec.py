@@ -15,7 +15,8 @@ every layer consumes the spec:
   kind named by ``spec.node_kinds`` — no primitive is opaque anymore;
 * the fuser and specializer derive lane recipes from
   :data:`LANE_RECIPES` instead of per-kind if-ladders;
-* the batch runner consults ``spec.batch2d`` / ``spec.data_dependent``;
+* the batch runner consults ``spec.batch2d`` / ``spec.data_dependent``
+  / ``spec.ragged2d`` to pick the ``2d`` / ``ragged`` / ``loop`` path;
 * ``repro ops`` prints the registry as a tier-support matrix and
   ``tools/check_opspec.py`` fails CI when a public primitive bypasses
   the registry or a spec is missing a kernel or charge profile.
@@ -83,8 +84,15 @@ class OpSpec:
     ``"lane"`` (strip-fusable elementwise work), ``"tail"`` (an
     inclusive scan that may close a fused group) or ``""`` (replayed
     eagerly between groups). ``batch2d`` marks ops the batch runner can
-    vectorize across rows; ``data_dependent`` marks charges that depend
-    on values (pack's survivor count), which forces the loop fallback.
+    vectorize across rows with one closed-form charge; ``data_dependent``
+    marks charges that depend on values (pack's survivor count), which
+    excludes the op from the plain 2D path. A data-dependent op must
+    then declare one of two escape hatches: ``ragged2d=True`` (the
+    batch runner has a masked ``axis=1`` kernel plus a per-row charge
+    correction, so batches still execute as one 2D evaluation on the
+    ``"ragged"`` path) or a non-empty ``loop_only`` sentence justifying
+    why the per-row loop is the only sound execution
+    (``tools/check_opspec.py`` gates this).
     ``future`` is the label of the :class:`ScalarFuture` the op returns
     under capture, ``composite`` marks derived ops that lower to other
     registered primitives (no kernels of their own), and ``profiled``
@@ -101,6 +109,8 @@ class OpSpec:
     codegen: bool = True
     batch2d: bool = True
     data_dependent: bool = False
+    ragged2d: bool = False
+    loop_only: str = ""
     future: str | None = None
     composite: bool = False
     aliases: tuple[str, ...] = ()
@@ -156,6 +166,7 @@ def support_matrix() -> list[dict]:
             "fuse": "lowered" if spec.composite else (spec.fuse_role or None),
             "codegen": bool(spec.codegen) and not spec.composite,
             "batch2d": bool(spec.batch2d) and not spec.composite,
+            "ragged2d": bool(spec.ragged2d) and not spec.composite,
             "data_dependent": spec.data_dependent,
             "aliases": list(spec.aliases),
         })
@@ -334,6 +345,7 @@ _register(OpSpec(
     profile="permute",
     batch2d=False,        # charge depends on the survivor distribution
     data_dependent=True,
+    ragged2d=True,        # masked axis=1 kernel + per-row charge items
     future="pack.kept",
     doc="Stream compaction: keep flagged elements, preserving order.",
 ))

@@ -3,7 +3,7 @@
 ``svm.batch`` promises to be bit- and counter-identical to looping the
 single-input path. These tests sweep that promise across VLEN, LMUL,
 codegen presets, dtypes, ragged lengths (mixing strict and fast
-buckets under auto mode), scan variants, and pack's data-dependent loop fallback.
+buckets under auto mode), scan variants, and pack's ragged promotion.
 """
 
 from __future__ import annotations
@@ -73,28 +73,46 @@ def test_scan_variants():
 
 
 def test_pack_ragged_interleaved_buckets():
-    """Ragged batches reorder rows by bucket, so pack's undefined tail
-    lanes see different heap garbage than the input-order loop — the
-    defined lanes and the counters must still match exactly."""
+    """Mixed-length batches reorder rows by bucket, so pack's
+    undefined tail lanes see different heap garbage than the
+    input-order loop — the defined lanes and the counters must still
+    match exactly. Under auto mode every bucket here is sub-threshold
+    or single-row, so all stay on the per-row loop (which must still
+    report per-row lengths)."""
     rows = make_rows(RAGGED, seed=3)
     pipe = as_batch_pipe(PIPELINES["pack_future"], LMUL.M1)
     loop_outs, loop_counts, result, batch_counts = run_both(
         pipe, rows, vlen=128, mode="auto"
     )
-    for row, want, got in zip(rows, loop_outs, result):
+    for row, want, got, length in zip(rows, loop_outs, result,
+                                      result.lengths):
         kept = int((row < 2**15).sum())  # pipe packs on p_lt(data, 2**15)
+        assert length == kept
         assert np.array_equal(want[:kept], got[:kept])
     assert loop_counts.by_category == batch_counts.by_category
     assert {b.path for b in result.buckets} == {"loop"}
 
 
-def test_pack_fallback_loops_per_row():
+def test_pack_promotes_to_ragged_path():
+    """Pack pipelines no longer fall back to the per-row loop: the
+    bucket executes as one masked 2D evaluation on the "ragged" path,
+    with per-row kept counts threading through the p_add(out, kept)
+    future consumer and counters exactly matching the loop."""
     rows = make_rows((300, 300, 64), seed=13)
-    result = assert_equivalent(
-        as_batch_pipe(PIPELINES["pack_future"], LMUL.M1), rows,
-        vlen=128, mode="fast",
+    pipe = as_batch_pipe(PIPELINES["pack_future"], LMUL.M1)
+    loop_outs, loop_counts, result, batch_counts = run_both(
+        pipe, rows, vlen=128, mode="fast"
     )
-    assert {b.path for b in result.buckets} == {"loop"}
+    assert {b.path for b in result.buckets} == {"ragged", "loop"}
+    by_n = {b.n: b for b in result.buckets}
+    assert by_n[300].path == "ragged"   # 2 rows share the matrix
+    assert by_n[64].path == "loop"      # single-row bucket
+    for row, want, got, length in zip(rows, loop_outs, result,
+                                      result.lengths):
+        kept = int((row < 2**15).sum())
+        assert length == kept
+        assert np.array_equal(want[:kept], got[:kept])
+    assert loop_counts.by_category == batch_counts.by_category
 
 
 def test_mixed_dtype_rows_bucket_separately():

@@ -1,10 +1,14 @@
 """The serving identity gate (ISSUE 6 acceptance criterion).
 
 A coalesced multi-client workload — mixed pipelines, mixed lengths,
-mixed dtypes, including pack (``filter``) and strict-mode requests
-that force the per-row loop fallback — must return results AND
-per-category dynamic-instruction counters bit-identical to executing
-the same requests sequentially through direct SVM calls.
+mixed dtypes, including pack pipelines (``filter``, ``radix_pack``)
+on the masked ragged path and strict-mode requests that force the
+per-row loop fallback — must return results AND per-category
+dynamic-instruction counters bit-identical to executing the same
+requests sequentially through direct SVM calls. For pack pipelines
+"results" means the defined survivor prefix (the served ``valid``
+lanes); lanes past a row's kept count are undefined under the
+single-row semantics too and never leave the daemon.
 
 The sequential oracle below is the definitional tier: one plain
 ``svm.lazy()`` capture-and-run per request, nothing shared, no
@@ -24,6 +28,14 @@ from repro.svm import SVM
 
 SEED = 77
 
+#: Survivor count per pack pipeline (the ``valid`` oracle): filter
+#: keeps the [2^14, 3*2^14) range; radix_pack splits by bit 0 (a pure
+#: permutation) then keeps values < 2^15.
+PACK_KEPT = {
+    "filter": lambda d: int(((d >= 2**14) & (d < 3 * 2**14)).sum()),
+    "radix_pack": lambda d: int((d < 2**15).sum()),
+}
+
 
 def mixed_workload() -> list[dict]:
     """Requests spanning every dispatch regime the daemon serves."""
@@ -42,8 +54,10 @@ def mixed_workload() -> list[dict]:
     reqs += [{"pipeline": "scan", "data": mk(2500)} for _ in range(5)]
     # permutation plan (index + rsub + back_permute) on the 2D path
     reqs += [{"pipeline": "reverse", "data": mk(2048)} for _ in range(4)]
-    # pack: data-dependent charge -> per-row loop fallback
+    # pack: masked 2D on the ragged path, per-row charge correction
     reqs += [{"pipeline": "filter", "data": mk(3000)} for _ in range(5)]
+    # split radix pass + pack: both scalar futures threaded per row
+    reqs += [{"pipeline": "radix_pack", "data": mk(2600)} for _ in range(4)]
     # strict-mode requests: loop fallback by decree
     reqs += [{"pipeline": "chain_scan", "data": mk(4096), "mode": "strict"}
              for _ in range(3)]
@@ -85,19 +99,28 @@ def test_coalesced_serving_is_bit_identical_to_sequential(workers):
 
     expected_outputs, expected_counters = run_sequential(requests, cfg)
 
-    # results: bit-identical, request by request
+    # results: bit-identical, request by request (pack pipelines on
+    # their defined survivor prefix, cross-checked against the numpy
+    # predicate oracle)
     for i, (got, want) in enumerate(zip(served, expected_outputs)):
-        assert got.output.dtype == want.dtype, requests[i]["pipeline"]
-        assert np.array_equal(got.output, want), requests[i]["pipeline"]
+        pipe = requests[i]["pipeline"]
+        assert got.output.dtype == want.dtype, pipe
+        if pipe in PACK_KEPT:
+            arr = np.asarray(requests[i]["data"])
+            assert got.valid == PACK_KEPT[pipe](arr) == len(got.output), pipe
+            assert np.array_equal(got.output, want[:got.valid]), pipe
+        else:
+            assert got.valid is None, pipe
+            assert np.array_equal(got.output, want), pipe
 
     # counters: the summed per-category dynamic-instruction counts
     # across the worker pool equal the sequential totals exactly
     assert stats["counters"] == dict(sorted(expected_counters.items()))
     assert stats["instructions"] == sum(expected_counters.values())
 
-    # and the workload genuinely exercised both dispatch paths
+    # and the workload genuinely exercised all three dispatch paths
     paths = stats["coalescing"]["paths"]
-    assert paths["2d"] >= 1 and paths["loop"] >= 1
+    assert paths["2d"] >= 1 and paths["ragged"] >= 1 and paths["loop"] >= 1
     assert stats["coalescing"]["ratio"] > 1.0
 
 

@@ -81,7 +81,7 @@ def test_below_threshold_and_strict_take_loop_path():
             [{"pipeline": "filter", "data": r} for r in rows(4, 4096)])
     assert {r.path for r in small} == {"loop"}    # n below fast threshold
     assert {r.path for r in strict} == {"loop"}   # strict forbids 2D
-    assert {r.path for r in packy} == {"loop"}    # pack is data-dependent
+    assert {r.path for r in packy} == {"ragged"}  # pack: masked 2D + per-row charge
 
 
 def test_submit_validation_errors():

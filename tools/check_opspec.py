@@ -14,8 +14,10 @@ Fails (exit 1) when the "declared exactly once" invariant is violated:
    check, so a sneaky ``from . import elementwise`` fails even if
    unused);
 4. registry self-consistency: fusable ops need a lane recipe, ops with
-   data-dependent charges must opt out of the 2D batch path, futures
-   only on the ops that produce scalars.
+   data-dependent charges must opt out of the 2D batch path AND pick
+   an explicit batch escape hatch — a ragged recipe (``ragged2d``) or
+   a ``loop_only`` justification sentence, never both — futures only
+   on the ops that produce scalars.
 
 Run as ``PYTHONPATH=src python tools/check_opspec.py``.
 """
@@ -110,6 +112,24 @@ def check_specs() -> list[str]:
             errors.append(
                 f"op {spec.name!r} has a data-dependent charge but claims "
                 "the 2D batch path"
+            )
+        if spec.data_dependent and not spec.ragged2d and not spec.loop_only:
+            errors.append(
+                f"op {spec.name!r} has a data-dependent charge but declares "
+                "neither a ragged recipe (ragged2d=True) nor a loop_only "
+                "justification — every data-dependent op must pick its "
+                "batch escape hatch explicitly"
+            )
+        if spec.ragged2d and spec.loop_only:
+            errors.append(
+                f"op {spec.name!r} declares both ragged2d and loop_only — "
+                "the escape hatches are mutually exclusive"
+            )
+        if spec.ragged2d and not spec.data_dependent:
+            errors.append(
+                f"op {spec.name!r} declares ragged2d without a "
+                "data-dependent charge — data-oblivious ops take the "
+                "plain 2D path"
             )
     return errors
 

@@ -7,7 +7,10 @@ over one pipelined client connection, and asserts:
 
 * every response is bit-identical to executing the same request
   sequentially through a direct :class:`repro.SVM` call (the serving
-  identity invariant, checked over the wire this time);
+  identity invariant, checked over the wire this time) — pack
+  pipelines (``filter``, ``radix_pack``) on their defined survivor
+  prefix, cross-checked against a plain NumPy model, with the stats
+  document proving their flushes took the ``"ragged"`` path;
 * the ``stats`` request reports a sane document (requests all ok,
   at least one coalesced flush, nonzero instruction counters);
 * always-on telemetry holds end to end: every execute response
@@ -47,6 +50,21 @@ from repro.svm import SVM
 SEED = 513
 
 
+def _radix_pack_model(d: np.ndarray) -> np.ndarray:
+    """Plain NumPy model of the radix_pack pipeline: stable partition
+    by bit 0 (zeros first), then keep values < 2^15."""
+    part = np.concatenate([d[(d & 1) == 0], d[(d & 1) == 1]])
+    return part[part < 2**15]
+
+
+#: NumPy models of the pack pipelines' defined survivor prefixes —
+#: responses carry only these lanes (plus a ``valid`` count).
+PACK_MODELS = {
+    "filter": lambda d: d[(d >= 2**14) & (d < 3 * 2**14)],
+    "radix_pack": _radix_pack_model,
+}
+
+
 def build_workload() -> list[dict]:
     g = np.random.default_rng(SEED)
     reqs: list[dict] = []
@@ -63,6 +81,9 @@ def build_workload() -> list[dict]:
               "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
              for _ in range(3)]
     reqs += [{"pipeline": "filter",
+              "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
+             for _ in range(3)]
+    reqs += [{"pipeline": "radix_pack",
               "data": g.integers(0, 2**16, 2600, dtype=np.uint32).tolist()}
              for _ in range(3)]
     reqs += [{"pipeline": "chain_scan", "mode": "strict",
@@ -199,7 +220,20 @@ def main() -> int:
             print(f"tracing: {len(traced)} traced responses with "
                   "timing breakdowns")
 
-            check_exposition(client.metrics(), len(requests) + len(traced))
+            # pack over the wire: the response is the defined survivor
+            # prefix with its length in the ``valid`` field
+            d = g.integers(0, 2**16, 2600, dtype=np.uint32)
+            fresp = client.execute_traced("filter", d.tolist())
+            fwant = PACK_MODELS["filter"](d)
+            assert fresp["valid"] == len(fresp["result"]) == fwant.size, (
+                fresp["valid"], fwant.size)
+            assert np.array_equal(
+                np.asarray(fresp["result"], dtype=np.uint32), fwant)
+            print(f"pack wire semantics: valid={fresp['valid']} survivor "
+                  f"lanes of n=2600 on the {fresp['path']!r} path")
+            extra = len(traced) + 1
+
+            check_exposition(client.metrics(), len(requests) + extra)
             check_flight_dump(client.dump(), traced)
             run_top(host, port)
 
@@ -221,13 +255,24 @@ def main() -> int:
 
         reference = sequential_reference(requests)
         for i, (got, want) in enumerate(zip(served, reference)):
-            assert np.array_equal(got, want), (
-                f"request {i} ({requests[i]['pipeline']}) diverged from "
-                f"the sequential reference")
+            pipe = requests[i]["pipeline"]
+            if pipe in PACK_MODELS:
+                model = PACK_MODELS[pipe](
+                    np.asarray(requests[i]["data"], dtype=np.uint32))
+                assert np.array_equal(got, model), (
+                    f"request {i} ({pipe}) diverged from the NumPy model")
+                assert np.array_equal(got, want[:got.size]), (
+                    f"request {i} ({pipe}) diverged from the sequential "
+                    "reference prefix")
+            else:
+                assert np.array_equal(got, want), (
+                    f"request {i} ({pipe}) diverged from the sequential "
+                    "reference")
         print(f"identity: {len(served)} served results bit-identical "
-              "to sequential SVM calls")
+              "to sequential SVM calls (pack pipelines on their "
+              "survivor prefixes)")
 
-        total_reqs = len(requests) + len(traced)
+        total_reqs = len(requests) + extra
         req = wire_stats["requests"]
         co = wire_stats["coalescing"]
         assert req["ok"] == total_reqs, req
@@ -237,6 +282,9 @@ def main() -> int:
         assert wire_stats["instructions"] > 0
         sources = wire_stats["plan_cache"]["sources"]
         assert sources["compile"] >= 1 and sources["memory"] >= 1, sources
+        # the coalesced filter and radix_pack flushes must have taken
+        # the masked ragged path, not the per-row loop fallback
+        assert co["paths"]["ragged"] >= 2, co["paths"]
         print(f"stats: {co['rows']} rows in {co['flushes']} flushes "
               f"(ratio {co['ratio']}), paths {co['paths']}")
 
