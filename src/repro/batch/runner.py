@@ -56,6 +56,7 @@ from ..obs.telemetry import note_batch_path
 from ..engine.executor import execute
 from ..engine.fuse import GroupSpec, materialize
 from ..engine.ir import EngineError, Kind, Plan, ScalarFuture, resolve_scalar
+from ..engine.native import NATIVE_BACKENDS, native_state
 from ..engine.specialize import pack_variable_items
 from ..rvv.types import sew_for_dtype
 from ..scalar.kernels import segmented_cumsum, segmented_reduce_numpy
@@ -511,27 +512,39 @@ def _run_bucket_2d(svm, plan: Plan, fused, data, out, rows,
     lengths = None
 
     if b1:
-        compiled = fused.compiled if backend == "codegen" else None
+        # native backends fall back to the codegen 2D kernels per unit
+        # when the whole plan does not lower (ragged plans never do:
+        # pack is excluded from the native kind set)
+        native = (native_state(svm, plan, fused)
+                  if backend in NATIVE_BACKENDS and not ragged else None)
+        compiled = (fused.compiled
+                    if backend == "codegen" or backend in NATIVE_BACKENDS
+                    else None)
         b_mat = b if ragged else b1
         mats, get = _mat_getter(plan, init, b_mat)
         mats[input_bid] = np.stack(rows if ragged else rows[1:], axis=0)
         fvals: dict = {}  # ScalarFuture -> per-row int64 values
         pack_sws: list[np.ndarray] = []  # per pack node: [b] survivor strips
-        for unit in fused.units:
-            if isinstance(unit, GroupSpec):
-                cg = compiled.groups.get(unit) if compiled is not None else None
-                if cg is not None:
-                    cg.fn2d(plan.nodes, plan.buffers, mats, get)
-                    continue
-                sg = fused.specialized.get(unit) if fused.specialized else None
-                if sg is not None:
-                    _group_2d(plan, sg, mats, get)
-                else:  # fused but unspecialized: derive steps via group
-                    from ..engine.specialize import specialize_group
-                    _group_2d(plan, specialize_group(plan, unit, m), mats, get)
-            else:
-                _node_2d(plan, plan.nodes[unit], mats, get, fvals,
-                         m=m, pack_sws=pack_sws)
+        if native is not None:
+            # whole-bucket compiled call: the C kernel loops rows over
+            # the same [b, n] matrices the per-unit path would build
+            native.run2d(plan, mats, get, fvals, b_mat)
+        else:
+            for unit in fused.units:
+                if isinstance(unit, GroupSpec):
+                    cg = compiled.groups.get(unit) if compiled is not None else None
+                    if cg is not None:
+                        cg.fn2d(plan.nodes, plan.buffers, mats, get)
+                        continue
+                    sg = fused.specialized.get(unit) if fused.specialized else None
+                    if sg is not None:
+                        _group_2d(plan, sg, mats, get)
+                    else:  # fused but unspecialized: derive steps via group
+                        from ..engine.specialize import specialize_group
+                        _group_2d(plan, specialize_group(plan, unit, m), mats, get)
+                else:
+                    _node_2d(plan, plan.nodes[unit], mats, get, fvals,
+                             m=m, pack_sws=pack_sws)
         out_mat = get(out_bid)
         # ragged matrices carry all b rows (row 0 feeds the charge
         # correction); closed-form matrices carry only rows 1+

@@ -427,17 +427,17 @@ def _cmd_ops(args: argparse.Namespace) -> int:
             # composites never execute themselves: eager bodies call
             # other primitives, capture lowers them into the plan
             rows.append([spec.name, spec.category, "-", "-", "lowered",
-                         "-", "-", "-", ", ".join(spec.aliases)])
+                         "-", "-", "-", "-", ", ".join(spec.aliases)])
             continue
         fuse = spec.fuse_role if spec.fuse_role else "-"
         rows.append([
             spec.name, spec.category, yn(bool(spec.strict)),
-            yn(bool(spec.fast)), fuse, yn(spec.codegen), yn(spec.batch2d),
-            yn(spec.ragged2d), ", ".join(spec.aliases),
+            yn(bool(spec.fast)), fuse, yn(spec.codegen), yn(spec.native),
+            yn(spec.batch2d), yn(spec.ragged2d), ", ".join(spec.aliases),
         ])
     print(render_table(
-        ["op", "category", "strict", "fast", "fuse", "codegen", "batch-2D",
-         "ragged-2D", "aliases"],
+        ["op", "category", "strict", "fast", "fuse", "codegen", "native",
+         "batch-2D", "ragged-2D", "aliases"],
         rows,
         title=f"OpSpec registry: {len(rows)} primitives "
               "(one descriptor drives eager, capture, fusion, codegen, batch)",
@@ -448,6 +448,8 @@ def _cmd_ops(args: argparse.Namespace) -> int:
           "ragged-2D 'yes' means it still batches as one masked 2D "
           "evaluation with a per-row charge, else buckets replay the "
           "per-row loop")
+    print("native 'yes': the op lowers into the compiled whole-plan C "
+          "kernel tier; '-' ops force the plan back to codegen")
     return 0
 
 
@@ -460,12 +462,25 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     store = PlanStore(args.dir or default_cache_dir())
     if args.action == "clear":
         removed = store.clear()
-        print(f"removed {removed} cached plan(s) from {store.root}")
+        print(f"removed {removed} cached file(s) from {store.root} "
+              "(plan entries and native artifacts)")
         return 0
-    s = store.stats_dict()
+    if args.action == "prune":
+        pruned = store.prune()
+        print(f"pruned {pruned['removed']} stale entr(ies) from "
+              f"{store.root} ({pruned['kept']} current kept, "
+              f"{pruned['temps']} temp file(s) removed)")
+        return 0
+    s = store.stats_dict(scan=True)
     print(f"persistent plan cache at {s['dir']}")
-    print(f"  entries: {s['entries']}  bytes: {s['bytes']:,}")
+    print(f"  entries: {s['entries']}  bytes: {s['bytes']:,}  "
+          f"stale: {s['stale']}")
+    print(f"  native artifacts: {s['native_artifacts']}  "
+          f"bytes: {s['native_bytes']:,}")
     print(f"  schema: v{s['schema']}  code: {s['code']}")
+    if s["stale"]:
+        print(f"  note: run 'repro cache prune' to evict the {s['stale']} "
+              "stale entr(ies) left by an older engine fingerprint")
     if not configured:
         print("  note: persistence is disabled — the engine writes this "
               "store only when REPRO_CACHE_DIR is set or "
@@ -693,10 +708,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--vlen", type=int, default=1024)
     p.add_argument("--lmul", type=int, choices=[1, 2, 4, 8], default=1)
     p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
-    p.add_argument("--backend", choices=["interp", "codegen"], default=None,
+    p.add_argument("--backend",
+                   choices=["interp", "codegen", "native", "native-speed"],
+                   default=None,
                    help="fused-plan executor: generated NumPy kernels "
-                        "(codegen, the default) or the specialized "
-                        "interpreter (interp)")
+                        "(codegen, the default), the specialized "
+                        "interpreter (interp), or compiled whole-plan C "
+                        "kernels (native keeps counters identical, "
+                        "native-speed compiles them out)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_fuse)
 
@@ -772,7 +791,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
     p.add_argument("--mode", choices=["auto", "strict", "fast"],
                    default="auto")
-    p.add_argument("--backend", choices=["interp", "codegen"], default=None)
+    p.add_argument("--backend",
+                   choices=["interp", "codegen", "native", "native-speed"],
+                   default=None)
     p.add_argument("--cache-dir", default=None,
                    help="persistent plan-store directory shared by the "
                         "worker pool (default: REPRO_CACHE_DIR if set)")
@@ -821,7 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "cache", help="inspect or clear the persistent plan cache"
     )
-    p.add_argument("action", choices=["stats", "clear"])
+    p.add_argument("action", choices=["stats", "clear", "prune"])
     p.add_argument("--dir", default=None,
                    help="cache directory (default: REPRO_CACHE_DIR, "
                         "else ~/.cache/repro)")

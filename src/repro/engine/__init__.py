@@ -29,11 +29,18 @@ primitive kernels:
 * :mod:`repro.engine.codegen` — the generated-kernel backend: emits
   one flat Python function per fused group (and a whole-plan kernel
   when every unit fuses), selected with ``SVM(backend=...)`` and
-  bit- and counter-identical to the interpreted executor.
+  bit- and counter-identical to the interpreted executor;
+* :mod:`repro.engine.native` — the compiled backend tier: lowers a
+  whole fused plan to one C translation unit, builds it with the host
+  toolchain, and replays it as a single ``ctypes`` call — either with
+  the counter contract intact (``backend="native"``) or with counters
+  compiled out (``backend="native-speed"``), falling back to codegen
+  whenever the plan or the environment is ineligible.
 
 See ``docs/engine.md`` for the IR, fusion legality rules, the cache
-key, and a worked before/after counter example, and
-``docs/architecture.md`` for how the four execution tiers dispatch.
+key, and a worked before/after counter example, ``docs/native.md`` for
+the compiled tier's dual contracts, and ``docs/architecture.md`` for
+how the five execution tiers dispatch.
 """
 
 from .cache import CacheStats, PlanCache, PlanStore
@@ -42,6 +49,7 @@ from .codegen import CompiledPlan, compile_fused
 from .executor import BACKENDS, DEFAULT_BACKEND, Engine, execute, resolve_backend
 from .fuse import FusedGroup, FusedPlan, fuse
 from .ir import OpNode, Plan, ScalarFuture
+from .native import NATIVE_BACKENDS, NativePlan, lower_plan, native_available
 from .specialize import SpecializedGroup, specialize_plan
 
 __all__ = [
@@ -64,4 +72,8 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_BACKEND",
     "resolve_backend",
+    "NATIVE_BACKENDS",
+    "NativePlan",
+    "lower_plan",
+    "native_available",
 ]

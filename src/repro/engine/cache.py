@@ -58,8 +58,8 @@ SCHEMA_VERSION = 1
 #: Engine modules whose source participates in the code fingerprint —
 #: any change to planning, specialization, or code generation must
 #: invalidate every persisted entry.
-_FINGERPRINT_MODULES = ("ir", "fuse", "specialize", "codegen", "nodes",
-                        "executor", "cache")
+_FINGERPRINT_MODULES = ("ir", "fuse", "specialize", "codegen", "native",
+                        "nodes", "executor", "cache")
 
 _fingerprint_cache: str | None = None
 
@@ -163,10 +163,69 @@ class PlanStore:
             return []
         return sorted(self.root.glob("*.plan"))
 
-    def clear(self) -> int:
-        """Delete every entry file; returns how many were removed."""
-        removed = 0
+    @property
+    def native_dir(self) -> Path:
+        """Where the native backend persists compiled artifacts (the
+        ``<digest>.c`` source and ``<digest>.so`` shared object pairs,
+        keyed by plan-source digest rather than plan signature)."""
+        return self.root / "native"
+
+    def native_artifacts(self) -> list[Path]:
+        """The resident native build artifacts (sources and objects)."""
+        if not self.native_dir.is_dir():
+            return []
+        return sorted(
+            p for p in self.native_dir.iterdir()
+            if p.suffix in (".c", ".so")
+        )
+
+    def _is_stale(self, path: Path) -> bool:
+        """True when an entry file cannot be trusted by :meth:`load`:
+        unreadable, truncated, schema-mismatched, or written by a
+        different engine code fingerprint."""
+        try:
+            envelope = pickle.loads(path.read_bytes())
+            return (
+                envelope["schema"] != SCHEMA_VERSION
+                or envelope["code"] != code_fingerprint()
+            )
+        except Exception:
+            return True
+
+    def prune(self) -> dict:
+        """Evict every stale entry (wrong schema or code fingerprint,
+        or unreadable) plus abandoned temp files; returns counts.
+
+        Native artifacts are left alone: their file names embed a
+        digest of the generated C source (including the native schema
+        version), so a source-level change simply keys new files and
+        the old pairs are unreachable — :meth:`clear` removes them.
+        """
+        removed = kept = 0
         for path in self.entries():
+            if self._is_stale(path):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            else:
+                kept += 1
+        temps = 0
+        if self.root.is_dir():
+            for tmp in self.root.glob("*.tmp.*"):
+                try:
+                    tmp.unlink()
+                    temps += 1
+                except OSError:
+                    pass
+        return {"removed": removed, "kept": kept, "temps": temps}
+
+    def clear(self) -> int:
+        """Delete every entry file and native artifact; returns how
+        many files were removed."""
+        removed = 0
+        for path in self.entries() + self.native_artifacts():
             try:
                 path.unlink()
                 removed += 1
@@ -174,12 +233,21 @@ class PlanStore:
                 pass
         return removed
 
-    def stats_dict(self) -> dict:
+    def stats_dict(self, *, scan: bool = False) -> dict:
+        """Store statistics; ``scan=True`` additionally unpickles every
+        entry to count stale ones (CLI-grade — too slow for a serving
+        stats endpoint polled per scrape)."""
         entries = self.entries()
+        artifacts = self.native_artifacts()
+        stale = (sum(1 for p in entries if self._is_stale(p))
+                 if scan else None)
         return {
             "dir": str(self.root),
             "entries": len(entries),
             "bytes": sum(p.stat().st_size for p in entries),
+            "stale": stale,
+            "native_artifacts": len(artifacts),
+            "native_bytes": sum(p.stat().st_size for p in artifacts),
             "hits": self.hits,
             "misses": self.misses,
             "write_errors": self.write_errors,

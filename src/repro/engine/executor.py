@@ -50,6 +50,7 @@ from .fuse import (
     materialize,
 )
 from .ir import EngineError, Plan, resolve_scalar
+from .native import NATIVE_BACKENDS, lower_plan, native_state
 from .nodes import run_node_eager
 from .specialize import (
     group_charge_items,
@@ -232,6 +233,17 @@ def execute(svm, plan: Plan, fused: FusedPlan, backend: str = "interp") -> None:
     take the interpreter paths, so ``backend="codegen"`` degrades
     automatically instead of failing.
 
+    ``"native"`` / ``"native-speed"`` run the whole plan as one
+    compiled C call (:mod:`repro.engine.native`) when the plan lowers,
+    a toolchain is present, and the execution is all-fast; otherwise
+    they degrade to exactly the codegen tier. ``"native"`` keeps the
+    counter contract by replaying its *first* execution of each plan
+    through codegen while recording the counter delta, then charging
+    that delta on every native run; ``"native-speed"`` skips counter
+    bookkeeping entirely (results-identical only). Profiled runs
+    (``svm.profiler``) always take the codegen tier so spans stay
+    per-group.
+
     With a profiler installed each fused group gets its own span
     (``fused_scan``/``fused_ew`` with {n, nodes, path, backend}
     metadata); non-fused units replay through the instrumented SVM
@@ -239,6 +251,34 @@ def execute(svm, plan: Plan, fused: FusedPlan, backend: str = "interp") -> None:
     mode.
     """
     col = getattr(svm.machine, "collector", None)
+    if backend in NATIVE_BACKENDS:
+        native = native_state(svm, plan, fused) if col is None else None
+        speed = backend == "native-speed"
+        backend = "codegen"  # the fallback (and warm-up) tier
+        if native is not None and svm._fast(native.min_n):
+            if speed:
+                native.run(svm, plan)
+                return
+            if native.charge_items is None:
+                # first counters-mode execution: replay through codegen
+                # and record the closed-form per-category delta (sound
+                # because the all-fast gate makes charges data-blind)
+                before = svm.machine.counters.snapshot()
+                _execute_units(svm, plan, fused, backend, col)
+                delta = svm.machine.counters.snapshot() - before
+                native.charge_items = tuple(
+                    (cat, k) for cat, k in delta.by_category.items() if k
+                )
+                return
+            native.run(svm, plan)
+            svm.machine.counters.add_many(native.charge_items)
+            return
+    _execute_units(svm, plan, fused, backend, col)
+
+
+def _execute_units(svm, plan: Plan, fused: FusedPlan, backend: str,
+                   col) -> None:
+    """The Python-tier unit loop (interp/codegen paths)."""
     specials = fused.specialized
     compiled = fused.compiled if backend == "codegen" else None
     if (
@@ -288,8 +328,11 @@ def execute(svm, plan: Plan, fused: FusedPlan, backend: str = "interp") -> None:
             run_node_eager(svm, plan, plan.nodes[unit])
 
 
-#: Fast-path backends :func:`execute` understands.
-BACKENDS = ("interp", "codegen")
+#: Fast-path backends :func:`execute` understands. The two native
+#: entries select the compiled-C tier of :mod:`repro.engine.native`
+#: in counters mode and speed mode respectively; both degrade to
+#: ``"codegen"`` when a plan does not lower or no toolchain exists.
+BACKENDS = ("interp", "codegen", "native", "native-speed")
 
 #: Engine default; override per context with ``SVM(backend=...)`` or
 #: globally with the ``REPRO_BACKEND`` environment variable.
@@ -368,6 +411,14 @@ class Engine:
         if not hit:
             fused = self.compile_plan(plan)
             self.cache.put(key, fused)
+            if self.backend in NATIVE_BACKENDS:
+                # lower after the put (so concurrent workers hit the
+                # warm entry immediately) but before the save, so the
+                # C source persists in the plan store next to the
+                # Python kernels; codegen-backend processes never pay
+                # for this, and a disk entry written by one of them
+                # lowers lazily on first native execution instead
+                fused.native = lower_plan(plan, fused) or "unavailable"
             if self.store is not None:
                 self.store.save(key, fused)
         note_plan_cache(source if hit else "compile")

@@ -252,6 +252,11 @@ class FusedPlan:
     #: ``None`` until compiled (or when there is nothing to compile).
     #: Derived state, like ``specialized``.
     compiled: object | None = field(default=None, compare=False, repr=False)
+    #: :class:`~repro.engine.native.NativePlan` attached by
+    #: :func:`repro.engine.native.lower_plan` on first native-backend
+    #: use (``None`` = not yet attempted, ``"unavailable"`` =
+    #: structurally ineligible). Derived state, like ``specialized``.
+    native: object | None = field(default=None, compare=False, repr=False)
 
     @property
     def n_groups(self) -> int:

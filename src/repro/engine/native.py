@@ -1,0 +1,787 @@
+"""Native backend tier: whole fused plans lowered to one compiled C
+kernel.
+
+The codegen tier (:mod:`repro.engine.codegen`) already collapses a
+fused plan into one generated Python function, but that function still
+pays a NumPy ufunc dispatch per lane per unit — at small ``n`` the
+dispatch dominates the arithmetic by an order of magnitude. This
+module closes the gap the way the RVV hardware papers do: lower the
+*entire* plan to one C translation unit built from a small macro
+vector library, compile it once with the system toolchain
+(``cc -O2 -shared -fPIC``), and replay it as a single ``ctypes`` call
+into the simulated machine's flat memory.
+
+Two contracts, selected through the backend seam
+(``SVM(backend=...)`` / ``REPRO_BACKEND``):
+
+``"native"`` (counters mode)
+    Bit- **and counter-identical** to the interpreter. The first
+    execution of a plan replays through the codegen tier while the
+    counter delta is recorded; every subsequent execution runs the C
+    kernel and charges the recorded delta via
+    :meth:`~repro.rvv.counters.Counters.add_many`. This is sound
+    because the native tier only engages on all-fast executions
+    (``svm._fast``), whose charges are closed-form in the plan shape —
+    the same property the 2D batch runner already relies on.
+
+``"native-speed"`` (speed mode)
+    Results-identical only; counter bookkeeping is compiled out
+    entirely. This is the production-traffic contract.
+
+Lowering is **structural**: :func:`lower_plan` consumes only
+signature-stable facts (unit kinds, lane recipes from the OpSpec
+registry, buffer lengths/dtypes — all part of ``Plan.signature``), so
+a :class:`NativePlan` persisted in the :class:`~repro.engine.cache.
+PlanStore` envelope rebinds to any α-equivalent plan. Buffer
+addresses and runtime scalars (including :class:`ScalarFuture`
+operands) are resolved per call through small argument tables; scalar
+futures *produced by the plan itself* (reduce / enumerate) are
+threaded through the kernel's ``outs`` table so split pipelines
+compile whole.
+
+Toolchain absence is never an error: :meth:`NativePlan.ensure`
+memoizes the failure and the executor falls back to the codegen tier
+(see ``docs/native.md``). ``REPRO_NATIVE_DISABLE=1`` forces that path;
+``REPRO_NATIVE_CC`` overrides compiler discovery.
+
+Structural limits (fall back to codegen, also per plan): ``pack``
+(data-dependent output length) and opaque replay nodes are not
+lowered, dtypes must be unsigned (the wrap-around arithmetic contract
+C shares with the fast path), and scatter/gather must be genuinely
+out-of-place. Out-of-range permute indices are *skipped* by the C
+kernel (bounds-guarded scatter) where the interpreter would raise —
+the guard protects host memory, and plans that would raise are outside
+the identity contract anyway.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from ..svm.operators import get_operator
+from ..svm.opspec import LANE_RECIPES
+from .fuse import FusedPlan, GroupSpec
+from .ir import Kind, Plan, ScalarFuture, resolve_scalar
+
+__all__ = [
+    "NATIVE_VERSION",
+    "NATIVE_BACKENDS",
+    "NATIVE_KINDS",
+    "NativePlan",
+    "find_compiler",
+    "native_available",
+    "lower_plan",
+    "native_state",
+]
+
+#: Bumped on any change to the generated C or the meta layout; part of
+#: the artifact digest, so stale ``.so`` files are never rebound.
+NATIVE_VERSION = 1
+
+#: The backend names this module serves (counters mode, speed mode).
+NATIVE_BACKENDS = ("native", "native-speed")
+
+#: Node kinds the lowering can emit C for. ``pack`` is excluded (its
+#: output length is data-dependent, which breaks the fixed-buffer
+#: kernel shape — the op declares ``native=False`` in the registry)
+#: and so is opaque replay (arbitrary Python). ``tools/check_opspec``
+#: gates that every registered op is either covered here or carries an
+#: explicit ``native=False`` escape hatch.
+NATIVE_KINDS = frozenset(Kind) - {Kind.PACK, Kind.OPAQUE}
+
+_U64 = (1 << 64) - 1
+
+_CTYPE = {1: "uint8_t", 2: "uint16_t", 4: "uint32_t", 8: "uint64_t"}
+
+#: Elementwise kernel name → macro from the header below. The macros
+#: do add/sub/mul through uint64_t so uint16/uint8 operands never hit
+#: C's signed-int promotion; shifts mask the amount exactly like
+#: :func:`repro.svm.fastpath._srl`.
+_EW_MACRO = {
+    "p_add": "R_ADD", "p_sub": "R_SUB", "p_mul": "R_MUL",
+    "p_and": "R_AND", "p_or": "R_OR", "p_xor": "R_XOR",
+    "p_max": "R_MAX", "p_min": "R_MIN",
+    "p_srl": "R_SRL", "p_sll": "R_SLL", "p_rsub": "R_RSUB",
+}
+
+_CMP_C = {"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "==", "ne": "!="}
+
+#: Scan operator name → macro (same semantics as the ufunc fold).
+_SCANOP_MACRO = {
+    "plus": "R_ADD", "max": "R_MAX", "min": "R_MIN",
+    "or": "R_OR", "and": "R_AND", "xor": "R_XOR",
+}
+
+_HEADER = """\
+#include <stdint.h>
+
+/* Wrap-around vector macro library. Arithmetic goes through uint64_t
+ * so sub-int unsigned types never touch C's signed promotion; shift
+ * amounts are masked by the element width, matching the fast path. */
+#define R_ADD(T, a, b)  ((T)((uint64_t)(a) + (uint64_t)(b)))
+#define R_SUB(T, a, b)  ((T)((uint64_t)(a) - (uint64_t)(b)))
+#define R_MUL(T, a, b)  ((T)((uint64_t)(a) * (uint64_t)(b)))
+#define R_AND(T, a, b)  ((T)((a) & (b)))
+#define R_OR(T, a, b)   ((T)((a) | (b)))
+#define R_XOR(T, a, b)  ((T)((a) ^ (b)))
+#define R_MAX(T, a, b)  (((a) > (b)) ? (T)(a) : (T)(b))
+#define R_MIN(T, a, b)  (((a) < (b)) ? (T)(a) : (T)(b))
+#define R_SRL(T, a, b)  ((T)((a) >> ((unsigned)(b) & (8u * (unsigned)sizeof(T) - 1u))))
+#define R_SLL(T, a, b)  ((T)((uint64_t)(a) << ((unsigned)(b) & (8u * (unsigned)sizeof(T) - 1u))))
+#define R_RSUB(T, a, b) ((T)((uint64_t)(b) - (uint64_t)(a)))
+
+/* Runtime scalar k: a literal (sel[k] < 0) or a scalar future produced
+ * earlier in this very plan, read back from the outs table. */
+#define SCALAR(k) ((sel)[(k)] < 0 ? (scalars)[(k)] : (outs)[(sel)[(k)]])
+"""
+
+
+class _Ineligible(Exception):
+    """Plan cannot be lowered (structural); caller falls back."""
+
+
+# ---------------------------------------------------------------------------
+# toolchain discovery
+# ---------------------------------------------------------------------------
+
+_TOOLCHAIN: list = []  # memoized [path-or-None]
+
+
+def find_compiler() -> str | None:
+    """The C compiler to use, or None (memoized). Honors
+    ``REPRO_NATIVE_CC`` (explicit compiler) and
+    ``REPRO_NATIVE_DISABLE=1`` (force the no-toolchain fallback)."""
+    if _TOOLCHAIN:
+        return _TOOLCHAIN[0]
+    cc = None
+    if not os.environ.get("REPRO_NATIVE_DISABLE"):
+        override = os.environ.get("REPRO_NATIVE_CC")
+        if override:
+            cc = override if os.path.exists(override) else shutil.which(override)
+        else:
+            for cand in ("cc", "gcc", "clang"):
+                cc = shutil.which(cand)
+                if cc:
+                    break
+    _TOOLCHAIN.append(cc)
+    return cc
+
+
+def native_available() -> bool:
+    """Whether a toolchain is present (cheap after the first call)."""
+    return find_compiler() is not None
+
+
+def reset_native_caches() -> None:
+    """Forget the memoized toolchain and compiled-library cache — for
+    tests that flip ``REPRO_NATIVE_DISABLE`` within one process."""
+    _TOOLCHAIN.clear()
+    _SO_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# build + bind cache
+# ---------------------------------------------------------------------------
+
+#: source digest → (plan_run, plan_run2d) ctypes functions, or None
+#: when the build failed / no toolchain (memoized per process).
+_SO_CACHE: dict[str, tuple | None] = {}
+
+_TMP_DIR: list = []  # fallback artifact dir when the SVM has no store
+
+
+def _default_artifact_dir() -> Path:
+    if not _TMP_DIR:
+        _TMP_DIR.append(Path(tempfile.mkdtemp(prefix="repro-native-")))
+    return _TMP_DIR[0]
+
+
+def _build(source: str, digest: str, art_dir) -> tuple | None:
+    """Compile ``source`` into ``<art_dir>/<digest>.so`` (reusing an
+    existing artifact) and bind the two entry points. Returns None on
+    any failure — the caller treats that as "tier unavailable"."""
+    cc = find_compiler()
+    if cc is None:
+        return None
+    root = Path(art_dir) if art_dir is not None else _default_artifact_dir()
+    so = root / f"{digest}.so"
+    try:
+        if not so.exists():
+            root.mkdir(parents=True, exist_ok=True)
+            csrc = root / f"{digest}.c"
+            csrc.write_text(source)
+            tmp = root / f"{digest}.so.tmp{os.getpid()}"
+            subprocess.run(
+                [cc, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(csrc)],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(tmp, so)
+        lib = ctypes.CDLL(str(so))
+        run = lib.plan_run
+        run.argtypes = [ctypes.c_void_p] * 4
+        run.restype = None
+        run2d = lib.plan_run2d
+        run2d.argtypes = [ctypes.c_void_p] * 4 + [ctypes.c_longlong]
+        run2d.restype = None
+    except Exception:
+        return None
+    return (run, run2d)
+
+
+# ---------------------------------------------------------------------------
+# lowering: FusedPlan -> C source + binding metadata
+# ---------------------------------------------------------------------------
+
+class _Gen:
+    """Accumulates the C body plus the call-time binding tables.
+
+    Buffer/scalar slots are recorded as ``(node_index, field)`` /
+    ``node_index`` references — never buffer ids or scalar values — so
+    the result rebinds to any α-equivalent plan (exactly the
+    :class:`GroupSpec` convention)."""
+
+    def __init__(self, plan: Plan) -> None:
+        self.plan = plan
+        self.buf_slots: list[tuple[int, str]] = []
+        self._slot_of: dict[int, int] = {}
+        self.scalar_slots: list[int] = []
+        self.future_nodes: list[int] = []
+        self.free_nodes: list[int] = []
+        self.blocks: list[list[str]] = []
+
+    def slot(self, ni: int, fld: str, want=None) -> int:
+        bid = getattr(self.plan.nodes[ni], fld)
+        buf = self.plan.buffers[bid]
+        if buf.dtype.kind != "u":
+            raise _Ineligible(f"non-unsigned buffer dtype {buf.dtype}")
+        if want is not None and buf.dtype != want:
+            raise _Ineligible("mixed-dtype vector operand")
+        s = self._slot_of.get(bid)
+        if s is None:
+            s = len(self.buf_slots)
+            self._slot_of[bid] = s
+            self.buf_slots.append((ni, fld))
+        return s
+
+    def buf(self, ni: int, fld: str, want=None) -> tuple[str, str, int]:
+        """(C name, C type, length) for a node's buffer reference."""
+        s = self.slot(ni, fld, want)
+        b = self.plan.buffers[getattr(self.plan.nodes[ni], fld)]
+        return f"b{s}", _CTYPE[b.dtype.itemsize], int(b.n)
+
+    def scalar(self, ni: int, pre: list[str]) -> str:
+        """Hoist runtime scalar ``node.scalar`` into a uint64 local."""
+        k = len(self.scalar_slots)
+        self.scalar_slots.append(ni)
+        pre.append(f"uint64_t x{k} = SCALAR({k});")
+        return f"x{k}"
+
+    def out(self, ni: int) -> int:
+        j = len(self.future_nodes)
+        self.future_nodes.append(ni)
+        return j
+
+
+def _ident(op, dtype) -> str:
+    return f"{get_operator(op).identity(dtype)}ULL"
+
+
+def _emit_group(g: _Gen, spec: GroupSpec) -> None:
+    plan = g.plan
+    nodes = plan.nodes
+    idxs = spec.node_indices
+    body = idxs[:-1] if spec.scan else idxs
+    head = nodes[body[0]]
+    dname, T, n = g.buf(body[0], "dst")
+    dtype = plan.buffers[head.dst].dtype
+    if head.src is not None:
+        hname, _, _ = g.buf(body[0], "src", want=dtype)
+    else:
+        hname = dname
+    pre: list[str] = []
+    ops: list[str] = []
+    for ni in body:
+        node = nodes[ni]
+        for lane_kind, op_override, const in LANE_RECIPES[node.kind.value]:
+            op = op_override if op_override is not None else node.op
+            if lane_kind == "vx":
+                if const is not None:
+                    x = f"({T}){int(const)}u"
+                else:
+                    x = f"({T}){g.scalar(ni, pre)}"
+                ops.append(f"acc = {_EW_MACRO[op]}({T}, acc, {x});")
+            elif lane_kind == "vv":
+                oname, _, _ = g.buf(ni, "operand", want=dtype)
+                ops.append(f"acc = {_EW_MACRO[op]}({T}, acc, {oname}[i]);")
+            elif lane_kind == "cmp_vx":
+                x = f"({T}){g.scalar(ni, pre)}"
+                ops.append(f"acc = (acc {_CMP_C[op]} {x}) ? ({T})1 : ({T})0;")
+            elif lane_kind == "cmp_vv":
+                oname, _, _ = g.buf(ni, "operand", want=dtype)
+                ops.append(
+                    f"acc = (acc {_CMP_C[op]} {oname}[i]) ? ({T})1 : ({T})0;")
+            else:  # pragma: no cover - registry and this table move together
+                raise _Ineligible(f"unknown lane kind {lane_kind!r}")
+    out = [f"{{ /* fused group: nodes {list(idxs)} */"]
+    out += [f"    {l}" for l in pre]
+    if spec.scan:
+        scan_op = get_operator(nodes[idxs[-1]].op)
+        if scan_op.name not in _SCANOP_MACRO:
+            raise _Ineligible(f"scan operator {scan_op.name!r}")
+        out.append(f"    {T} carry = ({T}){_ident(scan_op.name, dtype)};")
+    out.append(f"    for (int64_t i = 0; i < {n}; ++i) {{")
+    out.append(f"        {T} acc = {hname}[i];")
+    out += [f"        {l}" for l in ops]
+    if spec.scan:
+        m = _SCANOP_MACRO[scan_op.name]
+        out.append(f"        carry = {m}({T}, carry, acc);")
+        out.append("        acc = carry;")
+    out.append(f"        {dname}[i] = acc;")
+    out.append("    }")
+    out.append("}")
+    g.blocks.append(out)
+
+
+def _emit_node(g: _Gen, ni: int) -> None:
+    plan = g.plan
+    node = plan.nodes[ni]
+    kind = node.kind
+    if kind not in NATIVE_KINDS:
+        raise _Ineligible(f"kind {kind.value} has no native emitter")
+
+    if kind is Kind.FREE:
+        g.free_nodes.append(ni)
+        return
+
+    pre: list[str] = []
+    out: list[str] = [f"{{ /* {kind.value}: node {ni} */"]
+
+    def loop(n: int, *lines: str) -> None:
+        out.append(f"    for (int64_t i = 0; i < {n}; ++i) {{")
+        out.extend(f"        {l}" for l in lines)
+        out.append("    }")
+
+    if kind is Kind.EW_VX:
+        d, T, n = g.buf(ni, "dst")
+        x = g.scalar(ni, pre)
+        loop(n, f"{d}[i] = {_EW_MACRO[node.op]}({T}, {d}[i], ({T}){x});")
+    elif kind is Kind.EW_VV:
+        d, T, n = g.buf(ni, "dst")
+        o, _, _ = g.buf(ni, "operand", want=plan.buffers[node.dst].dtype)
+        loop(n, f"{d}[i] = {_EW_MACRO[node.op]}({T}, {d}[i], {o}[i]);")
+    elif kind is Kind.CMP_VX:
+        d, TD, n = g.buf(ni, "dst")
+        s, TS, _ = g.buf(ni, "src")
+        x = g.scalar(ni, pre)
+        loop(n, f"{d}[i] = ({s}[i] {_CMP_C[node.op]} ({TS}){x})"
+                f" ? ({TD})1 : ({TD})0;")
+    elif kind is Kind.CMP_VV:
+        d, TD, n = g.buf(ni, "dst")
+        s, TS, _ = g.buf(ni, "src")
+        o, _, _ = g.buf(ni, "operand", want=plan.buffers[node.src].dtype)
+        loop(n, f"{d}[i] = ({s}[i] {_CMP_C[node.op]} {o}[i])"
+                f" ? ({TD})1 : ({TD})0;")
+    elif kind is Kind.GET_FLAGS:
+        d, TD, n = g.buf(ni, "dst")
+        s, TS, _ = g.buf(ni, "src")
+        x = g.scalar(ni, pre)
+        loop(n, f"{d}[i] = ({TD})(R_SRL({TS}, {s}[i], {x}) & ({TS})1);")
+    elif kind is Kind.SCAN:
+        d, T, n = g.buf(ni, "dst")
+        if node.op not in _SCANOP_MACRO:
+            raise _Ineligible(f"scan operator {node.op!r}")
+        m = _SCANOP_MACRO[node.op]
+        dt = plan.buffers[node.dst].dtype
+        pre.append(f"{T} acc = ({T}){_ident(node.op, dt)};")
+        if node.inclusive:
+            loop(n, f"acc = {m}({T}, acc, {d}[i]);", f"{d}[i] = acc;")
+        else:
+            loop(n, f"{T} t = {d}[i];", f"{d}[i] = acc;",
+                 f"acc = {m}({T}, acc, t);")
+    elif kind is Kind.SEG_SCAN:
+        d, T, n = g.buf(ni, "dst")
+        f, _, _ = g.buf(ni, "operand")
+        if node.op not in _SCANOP_MACRO:
+            raise _Ineligible(f"scan operator {node.op!r}")
+        m = _SCANOP_MACRO[node.op]
+        dt = plan.buffers[node.dst].dtype
+        if node.inclusive:
+            pre.append(f"{T} acc = ({T})0;")
+            loop(n, f"{T} v = {d}[i];",
+                 f"acc = (i == 0 || {f}[i] != 0) ? v : {m}({T}, acc, v);",
+                 f"{d}[i] = acc;")
+        else:
+            pre.append(f"{T} run = ({T})0;")
+            loop(n, f"{T} v = {d}[i];",
+                 f"if (i == 0 || {f}[i] != 0) "
+                 f"{{ {d}[i] = ({T}){_ident(node.op, dt)}; run = v; }}",
+                 f"else {{ {d}[i] = run; run = {m}({T}, run, v); }}")
+    elif kind is Kind.SELECT:
+        d, TD, n = g.buf(ni, "dst")
+        s, _, _ = g.buf(ni, "src")
+        f, _, _ = g.buf(ni, "operand")
+        loop(n, f"if ({f}[i] != 0) {d}[i] = ({TD}){s}[i];")
+    elif kind is Kind.PERMUTE:
+        if node.dst in (node.src, node.operand):
+            raise _Ineligible("in-place scatter")
+        d, TD, nd = g.buf(ni, "dst")
+        s, _, ns = g.buf(ni, "src")
+        x, _, _ = g.buf(ni, "operand")
+        # bounds guard: skip out-of-range indices instead of touching
+        # host memory (the interpreter would raise IndexError there)
+        loop(ns, f"uint64_t t = (uint64_t){x}[i];",
+             f"if (t < (uint64_t){nd}) {d}[t] = ({TD}){s}[i];")
+    elif kind is Kind.BACK_PERMUTE:
+        if node.dst in (node.src, node.operand):
+            raise _Ineligible("in-place gather")
+        d, TD, nd = g.buf(ni, "dst")
+        s, _, ns = g.buf(ni, "src")
+        x, _, _ = g.buf(ni, "operand")
+        loop(nd, f"uint64_t t = (uint64_t){x}[i];",
+             f"if (t < (uint64_t){ns}) {d}[i] = ({TD}){s}[t];")
+    elif kind is Kind.ENUMERATE:
+        d, TD, n = g.buf(ni, "dst")
+        f, TF, _ = g.buf(ni, "src")
+        x = g.scalar(ni, pre)
+        j = g.out(ni)
+        pre.append(f"{TF} want = ({TF})({x} ? 1u : 0u);")
+        pre.append("uint64_t cnt = 0;")
+        # read the flag before writing the rank: enumerate may run
+        # in place over its own flag vector
+        loop(n, f"{TF} fv = {f}[i];", f"{d}[i] = ({TD})cnt;",
+             "if (fv == want) cnt++;")
+        out.append(f"    outs[{j}] = cnt;")
+    elif kind is Kind.REDUCE:
+        s, TS, n = g.buf(ni, "src")
+        if node.op not in _SCANOP_MACRO:
+            raise _Ineligible(f"reduce operator {node.op!r}")
+        m = _SCANOP_MACRO[node.op]
+        dt = plan.buffers[node.src].dtype
+        j = g.out(ni)
+        pre.append(f"{TS} acc = ({TS}){_ident(node.op, dt)};")
+        loop(n, f"acc = {m}({TS}, acc, {s}[i]);")
+        out.append(f"    outs[{j}] = (uint64_t)acc;")
+    elif kind is Kind.SHIFT1UP:
+        d, TD, n = g.buf(ni, "dst")
+        s, _, _ = g.buf(ni, "src")
+        x = g.scalar(ni, pre)
+        # backward: alias-safe when shifting a buffer onto itself
+        out.append(f"    for (int64_t i = {n} - 1; i >= 1; --i) "
+                   f"{d}[i] = ({TD}){s}[i - 1];")
+        out.append(f"    if ({n} > 0) {d}[0] = ({TD}){x};")
+    elif kind is Kind.COPY:
+        d, TD, n = g.buf(ni, "dst")
+        s, _, _ = g.buf(ni, "src")
+        loop(n, f"{d}[i] = ({TD}){s}[i];")
+    elif kind is Kind.INDEX:
+        d, TD, n = g.buf(ni, "dst")
+        loop(n, f"{d}[i] = ({TD})(uint64_t)i;")
+    else:  # pragma: no cover - NATIVE_KINDS check above is exhaustive
+        raise _Ineligible(f"kind {kind.value}")
+
+    out[1:1] = [f"    {l}" for l in pre]
+    out.append("}")
+    g.blocks.append(out)
+
+
+def _unit_n(plan: Plan, unit) -> int | None:
+    """The element count a unit iterates over (None for FREE)."""
+    if isinstance(unit, GroupSpec):
+        return int(plan.buffers[plan.nodes[unit.node_indices[0]].dst].n)
+    node = plan.nodes[unit]
+    if node.kind is Kind.FREE:
+        return None
+    bid = node.dst if node.dst is not None else node.src
+    return int(plan.buffers[bid].n)
+
+
+def lower_plan(plan: Plan, fused: FusedPlan) -> "NativePlan | None":
+    """Lower a fused plan to C source + binding metadata, or None when
+    the plan is structurally ineligible. Pure: consumes only
+    signature-stable plan facts, touches no toolchain."""
+    if not fused.units:
+        return None
+    g = _Gen(plan)
+    lengths: list[int] = []
+    try:
+        for unit in fused.units:
+            if isinstance(unit, GroupSpec):
+                _emit_group(g, unit)
+            else:
+                _emit_node(g, unit)
+            n = _unit_n(plan, unit)
+            if n is not None:
+                lengths.append(n)
+    except _Ineligible:
+        return None
+    if not lengths or not g.buf_slots:
+        return None
+
+    nb = len(g.buf_slots)
+    nf = len(g.future_nodes)
+    decls = []
+    strides = []
+    for s, (ni, fld) in enumerate(g.buf_slots):
+        buf = plan.buffers[getattr(plan.nodes[ni], fld)]
+        decls.append(
+            f"    {_CTYPE[buf.dtype.itemsize]} *b{s} = "
+            f"({_CTYPE[buf.dtype.itemsize]} *)bufs[{s}];")
+        strides.append(int(buf.n) * buf.dtype.itemsize)
+
+    src = [f"/* generated by repro.engine.native v{NATIVE_VERSION}"
+           " -- do not edit */", _HEADER]
+    src.append("static void plan_body(uint8_t **bufs,"
+               " const uint64_t *scalars,")
+    src.append("                      const int64_t *sel, uint64_t *outs)")
+    src.append("{")
+    src += decls
+    src.append("    (void)scalars; (void)sel; (void)outs;")
+    for block in g.blocks:
+        src += [f"    {l}" for l in block]
+    src.append("}")
+    src.append("")
+    src.append("void plan_run(uint8_t **bufs, const uint64_t *scalars,")
+    src.append("              const int64_t *sel, uint64_t *outs)")
+    src.append("{")
+    src.append("    plan_body(bufs, scalars, sel, outs);")
+    src.append("}")
+    src.append("")
+    src.append("void plan_run2d(uint8_t **bufs, const uint64_t *scalars,")
+    src.append("                const int64_t *sel, uint64_t *outs,"
+               " int64_t b)")
+    src.append("{")
+    src.append(f"    static const int64_t stride[{nb}] = "
+               f"{{{', '.join(str(s) for s in strides)}}};")
+    src.append(f"    uint8_t *row[{nb}];")
+    src.append("    for (int64_t r = 0; r < b; ++r) {")
+    src.append(f"        for (int s = 0; s < {nb}; ++s)"
+               " row[s] = bufs[s] + r * stride[s];")
+    src.append(f"        plan_body(row, scalars, sel, outs + r * {nf});")
+    src.append("    }")
+    src.append("}")
+
+    meta = {
+        "buf_slots": g.buf_slots,
+        "scalar_slots": g.scalar_slots,
+        "future_nodes": g.future_nodes,
+        "free_nodes": g.free_nodes,
+        "min_n": min(lengths),
+    }
+    return NativePlan("\n".join(src) + "\n", meta)
+
+
+# ---------------------------------------------------------------------------
+# the compiled-plan handle
+# ---------------------------------------------------------------------------
+
+class NativePlan:
+    """One plan's native artifact: the generated C source plus the
+    call-time binding tables. Picklable (source + meta only) so it
+    persists inside the PlanStore envelope; the ``.so`` binding and
+    the recorded counters-mode charge profile are per-process."""
+
+    def __init__(self, source: str, meta: dict) -> None:
+        self.source = source
+        self.meta = meta
+        self.min_n: int = meta["min_n"]
+        #: ``((Cat, count), ...)`` recorded on the first counters-mode
+        #: execution (a codegen replay); None until then.
+        self.charge_items: tuple | None = None
+        self.digest = hashlib.sha256(
+            (f"v{NATIVE_VERSION}\n" + source).encode()
+        ).hexdigest()[:16]
+        self._fns: tuple | None = None
+        self._local = threading.local()
+
+    def __reduce__(self):
+        return (NativePlan, (self.source, self.meta))
+
+    # -- binding -----------------------------------------------------------
+
+    def ensure(self, art_dir=None) -> bool:
+        """Bind the compiled entry points, building the artifact on
+        first use. False (never an exception) when no toolchain is
+        available or the build fails."""
+        if self._fns is not None:
+            return True
+        if self.digest not in _SO_CACHE:
+            _SO_CACHE[self.digest] = _build(self.source, self.digest, art_dir)
+        self._fns = _SO_CACHE[self.digest]
+        return self._fns is not None
+
+    def _scratch(self):
+        loc = self._local
+        s = getattr(loc, "s", None)
+        if s is None:
+            meta = self.meta
+            nb = max(len(meta["buf_slots"]), 1)
+            ns = max(len(meta["scalar_slots"]), 1)
+            nf = max(len(meta["future_nodes"]), 1)
+            s = (
+                (ctypes.c_uint64 * nb)(),
+                (ctypes.c_uint64 * ns)(),
+                (ctypes.c_int64 * ns)(),
+                (ctypes.c_uint64 * nf)(),
+            )
+            loc.s = s
+        return s
+
+    def _fill_scalars(self, nodes, scalars, sel) -> None:
+        """Resolve each runtime scalar: a future produced by this very
+        plan routes through the kernel's outs table (``sel``) — checked
+        *before* ``resolved``, because a replayed plan's futures still
+        hold last run's values; anything else resolves to a literal."""
+        future_nodes = self.meta["future_nodes"]
+        for k, ni in enumerate(self.meta["scalar_slots"]):
+            sc = nodes[ni].scalar
+            idx = -1
+            if isinstance(sc, ScalarFuture):
+                for j, fni in enumerate(future_nodes):
+                    if nodes[fni].future is sc:
+                        idx = j
+                        break
+            sel[k] = idx
+            scalars[k] = 0 if idx >= 0 else resolve_scalar(sc) & _U64
+
+    # -- execution ---------------------------------------------------------
+
+    def _bind(self, loc, plan: Plan):
+        """Precompute everything stable for repeated executions of one
+        plan *instance*: simulated buffer pointers, constant scalar
+        values, the future routing table, the argument addresses. The
+        hot replay path then only refreshes what can actually change —
+        memory base addresses (the heap may be reallocated between
+        runs) and the values of futures produced by *other* plans."""
+        nodes = plan.nodes
+        buffers = plan.buffers
+        bufs, scalars, sel, outs = self._scratch()
+        meta = self.meta
+        ptrs = [buffers[getattr(nodes[ni], fld)].array.ptr
+                for ni, fld in meta["buf_slots"]]
+        mems: list = []
+        slot_mem = []
+        for p in ptrs:
+            for mi, m in enumerate(mems):
+                if m is p.mem:
+                    break
+            else:
+                mi = len(mems)
+                mems.append(p.mem)
+            slot_mem.append(mi)
+        futures = [nodes[ni].future for ni in meta["future_nodes"]]
+        fut_reads = []
+        for k, ni in enumerate(meta["scalar_slots"]):
+            sc = nodes[ni].scalar
+            idx = -1
+            if isinstance(sc, ScalarFuture):
+                for j, f in enumerate(futures):
+                    if f is sc:
+                        idx = j
+                        break
+            sel[k] = idx
+            if idx >= 0:
+                scalars[k] = 0
+            elif isinstance(sc, ScalarFuture):
+                # produced by an earlier plan: re-read per run, its
+                # producer may have replayed with new data meanwhile
+                fut_reads.append((k, sc))
+            else:
+                scalars[k] = int(sc) & _U64
+        free_arrays = [buffers[nodes[ni].dst].array
+                       for ni in meta["free_nodes"]]
+        args = (ctypes.addressof(bufs), ctypes.addressof(scalars),
+                ctypes.addressof(sel), ctypes.addressof(outs))
+        loc.bind = (bufs, scalars, outs, ptrs, slot_mem, mems,
+                    [None] * len(mems), fut_reads, futures, free_arrays,
+                    args)
+        loc.plan = plan
+        return loc.bind
+
+    def run(self, svm, plan: Plan) -> None:
+        """Execute the whole plan as one compiled call against the
+        machine's flat memory (zero-copy: buffer pointers are computed
+        from the simulated heap addresses)."""
+        loc = self._local
+        if getattr(loc, "plan", None) is not plan:
+            bind = self._bind(loc, plan)
+        else:
+            bind = loc.bind
+        (bufs, scalars, outs, ptrs, slot_mem, mems, mem_bytes,
+         fut_reads, futures, free_arrays, args) = bind
+        for i, mem in enumerate(mems):
+            mb = mem._bytes
+            if mb is not mem_bytes[i]:
+                # first run, or the heap grew and was reallocated:
+                # recompute the host addresses of this memory's slots
+                mem_bytes[i] = mb
+                base = mb.ctypes.data
+                for j, mi in enumerate(slot_mem):
+                    if mi == i:
+                        bufs[j] = base + ptrs[j].addr
+        for k, sc in fut_reads:
+            scalars[k] = sc.value & _U64
+        self._fns[0](*args)
+        for j, f in enumerate(futures):
+            f.resolve(int(outs[j]))
+        # frees run after the kernel: plans never allocate mid-flight,
+        # so deferring them cannot change any address the kernel used
+        for arr in free_arrays:
+            svm.free(arr)
+
+    def run2d(self, plan: Plan, mats: dict, get, fvals: dict, b: int) -> None:
+        """Batched execution for the 2D bucket runner: every buffer is
+        materialized as a C-contiguous ``[b, n]`` matrix and the kernel
+        loops rows natively; produced futures land in ``fvals`` as
+        per-row int64 columns (the ``_scalar_2d`` convention)."""
+        nodes = plan.nodes
+        bufs, scalars, sel, _ = self._scratch()
+        hold = []
+        for j, (ni, fld) in enumerate(self.meta["buf_slots"]):
+            bid = getattr(nodes[ni], fld)
+            mat = get(bid)
+            if not mat.flags["C_CONTIGUOUS"]:
+                mat = np.ascontiguousarray(mat)
+                mats[bid] = mat
+            hold.append(mat)
+            bufs[j] = mat.ctypes.data
+        nf = len(self.meta["future_nodes"])
+        outs_mat = np.zeros((b, max(nf, 1)), dtype=np.uint64)
+        self._fill_scalars(nodes, scalars, sel)
+        self._fns[1](ctypes.addressof(bufs), ctypes.addressof(scalars),
+                     ctypes.addressof(sel), outs_mat.ctypes.data, b)
+        for j, ni in enumerate(self.meta["future_nodes"]):
+            fvals[nodes[ni].future] = outs_mat[:, j].astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# dispatch helper (shared by the executor and the batch runner)
+# ---------------------------------------------------------------------------
+
+def native_state(svm, plan: Plan, fused: FusedPlan) -> NativePlan | None:
+    """The bound-and-ready NativePlan for this fused plan, or None
+    (structurally ineligible, no toolchain, or build failure — the
+    caller falls back to the codegen tier). Lowers lazily on first use
+    and memoizes the outcome on ``fused.native``."""
+    state = fused.native
+    if state is None:
+        state = lower_plan(plan, fused)
+        fused.native = state if state is not None else "unavailable"
+        state = fused.native
+    if not isinstance(state, NativePlan):
+        return None
+    if state._fns is not None:  # hot path: already bound
+        return state
+    store = getattr(svm.engine, "store", None)
+    art_dir = (Path(store.root) / "native") if store is not None else None
+    if not state.ensure(art_dir):
+        return None
+    return state

@@ -115,8 +115,12 @@ class SVM:
         self.fast_threshold = int(fast_threshold)
         self.lmul = LMUL(lmul)
         #: Fast-path backend for the lazy engine: "codegen" (default)
-        #: runs generated kernels, "interp" the LaneStep interpreter;
-        #: None defers to REPRO_BACKEND / the engine default.
+        #: runs generated kernels, "interp" the LaneStep interpreter,
+        #: "native" compiled whole-plan C kernels with counters kept
+        #: identical, "native-speed" the same kernels with counters
+        #: compiled out; None defers to REPRO_BACKEND / the engine
+        #: default. Native tiers fall back to codegen when the plan is
+        #: ineligible or no C toolchain is present.
         self.backend = backend
         #: Persistent plan-store directory; None means the store is
         #: enabled only when REPRO_CACHE_DIR is set (see engine.cache).

@@ -97,6 +97,12 @@ class OpSpec:
     under capture, ``composite`` marks derived ops that lower to other
     registered primitives (no kernels of their own), and ``profiled``
     selects the ops wrapped with an observability span.
+
+    ``native`` declares that the op's node kinds lower to C in the
+    compiled whole-plan tier (:mod:`repro.engine.native`); an op that
+    cannot (pack: data-dependent output length) must set
+    ``native=False`` explicitly — ``tools/check_opspec.py`` gates that
+    the flag and the native emitter table agree in both directions.
     """
 
     name: str
@@ -112,6 +118,7 @@ class OpSpec:
     ragged2d: bool = False
     loop_only: str = ""
     future: str | None = None
+    native: bool = True
     composite: bool = False
     aliases: tuple[str, ...] = ()
     profiled: bool = True
@@ -165,6 +172,7 @@ def support_matrix() -> list[dict]:
             "fast": bool(spec.fast),
             "fuse": "lowered" if spec.composite else (spec.fuse_role or None),
             "codegen": bool(spec.codegen) and not spec.composite,
+            "native": bool(spec.native) and not spec.composite,
             "batch2d": bool(spec.batch2d) and not spec.composite,
             "ragged2d": bool(spec.ragged2d) and not spec.composite,
             "data_dependent": spec.data_dependent,
@@ -346,6 +354,7 @@ _register(OpSpec(
     batch2d=False,        # charge depends on the survivor distribution
     data_dependent=True,
     ragged2d=True,        # masked axis=1 kernel + per-row charge items
+    native=False,         # data-dependent output length: no C lowering
     future="pack.kept",
     doc="Stream compaction: keep flagged elements, preserving order.",
 ))

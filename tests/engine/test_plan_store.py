@@ -140,7 +140,7 @@ def test_cache_cli_stats_and_clear(tmp_path, capsys):
     assert code_fingerprint()[:12] in out
 
     assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
-    assert "removed 1 cached plan(s)" in capsys.readouterr().out
+    assert "removed 1 cached file(s)" in capsys.readouterr().out
     assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
     assert "entries: 0" in capsys.readouterr().out
 

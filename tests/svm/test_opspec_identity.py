@@ -1,12 +1,18 @@
 """Registry-parametrized identity suite.
 
 Every primitive registered in :mod:`repro.svm.opspec` must produce
-bit-identical results *and* per-category counters across all four
-execution tiers — eager strict, eager fast, lazy interp, lazy codegen —
-over a VLEN × LMUL grid. The op list is derived from the registry
-itself, and a completeness assertion keeps the two in lockstep:
-registering a new primitive without adding an invocation here fails
-the suite.
+bit-identical results *and* per-category counters across all five
+execution tiers — eager strict, eager fast, lazy interp, lazy codegen,
+lazy native (compiled whole-plan C kernels) — over a VLEN × LMUL grid.
+The op list is derived from the registry itself, and a completeness
+assertion keeps the two in lockstep: registering a new primitive
+without adding an invocation here fails the suite.
+
+The native tier runs each plan twice in one context so the second
+execution replays the compiled kernel (the first is the codegen
+warm-up that records the counter-charge profile); when no C toolchain
+is present the tier degrades to codegen and the identity contract
+still holds — a dedicated fallback test forces that path.
 
 Composites (reverse, split) are checked for bit-identical results
 across all tiers; their lazy counter profile legitimately differs from
@@ -130,6 +136,25 @@ def _run(table, name, vlen, lmul, mode, lazy=False, backend=None):
     return state, _value(ret), counts
 
 
+def _run_native(table, name, vlen, lmul, backend="native"):
+    """The native tier's observation: run the plan twice in one
+    context (fresh α-equivalent inputs each time) and report the
+    SECOND execution — the one that replays the compiled C kernel
+    with the recorded charge profile rather than the codegen warm-up."""
+    svm = SVM(vlen=vlen, mode="fast", lmul=LMUL(lmul), backend=backend)
+    state = ret = counts = None
+    for _ in range(2):
+        rng = np.random.default_rng(0xBEEF)
+        r = _inputs(svm, rng)
+        svm.reset()
+        with svm.lazy() as lz:
+            ret = table[name](lz, r)
+        snap = svm.machine.counters.snapshot()
+        state = {k: v.to_numpy() for k, v in r.items()}
+        counts = {cat.value: k for cat, k in snap.by_category.items() if k}
+    return state, _value(ret), counts
+
+
 def _assert_tier_matches(ref, got, *, counters=True, label=""):
     ref_state, ref_val, ref_counts = ref
     got_state, got_val, got_counts = got
@@ -155,16 +180,47 @@ def test_invoke_table_complete():
 
 @pytest.mark.parametrize("vlen,lmul", GRID)
 @pytest.mark.parametrize("name", sorted(_INVOKE))
-def test_four_tier_identity(name, vlen, lmul):
+def test_five_tier_identity(name, vlen, lmul):
     strict = _run(_INVOKE, name, vlen, lmul, "strict")
     fast = _run(_INVOKE, name, vlen, lmul, "fast")
     interp = _run(_INVOKE, name, vlen, lmul, "fast", lazy=True,
                   backend="interp")
     codegen = _run(_INVOKE, name, vlen, lmul, "fast", lazy=True,
                    backend="codegen")
+    native = _run_native(_INVOKE, name, vlen, lmul)
     _assert_tier_matches(strict, fast, label=f"{name} fast")
     _assert_tier_matches(strict, interp, label=f"{name} lazy-interp")
     _assert_tier_matches(strict, codegen, label=f"{name} lazy-codegen")
+    _assert_tier_matches(strict, native, label=f"{name} lazy-native")
+
+
+@pytest.mark.parametrize("name", sorted(_INVOKE))
+def test_no_toolchain_fallback(name, monkeypatch):
+    """With the toolchain disabled the native tier must degrade to
+    codegen transparently — identical results AND counters."""
+    from repro.engine import native as native_mod
+
+    monkeypatch.setenv("REPRO_NATIVE_DISABLE", "1")
+    native_mod.reset_native_caches()
+    try:
+        assert not native_mod.native_available()
+        strict = _run(_INVOKE, name, 128, 1, "strict")
+        fell_back = _run_native(_INVOKE, name, 128, 1)
+        _assert_tier_matches(strict, fell_back,
+                             label=f"{name} native-fallback")
+    finally:
+        monkeypatch.delenv("REPRO_NATIVE_DISABLE")
+        native_mod.reset_native_caches()
+
+
+@pytest.mark.parametrize("name", sorted(_INVOKE))
+def test_speed_mode_results_identity(name):
+    """``native-speed`` keeps results bit-identical; its counters are
+    compiled out, so only the data contract is asserted."""
+    strict = _run(_INVOKE, name, 128, 1, "strict")
+    speed = _run_native(_INVOKE, name, 128, 1, backend="native-speed")
+    _assert_tier_matches(strict, speed, counters=False,
+                         label=f"{name} native-speed")
 
 
 @pytest.mark.parametrize("vlen,lmul", GRID)

@@ -17,7 +17,12 @@ Fails (exit 1) when the "declared exactly once" invariant is violated:
    data-dependent charges must opt out of the 2D batch path AND pick
    an explicit batch escape hatch — a ragged recipe (``ragged2d``) or
    a ``loop_only`` justification sentence, never both — futures only
-   on the ops that produce scalars.
+   on the ops that produce scalars;
+5. native-tier coverage: every non-composite op with codegen metadata
+   must either capture to node kinds the native backend can emit
+   (``repro.engine.native.NATIVE_KINDS``) or declare ``native=False``
+   explicitly — an op can never fall out of the compiled tier
+   silently, and a stale ``native=False`` on a lowerable op fails too.
 
 Run as ``PYTHONPATH=src python tools/check_opspec.py``.
 """
@@ -47,7 +52,7 @@ NON_PRIMITIVE = {
 #: deliberately absent — it is a composition layer that calls back into
 #: SVM primitives, not a kernel supplier.)
 KERNEL_MODULES = {
-    "elementwise", "elementwise_ext", "fastpath", "fastpath_ext",
+    "elementwise", "fastpath",
     "scan", "segmented", "enumerate_op", "permute_ops",
 }
 
@@ -134,6 +139,36 @@ def check_specs() -> list[str]:
     return errors
 
 
+def check_native() -> list[str]:
+    """Every non-composite op with codegen metadata must either lower
+    into the native tier or carry an explicit ``native=False`` escape
+    hatch — and the hatch must be honest (a lowerable op may not hide
+    behind a stale ``native=False``)."""
+    from repro.engine.native import NATIVE_KINDS
+
+    emittable = {kind.value for kind in NATIVE_KINDS}
+    errors = []
+    for spec in opspec.iter_specs():
+        if spec.composite or not spec.codegen:
+            continue
+        lowerable = (bool(spec.node_kinds)
+                     and set(spec.node_kinds.values()) <= emittable)
+        if spec.native and not lowerable:
+            missing = sorted(set(spec.node_kinds.values()) - emittable)
+            errors.append(
+                f"op {spec.name!r} claims the native tier but captures to "
+                f"node kind(s) {missing} the native backend cannot emit — "
+                "add a native emitter or declare native=False explicitly"
+            )
+        if not spec.native and lowerable:
+            errors.append(
+                f"op {spec.name!r} declares native=False but every node "
+                f"kind it captures to is native-emittable — drop the stale "
+                "escape hatch"
+            )
+    return errors
+
+
 def check_context_imports() -> list[str]:
     errors = []
     path = SRC / "repro" / "svm" / "context.py"
@@ -158,13 +193,13 @@ def check_context_imports() -> list[str]:
 
 
 def main() -> int:
-    errors = (check_public_surface() + check_specs()
+    errors = (check_public_surface() + check_specs() + check_native()
               + check_context_imports())
     if errors:
         fail(errors)
     n = sum(1 for s in opspec.iter_specs())
     print(f"check_opspec: OK — {n} registered ops, public surface covered, "
-          "context.py imports no kernel modules")
+          "native flags consistent, context.py imports no kernel modules")
     return 0
 
 
