@@ -7,7 +7,7 @@ compiler would have on the same kernels.
 """
 
 from repro.bench.harness import ExperimentResult
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 from repro.utils.formatting import fmt_count, fmt_ratio
 
 from conftest import record

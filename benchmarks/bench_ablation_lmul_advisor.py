@@ -4,7 +4,7 @@ every N, and its predictions must equal measurement exactly.
 """
 
 from repro.bench.harness import ExperimentResult
-from repro.lmul import choose_lmul, measure_kernel
+from repro.tune import choose_lmul, measure_kernel
 from repro.rvv.types import LMUL
 from repro.utils.formatting import fmt_count
 

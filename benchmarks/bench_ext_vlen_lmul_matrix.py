@@ -8,7 +8,7 @@ strip savings of big groups amortize the same spill cost later.)
 """
 
 from repro.bench.harness import ExperimentResult
-from repro.lmul import choose_lmul, measure_kernel
+from repro.tune import choose_lmul, measure_kernel
 from repro.rvv.types import LMUL
 from repro.utils.formatting import fmt_count
 

@@ -3,7 +3,7 @@ vlen/128 line while segmented scan saturates (its in-register phase
 costs lg(vl) steps, growing with the register)."""
 
 from repro.bench import experiments
-from repro.lmul import sweep_vlen
+from repro.tune import sweep_vlen
 
 from conftest import record
 

@@ -7,7 +7,7 @@ EXPERIMENTS.md), so only the segmented claims are asserted.
 """
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 from repro.rvv.types import LMUL
 
 from conftest import record

@@ -2,7 +2,7 @@
 sequential baseline — exact reproduction for every N >= 10^3."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 
 from conftest import record
 

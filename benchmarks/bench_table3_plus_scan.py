@@ -3,7 +3,7 @@ scan — exact at N >= 10^5, within 7% below (the paper's remainder-strip
 constants drift at small N; see EXPERIMENTS.md)."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 
 from conftest import record
 

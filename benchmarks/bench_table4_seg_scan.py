@@ -2,7 +2,7 @@
 segmented scan — exact reproduction at every N."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 
 from conftest import record
 

@@ -3,7 +3,7 @@ register-grouping study, including the LMUL=8 spill anomaly at small N
 (driven by the repro.rvv.allocation register-pressure model)."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 from repro.rvv.types import LMUL
 
 from conftest import record

@@ -2,7 +2,7 @@
 of wider register groups for segmented scan."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 from repro.rvv.types import LMUL
 
 from conftest import record

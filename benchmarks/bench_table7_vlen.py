@@ -2,7 +2,7 @@
 VLEN in {128, 256, 512, 1024} at N=10^4 — VLA scalability."""
 
 from repro.bench import experiments
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 
 from conftest import record
 

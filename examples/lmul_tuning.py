@@ -13,7 +13,7 @@ Run:  python examples/lmul_tuning.py
 import numpy as np
 
 from repro import LMUL
-from repro.lmul import choose_lmul, measure_kernel, predict_scan_count
+from repro.tune import choose_lmul, measure_kernel, predict_scan_count
 from repro.rvv.allocation import SEG_SCAN_PROFILE, plan_allocation
 from repro.utils.formatting import render_table
 

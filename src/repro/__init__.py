@@ -14,7 +14,12 @@ Layering (see DESIGN.md):
   primitives (plan cache included);
 * :mod:`repro.obs` — observability: hierarchical profiling spans,
   metrics, and tree/JSON/Chrome-trace exporters;
-* :mod:`repro.lmul` — the LMUL register-grouping optimization study;
+* :mod:`repro.config` — the unified :class:`~repro.config.ExecConfig`
+  layer every execution axis resolves through (defaults ← REPRO_* env
+  ← ``SVM(...)`` kwargs ← per-call overrides);
+* :mod:`repro.tune` — shape-aware tuning: the LMUL study (advisor +
+  measurement grids, formerly ``repro.lmul``) plus the persistent
+  shape→config auto-tuner consulted by ``SVM(tune="auto")``;
 * :mod:`repro.algorithms` — applications built purely on primitives
   (split radix sort, flat quicksort, RLE, SpMV, ...);
 * :mod:`repro.bench` — the harness regenerating every table and figure.

@@ -62,17 +62,22 @@ def _get_digit(svm: SVM, src: SVMArray, shift: int, digit_bits: int,
     return out
 
 
-def split_radix_sort_wide(svm: SVM, src: SVMArray, digit_bits: int = 2,
+def split_radix_sort_wide(svm: SVM, src: SVMArray,
+                          digit_bits: int | None = None,
                           bits: int | None = None,
                           lmul: LMUL | None = None) -> None:
     """Sort ``src`` ascending using ``digit_bits``-wide digits per pass.
 
-    ``digit_bits=1`` degenerates to (an unshared-enumerate version of)
-    the paper's binary split; larger digits trade fewer passes for
-    Θ(2^w) per-pass bucket sweeps. See the module docstring for why
-    w=1 wins in this model.
+    ``digit_bits=None`` resolves through the context's
+    :class:`~repro.config.ExecConfig` (default 2). ``digit_bits=1``
+    degenerates to (an unshared-enumerate version of) the paper's
+    binary split; larger digits trade fewer passes for Θ(2^w) per-pass
+    bucket sweeps. See the module docstring for why w=1 wins in this
+    model.
     """
     lmul = svm._lmul(lmul)
+    if digit_bits is None:
+        digit_bits = svm.config.digit_bits
     width = src.dtype.itemsize * 8
     if bits is None:
         bits = width

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..algorithms.radix_sort import split_radix_sort
-from ..lmul.sweep import measure_kernel
+from ..tune.measure import measure_kernel
 from ..rvv.types import LMUL
 from ..scalar.kernels import (
     p_add_baseline,

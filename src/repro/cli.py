@@ -29,8 +29,15 @@ Commands
     Print the unified OpSpec registry as a per-primitive tier-support
     matrix (strict / fast / fusion / codegen / batch-2D); ``--json``
     emits the machine-readable form for tooling.
-``cache stats|clear [--dir D]``
-    Inspect or clear the persistent plan cache (``REPRO_CACHE_DIR``).
+``cache stats|clear|prune [--dir D]``
+    Inspect, clear, or prune the persistent plan cache and tuning DB
+    (``REPRO_CACHE_DIR``).
+``tune sweep|show|clear [--dir D] ...``
+    Drive the shape→config auto-tuner: ``sweep`` measures a
+    pipeline × size × config grid and fits/persists the policy,
+    ``show`` prints it, ``clear`` deletes it. Consult the fitted
+    policy with ``SVM(tune="auto")`` or ``repro serve --tune auto``
+    (see ``docs/tuning.md``).
 ``serve [--port P | --unix PATH] [--flush-ms F] [--max-rows M] ...``
     Run the plan-serving daemon: coalesce concurrent NDJSON requests
     into 2D batch evaluations on a deadline window (see
@@ -73,7 +80,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .lmul import sweep_lmul
+    from .tune import sweep_lmul
     from .rvv.types import LMUL
     from .utils.formatting import render_table
 
@@ -94,7 +101,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_advise(args: argparse.Namespace) -> int:
-    from .lmul import choose_lmul, predict_scan_count
+    from .tune import choose_lmul, predict_scan_count
     from .rvv.types import LMUL
 
     for lm in (1, 2, 4, 8):
@@ -454,37 +461,117 @@ def _cmd_ops(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    import os
-
+    from .config import env_cache_dir
     from .engine.cache import PlanStore, default_cache_dir
+    from .tune.db import TuningDB
 
-    configured = bool(args.dir or os.environ.get("REPRO_CACHE_DIR"))
-    store = PlanStore(args.dir or default_cache_dir())
+    configured = bool(args.dir or env_cache_dir())
+    root = args.dir or default_cache_dir()
+    store = PlanStore(root)
+    tdb = TuningDB(root)
     if args.action == "clear":
-        removed = store.clear()
+        removed = store.clear() + tdb.clear()
         print(f"removed {removed} cached file(s) from {store.root} "
-              "(plan entries and native artifacts)")
+              "(plan entries, native artifacts, and tuning entries)")
         return 0
     if args.action == "prune":
         pruned = store.prune()
+        tpruned = tdb.prune()
         print(f"pruned {pruned['removed']} stale entr(ies) from "
               f"{store.root} ({pruned['kept']} current kept, "
               f"{pruned['temps']} temp file(s) removed)")
+        print(f"pruned {tpruned['removed']} stale tuning entr(ies) from "
+              f"{tdb.tune_dir} ({tpruned['kept']} current kept, "
+              f"{tpruned['temps']} temp file(s) removed)")
         return 0
     s = store.stats_dict(scan=True)
+    t = tdb.stats_dict(scan=True)
     print(f"persistent plan cache at {s['dir']}")
     print(f"  entries: {s['entries']}  bytes: {s['bytes']:,}  "
           f"stale: {s['stale']}")
     print(f"  native artifacts: {s['native_artifacts']}  "
           f"bytes: {s['native_bytes']:,}")
+    print(f"  tuning entries: {t['entries']}  bytes: {t['bytes']:,}  "
+          f"stale: {t['stale']}")
     print(f"  schema: v{s['schema']}  code: {s['code']}")
-    if s["stale"]:
-        print(f"  note: run 'repro cache prune' to evict the {s['stale']} "
-              "stale entr(ies) left by an older engine fingerprint")
+    if s["stale"] or t["stale"]:
+        print(f"  note: run 'repro cache prune' to evict the "
+              f"{s['stale'] + t['stale']} stale entr(ies) left by an "
+              "older engine fingerprint")
     if not configured:
         print("  note: persistence is disabled — the engine writes this "
               "store only when REPRO_CACHE_DIR is set or "
               "SVM(cache_dir=...) is passed")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import json
+
+    from .config import default_cache_dir
+    from .rvv.types import LMUL
+    from .tune import TuningDB, run_tune_sweep
+    from .tune.sweep import DEFAULT_SIZES
+    from .utils.formatting import render_table
+
+    root = args.dir or default_cache_dir()
+    db = TuningDB(root)
+
+    if args.action == "clear":
+        removed = db.clear()
+        print(f"removed {removed} tuning file(s) from {db.tune_dir}")
+        return 0
+
+    if args.action == "show":
+        files = db.entries()
+        if not files:
+            print(f"no tuning entries under {db.tune_dir} — run "
+                  "'repro tune sweep' first")
+            return 0
+        s = db.stats_dict(scan=True)
+        print(f"tuning DB at {s['dir']}: {s['entries']} fingerprint(s), "
+              f"{s['bytes']:,} bytes, stale: {s['stale']}, "
+              f"schema v{s['schema']}, code {s['code']}")
+        rows = []
+        for path in files:
+            try:
+                doc = json.loads(path.read_text())
+            except Exception:
+                rows.append([path.stem[:12], "?", "(unreadable)", "-", "-"])
+                continue
+            fp = doc.get("fingerprint", path.stem)
+            name = ((doc.get("meta") or {}).get("pipelines") or {}).get(fp, "?")
+            for key, rec in sorted((doc.get("entries") or {}).items()):
+                rows.append([fp[:12], name, key, str(rec.get("lmul", "?")),
+                             f"{rec.get('instructions', 0):,}"])
+        print(render_table(
+            ["fingerprint", "pipeline", "vlen:codegen:bucket", "lmul",
+             "instructions"],
+            rows, title="fitted shape→config policy (argmin dynamic "
+                        "instructions per bucket)",
+        ))
+        return 0
+
+    # sweep: measure the grid, fit the policy, persist it
+    try:
+        points, fitted = run_tune_sweep(
+            pipelines=args.pipelines,
+            sizes=tuple(args.sizes) if args.sizes else DEFAULT_SIZES,
+            vlens=tuple(args.vlen),
+            lmuls=tuple(LMUL(x) for x in args.lmuls),
+            codegen=tuple(args.codegen),
+            jobs=args.jobs,
+            db=db,
+        )
+    except KeyError as exc:
+        print(f"repro tune: {exc}", file=sys.stderr)
+        return 2
+    n_entries = sum(len(t) for t in fitted.values())
+    print(f"swept {len(points)} cells -> {n_entries} policy entr(ies) "
+          f"across {len(fitted)} pipeline fingerprint(s)")
+    print(f"tuning DB written under {db.tune_dir}")
+    print("consult it with SVM(tune='auto'), repro serve --tune auto, "
+          "or inspect with 'repro tune show'")
     return 0
 
 
@@ -505,6 +592,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit, workers=args.workers,
         vlen=args.vlen, codegen=args.codegen, mode=args.mode,
         backend=args.backend, cache_dir=args.cache_dir,
+        tune=args.tune,
         profile=args.profile, max_requests=args.max_requests,
         telemetry=not args.no_telemetry,
         flight_capacity=args.flight_capacity,
@@ -657,6 +745,33 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 1
 
 
+def _add_config_flags(p: argparse.ArgumentParser, *, codegen: bool = False,
+                      backend: bool = False, cache_dir: bool = False,
+                      vlen_default: int = 1024) -> None:
+    """Register the shared execution-config flags — the CLI face of
+    :class:`repro.config.ExecConfig`, declared once so every
+    subcommand spells the axes identically."""
+    from .config import BACKENDS
+
+    p.add_argument("--vlen", type=int, default=vlen_default,
+                   help="vector register length in bits")
+    if codegen:
+        p.add_argument("--codegen", choices=["ideal", "paper"],
+                       default="paper")
+    if backend:
+        p.add_argument("--backend", choices=list(BACKENDS), default=None,
+                       help="fused-plan executor: generated NumPy kernels "
+                            "(codegen, the default), the specialized "
+                            "interpreter (interp), or compiled whole-plan "
+                            "C kernels (native keeps counters identical, "
+                            "native-speed compiles them out); default "
+                            "from REPRO_BACKEND")
+    if cache_dir:
+        p.add_argument("--cache-dir", default=None,
+                       help="persistent plan-store / tuning-DB directory "
+                            "(default: REPRO_CACHE_DIR if set)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
 
@@ -679,7 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="measure a kernel over an LMUL/size grid")
     p.add_argument("--kernel", default="seg_plus_scan",
                    choices=["p_add", "plus_scan", "seg_plus_scan"])
-    p.add_argument("--vlen", type=int, default=1024)
+    _add_config_flags(p)
     p.add_argument("--lmul", type=int, nargs="+", default=[1, 2, 4, 8])
     p.add_argument("--sizes", type=int, nargs="+",
                    default=[100, 1000, 10000, 100000])
@@ -689,13 +804,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kernel", default="seg_plus_scan",
                    choices=["plus_scan", "seg_plus_scan"])
     p.add_argument("--n", type=int, required=True)
-    p.add_argument("--vlen", type=int, default=1024)
+    _add_config_flags(p)
     p.set_defaults(fn=_cmd_advise)
 
     p = sub.add_parser("sort", help="sort random keys on the simulator")
     p.add_argument("--n", type=int, default=10000)
     p.add_argument("--algo", choices=["radix", "quicksort"], default="radix")
-    p.add_argument("--vlen", type=int, default=1024)
+    _add_config_flags(p)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_sort)
 
@@ -705,17 +820,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pipeline", choices=sorted(_FUSE_PIPELINES),
                    default="chain-scan")
     p.add_argument("--n", type=int, default=10000)
-    p.add_argument("--vlen", type=int, default=1024)
+    _add_config_flags(p, codegen=True, backend=True)
     p.add_argument("--lmul", type=int, choices=[1, 2, 4, 8], default=1)
-    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
-    p.add_argument("--backend",
-                   choices=["interp", "codegen", "native", "native-speed"],
-                   default=None,
-                   help="fused-plan executor: generated NumPy kernels "
-                        "(codegen, the default), the specialized "
-                        "interpreter (interp), or compiled whole-plan C "
-                        "kernels (native keeps counters identical, "
-                        "native-speed compiles them out)")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_fuse)
 
@@ -728,8 +834,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=4096)
     p.add_argument("--bits", type=int, default=8,
                    help="key bits for the sort workload")
-    p.add_argument("--vlen", type=int, default=1024)
-    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    _add_config_flags(p, codegen=True)
     p.add_argument("--mode", choices=["strict", "fast", "auto"], default="auto")
     p.add_argument("--strips", action="store_true",
                    help="record a span per vsetvl strip (verbose)")
@@ -787,16 +892,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="worker pool size (SVM contexts sharing one warm "
                         "plan cache)")
-    p.add_argument("--vlen", type=int, default=1024)
-    p.add_argument("--codegen", choices=["ideal", "paper"], default="paper")
+    _add_config_flags(p, codegen=True, backend=True, cache_dir=True)
     p.add_argument("--mode", choices=["auto", "strict", "fast"],
                    default="auto")
-    p.add_argument("--backend",
-                   choices=["interp", "codegen", "native", "native-speed"],
-                   default=None)
-    p.add_argument("--cache-dir", default=None,
-                   help="persistent plan-store directory shared by the "
-                        "worker pool (default: REPRO_CACHE_DIR if set)")
+    p.add_argument("--tune", choices=["auto"], default=None,
+                   help="consult the persistent shape→config tuning DB "
+                        "(under --cache-dir) per request shape at "
+                        "dispatch time; see 'repro tune'")
     p.add_argument("--profile", action="store_true",
                    help="install per-worker obs collectors (serve.flush "
                         "spans and metrics)")
@@ -847,6 +949,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cache directory (default: REPRO_CACHE_DIR, "
                         "else ~/.cache/repro)")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "tune", help="sweep, inspect, or clear the persistent "
+                     "shape→config auto-tuner (see docs/tuning.md)"
+    )
+    p.add_argument("action", choices=["sweep", "show", "clear"])
+    p.add_argument("--dir", default=None,
+                   help="cache directory holding the tuning DB "
+                        "(default: REPRO_CACHE_DIR, else ~/.cache/repro)")
+    p.add_argument("--pipelines", nargs="+", default=None, metavar="P",
+                   help="pipelines to sweep (default: all of "
+                        "chain_scan, scan, seg_scan)")
+    p.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="problem sizes (default spans the spill/strip "
+                        "crossover: 64 ... 100000)")
+    p.add_argument("--vlen", type=int, nargs="+", default=[1024],
+                   help="VLEN values to sweep")
+    p.add_argument("--lmuls", type=int, nargs="+", default=[1, 2, 4, 8],
+                   help="LMUL candidates")
+    p.add_argument("--codegen", choices=["ideal", "paper"], nargs="+",
+                   default=["ideal", "paper"],
+                   help="codegen preset(s) to sweep (the policy lookup "
+                        "is preset-exact; default sweeps both)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="fan sweep cells over this many processes")
+    p.set_defaults(fn=_cmd_tune)
 
     return parser
 

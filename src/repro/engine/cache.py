@@ -39,6 +39,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..config import default_cache_dir as _config_cache_dir
+from ..config import env_cache_dir
+
 __all__ = [
     "PlanCache",
     "CacheStats",
@@ -83,20 +86,17 @@ def code_fingerprint() -> str:
 
 def default_cache_dir() -> Path:
     """The conventional persistent-store location: ``REPRO_CACHE_DIR``
-    if set, else ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``)."""
-    env = os.environ.get("REPRO_CACHE_DIR")
-    if env:
-        return Path(env)
-    xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro"
+    if set, else ``$XDG_CACHE_HOME/repro`` (``~/.cache/repro``).
+    Alias of :func:`repro.config.default_cache_dir` — the environment
+    is read there, at call time."""
+    return _config_cache_dir()
 
 
 def store_from_env() -> "PlanStore | None":
     """A :class:`PlanStore` when ``REPRO_CACHE_DIR`` is set, else None.
     Persistence stays opt-in so library use never writes outside an
     explicitly designated directory."""
-    root = os.environ.get("REPRO_CACHE_DIR")
+    root = env_cache_dir()
     return PlanStore(root) if root else None
 
 

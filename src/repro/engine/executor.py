@@ -22,12 +22,12 @@ it), so results and per-category counts agree exactly — the invariant
 
 from __future__ import annotations
 
-import os
 import time
 from contextlib import nullcontext
 
 import numpy as np
 
+from ..config import BACKENDS, DEFAULT_BACKEND, env_backend
 from ..obs.telemetry import note_plan_cache
 from ..rvv.counters import Cat
 from ..rvv.intrinsics import arith, compare, loadstore, mask as maskops, move, permutation
@@ -328,22 +328,14 @@ def _execute_units(svm, plan: Plan, fused: FusedPlan, backend: str,
             run_node_eager(svm, plan, plan.nodes[unit])
 
 
-#: Fast-path backends :func:`execute` understands. The two native
-#: entries select the compiled-C tier of :mod:`repro.engine.native`
-#: in counters mode and speed mode respectively; both degrade to
-#: ``"codegen"`` when a plan does not lower or no toolchain exists.
-BACKENDS = ("interp", "codegen", "native", "native-speed")
-
-#: Engine default; override per context with ``SVM(backend=...)`` or
-#: globally with the ``REPRO_BACKEND`` environment variable.
-DEFAULT_BACKEND = "codegen"
-
-
 def resolve_backend(backend: str | None) -> str:
     """Validate an explicit backend or derive the default from the
-    environment (``REPRO_BACKEND``) falling back to codegen."""
+    environment (``REPRO_BACKEND`` via :mod:`repro.config`, read at
+    call time) falling back to codegen. ``BACKENDS`` and
+    ``DEFAULT_BACKEND`` are canonical in :mod:`repro.config` and
+    re-exported here for the execution layer."""
     if backend is None:
-        backend = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+        backend = env_backend() or DEFAULT_BACKEND
     if backend not in BACKENDS:
         raise EngineError(
             f"backend must be one of {BACKENDS}, got {backend!r}"
@@ -394,7 +386,20 @@ class Engine:
     def fused_for(self, plan: Plan) -> FusedPlan:
         """The fusion recipe for ``plan``, through the cache hierarchy:
         in-memory LRU, then the persistent store (when enabled), then a
-        full compile (whose result feeds both)."""
+        full compile (whose result feeds both).
+
+        When the context was built with ``tune=``, the tuning policy is
+        consulted first — it may retag the plan's LMUL to the learned
+        optimum for this (plan fingerprint, n-bucket) *before* the key
+        is computed, so the retagged plan shares cache entries with an
+        SVM pinned to the chosen config. The lookup is memoized inside
+        the policy; on the warm path it is one dict probe.
+        """
+        tuner = getattr(self.svm, "_tuner", None)
+        if tuner is not None:
+            policy = tuner()
+            if policy is not None:
+                policy.apply(plan, self.svm)
         key = self.plan_key(plan)
         fused = self.cache.get(key)
         hit = fused is not None

@@ -32,6 +32,7 @@ placeholders at capture time and are resolved during execution.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -306,6 +307,60 @@ class Plan:
             for bid, s in sorted(slots.items(), key=lambda kv: kv[1])
         )
         return (int(vlen), str(codegen), buf_sig, tuple(node_sig))
+
+    def fingerprint(self) -> str:
+        """A stable hex digest identifying the *pipeline*, independent
+        of the tuning axes: unlike :meth:`signature` it excludes
+        per-node LMUL, per-buffer length, VLEN, and the codegen preset
+        — exactly the knobs ``repro tune`` sweeps. Two plans share a
+        fingerprint iff they are the same α-renamed node structure over
+        buffers of the same dtypes, so one TuningDB entry covers every
+        problem size of a pipeline (n enters the policy key as a size
+        bucket instead).
+        """
+        slots: dict[int, int] = {}
+
+        def slot(bid: int | None):
+            if bid is None:
+                return None
+            if bid not in slots:
+                slots[bid] = len(slots)
+            return slots[bid]
+
+        node_sig = []
+        for node in self.nodes:
+            if node.kind is Kind.OPAQUE:
+                arg_sig = tuple(
+                    slot(a.bid) if isinstance(a, Buf) else "·" for a in node.args
+                )
+                kw_sig = tuple(
+                    (k, slot(v.bid) if isinstance(v, Buf) else "·")
+                    for k, v in sorted(node.kwargs.items())
+                )
+                node_sig.append((node.kind.value, node.method, arg_sig, kw_sig))
+            else:
+                node_sig.append(
+                    (
+                        node.kind.value,
+                        node.op,
+                        node.inclusive,
+                        slot(node.dst),
+                        slot(node.src),
+                        slot(node.operand),
+                        node.scalar is not None,
+                    )
+                )
+        buf_sig = tuple(
+            (s, self.buffers[bid].dtype.str, self.buffers[bid].temp)
+            for bid, s in sorted(slots.items(), key=lambda kv: kv[1])
+        )
+        blob = repr((buf_sig, tuple(node_sig))).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def max_n(self) -> int:
+        """The largest buffer length the plan touches — the problem
+        size the tuning policy buckets on."""
+        return max((b.n for b in self.buffers.values()), default=0)
 
     # -- inspection --------------------------------------------------------
     def describe(self) -> str:

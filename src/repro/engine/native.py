@@ -67,6 +67,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..config import native_toolchain_env
 from ..svm.operators import get_operator
 from ..svm.opspec import LANE_RECIPES
 from .fuse import FusedPlan, GroupSpec
@@ -159,12 +160,13 @@ _TOOLCHAIN: list = []  # memoized [path-or-None]
 def find_compiler() -> str | None:
     """The C compiler to use, or None (memoized). Honors
     ``REPRO_NATIVE_CC`` (explicit compiler) and
-    ``REPRO_NATIVE_DISABLE=1`` (force the no-toolchain fallback)."""
+    ``REPRO_NATIVE_DISABLE=1`` (force the no-toolchain fallback), both
+    read through :func:`repro.config.native_toolchain_env`."""
     if _TOOLCHAIN:
         return _TOOLCHAIN[0]
     cc = None
-    if not os.environ.get("REPRO_NATIVE_DISABLE"):
-        override = os.environ.get("REPRO_NATIVE_CC")
+    override, disabled = native_toolchain_env()
+    if not disabled:
         if override:
             cc = override if os.path.exists(override) else shutil.which(override)
         else:

@@ -1,17 +1,16 @@
-"""The LMUL register-grouping optimization study (§6.3).
+"""Deprecated alias of :mod:`repro.tune` (the LMUL study grew into the
+full shape→config tuning subsystem there).
 
-* :mod:`~repro.lmul.advisor` — closed-form cost prediction per LMUL
-  and the selection heuristic from the paper's conclusion;
-* :mod:`~repro.lmul.sweep` — the measurement grids behind Tables 5-7
-  and Figure 5.
-
-The register-pressure/spill model itself lives in
-:mod:`repro.rvv.allocation` (it models the compiler's allocator, a
-codegen-level concern); this package consumes it.
+``repro.lmul.advisor`` is now :mod:`repro.tune.advisor` and
+``repro.lmul.sweep`` is :mod:`repro.tune.measure`. These shims
+re-export the moved names and warn; they will be deleted next cycle
+(the PR 9 shim-removal pattern).
 """
 
-from .advisor import LmulPrediction, choose_lmul, predict_scan_count
-from .sweep import SweepPoint, measure_kernel, sweep_lmul, sweep_vlen
+import warnings
+
+from ..tune.advisor import LmulPrediction, choose_lmul, predict_scan_count
+from ..tune.measure import SweepPoint, measure_kernel, sweep_lmul, sweep_vlen
 
 __all__ = [
     "LmulPrediction",
@@ -22,3 +21,10 @@ __all__ = [
     "sweep_lmul",
     "sweep_vlen",
 ]
+
+warnings.warn(
+    "repro.lmul is deprecated; import from repro.tune instead "
+    "(advisor -> repro.tune.advisor, sweep -> repro.tune.measure)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -25,10 +25,11 @@ any earlier process already compiled.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
+
+from .config import env_bench_jobs
 
 __all__ = [
     "run_grid", "default_jobs", "fusion_cell", "batch_cell",
@@ -38,11 +39,9 @@ __all__ = [
 
 def default_jobs() -> int:
     """Worker count for ``--jobs``-less callers: the REPRO_BENCH_JOBS
-    environment variable, else 1 (inline)."""
-    try:
-        return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
-    except ValueError:
-        return 1
+    environment variable (via :mod:`repro.config`, malformed values
+    fall back), else 1 (inline)."""
+    return env_bench_jobs()
 
 
 def run_grid(fn, params, jobs: int = 1) -> list:

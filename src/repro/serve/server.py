@@ -77,6 +77,9 @@ class ServeConfig:
     mode: str = "auto"               #: default per-request execution mode
     backend: str | None = None
     cache_dir: str | None = None     #: shared persistent plan store
+    #: None (off), "auto", or a TunePolicy — workers consult the
+    #: shape→config tuning DB per request shape at dispatch time
+    tune: object | None = None
     profile: bool = False            #: per-worker obs collectors + flush spans
     max_requests: int | None = None  #: graceful exit after N execute requests
     telemetry: bool = True           #: always-on tracing + flight recorder
@@ -168,7 +171,8 @@ class Server:
         for _ in range(cfg.workers):
             svm = SVM(vlen=cfg.vlen, codegen=cfg.codegen, mode=cfg.mode,
                       backend=cfg.backend, cache_dir=cfg.cache_dir,
-                      plan_cache=self.plan_cache, profile=cfg.profile)
+                      plan_cache=self.plan_cache, profile=cfg.profile,
+                      tune=cfg.tune)
             self._worker_svms.append(svm)
         self._pool = ThreadPoolExecutor(
             max_workers=cfg.workers, thread_name_prefix="repro-serve")

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..config import ExecConfig
 from ..errors import ConfigurationError, VectorLengthError
 from ..rvv.codegen import CodegenModel
 from ..rvv.machine import RVVMachine
@@ -93,19 +94,32 @@ class SVM:
         self,
         machine: RVVMachine | None = None,
         *,
-        vlen: int = 1024,
+        vlen: int | None = None,
         codegen: str | CodegenModel = "ideal",
         mode: str = "auto",
         fast_threshold: int = AUTO_FAST_THRESHOLD,
-        lmul: LMUL = LMUL.M1,
+        lmul: LMUL | None = None,
         malloc_model=None,
         profile: bool | str = False,
         backend: str | None = None,
         cache_dir: str | None = None,
         plan_cache=None,
+        config: ExecConfig | None = None,
+        digit_bits: int | None = None,
+        tune=None,
     ) -> None:
+        # One layered resolution for every execution axis: built-in
+        # defaults <- REPRO_* environment <- an explicit base `config`
+        # <- the individual keyword arguments (None means "not given").
+        base = config if config is not None else ExecConfig.from_env()
+        cfg = base.override(vlen=vlen, lmul=lmul, backend=backend,
+                            cache_dir=cache_dir, digit_bits=digit_bits)
         if machine is None:
-            machine = RVVMachine(vlen=vlen, codegen=codegen, malloc_model=malloc_model)
+            machine = RVVMachine(vlen=cfg.vlen, codegen=codegen,
+                                 malloc_model=malloc_model)
+        elif machine.vlen != cfg.vlen:
+            # an explicit machine is authoritative for VLEN
+            cfg = cfg.override(vlen=machine.vlen)
         self.machine = machine
         if mode not in ("strict", "fast", "auto"):
             raise ConfigurationError(
@@ -113,7 +127,11 @@ class SVM:
             )
         self.mode = mode
         self.fast_threshold = int(fast_threshold)
-        self.lmul = LMUL(lmul)
+        #: The resolved :class:`~repro.config.ExecConfig` of this
+        #: context. ``lmul``/``backend``/``cache_dir`` below are plain
+        #: attribute views of it, kept for the established surface.
+        self.config = cfg
+        self.lmul = cfg.lmul
         #: Fast-path backend for the lazy engine: "codegen" (default)
         #: runs generated kernels, "interp" the LaneStep interpreter,
         #: "native" compiled whole-plan C kernels with counters kept
@@ -121,15 +139,29 @@ class SVM:
         #: compiled out; None defers to REPRO_BACKEND / the engine
         #: default. Native tiers fall back to codegen when the plan is
         #: ineligible or no C toolchain is present.
-        self.backend = backend
+        self.backend = cfg.backend
         #: Persistent plan-store directory; None means the store is
         #: enabled only when REPRO_CACHE_DIR is set (see engine.cache).
-        self.cache_dir = cache_dir
+        self.cache_dir = cfg.cache_dir
         #: Optional externally-owned :class:`~repro.engine.cache.PlanCache`
         #: shared with other contexts (the serving daemon's worker pool
         #: hands every worker the same warm cache); None gives the
         #: engine a private cache.
         self.plan_cache = plan_cache
+        #: Shape-aware dispatch tuning: None (off), "auto" (consult the
+        #: persistent TuningDB under ``cache_dir`` /
+        #: ``default_cache_dir()``), or an explicit
+        #: :class:`~repro.tune.TunePolicy`. The policy is consulted
+        #: once per (plan fingerprint, n-bucket) at plan-dispatch time
+        #: (see :meth:`repro.engine.Engine.fused_for`) and only ever
+        #: *selects* a config — execution stays bit- and
+        #: counter-identical to an SVM pinned to that config.
+        self.tune = tune
+        if tune is not None and not (tune == "auto" or hasattr(tune, "apply")):
+            raise ConfigurationError(
+                f"tune must be None, 'auto' or a TunePolicy, got {tune!r}"
+            )
+        self._tune_policy = None  # lazily-resolved TunePolicy
         self._engine = None  # lazily-created repro.engine.Engine
         if profile not in (False, True, "strips"):
             raise ConfigurationError(
@@ -187,6 +219,24 @@ class SVM:
             self._engine = Engine(self, self.plan_cache,
                                   backend=self.backend, store=store)
         return self._engine
+
+    def _tuner(self):
+        """The resolved :class:`~repro.tune.TunePolicy` of this context,
+        or None when tuning is off (resolved lazily on first dispatch;
+        ``tune="auto"`` loads the TuningDB under ``cache_dir`` falling
+        back to :func:`repro.config.default_cache_dir`)."""
+        if self.tune is None:
+            return None
+        if self._tune_policy is None:
+            from ..config import default_cache_dir  # local: avoid eager dep
+            from ..tune.policy import TunePolicy  # local: tune depends on engine
+
+            if self.tune == "auto":
+                root = self.cache_dir or default_cache_dir()
+                self._tune_policy = TunePolicy.load(root)
+            else:
+                self._tune_policy = self.tune
+        return self._tune_policy
 
     @contextmanager
     def lazy(self, *, fuse: bool = True):

@@ -1,0 +1,179 @@
+"""Pipeline-level tuning sweep — the producer side of the TuningDB.
+
+Fans a (pipeline × size × config) grid over :func:`repro.parallel.
+run_grid` — each cell runs one lazily-captured pipeline on a private
+:class:`~repro.svm.SVM` pinned to one config and reports the dynamic
+instruction count plus the plan's tuning fingerprint. The counts are
+data-oblivious for every swept pipeline, so the grid is fully
+deterministic and the fitted policy is reproducible bit for bit.
+
+:func:`run_tune_sweep` is the ``repro tune sweep`` engine: measure,
+fit (:func:`repro.tune.policy.fit_policy`), persist
+(:class:`repro.tune.db.TuningDB`). The swept grids intentionally match
+the serving/batch pipelines (the elementwise-chain + scan shape of
+:data:`repro.parallel.CHAIN`), so a default sweep immediately covers
+the workloads ``repro serve`` sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ExecConfig
+from ..parallel import CHAIN, default_jobs, run_grid
+from ..rvv.types import LMUL
+from .db import TuningDB
+from .policy import fit_policy
+
+__all__ = [
+    "PIPELINES", "TunePoint", "tune_cell", "run_tune_sweep",
+    "DEFAULT_SIZES", "DEFAULT_LMULS", "DEFAULT_CODEGENS",
+]
+
+#: Default size grid: spans the spill/strip crossover at every VLEN
+#: the paper studies (small n where spills dominate through large n
+#: where strip-count reduction wins).
+DEFAULT_SIZES = (64, 256, 1000, 3000, 10000, 100000)
+
+#: Default LMUL grid — the paper's Table 5/6 axis.
+DEFAULT_LMULS = (LMUL.M1, LMUL.M2, LMUL.M4, LMUL.M8)
+
+#: Default codegen-preset grid. The policy lookup is preset-exact
+#: (counts genuinely differ between presets), so the default sweep
+#: covers both: a plain ``SVM()`` dispatches under ``"ideal"`` while
+#: the CLI/serve surfaces default to ``"paper"`` — either way the
+#: out-of-the-box ``repro tune sweep`` → ``SVM(tune="auto")``
+#: lifecycle hits.
+DEFAULT_CODEGENS = ("ideal", "paper")
+
+#: Fraction of lanes carrying a segment head flag in the seg_scan
+#: workload (counts are data-independent; this only shapes semantics).
+FLAG_DENSITY = 0.1
+
+
+def _pipe_chain_scan(lz, data):
+    for op, x in CHAIN[:3]:
+        getattr(lz, op)(data, x)
+    lz.plus_scan(data)
+
+
+def _pipe_scan(lz, data):
+    lz.plus_scan(data)
+
+
+def _pipe_seg_scan(lz, data, flags):
+    lz.seg_plus_scan(data, flags)
+
+
+#: Swept pipelines by name. Each takes ``(lz, *arrays)`` and issues
+#: calls *without* explicit ``lmul=`` — the context default is the
+#: tuned axis, exactly how the dispatch hook applies the policy.
+PIPELINES = {
+    "chain_scan": _pipe_chain_scan,
+    "scan": _pipe_scan,
+    "seg_scan": _pipe_seg_scan,
+}
+
+
+@dataclass(frozen=True)
+class TunePoint:
+    """One measured (pipeline, shape, config) cell."""
+
+    pipeline: str
+    n: int
+    vlen: int
+    codegen: str
+    lmul: LMUL
+    instructions: int
+    fingerprint: str
+
+
+def _materialize(svm, pipeline: str, n: int, seed: int) -> tuple:
+    rng = np.random.default_rng(seed)
+    data = svm.array(rng.integers(0, 1 << 16, n, dtype=np.uint32))
+    if pipeline == "seg_scan":
+        flags = svm.array((rng.random(n) < FLAG_DENSITY).astype(np.uint32))
+        return (data, flags)
+    return (data,)
+
+
+def tune_cell(params: dict) -> dict:
+    """One sweep cell on a private machine (module-level so
+    :mod:`repro.parallel` pool workers can import it by name).
+
+    ``params``: pipeline (name in :data:`PIPELINES`), n, vlen, lmul
+    (int), codegen (default "paper"), seed. Returns the measurement in
+    the shape :func:`repro.tune.policy.fit_policy` consumes.
+    """
+    from repro.svm.context import SVM
+
+    name = params["pipeline"]
+    n, vlen = int(params["n"]), int(params["vlen"])
+    lmul = LMUL(params["lmul"])
+    codegen = params.get("codegen", "paper")
+    svm = SVM(vlen=vlen, codegen=codegen, mode="fast", lmul=lmul)
+    arrays = _materialize(svm, name, n, params.get("seed", 0))
+    svm.reset()
+    with svm.lazy() as lz:
+        PIPELINES[name](lz, *arrays)
+    plan = svm.engine.last_plan
+    return {
+        "pipeline": name,
+        "n": n,
+        "vlen": vlen,
+        "codegen": svm.machine.codegen.name,
+        "lmul": int(lmul),
+        "instructions": svm.instructions,
+        "fingerprint": plan.fingerprint(),
+        "config": ExecConfig(vlen=vlen, lmul=lmul).as_dict(),
+    }
+
+
+def run_tune_sweep(
+    pipelines=None,
+    sizes=DEFAULT_SIZES,
+    vlens=(1024,),
+    lmuls=DEFAULT_LMULS,
+    codegen=DEFAULT_CODEGENS,
+    jobs: int | None = None,
+    db: TuningDB | None = None,
+    seed: int = 0,
+) -> tuple[list[TunePoint], dict]:
+    """Measure the grid, fit the policy, optionally persist it.
+
+    ``codegen`` is one preset name or a sequence of them; the default
+    sweeps both presets (:data:`DEFAULT_CODEGENS`) because the policy
+    lookup is preset-exact. Returns ``(points, fitted)`` where
+    ``fitted`` is the ``{fingerprint: entry_table}`` mapping written
+    to ``db`` (merged into any existing tables). ``jobs=None`` uses
+    :func:`repro.parallel.default_jobs`.
+    """
+    if pipelines is None:
+        pipelines = tuple(PIPELINES)
+    unknown = [p for p in pipelines if p not in PIPELINES]
+    if unknown:
+        raise KeyError(f"unknown tune pipeline(s) {unknown!r}; "
+                       f"available: {sorted(PIPELINES)}")
+    codegens = (codegen,) if isinstance(codegen, str) else tuple(codegen)
+    params = [
+        {"pipeline": p, "n": n, "vlen": v, "lmul": int(lm),
+         "codegen": cg, "seed": seed}
+        for p in pipelines for n in sizes for v in vlens
+        for lm in lmuls for cg in codegens
+    ]
+    raw = run_grid(tune_cell, params,
+                   jobs=default_jobs() if jobs is None else jobs)
+    points = [
+        TunePoint(r["pipeline"], r["n"], r["vlen"], r["codegen"],
+                  LMUL(r["lmul"]), r["instructions"], r["fingerprint"])
+        for r in raw
+    ]
+    fitted = fit_policy(raw)
+    if db is not None:
+        meta = {"pipelines": {r["fingerprint"]: r["pipeline"] for r in raw},
+                "codegen": list(codegens)}
+        for fingerprint, table in fitted.items():
+            db.save(fingerprint, table, meta=meta)
+    return points, fitted

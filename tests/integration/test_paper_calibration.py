@@ -7,7 +7,7 @@ breaks the published EXPERIMENTS.md and must be deliberate.
 
 import pytest
 
-from repro.lmul import measure_kernel
+from repro.tune import measure_kernel
 from repro.rvv.types import LMUL
 
 # (kernel, n, vlen, lmul, paper value) — exact cells only

@@ -3,7 +3,7 @@ exactly, and the pick must be the sweep argmin."""
 
 import pytest
 
-from repro.lmul import choose_lmul, measure_kernel, predict_scan_count
+from repro.tune import choose_lmul, measure_kernel, predict_scan_count
 from repro.rvv.types import LMUL
 
 

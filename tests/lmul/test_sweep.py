@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lmul import measure_kernel, sweep_lmul, sweep_vlen
+from repro.tune import measure_kernel, sweep_lmul, sweep_vlen
 from repro.rvv.types import LMUL
 
 

@@ -1,0 +1,55 @@
+"""repro.lmul is a deprecated alias of repro.tune (ISSUE 10 satellite).
+
+The old modules must keep working — same names, same behavior — while
+warning once at import. Existing benchmarks and user scripts importing
+``repro.lmul`` therefore keep running through the transition.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+
+def _fresh_import(name: str):
+    """Import ``name`` as if for the first time (module-level warnings
+    fire at first import only)."""
+    for mod in list(sys.modules):
+        if mod == name or mod.startswith(name + "."):
+            del sys.modules[mod]
+    return importlib.import_module(name)
+
+
+@pytest.mark.parametrize("module", [
+    "repro.lmul", "repro.lmul.advisor", "repro.lmul.sweep",
+])
+def test_import_warns_deprecation(module):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        _fresh_import(module)
+
+
+def test_old_names_alias_new_implementations():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy_advisor = _fresh_import("repro.lmul.advisor")
+        legacy_sweep = _fresh_import("repro.lmul.sweep")
+    from repro.tune import advisor, measure
+
+    assert legacy_advisor.choose_lmul is advisor.choose_lmul
+    assert legacy_advisor.predict_scan_count is advisor.predict_scan_count
+    assert legacy_advisor.LmulPrediction is advisor.LmulPrediction
+    assert legacy_sweep.measure_kernel is measure.measure_kernel
+    assert legacy_sweep.sweep_lmul is measure.sweep_lmul
+    assert legacy_sweep.sweep_vlen is measure.sweep_vlen
+
+
+def test_package_reexports_survive():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        legacy = _fresh_import("repro.lmul")
+    from repro.tune import choose_lmul
+
+    assert legacy.choose_lmul is choose_lmul

@@ -1,0 +1,158 @@
+"""The identity gate: SVM(tune="auto") vs a pinned config.
+
+The tentpole's correctness contract — tuned dispatch is *pure config
+selection*: for whatever LMUL the policy picks, results are
+bit-identical and counters identical to an SVM explicitly pinned to
+that LMUL. Retagging happens before the plan-cache key is computed, so
+tuned and pinned contexts share plan-cache entries; an unswept shape
+or an empty DB runs exactly as without tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SVM
+from repro.engine.cache import PlanCache
+from repro.rvv.types import LMUL
+from repro.tune import TunePolicy, TuningDB, run_tune_sweep
+
+VLEN = 128
+N = 3000
+
+
+@pytest.fixture(scope="module")
+def swept_dir(tmp_path_factory):
+    """A cache dir holding a real (small) sweep over the chain_scan
+    pipeline: both sides of the spill/strip crossover at VLEN=128."""
+    root = tmp_path_factory.mktemp("tunedb")
+    run_tune_sweep(pipelines=("chain_scan",), sizes=(64, N),
+                   vlens=(VLEN,), jobs=1, db=TuningDB(root))
+    return root
+
+
+def _run_chain(svm, n=N):
+    data = svm.array(np.arange(1, n + 1, dtype=np.uint32))
+    with svm.lazy() as lz:
+        lz.p_add(data, 10)
+        lz.p_mul(data, 3)
+        lz.p_xor(data, 255)
+        lz.plus_scan(data)
+    return data.to_numpy()
+
+
+def test_tuned_identical_to_pinned(swept_dir):
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(swept_dir))
+    out_tuned = _run_chain(tuned)
+    applied = tuned.engine.last_plan.nodes[0].lmul
+    assert applied != LMUL.M1, "sweep should pick a larger LMUL at n=3000"
+
+    pinned = SVM(vlen=VLEN, codegen="paper", mode="fast", lmul=applied)
+    out_pinned = _run_chain(pinned)
+
+    np.testing.assert_array_equal(out_tuned, out_pinned)
+    assert tuned.instructions == pinned.instructions
+    assert tuned.counters == pinned.counters
+
+
+def test_tuned_beats_default_at_large_n(swept_dir):
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(swept_dir))
+    _run_chain(tuned)
+    default = SVM(vlen=VLEN, codegen="paper", mode="fast")
+    _run_chain(default)
+    assert tuned.instructions < default.instructions
+
+
+def test_tuned_shares_plan_cache_with_pinned(swept_dir):
+    """Retag-before-key: the tuned context compiles the same cache
+    entry the pinned context would, so a shared PlanCache hits."""
+    shared = PlanCache()
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(swept_dir), plan_cache=shared)
+    _run_chain(tuned)
+    applied = tuned.engine.last_plan.nodes[0].lmul
+    misses_after_tuned = shared.stats.misses
+    pinned = SVM(vlen=VLEN, codegen="paper", mode="fast", lmul=applied,
+                 plan_cache=shared)
+    _run_chain(pinned)
+    assert shared.stats.misses == misses_after_tuned  # pure hit, no recompile
+    assert shared.stats.hits > 0
+
+
+def test_default_sweep_covers_default_preset(tmp_path):
+    """The out-of-the-box lifecycle: a default-arg sweep must cover a
+    plain ``SVM(tune="auto")`` — whose codegen preset is "ideal", not
+    the CLI's "paper" — because the policy lookup is preset-exact."""
+    run_tune_sweep(pipelines=("chain_scan",), sizes=(64, N),
+                   vlens=(VLEN,), jobs=1, db=TuningDB(tmp_path))
+    tuned = SVM(vlen=VLEN, tune="auto", cache_dir=str(tmp_path))
+    out_tuned = _run_chain(tuned)
+    applied = tuned.engine.last_plan.nodes[0].lmul
+    assert applied != LMUL.M1, "default-preset dispatch should hit the DB"
+
+    pinned = SVM(vlen=VLEN, lmul=applied)
+    out_pinned = _run_chain(pinned)
+    np.testing.assert_array_equal(out_tuned, out_pinned)
+    assert tuned.instructions == pinned.instructions
+
+
+def test_empty_db_is_a_noop(tmp_path):
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(tmp_path / "never-swept"))
+    out_tuned = _run_chain(tuned)
+    default = SVM(vlen=VLEN, codegen="paper", mode="fast")
+    out_default = _run_chain(default)
+    np.testing.assert_array_equal(out_tuned, out_default)
+    assert tuned.instructions == default.instructions
+
+
+def test_explicit_per_call_lmul_is_respected(swept_dir):
+    """A hand-tuned pipeline (any explicit lmul=) is left alone."""
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(swept_dir))
+    data = tuned.array(np.arange(1, N + 1, dtype=np.uint32))
+    with tuned.lazy() as lz:
+        lz.p_add(data, 10, lmul=LMUL.M2)
+        lz.plus_scan(data, lmul=LMUL.M2)
+    assert all(nd.lmul is LMUL.M2 for nd in tuned.engine.last_plan.nodes
+               if nd.lmul is not None and nd.kind.name not in ("FREE",))
+
+
+def test_explicit_policy_object(swept_dir):
+    """SVM(tune=<TunePolicy>) bypasses the cache-dir convention."""
+    pol = TunePolicy.load(swept_dir)
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast", tune=pol)
+    _run_chain(tuned)
+    assert tuned.engine.last_plan.nodes[0].lmul != LMUL.M1
+
+
+def test_policy_resolution_is_memoized(swept_dir):
+    """Warm dispatch does not re-read the DB: the policy is resolved
+    once per SVM and its choices are memoized per shape."""
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=str(swept_dir))
+    _run_chain(tuned)
+    pol = tuned._tune_policy
+    assert pol is not None
+    reads = pol.db.hits + pol.db.misses
+    for _ in range(5):
+        _run_chain(tuned)
+    assert tuned._tune_policy is pol           # resolved exactly once
+    assert pol.db.hits + pol.db.misses == reads  # no further disk reads
+
+
+def test_eager_mode_unaffected(swept_dir):
+    """Tuning hooks only the lazy plan path; eager calls keep the
+    context default."""
+    tuned = SVM(vlen=VLEN, codegen="paper", tune="auto",
+                cache_dir=str(swept_dir))
+    data = tuned.array(np.arange(1, 100, dtype=np.uint32))
+    tuned.plus_scan(data)
+    default = SVM(vlen=VLEN, codegen="paper")
+    data2 = default.array(np.arange(1, 100, dtype=np.uint32))
+    default.plus_scan(data2)
+    np.testing.assert_array_equal(data.to_numpy(), data2.to_numpy())
+    assert tuned.instructions == default.instructions

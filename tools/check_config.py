@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI gate for the unified ExecConfig layer.
+
+Fails (exit 1) when an execution-config environment read leaks outside
+:mod:`repro.config`:
+
+1. no module under ``src/repro/`` other than ``repro/config.py`` may
+   touch ``os.environ`` / ``os.getenv`` / ``os.environ.get`` (AST
+   check, so aliased imports like ``from os import environ`` or
+   ``getenv = os.getenv`` fail too);
+2. no module other than ``repro/config.py`` may mention a ``REPRO_*``
+   environment variable in executable code — config is resolved in one
+   place, everything else consumes :class:`repro.config.ExecConfig`
+   or the call-time helpers it exports.
+
+Run as ``PYTHONPATH=src python tools/check_config.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: The one module allowed to read the process environment.
+ALLOWED = {Path("repro") / "config.py"}
+
+#: Attribute/function names that read the environment.
+ENV_READERS = {"environ", "getenv", "environb", "putenv"}
+
+
+def fail(errors: list[str]) -> None:
+    for e in errors:
+        print(f"check_config: {e}", file=sys.stderr)
+    if errors:
+        sys.exit(1)
+
+
+def _env_reads(tree: ast.AST) -> list[tuple[int, str]]:
+    """(lineno, description) for every environment access in ``tree``."""
+    hits: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr in ENV_READERS:
+            hits.append((node.lineno, f"attribute access .{node.attr}"))
+        elif isinstance(node, ast.ImportFrom) and node.module == "os":
+            for alias in node.names:
+                if alias.name in ENV_READERS:
+                    hits.append(
+                        (node.lineno, f"from os import {alias.name}"))
+        elif isinstance(node, ast.Name) and node.id in {"getenv", "environ"}:
+            # Bare names only matter if they were imported from os — but
+            # flag them anyway: a bare `environ` in repro code is either
+            # an env read or shadowing that invites one.
+            hits.append((node.lineno, f"bare name {node.id!r}"))
+    return hits
+
+
+def check_env_isolation() -> list[str]:
+    errors = []
+    for path in sorted(SRC.rglob("repro/**/*.py")):
+        rel = path.relative_to(SRC)
+        if rel in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for lineno, what in _env_reads(tree):
+            errors.append(
+                f"{rel}:{lineno}: {what} — environment reads belong in "
+                "repro/config.py only; consume ExecConfig or its "
+                "call-time helpers instead"
+            )
+    return errors
+
+
+def check_repro_var_literals() -> list[str]:
+    """No module but config.py may hold an exact REPRO_* variable-name
+    literal — the shape an env lookup by name would use. Help text and
+    docstrings *embedding* the names in longer sentences are fine."""
+    sys.path.insert(0, str(SRC))
+    from repro.config import ENV_VARS
+
+    names = set(ENV_VARS.values()) | {"REPRO_NATIVE_CC",
+                                      "REPRO_NATIVE_DISABLE"}
+    errors = []
+    for path in sorted(SRC.rglob("repro/**/*.py")):
+        rel = path.relative_to(SRC)
+        if rel in ALLOWED:
+            continue
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and node.value in names):
+                errors.append(
+                    f"{rel}:{node.lineno}: bare {node.value!r} literal "
+                    "outside repro/config.py — looks like an env lookup "
+                    "by name; route it through the ExecConfig layer"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = check_env_isolation() + check_repro_var_literals()
+    if errors:
+        fail(errors)
+    n = sum(1 for _ in SRC.rglob("repro/**/*.py"))
+    print(f"check_config: OK — {n} modules scanned, environment reads "
+          "confined to repro/config.py")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""CI probe: the tune lifecycle end to end — cold sweep, warm policy hit.
+
+Cold phase (a real subprocess, exactly what a user types):
+``python -m repro tune sweep --dir <tmp>`` over a small grid, then
+``repro tune show`` against the same directory must render the fitted
+policy table.
+
+Warm phase (in-process): a fresh ``SVM(tune="auto", cache_dir=<tmp>)``
+dispatching a shape the sweep covered must
+
+* actually consult the policy (the plan's nodes carry a non-default
+  LMUL picked from the swept grid),
+* stay bit- and counter-identical to an SVM pinned to that LMUL
+  (tuned dispatch is pure config selection),
+* beat the untuned default's dynamic instruction count at large n,
+* and resolve the policy exactly once (memoized — no per-request DB
+  reads on the warm path).
+
+    PYTHONPATH=src python tools/ci_tune_smoke.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(SRC))
+
+from repro import SVM  # noqa: E402
+from repro.rvv.types import LMUL  # noqa: E402
+
+VLEN = 128
+N = 3000
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, timeout=600,
+        cwd=str(SRC.parent), env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"repro {' '.join(argv)} exited {proc.returncode}")
+    return proc
+
+
+def drive(svm) -> np.ndarray:
+    data = svm.array(np.arange(1, N + 1, dtype=np.uint32))
+    with svm.lazy() as lz:
+        lz.p_add(data, 10)
+        lz.p_mul(data, 3)
+        lz.p_xor(data, 255)
+        lz.plus_scan(data)
+    return data.to_numpy()
+
+
+def main() -> int:
+    tmp = tempfile.mkdtemp(prefix="repro-tune-smoke-")
+
+    # ---- cold: sweep through the CLI ---------------------------------
+    out = run_cli("tune", "sweep", "--dir", tmp,
+                  "--pipelines", "chain_scan",
+                  "--sizes", "64", str(N), "--vlen", str(VLEN),
+                  "--jobs", "1").stdout
+    assert "swept" in out and "policy entr" in out, out
+    assert "tuning DB written under" in out, out
+
+    show = run_cli("tune", "show", "--dir", tmp).stdout
+    assert "fitted shape→config policy" in show, show
+    assert "chain_scan" in show, show
+
+    # ---- warm: a fresh consumer hits the persisted policy ------------
+    tuned = SVM(vlen=VLEN, codegen="paper", mode="fast",
+                tune="auto", cache_dir=tmp)
+    out_tuned = drive(tuned)
+    applied = tuned.engine.last_plan.nodes[0].lmul
+    assert applied != LMUL.M1, (
+        f"policy hit expected at n={N}, plan still at default {applied!r}")
+
+    tuned_instr = tuned.instructions
+    pinned = SVM(vlen=VLEN, codegen="paper", mode="fast", lmul=applied)
+    out_pinned = drive(pinned)
+    assert np.array_equal(out_tuned, out_pinned), "tuned result diverged"
+    assert tuned_instr == pinned.instructions
+    assert (tuned.counters.snapshot().by_category
+            == pinned.counters.snapshot().by_category), "counters diverged"
+
+    default = SVM(vlen=VLEN, codegen="paper", mode="fast")
+    drive(default)
+    assert tuned_instr < default.instructions, (
+        f"tuned {tuned_instr} not below default {default.instructions}")
+
+    # memoized: further dispatches do not re-read the DB
+    policy = tuned._tune_policy
+    reads = policy.db.hits + policy.db.misses
+    for _ in range(3):
+        drive(tuned)
+    assert tuned._tune_policy is policy
+    assert policy.db.hits + policy.db.misses == reads, "warm path re-read DB"
+
+    speedup = default.instructions / tuned_instr
+    print(f"ci_tune_smoke: OK — cold sweep persisted, warm policy hit "
+          f"chose LMUL={int(applied)} at n={N} (identity holds, "
+          f"{speedup:.2f}x vs default, zero warm DB reads)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
